@@ -1,0 +1,134 @@
+// A3 — Ablation: classifier templates (the mechanism behind ESwitch's
+// Table 1 numbers).
+//
+// Lookup cost of each template on the rule shapes the gwlb pipeline
+// produces: the universal table (prefix + exact mix) under linear
+// wildcard vs tuple-space vs the grouped-LPM "oracle", and the
+// normalized stages under exact-hash and single-field LPM. The gap
+// between `UniversalLinear` and `StageExact`+`StageLpm` is exactly the
+// normalization speedup ESwitch realizes.
+#include <benchmark/benchmark.h>
+
+#include "controlplane/compiler.hpp"
+#include "dataplane/classifier.hpp"
+#include "workloads/traffic.hpp"
+
+namespace {
+
+using namespace maton;
+
+struct Setup {
+  workloads::Gwlb gwlb;
+  dp::Program universal;
+  dp::Program goto_program;
+  std::vector<dp::FlowKey> keys;
+
+  explicit Setup(std::size_t services) {
+    gwlb = workloads::make_gwlb(
+        {.num_services = services, .num_backends = 8});
+    universal = cp::GwlbBinding(gwlb, cp::Representation::kUniversal)
+                    .program();
+    goto_program =
+        cp::GwlbBinding(gwlb, cp::Representation::kGoto).program();
+    keys = workloads::make_gwlb_keys(gwlb, {.num_packets = 1024});
+  }
+};
+
+const Setup& setup20() {
+  static const Setup s(20);
+  return s;
+}
+
+void run_lookups(benchmark::State& state, const dp::Classifier& classifier,
+                 const std::vector<dp::FlowKey>& keys) {
+  std::size_t i = 0;
+  std::size_t hits = 0;
+  for (auto _ : state) {
+    const auto r = classifier.lookup(keys[i]);
+    hits += r.has_value() ? 1 : 0;
+    benchmark::DoNotOptimize(r);
+    i = (i + 1) & (keys.size() - 1);
+  }
+  state.counters["hit_rate"] =
+      static_cast<double>(hits) /
+      static_cast<double>(state.iterations());
+}
+
+void BM_UniversalLinear(benchmark::State& state) {
+  const auto c = dp::make_linear(setup20().universal.tables[0]);
+  run_lookups(state, *c, setup20().keys);
+}
+BENCHMARK(BM_UniversalLinear);
+
+void BM_UniversalTss(benchmark::State& state) {
+  const auto c = dp::make_tss(setup20().universal.tables[0]);
+  run_lookups(state, *c, setup20().keys);
+}
+BENCHMARK(BM_UniversalTss);
+
+void BM_UniversalGroupedLpmOracle(benchmark::State& state) {
+  // The grouped-LPM template ESwitch does *not* have; with it, even the
+  // universal table would be fast — quantifying how much of the paper's
+  // gain is template inventory rather than normalization per se.
+  const auto c = dp::make_lpm(setup20().universal.tables[0]);
+  run_lookups(state, *c, setup20().keys);
+}
+BENCHMARK(BM_UniversalGroupedLpmOracle);
+
+void BM_StageExact(benchmark::State& state) {
+  // Normalized first stage: exact (ip_dst, tcp_dst).
+  const auto c = dp::make_exact_match(setup20().goto_program.tables[0]);
+  run_lookups(state, *c, setup20().keys);
+}
+BENCHMARK(BM_StageExact);
+
+void BM_StageLpm(benchmark::State& state) {
+  // Normalized second stage: single-field LPM on ip_src.
+  const auto c = dp::make_lpm(setup20().goto_program.tables[1]);
+  run_lookups(state, *c, setup20().keys);
+}
+BENCHMARK(BM_StageLpm);
+
+void BM_LinearScaling(benchmark::State& state) {
+  const Setup s(static_cast<std::size_t>(state.range(0)));
+  const auto c = dp::make_linear(s.universal.tables[0]);
+  run_lookups(state, *c, s.keys);
+  state.SetLabel(std::to_string(s.universal.tables[0].rules.size()) +
+                 " rules");
+}
+BENCHMARK(BM_LinearScaling)->Arg(5)->Arg(20)->Arg(80);
+
+void BM_TssScaling(benchmark::State& state) {
+  const Setup s(static_cast<std::size_t>(state.range(0)));
+  const auto c = dp::make_tss(s.universal.tables[0]);
+  run_lookups(state, *c, s.keys);
+}
+BENCHMARK(BM_TssScaling)->Arg(5)->Arg(20)->Arg(80);
+
+void BM_ParseOnly(benchmark::State& state) {
+  const auto packets =
+      workloads::make_gwlb_traffic(setup20().gwlb, {.num_packets = 1024});
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dp::parse(packets[i]));
+    i = (i + 1) & (packets.size() - 1);
+  }
+}
+BENCHMARK(BM_ParseOnly);
+
+void BM_EndToEndESwitch(benchmark::State& state) {
+  auto sw = dp::make_eswitch_model();
+  const bool universal = state.range(0) == 0;
+  (void)sw->load(universal ? setup20().universal : setup20().goto_program);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sw->process(setup20().keys[i]));
+    i = (i + 1) & (setup20().keys.size() - 1);
+  }
+  state.SetLabel(universal ? "universal" : "goto");
+}
+BENCHMARK(BM_EndToEndESwitch)->Arg(0)->Arg(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,120 @@
+// E2 — §2 "Controllability" and "Monitorability".
+//
+// Regenerates: rule updates needed per functional intent across the four
+// representations (paper: 2 vs 1 for tenant 1's port move, with the same
+// effect at N=20/M=8 scale), counters + aggregation steps for observing
+// one tenant's traffic (paper: 3 vs 1), and the atomicity exposure
+// (identity entries that can be left half-updated).
+#include <iostream>
+
+#include "controlplane/controller.hpp"
+#include "controlplane/monitor.hpp"
+#include "util/format.hpp"
+#include "util/report.hpp"
+#include "workloads/traffic.hpp"
+
+namespace {
+
+using namespace maton;
+using cp::GwlbBinding;
+using cp::Representation;
+
+constexpr Representation kAll[] = {
+    Representation::kUniversal, Representation::kGoto,
+    Representation::kMetadata, Representation::kRematch};
+
+void intent_costs(const workloads::Gwlb& gwlb, const char* title) {
+  ReportTable table(title);
+  table.set_header({"intent", "universal", "goto", "metadata", "rematch"});
+
+  const cp::Intent intents[] = {
+      cp::Intent{cp::MoveServicePort{.service = 0, .new_port = 50001}},
+      cp::Intent{cp::ChangeServiceIp{.service = 0,
+                                     .new_vip = ipv4(198, 19, 7, 7)}},
+      cp::Intent{cp::ChangeBackend{.service = 0, .backend = 0,
+                                   .new_out = 999}},
+      cp::Intent{cp::RemoveService{.service = 0}},
+  };
+  for (const cp::Intent& intent : intents) {
+    std::vector<std::string> row{cp::to_string(intent)};
+    for (const Representation repr : kAll) {
+      GwlbBinding binding(gwlb, repr);  // fresh binding per cell
+      const auto updates = binding.compile_intent(intent);
+      row.push_back(updates.is_ok()
+                        ? std::to_string(updates.value().size())
+                        : std::string("error"));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+}
+
+void monitorability(const workloads::Gwlb& gwlb, std::size_t service,
+                    const char* title) {
+  ReportTable table(title);
+  table.set_header({"representation", "counters", "aggregation steps",
+                    "identity entries (atomicity exposure)"});
+  for (const Representation repr : kAll) {
+    const GwlbBinding binding(gwlb, repr);
+    const cp::MonitorPlan plan = binding.monitor_plan(service);
+    table.add_row({std::string(cp::to_string(repr)),
+                   std::to_string(plan.counters),
+                   std::to_string(plan.aggregation_steps),
+                   std::to_string(binding.identity_entries(service))});
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== E2: §2 controllability & monitorability ===\n\n";
+
+  const auto paper = workloads::make_paper_example();
+  intent_costs(paper,
+               "Rule updates per intent — Fig. 1 instance (tenant 1, M=2)");
+  std::cout << "paper: moving tenant 1 to HTTPS = 2 updates universal, "
+               "1 normalized\n\n";
+  monitorability(paper, 1,
+                 "Observing tenant 2 — Fig. 1 instance (3 backends)");
+  std::cout << "paper: 3 counters + controller-side summing universal, "
+               "1 counter normalized\n\n";
+
+  const auto scaled =
+      workloads::make_gwlb({.num_services = 20, .num_backends = 8});
+  intent_costs(scaled, "Rule updates per intent — §5 workload (N=20, M=8)");
+  monitorability(scaled, 0, "Observing one service — §5 workload (M=8)");
+  std::cout << "universal costs scale with M; goto/metadata stay at 1\n\n";
+
+  // Live flow-counter run: drive real traffic through the ESwitch model
+  // on both representations and read one tenant's aggregate with the
+  // traffic monitor — same packets, §2's effort gap.
+  {
+    const auto trace = workloads::make_gwlb_traffic(
+        scaled, {.num_packets = 8192, .hit_fraction = 0.9});
+    ReportTable table("Live monitoring (8192 packets, ESwitch model)");
+    table.set_header({"representation", "service-0 packets",
+                      "counters read", "additions"});
+    for (const Representation repr :
+         {Representation::kUniversal, Representation::kGoto}) {
+      GwlbBinding binding(scaled, repr);
+      auto sw = dp::make_eswitch_model();
+      if (!sw->load(binding.program()).is_ok()) continue;
+      for (const dp::RawPacket& pkt : trace) {
+        const auto key = dp::parse(pkt);
+        if (key.has_value()) (void)sw->process(*key);
+      }
+      cp::TrafficMonitor monitor(binding, *sw);
+      const auto traffic = monitor.read_service(0);
+      if (!traffic.is_ok()) continue;
+      table.add_row({std::string(cp::to_string(repr)),
+                     std::to_string(traffic.value().packets),
+                     std::to_string(traffic.value().counters_read),
+                     std::to_string(traffic.value().aggregation_steps)});
+    }
+    table.print(std::cout);
+    std::cout << "identical packet counts, 8x the counter reads on the "
+                 "universal table\n";
+  }
+  return 0;
+}

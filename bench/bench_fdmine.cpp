@@ -1,0 +1,136 @@
+// A2 — Ablation: functional-dependency mining scalability.
+//
+// Compares the exhaustive subset miner against the TANE lattice miner
+// across table sizes (rows) and widths (columns), plus the cost of the
+// downstream closure machinery (minimal cover, candidate keys) and a
+// full normalize() on generated workloads.
+#include <benchmark/benchmark.h>
+
+#include "core/fd_mine.hpp"
+#include "core/keys.hpp"
+#include "core/synthesis.hpp"
+#include "util/rng.hpp"
+#include "workloads/gwlb.hpp"
+#include "workloads/l3fwd.hpp"
+
+namespace {
+
+using namespace maton;
+using core::Table;
+
+Table random_table(std::size_t rows, std::size_t cols, std::uint64_t domain,
+                   std::uint64_t seed) {
+  core::Schema schema;
+  for (std::size_t c = 0; c < cols; ++c) {
+    schema.add_match("f" + std::to_string(c));
+  }
+  Table t("bench", std::move(schema));
+  Rng rng(seed);
+  for (std::size_t r = 0; r < rows; ++r) {
+    core::Row row;
+    for (std::size_t c = 0; c < cols; ++c) {
+      row.push_back(rng.uniform(0, domain));
+    }
+    t.add_row(std::move(row));
+  }
+  return t;
+}
+
+void BM_MineNaive(benchmark::State& state) {
+  const Table t = random_table(static_cast<std::size_t>(state.range(0)),
+                               static_cast<std::size_t>(state.range(1)), 3,
+                               7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::mine_fds_naive(t));
+  }
+  state.SetLabel(std::to_string(t.num_rows()) + " rows x " +
+                 std::to_string(t.num_cols()) + " cols");
+}
+BENCHMARK(BM_MineNaive)
+    ->Args({16, 4})
+    ->Args({64, 4})
+    ->Args({256, 4})
+    ->Args({64, 6})
+    ->Args({64, 8});
+
+void BM_MineTane(benchmark::State& state) {
+  const Table t = random_table(static_cast<std::size_t>(state.range(0)),
+                               static_cast<std::size_t>(state.range(1)), 3,
+                               7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::mine_fds_tane(t));
+  }
+}
+BENCHMARK(BM_MineTane)
+    ->Args({16, 4})
+    ->Args({64, 4})
+    ->Args({256, 4})
+    ->Args({1024, 4})
+    ->Args({64, 6})
+    ->Args({64, 8})
+    ->Args({1024, 8});
+
+void BM_MineTaneGwlb(benchmark::State& state) {
+  const auto gwlb = workloads::make_gwlb(
+      {.num_services = static_cast<std::size_t>(state.range(0)),
+       .num_backends = 8});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::mine_fds_tane(gwlb.universal));
+  }
+}
+BENCHMARK(BM_MineTaneGwlb)->Arg(5)->Arg(20)->Arg(80);
+
+void BM_MinimalCover(benchmark::State& state) {
+  const Table t = random_table(64, 6, 2, 9);
+  const core::FdSet mined = core::mine_fds_tane(t);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mined.minimal_cover());
+  }
+}
+BENCHMARK(BM_MinimalCover);
+
+void BM_CandidateKeys(benchmark::State& state) {
+  const Table t = random_table(64, 8, 2, 11);
+  const core::FdSet mined = core::mine_fds_tane(t);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::candidate_keys(mined, t.schema().all()));
+  }
+}
+BENCHMARK(BM_CandidateKeys);
+
+void BM_NormalizeGwlb(benchmark::State& state) {
+  const auto gwlb = workloads::make_gwlb(
+      {.num_services = static_cast<std::size_t>(state.range(0)),
+       .num_backends = 8});
+  core::FdSet model = gwlb.model_fds;
+  model.add(gwlb.universal.schema().match_set(),
+            gwlb.universal.schema().all());
+  for (auto _ : state) {
+    auto out = core::normalize(gwlb.universal,
+                               {.join = core::JoinKind::kGoto,
+                                .model_fds = model});
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_NormalizeGwlb)->Arg(5)->Arg(20);
+
+void BM_NormalizeL3(benchmark::State& state) {
+  const auto l3 = workloads::make_l3fwd(
+      {.num_prefixes = static_cast<std::size_t>(state.range(0)),
+       .num_nexthops = 16,
+       .num_ports = 4});
+  core::FdSet model = l3.model_fds;
+  model.add(l3.universal.schema().match_set(), l3.universal.schema().all());
+  for (auto _ : state) {
+    auto out = core::normalize(l3.universal,
+                               {.join = core::JoinKind::kMetadata,
+                                .model_fds = model});
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_NormalizeL3)->Arg(64)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

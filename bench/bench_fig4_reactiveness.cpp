@@ -1,0 +1,141 @@
+// E5 — Fig. 4: reactiveness under control-plane churn (NoviFlow model).
+//
+// Regenerates: throughput and 3rd-quartile latency of the universal vs
+// goto-normalized gwlb pipeline (N=20, M=8, 64 B packets) while a random
+// service port is atomically updated at increasing rates. The paper's
+// headline: at 100 updates/s the universal table loses ~20× throughput
+// (8× greater churn — 8 rule-mods per intent — into a 160-entry TCAM),
+// the normalized pipeline shows no visible drop, and normalization costs
+// ~25-30% extra latency (one more pipeline stage) roughly independently
+// of churn.
+#include <iostream>
+
+#include "controlplane/churn.hpp"
+#include "controlplane/compiler.hpp"
+#include "dataplane/switch.hpp"
+#include "util/format.hpp"
+#include "util/report.hpp"
+#include "workloads/traffic.hpp"
+
+namespace {
+
+using namespace maton;
+using cp::Representation;
+
+struct ChurnOutcome {
+  double rule_mods_per_second = 0.0;
+  double stall_fraction = 0.0;
+  double throughput_mpps = 0.0;
+  double latency_us = 0.0;
+  bool consistent = false;
+};
+
+ChurnOutcome run_churn(const workloads::Gwlb& gwlb, Representation repr,
+                       double rate_per_second) {
+  cp::GwlbBinding binding(gwlb, repr);
+  dp::HwTcamModel hw;
+  const Status loaded = hw.load(binding.program());
+  expects(loaded.is_ok(), "hw model rejected program");
+  const std::size_t depth = hw.pipeline_depth();
+
+  const auto schedule = cp::make_port_churn(
+      {.rate_per_second = rate_per_second,
+       .duration_seconds = 1.0,
+       .num_services = gwlb.services.size(),
+       .seed = 13});
+
+  ChurnOutcome outcome;
+  double stall_seconds = 0.0;
+  std::size_t rule_mods = 0;
+  for (const cp::TimedIntent& timed : schedule) {
+    const auto updates = binding.compile_intent(timed.intent);
+    expects(updates.is_ok(), "churn intent failed to compile");
+    for (const dp::RuleUpdate& update : updates.value()) {
+      const std::size_t table_size =
+          hw.program().tables[update.table].rules.size();
+      stall_seconds += hw.update_stall_seconds(1, table_size);
+      const Status applied = hw.apply_update(update);
+      expects(applied.is_ok(), "hw model rejected update");
+      ++rule_mods;
+    }
+  }
+
+  outcome.rule_mods_per_second = static_cast<double>(rule_mods);
+  outcome.stall_fraction = stall_seconds;
+  outcome.throughput_mpps = hw.throughput_mpps(stall_seconds);
+  // Latency is dominated by the pipeline depth; churn adds a small
+  // queueing bump while updates stall the pipeline.
+  outcome.latency_us =
+      hw.latency_us(depth) * (1.0 + 0.15 * std::min(stall_seconds, 1.0));
+
+  // Post-churn functional check: every service reachable on its current
+  // port; this guards the cost model against drifting from the real
+  // rule state.
+  outcome.consistent = true;
+  for (const workloads::GwlbService& svc : binding.gwlb().services) {
+    dp::FlowKey key;
+    key.set(dp::FieldId::kIpSrc, 0);
+    key.set(dp::FieldId::kIpDst, svc.vip);
+    key.set(dp::FieldId::kTcpDst, svc.port);
+    if (!hw.process(key).hit) outcome.consistent = false;
+  }
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== E5: Fig. 4 reactiveness (NoviFlow TCAM model) ===\n"
+            << "workload: 20 services x 8 backends, MoveServicePort churn\n\n";
+
+  const auto gwlb =
+      workloads::make_gwlb({.num_services = 20, .num_backends = 8});
+
+  ReportTable table("throughput [Mpps] and p75 latency [us] vs update rate");
+  table.set_header({"updates/s", "uni mods/s", "uni Mpps", "uni rel",
+                    "uni lat", "goto mods/s", "goto Mpps", "goto rel",
+                    "goto lat", "consistent"});
+
+  double uni_nominal = 0.0;
+  double goto_nominal = 0.0;
+  for (const double rate : {0.0, 10.0, 25.0, 50.0, 100.0, 200.0, 400.0,
+                            800.0, 1000.0}) {
+    const ChurnOutcome uni =
+        run_churn(gwlb, Representation::kUniversal, rate);
+    const ChurnOutcome gt = run_churn(gwlb, Representation::kGoto, rate);
+    if (rate == 0.0) {
+      uni_nominal = uni.throughput_mpps;
+      goto_nominal = gt.throughput_mpps;
+    }
+    table.add_row(
+        {format_double(rate, 0),
+         format_double(uni.rule_mods_per_second, 0),
+         format_double(uni.throughput_mpps, 2),
+         format_double(uni.throughput_mpps / uni_nominal, 3),
+         format_double(uni.latency_us, 1),
+         format_double(gt.rule_mods_per_second, 0),
+         format_double(gt.throughput_mpps, 2),
+         format_double(gt.throughput_mpps / goto_nominal, 3),
+         format_double(gt.latency_us, 1),
+         (uni.consistent && gt.consistent) ? "yes" : "NO"});
+  }
+  table.print(std::cout);
+
+  const ChurnOutcome at100 =
+      run_churn(gwlb, Representation::kUniversal, 100.0);
+  const ChurnOutcome at100_goto =
+      run_churn(gwlb, Representation::kGoto, 100.0);
+  std::cout << "at 100 updates/s: universal keeps "
+            << format_double(100.0 * at100.throughput_mpps / uni_nominal, 1)
+            << "% of nominal ("
+            << format_double(uni_nominal / at100.throughput_mpps, 1)
+            << "x loss), normalized keeps "
+            << format_double(
+                   100.0 * at100_goto.throughput_mpps / goto_nominal, 1)
+            << "%\n";
+  std::cout << "paper: ~20x loss for the universal table, no visible drop "
+               "for the normalized pipeline;\n"
+               "normalization costs ~25% latency (6.4 -> 8.4 us), churn-"
+               "independent\n";
+  return 0;
+}

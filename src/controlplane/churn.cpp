@@ -1,0 +1,32 @@
+#include "controlplane/churn.hpp"
+
+#include "util/contract.hpp"
+
+namespace maton::cp {
+
+std::vector<TimedIntent> make_port_churn(const ChurnConfig& config) {
+  expects(config.rate_per_second >= 0.0, "negative churn rate");
+  expects(config.num_services > 0, "churn needs at least one service");
+
+  std::vector<TimedIntent> schedule;
+  if (config.rate_per_second == 0.0) return schedule;
+
+  Rng rng(config.seed);
+  double now = 0.0;
+  // Ports rotate through the dynamic range so consecutive updates to the
+  // same service never no-op.
+  std::uint16_t next_port = 49152;
+  while (true) {
+    now += config.poisson ? rng.exponential(config.rate_per_second)
+                          : 1.0 / config.rate_per_second;
+    if (now >= config.duration_seconds) break;
+    MoveServicePort intent;
+    intent.service = rng.index(config.num_services);
+    intent.new_port = next_port;
+    next_port = next_port == 65535 ? 49152 : next_port + 1;
+    schedule.push_back({now, intent});
+  }
+  return schedule;
+}
+
+}  // namespace maton::cp

@@ -1,0 +1,33 @@
+// Control-plane churn generation for the Fig. 4 reactiveness experiment:
+// "atomically updating a random service port 100 times per second".
+#pragma once
+
+#include <vector>
+
+#include "controlplane/intent.hpp"
+#include "util/rng.hpp"
+
+namespace maton::cp {
+
+struct ChurnConfig {
+  /// Intent updates per second.
+  double rate_per_second = 100.0;
+  /// Experiment duration in seconds.
+  double duration_seconds = 1.0;
+  std::size_t num_services = 20;
+  std::uint64_t seed = 4;
+  /// Poisson arrivals when true; evenly spaced otherwise.
+  bool poisson = true;
+};
+
+struct TimedIntent {
+  double at_seconds = 0.0;
+  Intent intent;
+};
+
+/// A randomized schedule of MoveServicePort intents (the paper's churn
+/// workload): each picks a random service and a fresh random port.
+[[nodiscard]] std::vector<TimedIntent> make_port_churn(
+    const ChurnConfig& config);
+
+}  // namespace maton::cp

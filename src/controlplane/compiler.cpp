@@ -1,0 +1,207 @@
+#include "controlplane/compiler.hpp"
+
+#include <algorithm>
+
+#include "util/contract.hpp"
+
+namespace maton::cp {
+
+using dp::Program;
+using dp::Rule;
+using dp::RuleUpdate;
+using dp::TableSpec;
+using workloads::Gwlb;
+
+std::string to_string(const Intent& intent) {
+  struct Visitor {
+    std::string operator()(const MoveServicePort& i) const {
+      return "move-service-port(service=" + std::to_string(i.service) +
+             ", port=" + std::to_string(i.new_port) + ")";
+    }
+    std::string operator()(const ChangeServiceIp& i) const {
+      return "change-service-ip(service=" + std::to_string(i.service) + ")";
+    }
+    std::string operator()(const ChangeBackend& i) const {
+      return "change-backend(service=" + std::to_string(i.service) +
+             ", backend=" + std::to_string(i.backend) + ")";
+    }
+    std::string operator()(const RemoveService& i) const {
+      return "remove-service(service=" + std::to_string(i.service) + ")";
+    }
+  };
+  return std::visit(Visitor{}, intent);
+}
+
+std::string_view to_string(Representation repr) noexcept {
+  switch (repr) {
+    case Representation::kUniversal: return "universal";
+    case Representation::kGoto: return "goto";
+    case Representation::kMetadata: return "metadata";
+    case Representation::kRematch: return "rematch";
+  }
+  return "unknown";
+}
+
+core::Pipeline pipeline_for(const Gwlb& gwlb, Representation repr) {
+  switch (repr) {
+    case Representation::kUniversal:
+      return core::Pipeline::single(gwlb.universal);
+    case Representation::kGoto:
+      return workloads::gwlb_goto_pipeline(gwlb);
+    case Representation::kMetadata:
+      return workloads::gwlb_metadata_pipeline(gwlb);
+    case Representation::kRematch:
+      return workloads::gwlb_rematch_pipeline(gwlb);
+  }
+  return core::Pipeline::single(gwlb.universal);
+}
+
+namespace {
+
+bool rules_equal(const Rule& a, const Rule& b) {
+  return a.priority == b.priority && a.matches == b.matches &&
+         a.actions == b.actions && a.goto_table == b.goto_table;
+}
+
+/// Minimal update set turning `before` into `after`: per table, unmatched
+/// old rules pair with unmatched new rules as modifies; the remainder
+/// become removes/inserts.
+std::vector<RuleUpdate> diff_programs(const Program& before,
+                                      const Program& after) {
+  expects(before.tables.size() == after.tables.size(),
+          "representation rebuild changed the table count");
+  std::vector<RuleUpdate> updates;
+  for (std::size_t t = 0; t < before.tables.size(); ++t) {
+    const auto& old_rules = before.tables[t].rules;
+    const auto& new_rules = after.tables[t].rules;
+    std::vector<bool> new_matched(new_rules.size(), false);
+    std::vector<const Rule*> removed;
+    for (const Rule& old_rule : old_rules) {
+      bool found = false;
+      for (std::size_t n = 0; n < new_rules.size(); ++n) {
+        if (!new_matched[n] && rules_equal(old_rule, new_rules[n])) {
+          new_matched[n] = true;
+          found = true;
+          break;
+        }
+      }
+      if (!found) removed.push_back(&old_rule);
+    }
+    std::vector<const Rule*> added;
+    for (std::size_t n = 0; n < new_rules.size(); ++n) {
+      if (!new_matched[n]) added.push_back(&new_rules[n]);
+    }
+
+    const std::size_t modifies = std::min(removed.size(), added.size());
+    for (std::size_t i = 0; i < modifies; ++i) {
+      RuleUpdate u;
+      u.kind = RuleUpdate::Kind::kModify;
+      u.table = t;
+      u.target = removed[i]->matches;
+      u.rule = *added[i];
+      updates.push_back(std::move(u));
+    }
+    for (std::size_t i = modifies; i < removed.size(); ++i) {
+      RuleUpdate u;
+      u.kind = RuleUpdate::Kind::kRemove;
+      u.table = t;
+      u.target = removed[i]->matches;
+      updates.push_back(std::move(u));
+    }
+    for (std::size_t i = modifies; i < added.size(); ++i) {
+      RuleUpdate u;
+      u.kind = RuleUpdate::Kind::kInsert;
+      u.table = t;
+      u.rule = *added[i];
+      updates.push_back(std::move(u));
+    }
+  }
+  return updates;
+}
+
+}  // namespace
+
+GwlbBinding::GwlbBinding(Gwlb gwlb, Representation repr)
+    : gwlb_(std::move(gwlb)), repr_(repr) {
+  rebuild_program();
+}
+
+void GwlbBinding::rebuild_program() {
+  // Rebuild the universal table from the service model first (the
+  // decomposed builders read services directly).
+  core::Table universal("gwlb.universal", gwlb_.universal.schema());
+  for (const workloads::GwlbService& svc : gwlb_.services) {
+    for (std::size_t b = 0; b < svc.src_prefixes.size(); ++b) {
+      universal.add_row(
+          {svc.src_prefixes[b], svc.vip, svc.port, svc.backends[b]});
+    }
+  }
+  gwlb_.universal = std::move(universal);
+
+  auto compiled = dp::compile(pipeline_for(gwlb_, repr_));
+  expects(compiled.is_ok(),
+          "gwlb program failed to compile: " + compiled.status().message());
+  program_ = std::move(compiled).value();
+}
+
+Result<std::vector<RuleUpdate>> GwlbBinding::compile_intent(
+    const Intent& intent) {
+  const std::size_t service = std::visit(
+      [](const auto& i) { return i.service; }, intent);
+  if (service >= gwlb_.services.size()) {
+    return invalid_argument("intent names a non-existent service");
+  }
+  workloads::GwlbService& svc = gwlb_.services[service];
+  if (svc.src_prefixes.empty()) {
+    return failed_precondition("intent targets a removed service");
+  }
+
+  if (const auto* move = std::get_if<MoveServicePort>(&intent)) {
+    svc.port = move->new_port;
+  } else if (const auto* reip = std::get_if<ChangeServiceIp>(&intent)) {
+    svc.vip = reip->new_vip;
+  } else if (const auto* backend = std::get_if<ChangeBackend>(&intent)) {
+    if (backend->backend >= svc.backends.size()) {
+      return invalid_argument("intent names a non-existent backend");
+    }
+    svc.backends[backend->backend] = backend->new_out;
+  } else if (std::get_if<RemoveService>(&intent) != nullptr) {
+    svc.src_prefixes.clear();
+    svc.backends.clear();
+  }
+
+  const Program before = std::move(program_);
+  rebuild_program();
+  return diff_programs(before, program_);
+}
+
+MonitorPlan GwlbBinding::monitor_plan(std::size_t service) const {
+  expects(service < gwlb_.services.size(), "service index out of range");
+  const std::size_t backends =
+      gwlb_.services[service].src_prefixes.size();
+  if (repr_ == Representation::kUniversal) {
+    // One counter per backend entry, summed in the controller.
+    return {backends, backends == 0 ? 0 : backends - 1};
+  }
+  // All of the service's traffic flows through its single first-stage
+  // entry: one counter, no aggregation.
+  return {1, 0};
+}
+
+std::size_t GwlbBinding::identity_entries(std::size_t service) const {
+  expects(service < gwlb_.services.size(), "service index out of range");
+  const std::size_t backends =
+      gwlb_.services[service].src_prefixes.size();
+  switch (repr_) {
+    case Representation::kUniversal:
+      return backends;  // VIP:port repeated per backend entry
+    case Representation::kGoto:
+    case Representation::kMetadata:
+      return 1;  // stated once, in the service table
+    case Representation::kRematch:
+      return 1 + backends;  // re-matched VIP appears per backend again
+  }
+  return backends;
+}
+
+}  // namespace maton::cp

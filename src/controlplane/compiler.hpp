@@ -1,0 +1,74 @@
+// Intent compiler: maps a functional intent onto the rule updates a given
+// match-action representation requires, and computes the §2 metrics
+// (controllability: updates per intent; monitorability: counters +
+// aggregation steps per observation task; atomicity: the inconsistency
+// window when updates are not applied atomically).
+#pragma once
+
+#include <vector>
+
+#include "controlplane/intent.hpp"
+#include "dataplane/switch.hpp"
+#include "workloads/gwlb.hpp"
+
+namespace maton::cp {
+
+/// The pipeline representations of Fig. 1.
+enum class Representation { kUniversal, kGoto, kMetadata, kRematch };
+
+[[nodiscard]] std::string_view to_string(Representation repr) noexcept;
+
+/// Plan for observing one service's aggregate traffic (§2
+/// "Monitorability": 3 counters + controller-side aggregation on the
+/// universal table vs a single counter on the normalized pipeline).
+struct MonitorPlan {
+  std::size_t counters = 0;
+  /// Additions the controller performs to aggregate the readings.
+  std::size_t aggregation_steps = 0;
+};
+
+/// Binds the gwlb service model to one concrete representation: builds
+/// the data-plane program, compiles intents into rule updates, and keeps
+/// its internal service model in sync as intents are applied.
+class GwlbBinding {
+ public:
+  GwlbBinding(workloads::Gwlb gwlb, Representation repr);
+
+  [[nodiscard]] Representation representation() const noexcept {
+    return repr_;
+  }
+  [[nodiscard]] const workloads::Gwlb& gwlb() const noexcept { return gwlb_; }
+  [[nodiscard]] const dp::Program& program() const noexcept {
+    return program_;
+  }
+
+  /// Compiles `intent` into the updates this representation needs and
+  /// advances the internal service model. The §2 controllability metric
+  /// is the size of the returned vector.
+  [[nodiscard]] Result<std::vector<dp::RuleUpdate>> compile_intent(
+      const Intent& intent);
+
+  /// §2 monitorability: the plan for measuring one service's aggregate
+  /// traffic under this representation.
+  [[nodiscard]] MonitorPlan monitor_plan(std::size_t service) const;
+
+  /// Entries that refer to the service's identity (VIP/port) — the state
+  /// that can become inconsistent mid-update. The §2 atomicity argument:
+  /// an intent touching k entries has an inconsistency window of k − 1
+  /// partially-applied states.
+  [[nodiscard]] std::size_t identity_entries(std::size_t service) const;
+
+ private:
+  void rebuild_program();
+
+  workloads::Gwlb gwlb_;
+  Representation repr_;
+  dp::Program program_;
+};
+
+/// Builds the core pipeline for a representation (universal = single
+/// stage).
+[[nodiscard]] core::Pipeline pipeline_for(const workloads::Gwlb& gwlb,
+                                          Representation repr);
+
+}  // namespace maton::cp

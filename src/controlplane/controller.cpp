@@ -1,0 +1,39 @@
+#include "controlplane/controller.hpp"
+
+#include "util/contract.hpp"
+
+namespace maton::cp {
+
+Controller::Controller(std::unique_ptr<GwlbBinding> binding,
+                       dp::SwitchModel& target)
+    : binding_(std::move(binding)), target_(target) {
+  expects(binding_ != nullptr, "controller needs a binding");
+  const Status loaded = target_.load(binding_->program());
+  expects(loaded.is_ok(), "switch rejected the initial program: " +
+                              loaded.message());
+}
+
+Result<std::size_t> Controller::apply(const Intent& intent) {
+  auto updates = binding_->compile_intent(intent);
+  if (!updates.is_ok()) {
+    ++stats_.failed_intents;
+    return updates.status();
+  }
+  for (const dp::RuleUpdate& update : updates.value()) {
+    if (Status s = target_.apply_update(update); !s.is_ok()) {
+      ++stats_.failed_intents;
+      return Status(StatusCode::kInternal,
+                    "switch rejected an update mid-intent (data plane now "
+                    "inconsistent): " +
+                        s.message());
+    }
+  }
+  ++stats_.intents_applied;
+  stats_.rule_updates_issued += updates.value().size();
+  if (!updates.value().empty()) {
+    stats_.inconsistency_window += updates.value().size() - 1;
+  }
+  return updates.value().size();
+}
+
+}  // namespace maton::cp

@@ -1,0 +1,43 @@
+// Controller: applies intents to a switch through a representation
+// binding, accounting the control-plane effort (§2 controllability) and
+// the churn each intent induces (§5 reactiveness).
+#pragma once
+
+#include <memory>
+
+#include "controlplane/compiler.hpp"
+
+namespace maton::cp {
+
+struct ControllerStats {
+  std::size_t intents_applied = 0;
+  std::size_t rule_updates_issued = 0;
+  /// Σ over intents of (updates − 1): total partially-applied states the
+  /// data plane exposed under non-atomic update application (§2).
+  std::size_t inconsistency_window = 0;
+  std::size_t failed_intents = 0;
+};
+
+/// Drives one switch model with intents compiled for one representation.
+class Controller {
+ public:
+  Controller(std::unique_ptr<GwlbBinding> binding, dp::SwitchModel& target);
+
+  /// Compiles the intent and pushes every resulting rule update to the
+  /// switch. Returns the number of rule updates issued.
+  [[nodiscard]] Result<std::size_t> apply(const Intent& intent);
+
+  [[nodiscard]] const ControllerStats& stats() const noexcept {
+    return stats_;
+  }
+  [[nodiscard]] const GwlbBinding& binding() const noexcept {
+    return *binding_;
+  }
+
+ private:
+  std::unique_ptr<GwlbBinding> binding_;
+  dp::SwitchModel& target_;
+  ControllerStats stats_;
+};
+
+}  // namespace maton::cp

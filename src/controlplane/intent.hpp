@@ -1,0 +1,46 @@
+// Control-plane intents over the gateway & load-balancer service model.
+//
+// §2 frames controllability as "how many rule-action pairs must the
+// controller touch to effect one functional change". Intents are the
+// functional changes; the per-representation compiler (compiler.hpp)
+// turns each into the concrete rule updates that representation needs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace maton::cp {
+
+/// Tenant moves its service to another TCP port (e.g. HTTP → HTTPS, the
+/// §2 example).
+struct MoveServicePort {
+  std::size_t service = 0;
+  std::uint16_t new_port = 0;
+};
+
+/// Tenant changes the public IP of its service; §2's consistency example
+/// (a lost update leaves the service halfway-exposed on two VIPs).
+struct ChangeServiceIp {
+  std::size_t service = 0;
+  std::uint32_t new_vip = 0;
+};
+
+/// Replace one backend VM (out port) of a service.
+struct ChangeBackend {
+  std::size_t service = 0;
+  std::size_t backend = 0;
+  std::uint64_t new_out = 0;
+};
+
+/// Remove a service entirely.
+struct RemoveService {
+  std::size_t service = 0;
+};
+
+using Intent = std::variant<MoveServicePort, ChangeServiceIp, ChangeBackend,
+                            RemoveService>;
+
+[[nodiscard]] std::string to_string(const Intent& intent);
+
+}  // namespace maton::cp

@@ -1,0 +1,52 @@
+#include "controlplane/monitor.hpp"
+
+#include "util/contract.hpp"
+
+namespace maton::cp {
+
+Result<ServiceTraffic> TrafficMonitor::read_service(
+    std::size_t service) const {
+  const auto& services = binding_.gwlb().services;
+  if (service >= services.size()) {
+    return invalid_argument("monitor names a non-existent service");
+  }
+  const workloads::GwlbService& svc = services[service];
+  if (svc.src_prefixes.empty()) {
+    return failed_precondition("monitor targets a removed service");
+  }
+
+  // All of the service's traffic is matched in the entry table by rules
+  // carrying its VIP:port pair — M per-backend rules on the universal
+  // representation, a single service rule on the normalized ones.
+  const dp::TableSpec& entry_table =
+      binding_.program().tables[binding_.program().entry];
+  std::vector<const dp::Rule*> rules;
+  for (const dp::Rule& rule : entry_table.rules) {
+    bool vip = false;
+    bool port = false;
+    for (const dp::FieldMatch& m : rule.matches) {
+      if (m.field == dp::FieldId::kIpDst && m.value == svc.vip) vip = true;
+      if (m.field == dp::FieldId::kTcpDst && m.value == svc.port) {
+        port = true;
+      }
+    }
+    if (vip && port) rules.push_back(&rule);
+  }
+  if (rules.empty()) {
+    return internal_error("no entry-table rules carry the service's "
+                          "identity; binding out of sync with program");
+  }
+
+  ServiceTraffic traffic;
+  for (const dp::Rule* rule : rules) {
+    const auto count = target_.read_rule_counter(binding_.program().entry,
+                                                 rule->matches);
+    if (!count.is_ok()) return count.status();
+    traffic.packets += count.value();
+    ++traffic.counters_read;
+  }
+  traffic.aggregation_steps = traffic.counters_read - 1;
+  return traffic;
+}
+
+}  // namespace maton::cp

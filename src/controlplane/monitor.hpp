@@ -1,0 +1,39 @@
+// Traffic monitoring: the executable version of §2's "Monitorability".
+//
+// Observing one tenant's aggregate traffic requires reading M per-backend
+// flow counters on the universal table and summing in the controller,
+// but a single first-stage counter on the normalized pipeline. The
+// monitor derives the counter set from the representation binding, reads
+// the switch's flow stats, and reports both the traffic and the effort.
+#pragma once
+
+#include "controlplane/compiler.hpp"
+
+namespace maton::cp {
+
+struct ServiceTraffic {
+  std::uint64_t packets = 0;
+  /// Flow counters the controller had to read.
+  std::size_t counters_read = 0;
+  /// Controller-side additions to aggregate them.
+  std::size_t aggregation_steps = 0;
+};
+
+/// Reads one service's aggregate traffic from a switch running the
+/// binding's program.
+class TrafficMonitor {
+ public:
+  /// `binding` and `target` must outlive the monitor; the switch must be
+  /// loaded with the binding's current program.
+  TrafficMonitor(const GwlbBinding& binding, const dp::SwitchModel& target)
+      : binding_(binding), target_(target) {}
+
+  [[nodiscard]] Result<ServiceTraffic> read_service(
+      std::size_t service) const;
+
+ private:
+  const GwlbBinding& binding_;
+  const dp::SwitchModel& target_;
+};
+
+}  // namespace maton::cp

@@ -1,0 +1,111 @@
+// Attributes and schemas for match-action tables.
+//
+// Following §3 of the paper, header fields ("match" columns) and actions
+// are treated uniformly as *attributes* of a relation; functional
+// dependencies may relate any mix of them. The kind only matters for
+// execution semantics (what a packet must satisfy vs. what gets applied)
+// and for decomposition validity (action→match splits, Fig. 3).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/bitset.hpp"
+#include "util/status.hpp"
+
+namespace maton::core {
+
+/// Role a column plays at execution time.
+enum class AttrKind {
+  kMatch,   // packet must carry this value for the entry to apply
+  kAction,  // applied to the packet / execution state on a hit
+};
+
+[[nodiscard]] std::string_view to_string(AttrKind kind) noexcept;
+
+/// How a column's 64-bit Value is to be interpreted when lowering to the
+/// data plane or pretty-printing. Normalization itself treats all values
+/// as opaque tokens (the exact-match assumption of §3).
+enum class ValueCodec {
+  kPlain,       // opaque integer
+  kIpv4,        // host-order IPv4 address
+  kIpv4Prefix,  // (addr << 8) | prefix_len, lowered to an LPM match
+  kMac,         // 48-bit MAC
+  kPort,        // switch port number
+};
+
+[[nodiscard]] std::string_view to_string(ValueCodec codec) noexcept;
+
+/// One column of a match-action table.
+struct Attribute {
+  std::string name;
+  AttrKind kind = AttrKind::kMatch;
+  ValueCodec codec = ValueCodec::kPlain;
+  unsigned width_bits = 32;
+
+  friend bool operator==(const Attribute&, const Attribute&) = default;
+};
+
+/// Set of column indices within one Schema.
+using AttrSet = SmallBitset;
+
+/// All cell contents are 64-bit tokens; ValueCodec gives them meaning.
+using Value = std::uint64_t;
+
+/// Ordered collection of attributes; column indices are stable and
+/// returned by add(). Names must be unique within a schema.
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Appends a column and returns its index. Duplicate names are a
+  /// contract violation (schemas are built by library code).
+  std::size_t add(Attribute attr);
+
+  /// Convenience: add a match column.
+  std::size_t add_match(std::string name, ValueCodec codec = ValueCodec::kPlain,
+                        unsigned width_bits = 32);
+  /// Convenience: add an action column.
+  std::size_t add_action(std::string name, ValueCodec codec = ValueCodec::kPlain,
+                         unsigned width_bits = 32);
+
+  [[nodiscard]] std::size_t size() const noexcept { return attrs_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return attrs_.empty(); }
+
+  [[nodiscard]] const Attribute& at(std::size_t col) const;
+  [[nodiscard]] const std::vector<Attribute>& attributes() const noexcept {
+    return attrs_;
+  }
+
+  /// Column index of the attribute with this name, if present.
+  [[nodiscard]] std::optional<std::size_t> find(std::string_view name) const;
+
+  /// Column index of `name`; contract violation when absent.
+  [[nodiscard]] std::size_t index_of(std::string_view name) const;
+
+  /// All columns / match columns / action columns as attribute sets.
+  [[nodiscard]] AttrSet all() const noexcept {
+    return AttrSet::full(attrs_.size());
+  }
+  [[nodiscard]] AttrSet match_set() const;
+  [[nodiscard]] AttrSet action_set() const;
+
+  /// Sub-schema with only the columns in `cols` (ascending index order).
+  /// `old_cols`, when non-null, receives the original index of each kept
+  /// column so callers can translate rows.
+  [[nodiscard]] Schema project(const AttrSet& cols,
+                               std::vector<std::size_t>* old_cols = nullptr) const;
+
+  /// "ip_src, ip_dst" rendering of a column set.
+  [[nodiscard]] std::string names(const AttrSet& cols) const;
+
+  friend bool operator==(const Schema&, const Schema&) = default;
+
+ private:
+  std::vector<Attribute> attrs_;
+};
+
+}  // namespace maton::core

@@ -1,0 +1,81 @@
+// Equivalent decomposition of match-action tables along functional
+// dependencies (§4 of the paper).
+//
+// Heath's theorem: a relation T over attributes XYZ with X → Y decomposes
+// losslessly into T_XY ⋈ T_XZ. For match-action programs the join is
+// realized by one of three data-plane abstractions:
+//
+//  * goto_table — T_XY gains a per-entry goto to a per-X-group residual
+//    table (Fig. 1b); smallest aggregate footprint.
+//  * metadata   — T_XY gains a "write meta.k" action carrying the X-group
+//    id; the residual table matches meta.k instead of X (Fig. 1c).
+//  * rematch    — the residual table simply re-matches X (Fig. 1d);
+//    only available when X consists of header fields.
+//
+// When X consists of actions (e.g. mod_dmac → {mod_ttl, mod_smac, out} of
+// Fig. 2), the residual table runs *first* and communicates the X-group
+// forward; the T_XY side becomes an OpenFlow-group-table-like stage.
+//
+// Decomposition along an action → match dependency (Fig. 3) produces a
+// first stage that is not order-independent; such requests are rejected
+// with a structured error rather than yielding a broken pipeline.
+#pragma once
+
+#include <string>
+
+#include "core/fd.hpp"
+#include "core/pipeline.hpp"
+
+namespace maton::core {
+
+/// Join abstraction used to chain decomposed tables (§4).
+enum class JoinKind { kGoto, kMetadata, kRematch };
+
+[[nodiscard]] std::string_view to_string(JoinKind kind) noexcept;
+
+struct DecomposeOptions {
+  JoinKind join = JoinKind::kMetadata;
+  /// Name given to a freshly introduced metadata attribute; decompose()
+  /// appends a numeric suffix to keep names unique within the schema.
+  std::string meta_base = "meta.t";
+};
+
+/// A successful decomposition: the two-(or more-)stage pipeline plus the
+/// dependency and join that produced it.
+struct Decomposition {
+  Pipeline pipeline;
+  Fd fd;
+  JoinKind join = JoinKind::kMetadata;
+  /// For the metadata join: the freshly introduced metadata attribute and
+  /// the names of the source attributes (the dependency's LHS) whose
+  /// value-group it encodes. Empty for goto/rematch joins.
+  std::string meta_name;
+  std::vector<std::string> meta_source_names;
+};
+
+/// Decomposes `table` along `fd` using the requested join abstraction.
+///
+/// Requirements checked (returned as Status errors, not contract
+/// violations, because callers legitimately probe candidate FDs):
+///  * `table` is order-independent (1NF);
+///  * `fd` is non-trivial and holds in the instance;
+///  * X is homogeneous: all header fields or all actions (mixed LHS
+///    decompositions are not defined by the paper — kUnimplemented);
+///  * kRematch additionally requires X to be header fields;
+///  * every resulting stage is order-independent — this is the Fig. 3
+///    action→match validity condition.
+[[nodiscard]] Result<Decomposition> decompose_on_fd(
+    const Table& table, const Fd& fd, const DecomposeOptions& opts = {});
+
+/// Fig. 2c constant factoring: columns holding the same value in every
+/// row are split into a separate single-entry table composed with the
+/// rest by Cartesian product (realized as an always-visited stage).
+/// Returns kFailedPrecondition when no column is constant or the table
+/// has fewer than two rows (factoring a 1-row table is meaningless).
+[[nodiscard]] Result<Pipeline> factor_constants(const Table& table);
+
+/// Columns whose value is identical across all rows (empty for tables
+/// with no rows).
+[[nodiscard]] AttrSet constant_columns(const Table& table);
+
+}  // namespace maton::core

@@ -1,0 +1,34 @@
+// Denormalization: collapsing a multi-table pipeline back into one
+// universal match-action table — the "vice versa" direction of the
+// paper's transformation framework (§1, §4) and what §5 observes OVS
+// doing implicitly ("OVS explicitly denormalizes the pipeline prior to
+// encoding it into the datapath").
+//
+// flatten() symbolically executes every root-to-terminal path of the
+// pipeline, accumulating the packet constraints each path imposes
+// (metadata plumbing is resolved away: a match on a field some earlier
+// stage wrote checks the written value instead of constraining the
+// packet) and the observable actions it applies. Each feasible path
+// becomes one universal-table entry.
+#pragma once
+
+#include "core/pipeline.hpp"
+
+namespace maton::core {
+
+struct FlattenOptions {
+  /// Guard against path blow-up on adversarial pipelines.
+  std::size_t max_rows = 1u << 20;
+  std::string name = "flattened";
+};
+
+/// Collapses `pipeline` into an equivalent universal table.
+///
+/// Fails with kFailedPrecondition when the pipeline has no uniform
+/// universal form: paths that constrain different match-field sets
+/// (ragged schemas) or produce duplicate match keys; and with
+/// kInvalidArgument when max_rows is exceeded.
+[[nodiscard]] Result<Table> flatten(const Pipeline& pipeline,
+                                    const FlattenOptions& opts = {});
+
+}  // namespace maton::core

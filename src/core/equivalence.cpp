@@ -1,0 +1,117 @@
+#include "core/equivalence.hpp"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace maton::core {
+
+PacketState packet_for_row(const Table& table, std::size_t i) {
+  PacketState packet;
+  const Schema& schema = table.schema();
+  for (std::size_t c : schema.match_set()) {
+    packet[schema.at(c).name] = table.at(i, c);
+  }
+  return packet;
+}
+
+PacketState actions_of_row(const Table& table, std::size_t i) {
+  PacketState actions;
+  const Schema& schema = table.schema();
+  for (std::size_t c : schema.action_set()) {
+    const Attribute& attr = schema.at(c);
+    if (!is_metadata_name(attr.name)) actions[attr.name] = table.at(i, c);
+  }
+  return actions;
+}
+
+namespace {
+
+std::string describe_state(const PacketState& state) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, value] : state) {
+    if (!first) out += ", ";
+    out += name + "=" + std::to_string(value);
+    first = false;
+  }
+  out += "}";
+  return out;
+}
+
+/// Compares one packet's fate under both representations.
+bool check_packet(const Table& table, const Pipeline& reference,
+                  const Pipeline& pipeline, const PacketState& packet,
+                  EquivalenceReport& report) {
+  (void)table;
+  const EvalResult expected = reference.evaluate(packet);
+  const EvalResult actual = pipeline.evaluate(packet);
+  ++report.packets_checked;
+  if (expected.hit != actual.hit || expected.actions != actual.actions) {
+    report.equivalent = false;
+    report.counterexample =
+        "packet " + describe_state(packet) + ": universal " +
+        (expected.hit ? "hits with " + describe_state(expected.actions)
+                      : std::string("misses")) +
+        ", pipeline " +
+        (actual.hit ? "hits with " + describe_state(actual.actions)
+                    : std::string("misses"));
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+EquivalenceReport check_equivalence(const Table& table,
+                                    const Pipeline& pipeline,
+                                    const EquivalenceOptions& opts) {
+  EquivalenceReport report;
+  const Pipeline reference = Pipeline::single(table);
+  const Schema& schema = table.schema();
+
+  // Phase 1: every entry's own packet (exhaustive over hit paths).
+  for (std::size_t i = 0; i < table.num_rows(); ++i) {
+    if (!check_packet(table, reference, pipeline, packet_for_row(table, i),
+                      report)) {
+      return report;
+    }
+  }
+
+  // Phase 2: randomized probes over the active domain, plus one fresh
+  // value per field that no entry uses — this exercises misses and the
+  // partial-hit paths of multi-stage pipelines.
+  const std::vector<std::size_t> match_cols = [&] {
+    const AttrSet m = schema.match_set();
+    return std::vector<std::size_t>(m.begin(), m.end());
+  }();
+  std::vector<std::vector<Value>> domain(match_cols.size());
+  for (std::size_t k = 0; k < match_cols.size(); ++k) {
+    std::set<Value> seen;
+    for (std::size_t i = 0; i < table.num_rows(); ++i) {
+      seen.insert(table.at(i, match_cols[k]));
+    }
+    // Fresh value outside the active domain.
+    Value fresh = 0;
+    while (seen.count(fresh) != 0) ++fresh;
+    domain[k].assign(seen.begin(), seen.end());
+    domain[k].push_back(fresh);
+  }
+
+  Rng rng(opts.seed);
+  for (std::size_t probe = 0; probe < opts.random_probes; ++probe) {
+    PacketState packet;
+    for (std::size_t k = 0; k < match_cols.size(); ++k) {
+      const Value v = domain[k][rng.index(domain[k].size())];
+      packet[schema.at(match_cols[k]).name] = v;
+    }
+    if (!check_packet(table, reference, pipeline, packet, report)) {
+      return report;
+    }
+  }
+  return report;
+}
+
+}  // namespace maton::core

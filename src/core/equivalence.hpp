@@ -1,0 +1,44 @@
+// Semantic equivalence of a universal table and a decomposed pipeline.
+//
+// Two representations are equivalent when every packet either misses both
+// (and is dropped) or hits both with identical observable action bindings.
+// We check this (a) exhaustively over packets crafted from the universal
+// table's own entries — which covers every hit path — and (b) over
+// randomized probes drawn from the active domain plus fresh values, which
+// exercises partial-hit and miss paths.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/pipeline.hpp"
+
+namespace maton::core {
+
+struct EquivalenceOptions {
+  std::size_t random_probes = 256;
+  std::uint64_t seed = 0x6d61746f6eULL;  // "maton"
+};
+
+struct EquivalenceReport {
+  bool equivalent = true;
+  std::size_t packets_checked = 0;
+  /// Human-readable description of the first divergence found, if any.
+  std::string counterexample;
+};
+
+/// Checks that `pipeline` implements exactly the packet-processing
+/// function of the universal `table`.
+[[nodiscard]] EquivalenceReport check_equivalence(
+    const Table& table, const Pipeline& pipeline,
+    const EquivalenceOptions& opts = {});
+
+/// Builds the packet that row `i` of `table` matches (its match-field
+/// bindings), used by the exhaustive phase and handy in tests.
+[[nodiscard]] PacketState packet_for_row(const Table& table, std::size_t i);
+
+/// Expected observable actions of row `i` (action columns, metadata
+/// excluded).
+[[nodiscard]] PacketState actions_of_row(const Table& table, std::size_t i);
+
+}  // namespace maton::core

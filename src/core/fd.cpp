@@ -1,0 +1,146 @@
+#include "core/fd.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/contract.hpp"
+
+namespace maton::core {
+
+std::string to_string(const Fd& fd, const Schema& schema) {
+  return schema.names(fd.lhs) + " -> " + schema.names(fd.rhs);
+}
+
+bool fd_holds(const Table& table, const Fd& fd) {
+  // Group rows by their LHS values and require a single RHS value per group.
+  struct VecHash {
+    std::size_t operator()(const std::vector<Value>& vals) const noexcept {
+      std::uint64_t h = 1469598103934665603ULL;
+      for (Value v : vals) {
+        h ^= v;
+        h *= 1099511628211ULL;
+      }
+      return static_cast<std::size_t>(h);
+    }
+  };
+  std::unordered_map<std::vector<Value>, std::vector<Value>, VecHash> groups;
+  groups.reserve(table.num_rows());
+  for (const Row& r : table.rows()) {
+    std::vector<Value> key;
+    key.reserve(fd.lhs.size());
+    for (std::size_t c : fd.lhs) key.push_back(r[c]);
+    std::vector<Value> val;
+    val.reserve(fd.rhs.size());
+    for (std::size_t c : fd.rhs) val.push_back(r[c]);
+
+    auto [it, inserted] = groups.emplace(std::move(key), std::move(val));
+    if (!inserted) {
+      std::vector<Value> cur;
+      cur.reserve(fd.rhs.size());
+      for (std::size_t c : fd.rhs) cur.push_back(r[c]);
+      if (cur != it->second) return false;
+    }
+  }
+  return true;
+}
+
+AttrSet FdSet::closure(AttrSet attrs) const {
+  AttrSet result = attrs;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Fd& fd : fds_) {
+      if (fd.lhs.subset_of(result) && !fd.rhs.subset_of(result)) {
+        result |= fd.rhs;
+        changed = true;
+      }
+    }
+  }
+  return result;
+}
+
+FdSet FdSet::minimal_cover() const {
+  // 1. Split composite right-hand sides into singletons.
+  std::vector<Fd> work;
+  for (const Fd& fd : fds_) {
+    for (std::size_t a : fd.rhs) {
+      if (fd.lhs.contains(a)) continue;  // drop the trivial part
+      work.push_back({fd.lhs, AttrSet::single(a)});
+    }
+  }
+
+  // 2. Remove extraneous LHS attributes: drop b from X when
+  //    (X − b) → A is still implied.
+  const FdSet full(work);
+  for (Fd& fd : work) {
+    bool shrunk = true;
+    while (shrunk) {
+      shrunk = false;
+      for (std::size_t b : fd.lhs) {
+        AttrSet smaller = fd.lhs;
+        smaller.erase(b);
+        if (fd.rhs.subset_of(full.closure(smaller))) {
+          fd.lhs = smaller;
+          shrunk = true;
+          break;
+        }
+      }
+    }
+  }
+
+  // Deduplicate before the redundancy pass so identical copies do not keep
+  // each other alive.
+  std::sort(work.begin(), work.end());
+  work.erase(std::unique(work.begin(), work.end()), work.end());
+
+  // 3. Remove redundant dependencies: drop fd when the rest implies it.
+  for (std::size_t i = 0; i < work.size();) {
+    std::vector<Fd> rest;
+    rest.reserve(work.size() - 1);
+    for (std::size_t j = 0; j < work.size(); ++j) {
+      if (j != i) rest.push_back(work[j]);
+    }
+    if (FdSet(rest).implies(work[i])) {
+      work.erase(work.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+  return FdSet(std::move(work));
+}
+
+bool FdSet::equivalent_to(const FdSet& other) const {
+  return std::all_of(other.fds_.begin(), other.fds_.end(),
+                     [&](const Fd& fd) { return implies(fd); }) &&
+         std::all_of(fds_.begin(), fds_.end(),
+                     [&](const Fd& fd) { return other.implies(fd); });
+}
+
+FdSet FdSet::project(AttrSet attrs) const {
+  expects(attrs.size() <= 20,
+          "FdSet::project is exponential; attribute set too large");
+  // Enumerate every subset X of attrs and emit X → (closure(X) ∩ attrs − X).
+  FdSet out;
+  std::vector<std::size_t> cols(attrs.begin(), attrs.end());
+  const std::size_t n = cols.size();
+  for (std::uint64_t mask = 1; mask < (std::uint64_t{1} << n); ++mask) {
+    AttrSet x;
+    for (std::size_t i = 0; i < n; ++i) {
+      if ((mask >> i) & 1) x.insert(cols[i]);
+    }
+    const AttrSet determined = (closure(x) & attrs) - x;
+    if (!determined.empty()) out.add(x, determined);
+  }
+  return out.minimal_cover();
+}
+
+std::string FdSet::to_string(const Schema& schema) const {
+  std::string out;
+  for (const Fd& fd : fds_) {
+    out += maton::core::to_string(fd, schema);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace maton::core

@@ -1,0 +1,85 @@
+// Functional dependencies over match-action tables.
+//
+// A set of attributes X functionally determines Y (X → Y) in a table T
+// when every X-value is associated with exactly one Y-value in T (§3).
+// FdSet implements the standard relational machinery: attribute closure
+// under Armstrong's axioms, implication testing, and minimal covers —
+// the drivers of normalization (§4, Heath's theorem).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/attr.hpp"
+#include "core/table.hpp"
+
+namespace maton::core {
+
+/// One functional dependency X → Y over a schema's column indices.
+struct Fd {
+  AttrSet lhs;
+  AttrSet rhs;
+
+  /// Trivial when Y ⊆ X (always holds, carries no information).
+  [[nodiscard]] bool trivial() const noexcept { return rhs.subset_of(lhs); }
+
+  friend bool operator==(const Fd&, const Fd&) = default;
+  friend auto operator<=>(const Fd&, const Fd&) = default;
+};
+
+/// "ip_dst -> tcp_dst" rendering using the schema's attribute names.
+[[nodiscard]] std::string to_string(const Fd& fd, const Schema& schema);
+
+/// Tests whether `fd` holds in the table instance: no two rows agree on
+/// fd.lhs but differ on fd.rhs.
+[[nodiscard]] bool fd_holds(const Table& table, const Fd& fd);
+
+/// A set of functional dependencies with the classic closure algorithms.
+class FdSet {
+ public:
+  FdSet() = default;
+  explicit FdSet(std::vector<Fd> fds) : fds_(std::move(fds)) {}
+
+  void add(Fd fd) { fds_.push_back(fd); }
+  void add(AttrSet lhs, AttrSet rhs) { fds_.push_back({lhs, rhs}); }
+
+  [[nodiscard]] const std::vector<Fd>& fds() const noexcept { return fds_; }
+  [[nodiscard]] std::size_t size() const noexcept { return fds_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return fds_.empty(); }
+
+  /// Attribute closure X⁺: all attributes determined by `attrs` under
+  /// this FD set. O(|fds|²) fixed-point iteration.
+  [[nodiscard]] AttrSet closure(AttrSet attrs) const;
+
+  /// True when this set logically implies `fd` (fd.rhs ⊆ closure(fd.lhs)).
+  [[nodiscard]] bool implies(const Fd& fd) const {
+    return fd.rhs.subset_of(closure(fd.lhs));
+  }
+
+  /// True when `attrs` is a superkey of a relation over `universe`.
+  [[nodiscard]] bool is_superkey(AttrSet attrs, AttrSet universe) const {
+    return universe.subset_of(closure(attrs));
+  }
+
+  /// Canonical (minimal) cover: every RHS is a single attribute, no LHS
+  /// contains an extraneous attribute, and no dependency is redundant.
+  /// The result is deterministic for a given input order.
+  [[nodiscard]] FdSet minimal_cover() const;
+
+  /// Logical equivalence: each set implies every dependency of the other.
+  [[nodiscard]] bool equivalent_to(const FdSet& other) const;
+
+  /// Projection of the dependency set onto `attrs`: all FDs X → Y with
+  /// X, Y ⊆ attrs implied by this set, returned as a minimal cover.
+  /// Exponential in |attrs| in the worst case; `attrs` is expected small
+  /// (a decomposed sub-table's columns).
+  [[nodiscard]] FdSet project(AttrSet attrs) const;
+
+  /// Multi-line rendering using the schema's attribute names.
+  [[nodiscard]] std::string to_string(const Schema& schema) const;
+
+ private:
+  std::vector<Fd> fds_;
+};
+
+}  // namespace maton::core

@@ -1,0 +1,245 @@
+#include "core/fd_mine.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/contract.hpp"
+
+namespace maton::core {
+
+namespace {
+
+/// Enumerates subsets of `pool` in increasing-cardinality order, skipping
+/// supersets of anything already found, so reported LHS sets are minimal
+/// by construction.
+void mine_for_rhs(const Table& table, std::size_t rhs, std::size_t max_lhs,
+                  FdSet& out) {
+  AttrSet pool = table.schema().all();
+  pool.erase(rhs);
+  std::vector<std::size_t> cols(pool.begin(), pool.end());
+  const std::size_t n = cols.size();
+  const std::size_t bound = max_lhs == 0 ? n : std::min(max_lhs, n);
+
+  std::vector<AttrSet> found;
+  for (std::size_t size = 0; size <= bound; ++size) {
+    // All n-bit masks with `size` bits set, ascending (Gosper's hack).
+    std::vector<std::uint64_t> masks;
+    if (size == 0) {
+      masks.push_back(0);
+    } else if (size <= n) {
+      std::uint64_t mask = (std::uint64_t{1} << size) - 1;
+      const std::uint64_t limit = std::uint64_t{1} << n;
+      while (mask < limit) {
+        masks.push_back(mask);
+        const std::uint64_t c = mask & (~mask + 1);
+        const std::uint64_t r = mask + c;
+        mask = (((r ^ mask) >> 2) / c) | r;
+      }
+    }
+    for (std::uint64_t mask : masks) {
+      AttrSet lhs;
+      for (std::size_t i = 0; i < n; ++i) {
+        if ((mask >> i) & 1) lhs.insert(cols[i]);
+      }
+      const bool dominated =
+          std::any_of(found.begin(), found.end(),
+                      [&](const AttrSet& f) { return f.subset_of(lhs); });
+      if (dominated) continue;
+      if (fd_holds(table, {lhs, AttrSet::single(rhs)})) {
+        found.push_back(lhs);
+        out.add(lhs, AttrSet::single(rhs));
+      }
+    }
+  }
+}
+
+}  // namespace
+
+FdSet mine_fds_naive(const Table& table, MineOptions opts) {
+  FdSet out;
+  for (std::size_t rhs = 0; rhs < table.num_cols(); ++rhs) {
+    mine_for_rhs(table, rhs, opts.max_lhs, out);
+  }
+  return out;
+}
+
+namespace tane {
+
+std::size_t Partition::covered() const noexcept {
+  std::size_t total = 0;
+  for (const auto& cls : classes) total += cls.size();
+  return total;
+}
+
+std::size_t Partition::error() const noexcept {
+  return covered() - classes.size();
+}
+
+Partition partition_by_column(const Table& table, std::size_t col) {
+  std::unordered_map<Value, std::vector<std::uint32_t>> groups;
+  groups.reserve(table.num_rows());
+  for (std::size_t i = 0; i < table.num_rows(); ++i) {
+    groups[table.at(i, col)].push_back(static_cast<std::uint32_t>(i));
+  }
+  Partition out;
+  for (auto& [value, rows] : groups) {
+    if (rows.size() >= 2) out.classes.push_back(std::move(rows));
+  }
+  // Deterministic class order: by first (smallest) row index.
+  std::sort(out.classes.begin(), out.classes.end(),
+            [](const auto& a, const auto& b) { return a.front() < b.front(); });
+  return out;
+}
+
+Partition product(const Partition& a, const Partition& b,
+                  std::size_t num_rows) {
+  // Stripped-partition product (TANE §6): probe b's classes against a's
+  // class ids; only groups of two or more rows survive.
+  std::vector<std::int32_t> owner(num_rows, -1);
+  for (std::size_t i = 0; i < a.classes.size(); ++i) {
+    for (std::uint32_t t : a.classes[i]) {
+      owner[t] = static_cast<std::int32_t>(i);
+    }
+  }
+  std::vector<std::vector<std::uint32_t>> buckets(a.classes.size());
+  Partition out;
+  std::vector<std::size_t> touched;
+  for (const auto& cls : b.classes) {
+    touched.clear();
+    for (std::uint32_t t : cls) {
+      const std::int32_t g = owner[t];
+      if (g < 0) continue;
+      auto& bucket = buckets[static_cast<std::size_t>(g)];
+      if (bucket.empty()) touched.push_back(static_cast<std::size_t>(g));
+      bucket.push_back(t);
+    }
+    for (std::size_t g : touched) {
+      if (buckets[g].size() >= 2) {
+        out.classes.push_back(std::move(buckets[g]));
+      }
+      buckets[g].clear();
+    }
+  }
+  std::sort(out.classes.begin(), out.classes.end(),
+            [](const auto& x, const auto& y) { return x.front() < y.front(); });
+  return out;
+}
+
+}  // namespace tane
+
+namespace {
+
+struct Node {
+  tane::Partition partition;
+  AttrSet rhs_candidates;  // TANE's C⁺(X)
+};
+
+/// One lattice level, keyed by the attribute set's raw bits.
+using Level = std::unordered_map<std::uint64_t, Node>;
+
+}  // namespace
+
+FdSet mine_fds_tane(const Table& table, MineOptions opts) {
+  const std::size_t k = table.num_cols();
+  const std::size_t n = table.num_rows();
+  const AttrSet universe = table.schema().all();
+  FdSet out;
+  if (k == 0) return out;
+
+  // A dependency X → A is discovered at the lattice node X ∪ {A}, so we
+  // must visit levels up to max_lhs + 1.
+  const std::size_t max_level = opts.max_lhs == 0 ? k : opts.max_lhs + 1;
+  // e(π(∅)): one class containing every row.
+  const std::size_t empty_error = n == 0 ? 0 : n - 1;
+
+  Level prev;
+  Level cur;
+  for (std::size_t c = 0; c < k; ++c) {
+    Node node;
+    node.partition = tane::partition_by_column(table, c);
+    node.rhs_candidates = universe;
+    cur.emplace(AttrSet::single(c).raw(), std::move(node));
+  }
+
+  for (std::size_t depth = 1; depth <= max_level && !cur.empty(); ++depth) {
+    // COMPUTE_DEPENDENCIES: for each node X, test X∖{A} → A for every
+    // candidate A ∈ X ∩ C⁺(X) via the partition-error criterion.
+    for (auto& [raw, node] : cur) {
+      const AttrSet x = AttrSet::from_raw(raw);
+      const AttrSet check = x & node.rhs_candidates;
+      for (std::size_t a : check) {
+        AttrSet lhs = x;
+        lhs.erase(a);
+        std::size_t lhs_error;
+        if (lhs.empty()) {
+          lhs_error = empty_error;
+        } else {
+          // Candidate generation guarantees every (depth−1)-subset
+          // survived the previous level's pruning.
+          const auto it = prev.find(lhs.raw());
+          ensures(it != prev.end(), "TANE: missing lattice subset");
+          lhs_error = it->second.partition.error();
+        }
+        if (lhs_error == node.partition.error()) {
+          out.add(lhs, AttrSet::single(a));
+          node.rhs_candidates.erase(a);
+          node.rhs_candidates -= (universe - x);
+        }
+      }
+    }
+
+    // PRUNE: only the empty-C⁺ rule. (TANE's key-pruning is a pure
+    // optimization requiring compensating emissions; at match-action
+    // schema widths the lattice is small enough to skip it, keeping the
+    // algorithm straightforwardly complete.)
+    for (auto it = cur.begin(); it != cur.end();) {
+      it = it->second.rhs_candidates.empty() ? cur.erase(it) : std::next(it);
+    }
+
+    // GENERATE_NEXT_LEVEL: Apriori-style prefix join; a candidate is kept
+    // only when all of its depth-size subsets survived.
+    Level next;
+    std::vector<std::uint64_t> keys;
+    keys.reserve(cur.size());
+    for (const auto& [raw, node] : cur) keys.push_back(raw);
+    std::sort(keys.begin(), keys.end());
+
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      for (std::size_t j = i + 1; j < keys.size(); ++j) {
+        const AttrSet a = AttrSet::from_raw(keys[i]);
+        const AttrSet b = AttrSet::from_raw(keys[j]);
+        const AttrSet xy = a | b;
+        if (xy.size() != depth + 1) continue;
+        if (next.count(xy.raw()) != 0) continue;
+        bool all_present = true;
+        for (std::size_t e : xy) {
+          AttrSet sub = xy;
+          sub.erase(e);
+          if (cur.find(sub.raw()) == cur.end()) {
+            all_present = false;
+            break;
+          }
+        }
+        if (!all_present) continue;
+
+        Node node;
+        node.partition = tane::product(cur.at(a.raw()).partition,
+                                       cur.at(b.raw()).partition, n);
+        node.rhs_candidates = universe;
+        for (std::size_t e : xy) {
+          AttrSet sub = xy;
+          sub.erase(e);
+          node.rhs_candidates &= cur.at(sub.raw()).rhs_candidates;
+        }
+        next.emplace(xy.raw(), std::move(node));
+      }
+    }
+
+    prev = std::move(cur);
+    cur = std::move(next);
+  }
+
+  return out;
+}
+
+}  // namespace maton::core

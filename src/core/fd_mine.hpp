@@ -1,0 +1,68 @@
+// Functional-dependency discovery from table instances.
+//
+// §3 leaves open *how* dependencies are known during decomposition and
+// notes they may be intrinsic to the data-plane model or transient
+// data-level dependencies of the current configuration. This module
+// recovers the complete set of minimal FDs that hold in a concrete table
+// instance, which is exactly the "transient" notion — and, for workloads
+// generated from a model (gwlb, l3fwd), coincides with the intrinsic one.
+//
+// Two miners are provided:
+//  * mine_fds_naive — O(k · 2^k · n) subset enumeration; simple enough to
+//    serve as the test oracle.
+//  * mine_fds_tane  — the level-wise lattice algorithm of Huhtala et al.
+//    (TANE, 1999) with stripped partitions and rhs⁺ pruning; the
+//    production path and the subject of the A2 scalability ablation.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/fd.hpp"
+#include "core/table.hpp"
+
+namespace maton::core {
+
+struct MineOptions {
+  /// Upper bound on LHS size; dependencies with larger LHS are not
+  /// reported. 0 means "no bound".
+  std::size_t max_lhs = 0;
+};
+
+/// All minimal non-trivial FDs X → A (singleton RHS) holding in `table`,
+/// by direct subset enumeration. Deterministic output order.
+[[nodiscard]] FdSet mine_fds_naive(const Table& table, MineOptions opts = {});
+
+/// Same result as mine_fds_naive (up to order), via the TANE lattice.
+[[nodiscard]] FdSet mine_fds_tane(const Table& table, MineOptions opts = {});
+
+/// Stripped-partition machinery, exposed for tests and benchmarks.
+namespace tane {
+
+/// A stripped partition: the equivalence classes of rows under "agrees on
+/// the attribute set", with singleton classes removed.
+struct Partition {
+  std::vector<std::vector<std::uint32_t>> classes;
+
+  /// ||π||: number of rows covered by non-singleton classes.
+  [[nodiscard]] std::size_t covered() const noexcept;
+  /// e(π) = ||π|| − |π|, the TANE error measure; X → A holds iff
+  /// e(π(X)) == e(π(X ∪ {A})).
+  [[nodiscard]] std::size_t error() const noexcept;
+  /// A set is a superkey iff its stripped partition is empty.
+  [[nodiscard]] bool is_key_partition() const noexcept {
+    return classes.empty();
+  }
+};
+
+/// Partition of `table`'s rows by the single column `col`.
+[[nodiscard]] Partition partition_by_column(const Table& table,
+                                            std::size_t col);
+
+/// Product π(X)·π(Y) over a table with `num_rows` rows.
+[[nodiscard]] Partition product(const Partition& a, const Partition& b,
+                                std::size_t num_rows);
+
+}  // namespace tane
+
+}  // namespace maton::core

@@ -1,0 +1,42 @@
+// Relational joins over match-action tables and the Heath's-theorem
+// machinery (§4): "the decomposition of a relation R_XYZ into R_XY ⋈ R_XZ
+// is lossless if and only if X → Y is a functional dependency".
+#pragma once
+
+#include "core/fd.hpp"
+#include "core/table.hpp"
+
+namespace maton::core {
+
+/// Natural join: rows of `left` and `right` agreeing on every attribute
+/// name the two schemas share. The result carries left's columns followed
+/// by right's non-shared columns; attribute kinds/codecs come from the
+/// table that contributes the column. With no shared names this is the
+/// Cartesian product.
+[[nodiscard]] Table natural_join(const Table& left, const Table& right,
+                                 std::string name = {});
+
+/// Heath's decomposition at the relational level: projections of `table`
+/// onto X∪Y and X∪Z (Z = rest), returned as {t_xy, t_xz}.
+struct HeathSplit {
+  Table t_xy;
+  Table t_xz;
+};
+[[nodiscard]] HeathSplit heath_split(const Table& table, const Fd& fd);
+
+/// True when the Heath split re-joins losslessly to exactly the original
+/// rows. By Heath's theorem this holds iff fd holds in the instance —
+/// property-tested both ways in the suite.
+[[nodiscard]] bool is_lossless_split(const Table& table, const Fd& fd);
+
+/// Row-set equality (same schema, same rows up to order).
+[[nodiscard]] bool same_relation(const Table& a, const Table& b);
+
+/// Join dependency ⋈{C1, …, Cn}: projecting onto each component and
+/// re-joining reproduces exactly the original rows. MVDs are the binary
+/// case; the appendix's SDX split is a ternary one over derived
+/// attributes. Components must cover the schema.
+[[nodiscard]] bool jd_holds(const Table& table,
+                            std::span<const AttrSet> components);
+
+}  // namespace maton::core

@@ -1,0 +1,69 @@
+#include "core/keys.hpp"
+
+#include <algorithm>
+
+#include "core/fd_mine.hpp"
+#include "util/contract.hpp"
+
+namespace maton::core {
+
+std::vector<AttrSet> candidate_keys(const FdSet& fds, AttrSet universe) {
+  // Attributes that never appear on any right-hand side cannot be derived,
+  // so they belong to every key.
+  AttrSet derivable;
+  for (const Fd& fd : fds.fds()) derivable |= (fd.rhs - fd.lhs);
+  const AttrSet core = universe - derivable;
+
+  std::vector<AttrSet> keys;
+  if (fds.is_superkey(core, universe)) {
+    keys.push_back(core);
+    return keys;
+  }
+
+  // Search supersets of `core` by increasing size over the derivable
+  // candidates; minimality is by construction (skip supersets of keys).
+  const std::vector<std::size_t> cand(derivable.begin(), derivable.end());
+  const std::size_t n = cand.size();
+  for (std::size_t size = 1; size <= n; ++size) {
+    // Gosper's hack over n-bit masks with `size` bits.
+    std::uint64_t mask = (std::uint64_t{1} << size) - 1;
+    const std::uint64_t limit = std::uint64_t{1} << n;
+    while (mask < limit) {
+      AttrSet probe = core;
+      for (std::size_t i = 0; i < n; ++i) {
+        if ((mask >> i) & 1) probe.insert(cand[i]);
+      }
+      const bool dominated =
+          std::any_of(keys.begin(), keys.end(),
+                      [&](const AttrSet& k) { return k.subset_of(probe); });
+      if (!dominated && fds.is_superkey(probe, universe)) {
+        keys.push_back(probe);
+      }
+      const std::uint64_t c = mask & (~mask + 1);
+      const std::uint64_t r = mask + c;
+      mask = (((r ^ mask) >> 2) / c) | r;
+    }
+    // Early exit: once every candidate combination of this size is
+    // dominated, larger sizes cannot add minimal keys — but supersets of a
+    // key are always dominated, so we can stop only when keys cover all
+    // candidates; keep it simple and scan all sizes (n is small).
+  }
+
+  std::sort(keys.begin(), keys.end(), [](const AttrSet& a, const AttrSet& b) {
+    if (a.size() != b.size()) return a.size() < b.size();
+    return a.raw() < b.raw();
+  });
+  return keys;
+}
+
+std::vector<AttrSet> candidate_keys(const Table& table) {
+  return candidate_keys(mine_fds_tane(table), table.schema().all());
+}
+
+AttrSet prime_attributes(const std::vector<AttrSet>& keys) {
+  AttrSet prime;
+  for (const AttrSet& k : keys) prime |= k;
+  return prime;
+}
+
+}  // namespace maton::core

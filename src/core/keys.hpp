@@ -1,0 +1,27 @@
+// Candidate-key enumeration and prime-attribute classification.
+//
+// §3: "A superkey is a set of attributes that together uniquely identify
+// an entry in T. [...] keys may contain both header fields and actions;
+// a key is a minimal superkey and a non-prime attribute is an attribute
+// that does not appear in any of the keys."
+#pragma once
+
+#include <vector>
+
+#include "core/fd.hpp"
+
+namespace maton::core {
+
+/// All candidate (minimal) keys of a relation over `universe` under `fds`.
+/// Deterministic output, ordered by (size, bit pattern). Worst case is
+/// exponential in |universe|; match-action schemas are narrow enough.
+[[nodiscard]] std::vector<AttrSet> candidate_keys(const FdSet& fds,
+                                                  AttrSet universe);
+
+/// Keys of a table instance: mines the instance FDs first.
+[[nodiscard]] std::vector<AttrSet> candidate_keys(const Table& table);
+
+/// Union of all candidate keys (the prime attributes).
+[[nodiscard]] AttrSet prime_attributes(const std::vector<AttrSet>& keys);
+
+}  // namespace maton::core

@@ -1,0 +1,124 @@
+#include "core/mvd.hpp"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+
+#include "core/fd_mine.hpp"
+#include "util/contract.hpp"
+
+namespace maton::core {
+
+std::string to_string(const Mvd& mvd, const Schema& schema) {
+  return schema.names(mvd.lhs) + " ->> " + schema.names(mvd.rhs);
+}
+
+namespace {
+
+struct VecHash {
+  std::size_t operator()(const std::vector<Value>& vals) const noexcept {
+    std::uint64_t h = 1469598103934665603ULL;
+    for (Value v : vals) {
+      h ^= v;
+      h *= 1099511628211ULL;
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+std::vector<Value> slice(const Row& row, const AttrSet& cols) {
+  std::vector<Value> out;
+  out.reserve(cols.size());
+  for (std::size_t c : cols) out.push_back(row[c]);
+  return out;
+}
+
+}  // namespace
+
+bool mvd_holds(const Table& table, const Mvd& mvd) {
+  const AttrSet universe = table.schema().all();
+  expects(mvd.lhs.subset_of(universe) && mvd.rhs.subset_of(universe),
+          "MVD refers to columns outside the table");
+  const AttrSet y = mvd.rhs - mvd.lhs;
+  const AttrSet z = (universe - mvd.lhs) - y;
+  if (y.empty() || z.empty()) return true;  // trivial
+
+  // Per X-group: the distinct (Y, Z) combinations must be exactly the
+  // product of the distinct Y-parts and distinct Z-parts.
+  struct Group {
+    std::set<std::vector<Value>> ys;
+    std::set<std::vector<Value>> zs;
+    std::set<std::pair<std::vector<Value>, std::vector<Value>>> pairs;
+  };
+  std::unordered_map<std::vector<Value>, Group, VecHash> groups;
+  for (const Row& row : table.rows()) {
+    Group& g = groups[slice(row, mvd.lhs)];
+    auto ypart = slice(row, y);
+    auto zpart = slice(row, z);
+    g.pairs.insert({ypart, zpart});
+    g.ys.insert(std::move(ypart));
+    g.zs.insert(std::move(zpart));
+  }
+  for (const auto& [key, g] : groups) {
+    if (g.pairs.size() != g.ys.size() * g.zs.size()) return false;
+  }
+  return true;
+}
+
+std::vector<Mvd> mine_mvds(const Table& table) {
+  const std::size_t k = table.num_cols();
+  expects(k <= 12, "mine_mvds is exponential; table too wide");
+  const AttrSet universe = table.schema().all();
+
+  std::vector<Mvd> found;
+  // Enumerate LHS sets X by increasing size, then splits of the
+  // complement into (Y, Z); keep the canonical (smaller-raw) side and
+  // only minimal X for a given Y.
+  for (std::uint64_t xmask = 0; xmask < (std::uint64_t{1} << k); ++xmask) {
+    const AttrSet x = AttrSet::from_raw(xmask);
+    if (!x.subset_of(universe)) continue;
+    const AttrSet rest = universe - x;
+    if (rest.size() < 2) continue;
+
+    const std::vector<std::size_t> rest_cols(rest.begin(), rest.end());
+    const std::size_t m = rest_cols.size();
+    // Proper non-empty subsets of `rest`; canonical side only.
+    for (std::uint64_t ymask = 1; ymask + 1 < (std::uint64_t{1} << m);
+         ++ymask) {
+      AttrSet y;
+      for (std::size_t i = 0; i < m; ++i) {
+        if ((ymask >> i) & 1) y.insert(rest_cols[i]);
+      }
+      const AttrSet z = rest - y;
+      if (y.raw() > z.raw()) continue;  // complement reported once
+
+      // Minimality: skip when a smaller LHS already gives this Y.
+      const bool dominated = std::any_of(
+          found.begin(), found.end(), [&](const Mvd& f) {
+            return f.rhs == y && f.lhs.proper_subset_of(x);
+          });
+      if (dominated) continue;
+      if (mvd_holds(table, {x, y})) found.push_back({x, y});
+    }
+  }
+  return found;
+}
+
+Nf4Report analyze_4nf(const Table& table, const FdSet& fds) {
+  Nf4Report report;
+  const AttrSet universe = table.schema().all();
+  for (const Mvd& mvd : mine_mvds(table)) {
+    if (fds.is_superkey(mvd.lhs, universe)) continue;
+    // Proper MVD only: FD-backed violations are already BCNF business.
+    if (fd_holds(table, {mvd.lhs, mvd.rhs})) continue;
+    report.satisfied = false;
+    report.violations.push_back(mvd);
+  }
+  return report;
+}
+
+Nf4Report analyze_4nf(const Table& table) {
+  return analyze_4nf(table, mine_fds_tane(table));
+}
+
+}  // namespace maton::core

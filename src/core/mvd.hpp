@@ -1,0 +1,51 @@
+// Multi-valued dependencies and the fourth normal form — the paper's
+// declared next step ("Database theory recognizes several normal forms
+// that go beyond 3NF by removing so called multi-valued dependencies";
+// §6 and the appendix).
+//
+// X ↠ Y holds in T when, for every X-value, the set of Y-values and the
+// set of Z-values (Z = rest) combine freely: whenever two rows agree on
+// X, the rows obtained by swapping their Y-parts also exist in T. Every
+// FD X → Y is an MVD; a *proper* MVD (one that is not an FD) signals
+// combination redundancy — exactly the appendix's SDX situation, where
+// per-prefix candidate sets and the hash-based balancing combine freely.
+#pragma once
+
+#include <vector>
+
+#include "core/fd.hpp"
+#include "core/keys.hpp"
+
+namespace maton::core {
+
+/// Multi-valued dependency X ↠ Y.
+struct Mvd {
+  AttrSet lhs;
+  AttrSet rhs;
+
+  friend bool operator==(const Mvd&, const Mvd&) = default;
+};
+
+[[nodiscard]] std::string to_string(const Mvd& mvd, const Schema& schema);
+
+/// Tests X ↠ Y in the instance by the swap-closure criterion.
+[[nodiscard]] bool mvd_holds(const Table& table, const Mvd& mvd);
+
+/// All minimal-LHS non-trivial MVDs X ↠ Y holding in `table`, with Y
+/// restricted to canonical (lexicographically-least of {Y, Z}) sides so
+/// each complementary pair is reported once. Exponential in the column
+/// count; match-action schemas are narrow.
+[[nodiscard]] std::vector<Mvd> mine_mvds(const Table& table);
+
+/// 4NF: for every non-trivial MVD X ↠ Y, X is a superkey. The FD set is
+/// needed to compute keys; analyze_4nf mines instance FDs when absent.
+struct Nf4Report {
+  bool satisfied = true;
+  /// Proper (non-FD) MVD violations — the "beyond 3NF" redundancy.
+  std::vector<Mvd> violations;
+};
+
+[[nodiscard]] Nf4Report analyze_4nf(const Table& table, const FdSet& fds);
+[[nodiscard]] Nf4Report analyze_4nf(const Table& table);
+
+}  // namespace maton::core

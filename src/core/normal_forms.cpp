@@ -1,0 +1,107 @@
+#include "core/normal_forms.hpp"
+
+#include <algorithm>
+
+#include "core/fd_mine.hpp"
+
+namespace maton::core {
+
+std::string_view to_string(NormalForm nf) noexcept {
+  switch (nf) {
+    case NormalForm::kNotFirst: return "not-1NF";
+    case NormalForm::kFirst: return "1NF";
+    case NormalForm::kSecond: return "2NF";
+    case NormalForm::kThird: return "3NF";
+    case NormalForm::kBoyceCodd: return "BCNF";
+  }
+  return "unknown";
+}
+
+NormalForm NfReport::highest() const noexcept {
+  if (!order_independent) return NormalForm::kNotFirst;
+  if (!partial_dependencies.empty()) return NormalForm::kFirst;
+  if (!transitive_dependencies.empty()) return NormalForm::kSecond;
+  if (!bcnf_violations.empty()) return NormalForm::kThird;
+  return NormalForm::kBoyceCodd;
+}
+
+std::string NfReport::to_string(const Schema& schema) const {
+  std::string out = "normal form: ";
+  out += std::string(maton::core::to_string(highest()));
+  out += "\nkeys:";
+  for (const AttrSet& k : keys) {
+    out += " (" + schema.names(k) + ")";
+  }
+  out += "\n";
+  auto emit = [&](const char* label, const std::vector<Fd>& fds) {
+    for (const Fd& fd : fds) {
+      out += label;
+      out += maton::core::to_string(fd, schema);
+      out += '\n';
+    }
+  };
+  emit("2NF violation (partial): ", partial_dependencies);
+  emit("3NF violation (transitive): ", transitive_dependencies);
+  emit("BCNF violation: ", bcnf_violations);
+  return out;
+}
+
+NfReport analyze(const Table& table, const FdSet& fds) {
+  NfReport report;
+  report.order_independent = table.is_order_independent();
+
+  const AttrSet universe = table.schema().all();
+  const FdSet cover = fds.minimal_cover();
+  report.keys = candidate_keys(cover, universe);
+  report.prime = prime_attributes(report.keys);
+
+  // 2NF: a partial dependency may only be *implied* (X → B → A with B
+  // prime), so checking cover members is not complete. Enumerate the
+  // proper subsets of every candidate key and inspect their closures.
+  std::vector<AttrSet> partial_lhs_seen;
+  for (const AttrSet& key : report.keys) {
+    if (key.empty()) continue;
+    const std::vector<std::size_t> cols(key.begin(), key.end());
+    const std::size_t n = cols.size();
+    // All proper subsets, including the empty set (a constant non-prime
+    // column is determined by ∅ ⊊ K and is redundancy all the same).
+    for (std::uint64_t mask = 0; mask + 1 < (std::uint64_t{1} << n); ++mask) {
+      AttrSet x;
+      for (std::size_t i = 0; i < n; ++i) {
+        if ((mask >> i) & 1) x.insert(cols[i]);
+      }
+      const bool seen = std::any_of(
+          partial_lhs_seen.begin(), partial_lhs_seen.end(),
+          [&](const AttrSet& s) { return s == x; });
+      if (seen) continue;
+      const AttrSet determined_nonprime =
+          (cover.closure(x) - x) - report.prime;
+      if (!determined_nonprime.empty()) {
+        partial_lhs_seen.push_back(x);
+        report.partial_dependencies.push_back({x, determined_nonprime});
+      }
+    }
+  }
+
+  // 3NF / BCNF: checking the cover members is sound and complete.
+  for (const Fd& fd : cover.fds()) {
+    if (fd.trivial()) continue;
+    if (cover.is_superkey(fd.lhs, universe)) continue;  // no violation
+    if (fd.rhs.subset_of(report.prime)) {
+      report.bcnf_violations.push_back(fd);
+      continue;
+    }
+    // Already reported as partial when the LHS sits inside a key.
+    const bool partial = std::any_of(
+        report.keys.begin(), report.keys.end(),
+        [&](const AttrSet& k) { return fd.lhs.proper_subset_of(k); });
+    if (!partial) report.transitive_dependencies.push_back(fd);
+  }
+  return report;
+}
+
+NfReport analyze(const Table& table) {
+  return analyze(table, mine_fds_tane(table));
+}
+
+}  // namespace maton::core

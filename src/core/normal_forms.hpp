@@ -1,0 +1,55 @@
+// Normal-form analysis of match-action tables (§3 of the paper).
+//
+//  1NF — the table is a set of fully-specified exact-match entries whose
+//        match fields uniquely identify each entry (order independence).
+//  2NF — 1NF and no functional dependency from a proper subset of any
+//        minimal key to a non-prime attribute (no partial dependencies).
+//  3NF — 2NF and no transitive dependencies: for every nontrivial FD
+//        X → A, X is a superkey or A is prime.
+//  BCNF — for every nontrivial FD X → A, X is a superkey.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/fd.hpp"
+#include "core/keys.hpp"
+
+namespace maton::core {
+
+/// Highest normal form satisfied. kNotFirst means the table is not even
+/// order-independent (duplicate match keys).
+enum class NormalForm { kNotFirst, kFirst, kSecond, kThird, kBoyceCodd };
+
+[[nodiscard]] std::string_view to_string(NormalForm nf) noexcept;
+
+/// Complete normal-form report for one table under one dependency set.
+struct NfReport {
+  bool order_independent = false;
+  std::vector<AttrSet> keys;
+  AttrSet prime;
+
+  /// FDs violating 2NF: X → A with X a proper subset of some key and A
+  /// non-prime.
+  std::vector<Fd> partial_dependencies;
+  /// FDs violating 3NF (and not 2NF): X → A with X not a superkey and A
+  /// non-prime, where X is not a proper subset of any key.
+  std::vector<Fd> transitive_dependencies;
+  /// FDs violating only BCNF: X → A with X not a superkey but A prime.
+  std::vector<Fd> bcnf_violations;
+
+  [[nodiscard]] NormalForm highest() const noexcept;
+
+  /// Human-readable summary naming the violating dependencies.
+  [[nodiscard]] std::string to_string(const Schema& schema) const;
+};
+
+/// Analyzes `table` under the dependencies `fds` (a minimal cover is
+/// computed internally). `fds` must actually hold in the instance for the
+/// report to be meaningful; analyze(Table) mines them from the instance.
+[[nodiscard]] NfReport analyze(const Table& table, const FdSet& fds);
+
+/// Mines instance FDs (TANE) and analyzes against them.
+[[nodiscard]] NfReport analyze(const Table& table);
+
+}  // namespace maton::core

@@ -1,0 +1,260 @@
+#include "core/pipeline.hpp"
+
+#include <algorithm>
+
+#include "util/contract.hpp"
+
+namespace maton::core {
+
+bool is_metadata_name(std::string_view name) noexcept {
+  return name.starts_with("meta.");
+}
+
+Pipeline Pipeline::single(Table table) {
+  Pipeline p;
+  p.add_stage({std::move(table), {}, std::nullopt});
+  return p;
+}
+
+std::size_t Pipeline::add_stage(Stage stage) {
+  expects(stage.goto_targets.empty() ||
+              stage.goto_targets.size() == stage.table.num_rows(),
+          "goto target vector must be parallel to table rows");
+  stages_.push_back(std::move(stage));
+  return stages_.size() - 1;
+}
+
+const Stage& Pipeline::stage(std::size_t i) const {
+  expects(i < stages_.size(), "stage index out of range");
+  return stages_[i];
+}
+
+Stage& Pipeline::stage(std::size_t i) {
+  expects(i < stages_.size(), "stage index out of range");
+  return stages_[i];
+}
+
+void Pipeline::set_entry(std::size_t i) {
+  expects(i < stages_.size(), "entry stage out of range");
+  entry_ = i;
+}
+
+EvalResult Pipeline::evaluate(const PacketState& packet) const {
+  EvalResult result;
+  if (stages_.empty()) return result;
+
+  PacketState state = packet;
+  PacketState pending_actions;
+  std::optional<std::size_t> current = entry_;
+
+  while (current.has_value()) {
+    const std::size_t idx = *current;
+    expects(idx < stages_.size(), "pipeline jump out of range");
+    // A revisited stage would mean a cycle; validate() rejects those, but
+    // guard evaluation too since pipelines can be built by hand.
+    expects(std::find(result.path.begin(), result.path.end(), idx) ==
+                result.path.end(),
+            "pipeline cycle during evaluation");
+    result.path.push_back(idx);
+
+    const Stage& st = stages_[idx];
+    const Schema& schema = st.table.schema();
+    const AttrSet match_cols = schema.match_set();
+
+    // Gather the packet's values for this table's match columns.
+    std::vector<Value> key;
+    key.reserve(match_cols.size());
+    bool bindable = true;
+    for (std::size_t c : match_cols) {
+      const auto it = state.find(schema.at(c).name);
+      if (it == state.end()) {
+        bindable = false;
+        break;
+      }
+      key.push_back(it->second);
+    }
+    const std::optional<std::size_t> row =
+        bindable ? st.table.find_row(match_cols, key) : std::nullopt;
+    if (!row.has_value()) {
+      // Miss: implicit default action (drop). Nothing observable happens.
+      return result;
+    }
+
+    // Apply the entry's actions: record observable ones, and write every
+    // action value back into the packet state (metadata join, rewrites).
+    for (std::size_t c : schema.action_set()) {
+      const Attribute& attr = schema.at(c);
+      const Value v = st.table.at(*row, c);
+      state[attr.name] = v;
+      if (!is_metadata_name(attr.name)) pending_actions[attr.name] = v;
+    }
+
+    current = st.uses_goto() ? std::optional{st.goto_targets[*row]} : st.next;
+  }
+
+  result.hit = true;
+  result.actions = std::move(pending_actions);
+  return result;
+}
+
+std::size_t Pipeline::field_count() const noexcept {
+  std::size_t total = 0;
+  for (const Stage& st : stages_) {
+    total += st.table.field_count();
+    if (st.uses_goto()) total += st.table.num_rows();
+  }
+  return total;
+}
+
+std::size_t Pipeline::total_entries() const noexcept {
+  std::size_t total = 0;
+  for (const Stage& st : stages_) total += st.table.num_rows();
+  return total;
+}
+
+std::size_t Pipeline::max_depth() const {
+  // Longest path from entry in the stage DAG; validate() guarantees
+  // acyclicity for library-built pipelines, and the recursion depth is
+  // bounded by the stage count here via the visiting guard.
+  std::vector<int> memo(stages_.size(), -1);
+  std::vector<bool> visiting(stages_.size(), false);
+
+  auto depth = [&](auto&& self, std::size_t i) -> std::size_t {
+    expects(!visiting[i], "pipeline cycle in max_depth");
+    if (memo[i] >= 0) return static_cast<std::size_t>(memo[i]);
+    visiting[i] = true;
+    std::size_t best = 0;
+    const Stage& st = stages_[i];
+    if (st.uses_goto()) {
+      for (std::size_t t : st.goto_targets) {
+        best = std::max(best, self(self, t));
+      }
+    }
+    if (st.next.has_value()) best = std::max(best, self(self, *st.next));
+    visiting[i] = false;
+    memo[i] = static_cast<int>(best + 1);
+    return best + 1;
+  };
+
+  if (stages_.empty()) return 0;
+  return depth(depth, entry_);
+}
+
+void Pipeline::splice(std::size_t idx, Pipeline sub) {
+  expects(idx < stages_.size(), "splice stage out of range");
+  expects(sub.num_stages() > 0, "cannot splice an empty pipeline");
+
+  const std::optional<std::size_t> old_next = stages_[idx].next;
+  const std::size_t base = stages_.size();
+
+  // Append sub's stages, rebasing its internal indices.
+  for (Stage& st : sub.stages_) {
+    for (std::size_t& t : st.goto_targets) t += base;
+    if (st.next.has_value()) st.next = *st.next + base;
+    stages_.push_back(std::move(st));
+  }
+  const std::size_t sub_entry = base + sub.entry_;
+
+  // Sub's terminal stages inherit the replaced stage's successor.
+  if (old_next.has_value()) {
+    for (std::size_t i = base; i < stages_.size(); ++i) {
+      Stage& st = stages_[i];
+      if (!st.uses_goto() && !st.next.has_value()) st.next = old_next;
+    }
+  }
+
+  // Redirect references to `idx` at sub's entry. The old stage becomes an
+  // unreferenced husk; we keep indices stable by turning it into an empty
+  // shell that forwards to the sub entry (never executed once all
+  // references are redirected, but harmless if something still points
+  // here).
+  for (Stage& st : stages_) {
+    for (std::size_t& t : st.goto_targets) {
+      if (t == idx) t = sub_entry;
+    }
+    if (st.next == idx) st.next = sub_entry;
+  }
+  if (entry_ == idx) {
+    entry_ = sub_entry;
+  }
+  // Hollow out the replaced stage: a single always-hit empty entry that
+  // forwards to the sub entry, so stale references stay executable.
+  Table empty_shell("(spliced)", Schema{});
+  empty_shell.add_row({});
+  stages_[idx] = Stage{std::move(empty_shell), {}, sub_entry};
+}
+
+Status Pipeline::validate() const {
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    const Stage& st = stages_[i];
+    if (!st.goto_targets.empty() &&
+        st.goto_targets.size() != st.table.num_rows()) {
+      return internal_error("stage " + std::to_string(i) +
+                            ": goto vector not parallel to rows");
+    }
+    for (std::size_t t : st.goto_targets) {
+      if (t >= stages_.size()) {
+        return internal_error("stage " + std::to_string(i) +
+                              ": goto target out of range");
+      }
+    }
+    if (st.next.has_value() && *st.next >= stages_.size()) {
+      return internal_error("stage " + std::to_string(i) +
+                            ": successor out of range");
+    }
+    if (!st.table.is_order_independent()) {
+      return failed_precondition(
+          "stage " + std::to_string(i) + " (" + st.table.name() +
+          ") is not order-independent: duplicate match keys");
+    }
+  }
+
+  // Cycle check: DFS from every stage (spliced husks may be unreachable
+  // from the entry but must still be sane).
+  enum class Mark { kWhite, kGrey, kBlack };
+  std::vector<Mark> mark(stages_.size(), Mark::kWhite);
+  auto dfs = [&](auto&& self, std::size_t i) -> bool {
+    if (mark[i] == Mark::kGrey) return false;
+    if (mark[i] == Mark::kBlack) return true;
+    mark[i] = Mark::kGrey;
+    const Stage& st = stages_[i];
+    for (std::size_t t : st.goto_targets) {
+      if (!self(self, t)) return false;
+    }
+    if (st.next.has_value() && !self(self, *st.next)) return false;
+    mark[i] = Mark::kBlack;
+    return true;
+  };
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    if (!dfs(dfs, i)) {
+      return internal_error("pipeline stage graph contains a cycle");
+    }
+  }
+  return Status::ok();
+}
+
+std::string Pipeline::to_string() const {
+  std::string out = "pipeline (" + std::to_string(stages_.size()) +
+                    " stages, entry " + std::to_string(entry_) + ")\n";
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    const Stage& st = stages_[i];
+    out += "--- stage " + std::to_string(i);
+    if (st.uses_goto()) {
+      out += " [goto join]";
+    } else if (st.next.has_value()) {
+      out += " -> stage " + std::to_string(*st.next);
+    } else {
+      out += " [terminal]";
+    }
+    out += '\n';
+    out += st.table.to_string();
+    if (st.uses_goto()) {
+      out += "  goto targets:";
+      for (std::size_t t : st.goto_targets) out += " " + std::to_string(t);
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+}  // namespace maton::core

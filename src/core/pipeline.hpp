@@ -1,0 +1,118 @@
+// Multi-table match-action pipelines: the T ≫ S composition of §3–§4.
+//
+// A Pipeline is a DAG of Stages. Each stage holds one Table; control
+// transfers to either a per-entry goto target (the OpenFlow goto_table
+// join), or the stage's default successor (metadata / rematch / product
+// joins, where chaining is positional and the "join" lives in shared
+// attribute names — metadata columns are attributes named "meta.*").
+//
+// Execution semantics follow OpenFlow write-actions: action values
+// accumulate while the packet traverses the pipeline and take effect only
+// if every visited stage hits; a miss at any stage invokes the implicit
+// default action (drop), producing no observable output. Applied action
+// values are also written back into the packet's bindings, which is what
+// makes both the metadata join (write meta.k, match meta.k downstream)
+// and field-rewriting pipelines composable.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/table.hpp"
+#include "util/status.hpp"
+
+namespace maton::core {
+
+/// Attributes named "meta.*" are pipeline-internal metadata: they join
+/// stages but are excluded from a pipeline's observable output.
+[[nodiscard]] bool is_metadata_name(std::string_view name) noexcept;
+
+/// A packet (or execution state) at the core level: attribute-name →
+/// value bindings for header fields and metadata.
+using PacketState = std::map<std::string, Value, std::less<>>;
+
+/// One stage of a pipeline.
+struct Stage {
+  Table table;
+
+  /// Per-entry goto targets (stage indices), parallel to table rows.
+  /// Empty when this stage does not use the goto_table join.
+  std::vector<std::size_t> goto_targets;
+
+  /// Default successor after a hit when goto_targets is empty;
+  /// nullopt terminates the pipeline.
+  std::optional<std::size_t> next;
+
+  [[nodiscard]] bool uses_goto() const noexcept {
+    return !goto_targets.empty();
+  }
+};
+
+/// Result of sending one packet through a pipeline.
+struct EvalResult {
+  /// True when every visited stage had a matching entry.
+  bool hit = false;
+  /// Observable action bindings (metadata excluded); empty unless hit.
+  PacketState actions;
+  /// Stage indices visited, in order.
+  std::vector<std::size_t> path;
+};
+
+class Pipeline {
+ public:
+  Pipeline() = default;
+
+  /// Pipeline consisting of a single (universal) table.
+  [[nodiscard]] static Pipeline single(Table table);
+
+  /// Appends a stage and returns its index.
+  std::size_t add_stage(Stage stage);
+
+  [[nodiscard]] std::size_t num_stages() const noexcept {
+    return stages_.size();
+  }
+  [[nodiscard]] const Stage& stage(std::size_t i) const;
+  [[nodiscard]] Stage& stage(std::size_t i);
+  [[nodiscard]] const std::vector<Stage>& stages() const noexcept {
+    return stages_;
+  }
+
+  [[nodiscard]] std::size_t entry() const noexcept { return entry_; }
+  void set_entry(std::size_t i);
+
+  /// Sends a packet through the pipeline from the entry stage.
+  /// `packet` must bind every header field the visited tables match on
+  /// (missing bindings count as a miss, not an error).
+  [[nodiscard]] EvalResult evaluate(const PacketState& packet) const;
+
+  /// §2's data-plane size measure: populated match-action fields summed
+  /// over all stages; per-entry goto targets count as one field each.
+  [[nodiscard]] std::size_t field_count() const noexcept;
+
+  /// Total entries across stages.
+  [[nodiscard]] std::size_t total_entries() const noexcept;
+
+  /// Longest stage chain a packet can traverse (lookup count upper
+  /// bound); this drives the latency models.
+  [[nodiscard]] std::size_t max_depth() const;
+
+  /// Replaces stage `idx` by the sub-pipeline `sub`: references to `idx`
+  /// are redirected to sub's entry, and sub's terminal stages inherit the
+  /// replaced stage's successor. Indices of other stages are preserved.
+  void splice(std::size_t idx, Pipeline sub);
+
+  /// Structural sanity: all goto targets and successors in range, goto
+  /// vectors parallel to rows, every stage table order-independent,
+  /// and the stage graph acyclic.
+  [[nodiscard]] Status validate() const;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<Stage> stages_;
+  std::size_t entry_ = 0;
+};
+
+}  // namespace maton::core

@@ -1,0 +1,238 @@
+#include "core/synthesis.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "core/fd_mine.hpp"
+#include "util/contract.hpp"
+
+namespace maton::core {
+
+namespace {
+
+/// Registry of metadata attributes introduced during normalization:
+/// meta name → names of the source attributes whose value-group the
+/// metadata encodes. Expansion is recursive (a later meta may encode an
+/// earlier meta).
+using MetaRegistry = std::map<std::string, std::vector<std::string>>;
+
+/// Expands `name` through the registry into root-schema attribute names.
+void expand_name(const std::string& name, const MetaRegistry& registry,
+                 std::vector<std::string>& out, int depth = 0) {
+  expects(depth < 32, "metadata registry expansion too deep");
+  const auto it = registry.find(name);
+  if (it == registry.end()) {
+    out.push_back(name);
+    return;
+  }
+  for (const std::string& src : it->second) {
+    expand_name(src, registry, out, depth + 1);
+  }
+}
+
+/// Translates a stage-level FD into the root schema's column space and
+/// checks whether the model implies it. Conservative: any attribute that
+/// cannot be mapped back makes the answer "not implied".
+bool implied_by_model(const Fd& stage_fd, const Schema& stage_schema,
+                      const MetaRegistry& registry, const FdSet& model,
+                      const Schema& root_schema) {
+  auto translate = [&](const AttrSet& cols, AttrSet& out) -> bool {
+    for (std::size_t c : cols) {
+      std::vector<std::string> names;
+      expand_name(stage_schema.at(c).name, registry, names);
+      for (const std::string& n : names) {
+        const auto idx = root_schema.find(n);
+        if (!idx.has_value()) return false;
+        out.insert(*idx);
+      }
+    }
+    return true;
+  };
+  AttrSet lhs;
+  AttrSet rhs;
+  if (!translate(stage_fd.lhs, lhs) || !translate(stage_fd.rhs, rhs)) {
+    return false;
+  }
+  return model.implies({lhs, rhs});
+}
+
+/// Violations to try for a stage, in normalization priority order.
+std::vector<Fd> violations_for_target(const NfReport& report,
+                                      NormalForm target) {
+  std::vector<Fd> out = report.partial_dependencies;
+  if (target == NormalForm::kThird || target == NormalForm::kBoyceCodd) {
+    out.insert(out.end(), report.transitive_dependencies.begin(),
+               report.transitive_dependencies.end());
+  }
+  if (target == NormalForm::kBoyceCodd) {
+    out.insert(out.end(), report.bcnf_violations.begin(),
+               report.bcnf_violations.end());
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<NormalizeOutcome> normalize(const Table& table,
+                                   const NormalizeOptions& opts) {
+  if (!table.is_order_independent()) {
+    return failed_precondition("table " + table.name() +
+                               " is not in 1NF (duplicate match keys); "
+                               "normalization starts from 1NF");
+  }
+  expects(opts.target != NormalForm::kNotFirst &&
+              opts.target != NormalForm::kFirst,
+          "normalization target must be 2NF, 3NF or BCNF");
+
+  NormalizeOutcome outcome;
+  outcome.pipeline = Pipeline::single(table);
+  MetaRegistry registry;
+  // FDs a stage may be decomposed on must not be "undone" — remember the
+  // ones rejected per stage-table name so we do not retry forever.
+  std::vector<std::string> permanently_skipped;
+
+  for (std::size_t step = 0; step < opts.max_steps; ++step) {
+    bool progressed = false;
+
+    for (std::size_t s = 0;
+         s < outcome.pipeline.num_stages() && !progressed; ++s) {
+      const Table& stage_table = outcome.pipeline.stage(s).table;
+      if (stage_table.num_cols() < 2 || stage_table.num_rows() == 0) continue;
+
+      // In model mode, only instance dependencies *implied by the model*
+      // drive the analysis — accidental data coincidences (a backend VM
+      // appearing exactly once makes `out` a key of Fig. 1a) must not
+      // create or mask violations.
+      FdSet mined = mine_fds_tane(stage_table);
+      if (opts.model_fds.has_value()) {
+        FdSet filtered;
+        for (const Fd& fd : mined.fds()) {
+          if (implied_by_model(fd, stage_table.schema(), registry,
+                               *opts.model_fds, table.schema())) {
+            filtered.add(fd);
+          }
+        }
+        mined = std::move(filtered);
+      }
+      const NfReport report = analyze(stage_table, mined);
+      for (const Fd& violation : violations_for_target(report, opts.target)) {
+        // Constant columns (empty LHS) factor into a product stage.
+        if (violation.lhs.empty()) {
+          if (!opts.factor_constant_columns) continue;
+          Result<Pipeline> factored = factor_constants(stage_table);
+          if (!factored.is_ok()) continue;
+          outcome.trace.push_back(
+              {s, "factor constant columns (" +
+                      stage_table.schema().names(
+                          constant_columns(stage_table)) +
+                      ") out of " + stage_table.name()});
+          outcome.pipeline.splice(s, std::move(factored).value());
+          progressed = true;
+          break;
+        }
+
+        // Decompose with the maximal determined RHS so one step removes
+        // everything this LHS pins down. (In model mode `mined` is
+        // already filtered, so the closure only contains model facts.)
+        Fd full = violation;
+        const AttrSet closure_rhs = mined.closure(full.lhs) - full.lhs;
+        if (closure_rhs.empty()) continue;
+        full.rhs = closure_rhs;
+
+        const std::string signature =
+            stage_table.name() + "|" + to_string(full, stage_table.schema());
+        if (std::find(permanently_skipped.begin(), permanently_skipped.end(),
+                      signature) != permanently_skipped.end()) {
+          continue;
+        }
+
+        Result<Decomposition> dec =
+            decompose_on_fd(stage_table, full, {opts.join, "meta.t"});
+        if (!dec.is_ok()) {
+          permanently_skipped.push_back(signature);
+          outcome.skipped.push_back(dec.status().message());
+          continue;
+        }
+
+        Decomposition d = std::move(dec).value();
+        if (!d.meta_name.empty()) {
+          registry[d.meta_name] = d.meta_source_names;
+        }
+        outcome.trace.push_back(
+            {s, "decompose " + stage_table.name() + " on " +
+                    to_string(full, stage_table.schema()) + " [" +
+                    std::string(to_string(opts.join)) + " join]"});
+        outcome.pipeline.splice(s, std::move(d.pipeline));
+        progressed = true;
+        break;
+      }
+    }
+
+    if (!progressed) break;
+  }
+
+  if (Status s = outcome.pipeline.validate(); !s.is_ok()) return s;
+  return outcome;
+}
+
+std::vector<AttrSet> synthesize_3nf_schemas(const FdSet& fds,
+                                            AttrSet universe) {
+  const FdSet cover = fds.minimal_cover();
+
+  // Group the cover by left-hand side; one schema per group.
+  std::map<std::uint64_t, AttrSet> groups;
+  for (const Fd& fd : cover.fds()) {
+    groups[fd.lhs.raw()] |= (fd.lhs | fd.rhs);
+  }
+  std::vector<AttrSet> schemas;
+  schemas.reserve(groups.size());
+  for (const auto& [raw, attrs] : groups) schemas.push_back(attrs);
+
+  // Drop schemas contained in another.
+  std::vector<AttrSet> kept;
+  for (std::size_t i = 0; i < schemas.size(); ++i) {
+    bool subsumed = false;
+    for (std::size_t j = 0; j < schemas.size() && !subsumed; ++j) {
+      if (i == j) continue;
+      subsumed = schemas[i].proper_subset_of(schemas[j]) ||
+                 (schemas[i] == schemas[j] && j < i);
+    }
+    if (!subsumed) kept.push_back(schemas[i]);
+  }
+
+  // Guarantee a global key is present (lossless join + dependency
+  // preservation requirement of the synthesis algorithm).
+  const std::vector<AttrSet> keys = candidate_keys(cover, universe);
+  const bool has_key = std::any_of(
+      kept.begin(), kept.end(), [&](const AttrSet& schema_attrs) {
+        return std::any_of(keys.begin(), keys.end(), [&](const AttrSet& k) {
+          return k.subset_of(schema_attrs);
+        });
+      });
+  if (!has_key && !keys.empty()) kept.push_back(keys.front());
+
+  // Attributes untouched by any FD still need a home; attach them to the
+  // key schema (or emit a standalone schema when no key exists).
+  AttrSet covered;
+  for (const AttrSet& s : kept) covered |= s;
+  const AttrSet loose = universe - covered;
+  if (!loose.empty()) {
+    if (!keys.empty()) {
+      for (AttrSet& s : kept) {
+        if (keys.front().subset_of(s)) {
+          s |= loose;
+          break;
+        }
+      }
+    } else {
+      kept.push_back(loose);
+    }
+  }
+
+  std::sort(kept.begin(), kept.end(), [](const AttrSet& a, const AttrSet& b) {
+    return a.raw() < b.raw();
+  });
+  return kept;
+}
+
+}  // namespace maton::core

@@ -1,0 +1,73 @@
+// Full normalization: iterative decomposition of a universal table into a
+// 2NF / 3NF / BCNF pipeline, plus Bernstein-style schema synthesis.
+//
+// The driver repeatedly analyzes every stage of the working pipeline,
+// picks a violating functional dependency (constant columns first — they
+// factor into a Cartesian-product stage as in Fig. 2c — then partial,
+// then transitive dependencies), decomposes that stage along the
+// dependency with the requested join abstraction, and splices the result
+// back in. Each decomposition strictly shrinks the affected tables'
+// column sets, so the process terminates.
+//
+// Dependencies can come from two places (§3: "dependencies may exist
+// inherently encoded into the high-level data plane model [...] or they
+// may be transient data-level dependencies"):
+//  * instance mining (default) — normalize against everything that holds
+//    in the current configuration;
+//  * a caller-supplied model FdSet — only violations *implied by the
+//    model* are decomposed, so accidental data coincidences (e.g.
+//    tcp_dst → ip_dst happening to hold in Fig. 1a) do not drive
+//    normalization. Metadata columns introduced by earlier steps are
+//    translated back to the source attributes they encode.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/decompose.hpp"
+#include "core/normal_forms.hpp"
+
+namespace maton::core {
+
+struct NormalizeOptions {
+  /// Stop once every stage satisfies this form.
+  NormalForm target = NormalForm::kThird;
+  JoinKind join = JoinKind::kMetadata;
+  /// Factor all-constant columns into a product stage (Fig. 2c).
+  bool factor_constant_columns = true;
+  /// Intended (model-level) dependencies over the input table's schema;
+  /// when absent, instance-mined dependencies drive normalization.
+  std::optional<FdSet> model_fds;
+  std::size_t max_steps = 64;
+};
+
+/// One applied normalization step, for the trace.
+struct NormalizeStep {
+  std::size_t stage = 0;       // stage index that was decomposed
+  std::string description;     // e.g. "decompose T0 on ip_dst -> tcp_dst"
+};
+
+struct NormalizeOutcome {
+  Pipeline pipeline;
+  std::vector<NormalizeStep> trace;
+  /// Violations that could not be decomposed (e.g. action→match
+  /// dependencies, Fig. 3), with the rejection reason.
+  std::vector<std::string> skipped;
+};
+
+/// Normalizes `table` into a pipeline whose every stage satisfies
+/// opts.target (up to undecomposable violations, reported in `skipped`).
+/// The input must be in 1NF.
+[[nodiscard]] Result<NormalizeOutcome> normalize(const Table& table,
+                                                 const NormalizeOptions& opts = {});
+
+/// Bernstein-style 3NF synthesis at the schema level: groups a minimal
+/// cover by left-hand side, one relation per group, drops subsumed
+/// schemas, and appends a candidate key when no group contains one.
+/// Returned attribute sets are over the same column space as `fds`.
+[[nodiscard]] std::vector<AttrSet> synthesize_3nf_schemas(const FdSet& fds,
+                                                          AttrSet universe);
+
+}  // namespace maton::core

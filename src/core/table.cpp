@@ -1,0 +1,166 @@
+#include "core/table.hpp"
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+#include "util/contract.hpp"
+#include "util/format.hpp"
+
+namespace maton::core {
+
+namespace {
+
+/// FNV-1a over the selected columns of a row, for dedup sets.
+struct ProjectedRowHash {
+  std::size_t operator()(const std::vector<Value>& vals) const noexcept {
+    std::uint64_t h = 1469598103934665603ULL;
+    for (Value v : vals) {
+      h ^= v;
+      h *= 1099511628211ULL;
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+}  // namespace
+
+void Table::add_row(Row row) {
+  expects(row.size() == schema_.size(),
+          "row width does not match schema width in table " + name_);
+  rows_.push_back(std::move(row));
+}
+
+const Row& Table::row(std::size_t i) const {
+  expects(i < rows_.size(), "row index out of range");
+  return rows_[i];
+}
+
+Value Table::at(std::size_t row_idx, std::size_t col) const {
+  expects(row_idx < rows_.size(), "row index out of range");
+  expects(col < schema_.size(), "column index out of range");
+  return rows_[row_idx][col];
+}
+
+Table Table::project(const AttrSet& cols, std::string name) const {
+  std::vector<std::size_t> old_cols;
+  Schema sub = schema_.project(cols, &old_cols);
+  Table out(name.empty() ? name_ + "[" + schema_.names(cols) + "]"
+                         : std::move(name),
+            std::move(sub));
+
+  std::unordered_set<std::vector<Value>, ProjectedRowHash> seen;
+  for (const Row& r : rows_) {
+    std::vector<Value> proj;
+    proj.reserve(old_cols.size());
+    for (std::size_t c : old_cols) proj.push_back(r[c]);
+    if (seen.insert(proj).second) out.add_row(proj);
+  }
+  return out;
+}
+
+Table Table::select_eq(std::size_t col, Value v, std::string name) const {
+  expects(col < schema_.size(), "column index out of range");
+  Table out(name.empty() ? name_ : std::move(name), schema_);
+  for (const Row& r : rows_) {
+    if (r[col] == v) out.add_row(r);
+  }
+  return out;
+}
+
+bool Table::unique_on(const AttrSet& cols) const {
+  std::unordered_set<std::vector<Value>, ProjectedRowHash> seen;
+  for (const Row& r : rows_) {
+    std::vector<Value> proj;
+    proj.reserve(cols.size());
+    for (std::size_t c : cols) proj.push_back(r[c]);
+    if (!seen.insert(std::move(proj)).second) return false;
+  }
+  return true;
+}
+
+std::optional<std::size_t> Table::find_row(const AttrSet& cols,
+                                           std::span<const Value> key) const {
+  expects(key.size() == cols.size(), "key width differs from column count");
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    std::size_t k = 0;
+    bool match = true;
+    for (std::size_t c : cols) {
+      if (rows_[i][c] != key[k]) {
+        match = false;
+        break;
+      }
+      ++k;
+    }
+    if (match) return i;
+  }
+  return std::nullopt;
+}
+
+std::size_t Table::distinct_count(const AttrSet& cols) const {
+  std::unordered_set<std::vector<Value>, ProjectedRowHash> seen;
+  for (const Row& r : rows_) {
+    std::vector<Value> proj;
+    proj.reserve(cols.size());
+    for (std::size_t c : cols) proj.push_back(r[c]);
+    seen.insert(std::move(proj));
+  }
+  return seen.size();
+}
+
+std::string format_value(const Attribute& attr, Value v) {
+  switch (attr.codec) {
+    case ValueCodec::kPlain:
+      return std::to_string(v);
+    case ValueCodec::kIpv4:
+      return format_ipv4(static_cast<std::uint32_t>(v));
+    case ValueCodec::kIpv4Prefix:
+      return format_ipv4_prefix(static_cast<std::uint32_t>(v >> 8),
+                                static_cast<unsigned>(v & 0xff));
+    case ValueCodec::kMac:
+      return format_mac(v);
+    case ValueCodec::kPort:
+      return std::to_string(v);
+  }
+  return std::to_string(v);
+}
+
+std::string Table::to_string() const {
+  // Compute column widths over header and rendered cells.
+  std::vector<std::string> header;
+  header.reserve(schema_.size());
+  for (const Attribute& a : schema_.attributes()) {
+    header.push_back(a.kind == AttrKind::kAction ? a.name + "!" : a.name);
+  }
+  std::vector<std::vector<std::string>> cells;
+  cells.reserve(rows_.size());
+  for (const Row& r : rows_) {
+    std::vector<std::string> line;
+    line.reserve(r.size());
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      line.push_back(format_value(schema_.at(c), r[c]));
+    }
+    cells.push_back(std::move(line));
+  }
+  std::vector<std::size_t> width(schema_.size(), 0);
+  for (std::size_t c = 0; c < schema_.size(); ++c) {
+    width[c] = header[c].size();
+    for (const auto& line : cells) width[c] = std::max(width[c], line[c].size());
+  }
+
+  std::string out = "table " + name_ + " (" + std::to_string(rows_.size()) +
+                    " entries)\n";
+  auto emit = [&](const std::vector<std::string>& line) {
+    out += "  ";
+    for (std::size_t c = 0; c < line.size(); ++c) {
+      out += line[c];
+      if (c + 1 < line.size()) out.append(width[c] - line[c].size() + 2, ' ');
+    }
+    out += '\n';
+  };
+  emit(header);
+  for (const auto& line : cells) emit(line);
+  return out;
+}
+
+}  // namespace maton::core

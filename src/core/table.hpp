@@ -1,0 +1,87 @@
+// Table: a match-action table in (or aspiring to) first normal form —
+// a finite relation over a Schema whose rows pair exact-match values with
+// action values (Eq. 1 of the paper).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/attr.hpp"
+#include "util/status.hpp"
+
+namespace maton::core {
+
+/// One entry of a match-action table: a full assignment of values to the
+/// schema's columns.
+using Row = std::vector<Value>;
+
+class Table {
+ public:
+  Table() = default;
+  Table(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  [[nodiscard]] const Schema& schema() const noexcept { return schema_; }
+  [[nodiscard]] std::size_t num_rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t num_cols() const noexcept { return schema_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return rows_.empty(); }
+
+  /// Appends an entry; the row width must equal the schema width.
+  void add_row(Row row);
+
+  [[nodiscard]] const Row& row(std::size_t i) const;
+  [[nodiscard]] const std::vector<Row>& rows() const noexcept { return rows_; }
+
+  [[nodiscard]] Value at(std::size_t row, std::size_t col) const;
+
+  /// Relational projection onto `cols` with duplicate elimination.
+  /// Column order in the result follows ascending original index.
+  [[nodiscard]] Table project(const AttrSet& cols, std::string name = {}) const;
+
+  /// Rows whose `col` equals `v` (selection).
+  [[nodiscard]] Table select_eq(std::size_t col, Value v,
+                                std::string name = {}) const;
+
+  /// True when no two rows agree on every column of `cols`.
+  /// unique_on(match_set()) is the paper's order-independence requirement
+  /// for 1NF.
+  [[nodiscard]] bool unique_on(const AttrSet& cols) const;
+
+  /// Order independence: the match columns uniquely identify every entry.
+  [[nodiscard]] bool is_order_independent() const {
+    return unique_on(schema_.match_set());
+  }
+
+  /// Index of the first row whose `cols` columns equal `key` (which is
+  /// given in ascending-column order), or nullopt.
+  [[nodiscard]] std::optional<std::size_t> find_row(
+      const AttrSet& cols, std::span<const Value> key) const;
+
+  /// Number of populated match-action fields, the size measure of §2
+  /// ("the universal table in Fig. 1a contains 24 match-action fields").
+  [[nodiscard]] std::size_t field_count() const noexcept {
+    return rows_.size() * schema_.size();
+  }
+
+  /// Number of distinct value combinations over `cols`.
+  [[nodiscard]] std::size_t distinct_count(const AttrSet& cols) const;
+
+  /// Pretty-printed table (attribute header + typed value rendering).
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Table&, const Table&) = default;
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<Row> rows_;
+};
+
+/// Renders one cell according to the attribute's codec.
+[[nodiscard]] std::string format_value(const Attribute& attr, Value v);
+
+}  // namespace maton::core

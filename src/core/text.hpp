@@ -1,0 +1,48 @@
+// Textual table specifications: a small, line-oriented format for
+// defining match-action tables in files (consumed by the `matonc` CLI
+// and handy in tests), plus the inverse serializer.
+//
+//   # cloud gateway
+//   table gwlb {
+//     match ip_src: ipv4_prefix;
+//     match ip_dst: ipv4;
+//     match tcp_dst: port;
+//     action out: port;
+//
+//     0.0.0.0/1,   192.0.2.1, 80 -> 1;
+//     128.0.0.0/1, 192.0.2.1, 80 -> 2;
+//   }
+//
+// Value syntax follows the column's codec: dotted quads for ipv4,
+// addr/len for ipv4_prefix, aa:bb:cc:dd:ee:ff for mac, and decimal or
+// 0x-hex integers otherwise. `#` starts a comment.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "core/fd.hpp"
+#include "core/table.hpp"
+
+namespace maton::core {
+
+/// A parsed specification: the table plus any declared model-level
+/// dependencies (`fd ip_dst -> tcp_dst;` lines, §3's "intrinsic"
+/// dependencies that normalization should follow instead of transient
+/// instance coincidences).
+struct ParsedSpec {
+  Table table;
+  FdSet model_fds;
+};
+
+/// Parses one table specification. Errors carry the line number.
+[[nodiscard]] Result<ParsedSpec> parse_spec(std::string_view text);
+
+/// Convenience: parse and keep only the table.
+[[nodiscard]] Result<Table> parse_table(std::string_view text);
+
+/// Serializes a table back into the specification format; the result
+/// re-parses to an equal table.
+[[nodiscard]] std::string to_text(const Table& table);
+
+}  // namespace maton::core

@@ -1,0 +1,57 @@
+// Packet classifier templates.
+//
+// §5 attributes ESwitch's normalization gains to datapath specialization:
+// "the first table will be compiled to the very fast exact-match template
+// and the second table to an efficient longest-prefix-matching template".
+// This header defines the classifier interface; concrete templates live
+// in exact_match / lpm_trie / tss / linear translation units, and
+// select_classifier() implements the ESwitch-style template choice.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string_view>
+
+#include "dataplane/program.hpp"
+
+namespace maton::dp {
+
+/// Immutable lookup structure over one table's rules. Returns the index
+/// of the winning (highest-priority) rule, or nullopt on miss.
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+  Classifier(const Classifier&) = delete;
+  Classifier& operator=(const Classifier&) = delete;
+
+  [[nodiscard]] virtual std::optional<std::size_t> lookup(
+      const FlowKey& key) const = 0;
+
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+ protected:
+  Classifier() = default;
+};
+
+/// Builds the most specialized template the rule set admits:
+/// all-exact → hash, single-prefix → per-exact-group LPM tries,
+/// otherwise tuple-space search (or linear for tiny tables).
+[[nodiscard]] std::unique_ptr<Classifier> select_classifier(
+    const TableSpec& table);
+
+/// ESwitch's actual template inventory (§5 and [24]): exact-match on a
+/// field set, LPM on a *single* field, or the slow generic wildcard
+/// processor (linear). A universal table mixing a prefix column with
+/// exact columns fits no fast template and degrades to the wildcard
+/// path — the very effect behind Table 1's 1.5× normalization gain.
+[[nodiscard]] std::unique_ptr<Classifier> select_classifier_eswitch(
+    const TableSpec& table);
+
+/// Individual template constructors (exposed for tests/benchmarks).
+[[nodiscard]] std::unique_ptr<Classifier> make_exact_match(
+    const TableSpec& table);
+[[nodiscard]] std::unique_ptr<Classifier> make_lpm(const TableSpec& table);
+[[nodiscard]] std::unique_ptr<Classifier> make_tss(const TableSpec& table);
+[[nodiscard]] std::unique_ptr<Classifier> make_linear(const TableSpec& table);
+
+}  // namespace maton::dp

@@ -1,0 +1,29 @@
+// Shared helpers for the classifier templates (internal header).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "dataplane/flow_key.hpp"
+
+namespace maton::dp::detail {
+
+/// FNV-1a over a span of 64-bit words.
+[[nodiscard]] inline std::uint64_t hash_words(
+    std::span<const std::uint64_t> words) noexcept {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (std::uint64_t w : words) {
+    h ^= w;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// Smallest power of two >= n (and >= 8).
+[[nodiscard]] inline std::size_t table_capacity(std::size_t n) noexcept {
+  std::size_t cap = 8;
+  while (cap < n * 2) cap <<= 1;
+  return cap;
+}
+
+}  // namespace maton::dp::detail

@@ -1,0 +1,92 @@
+// Exact-match classifier: open-addressing hash table over the packed
+// field vector — the "very fast exact-match template" of ESwitch (§5).
+#include <vector>
+
+#include "dataplane/classifier.hpp"
+#include "dataplane/classifier_detail.hpp"
+#include "util/contract.hpp"
+
+namespace maton::dp {
+
+namespace {
+
+class ExactMatchClassifier final : public Classifier {
+ public:
+  explicit ExactMatchClassifier(const TableSpec& table)
+      : fields_(table.fields),
+        capacity_(detail::table_capacity(table.rules.size() + 1)),
+        slots_(capacity_, kEmpty) {
+    expects(table.profile() == MatchProfile::kAllExact,
+            "exact-match template requires an all-exact rule set");
+    keys_.reserve(table.rules.size() * fields_.size());
+
+    for (std::size_t r = 0; r < table.rules.size(); ++r) {
+      // Pack the rule's values in declared field order.
+      std::vector<std::uint64_t> packed(fields_.size(), 0);
+      for (const FieldMatch& m : table.rules[r].matches) {
+        for (std::size_t f = 0; f < fields_.size(); ++f) {
+          if (fields_[f] == m.field) packed[f] = m.value;
+        }
+      }
+      insert(packed, r);
+    }
+  }
+
+  [[nodiscard]] std::optional<std::size_t> lookup(
+      const FlowKey& key) const override {
+    std::uint64_t packed[kNumFields];
+    for (std::size_t f = 0; f < fields_.size(); ++f) {
+      packed[f] = key.get(fields_[f]);
+    }
+    const std::span<const std::uint64_t> view(packed, fields_.size());
+    std::size_t slot = detail::hash_words(view) & (capacity_ - 1);
+    while (slots_[slot] != kEmpty) {
+      const std::size_t entry = slots_[slot];
+      if (equals(entry, view)) return rule_of_[entry];
+      slot = (slot + 1) & (capacity_ - 1);
+    }
+    return std::nullopt;
+  }
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "exact";
+  }
+
+ private:
+  static constexpr std::size_t kEmpty = ~std::size_t{0};
+
+  [[nodiscard]] bool equals(std::size_t entry,
+                            std::span<const std::uint64_t> key) const {
+    const std::uint64_t* stored = keys_.data() + entry * fields_.size();
+    for (std::size_t f = 0; f < key.size(); ++f) {
+      if (stored[f] != key[f]) return false;
+    }
+    return true;
+  }
+
+  void insert(const std::vector<std::uint64_t>& packed, std::size_t rule) {
+    std::size_t slot = detail::hash_words(packed) & (capacity_ - 1);
+    while (slots_[slot] != kEmpty) {
+      if (equals(slots_[slot], packed)) return;  // keep higher priority
+      slot = (slot + 1) & (capacity_ - 1);
+    }
+    const std::size_t entry = rule_of_.size();
+    keys_.insert(keys_.end(), packed.begin(), packed.end());
+    rule_of_.push_back(rule);
+    slots_[slot] = entry;
+  }
+
+  std::vector<FieldId> fields_;
+  std::size_t capacity_;
+  std::vector<std::size_t> slots_;     // slot → entry index or kEmpty
+  std::vector<std::uint64_t> keys_;    // entry-major packed keys
+  std::vector<std::size_t> rule_of_;   // entry → rule index
+};
+
+}  // namespace
+
+std::unique_ptr<Classifier> make_exact_match(const TableSpec& table) {
+  return std::make_unique<ExactMatchClassifier>(table);
+}
+
+}  // namespace maton::dp

@@ -1,0 +1,27 @@
+#include "dataplane/flow_key.hpp"
+
+namespace maton::dp {
+
+std::string_view to_string(FieldId id) noexcept {
+  switch (id) {
+    case FieldId::kInPort: return "in_port";
+    case FieldId::kEthSrc: return "eth_src";
+    case FieldId::kEthDst: return "eth_dst";
+    case FieldId::kEthType: return "eth_type";
+    case FieldId::kVlan: return "vlan";
+    case FieldId::kIpSrc: return "ip_src";
+    case FieldId::kIpDst: return "ip_dst";
+    case FieldId::kIpProto: return "ip_proto";
+    case FieldId::kIpTtl: return "ip_ttl";
+    case FieldId::kTcpSrc: return "tcp_src";
+    case FieldId::kTcpDst: return "tcp_dst";
+    case FieldId::kMeta0: return "meta0";
+    case FieldId::kMeta1: return "meta1";
+    case FieldId::kMeta2: return "meta2";
+    case FieldId::kMeta3: return "meta3";
+    case FieldId::kCount: return "count";
+  }
+  return "unknown";
+}
+
+}  // namespace maton::dp

@@ -1,0 +1,91 @@
+// FlowKey: the parsed header-field vector switch models classify on.
+//
+// A fixed field registry keeps lookups branch-free: a FlowKey is an array
+// of 64-bit values indexed by FieldId plus a validity mask. Metadata
+// registers (meta0..meta3) model OpenFlow metadata / P4 user metadata and
+// carry values between pipeline stages.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace maton::dp {
+
+enum class FieldId : std::uint8_t {
+  kInPort,
+  kEthSrc,
+  kEthDst,
+  kEthType,
+  kVlan,
+  kIpSrc,
+  kIpDst,
+  kIpProto,
+  kIpTtl,
+  kTcpSrc,
+  kTcpDst,
+  kMeta0,
+  kMeta1,
+  kMeta2,
+  kMeta3,
+  kCount,
+};
+
+inline constexpr std::size_t kNumFields =
+    static_cast<std::size_t>(FieldId::kCount);
+
+[[nodiscard]] constexpr std::size_t field_index(FieldId id) noexcept {
+  return static_cast<std::size_t>(id);
+}
+
+[[nodiscard]] std::string_view to_string(FieldId id) noexcept;
+
+/// Bit width of each field on the wire (used to build prefix masks).
+[[nodiscard]] constexpr unsigned field_width(FieldId id) noexcept {
+  switch (id) {
+    case FieldId::kEthSrc:
+    case FieldId::kEthDst:
+      return 48;
+    case FieldId::kIpSrc:
+    case FieldId::kIpDst:
+      return 32;
+    case FieldId::kInPort:
+    case FieldId::kEthType:
+    case FieldId::kTcpSrc:
+    case FieldId::kTcpDst:
+    case FieldId::kMeta0:
+    case FieldId::kMeta1:
+    case FieldId::kMeta2:
+    case FieldId::kMeta3:
+      return 16;
+    case FieldId::kVlan:
+      return 12;
+    case FieldId::kIpProto:
+    case FieldId::kIpTtl:
+      return 8;
+    case FieldId::kCount:
+      return 0;
+  }
+  return 0;
+}
+
+struct FlowKey {
+  std::array<std::uint64_t, kNumFields> values{};
+  /// Bit i set ⇔ field i carries a parsed/assigned value.
+  std::uint32_t valid = 0;
+
+  [[nodiscard]] std::uint64_t get(FieldId id) const noexcept {
+    return values[field_index(id)];
+  }
+  void set(FieldId id, std::uint64_t v) noexcept {
+    values[field_index(id)] = v;
+    valid |= (1u << field_index(id));
+  }
+  [[nodiscard]] bool has(FieldId id) const noexcept {
+    return (valid >> field_index(id)) & 1u;
+  }
+
+  friend bool operator==(const FlowKey&, const FlowKey&) = default;
+};
+
+}  // namespace maton::dp

@@ -1,0 +1,161 @@
+// Longest-prefix-match classifier: rules are grouped by their exact-match
+// part (hash), each group owning a binary trie over the single prefix
+// field — ESwitch's "efficient longest-prefix-matching template" (§5).
+#include <bit>
+#include <unordered_map>
+#include <vector>
+
+#include "dataplane/classifier.hpp"
+#include "dataplane/classifier_detail.hpp"
+#include "util/contract.hpp"
+
+namespace maton::dp {
+
+namespace {
+
+/// Binary trie over one field's prefixes; nodes in a flat vector.
+class PrefixTrie {
+ public:
+  explicit PrefixTrie(unsigned width) : width_(width) { nodes_.push_back({}); }
+
+  void insert(std::uint64_t value, unsigned plen, std::size_t rule) {
+    expects(plen <= width_, "prefix length exceeds field width");
+    std::size_t node = 0;
+    for (unsigned i = 0; i < plen; ++i) {
+      const unsigned bit =
+          static_cast<unsigned>((value >> (width_ - 1 - i)) & 1);
+      if (nodes_[node].child[bit] == kNone) {
+        nodes_[node].child[bit] = nodes_.size();
+        nodes_.push_back({});
+      }
+      node = nodes_[node].child[bit];
+    }
+    if (nodes_[node].rule == kNone) nodes_[node].rule = rule;
+  }
+
+  [[nodiscard]] std::optional<std::size_t> lookup(std::uint64_t value) const {
+    std::size_t node = 0;
+    std::size_t best = nodes_[0].rule;
+    for (unsigned i = 0; i < width_; ++i) {
+      const unsigned bit =
+          static_cast<unsigned>((value >> (width_ - 1 - i)) & 1);
+      const std::size_t next = nodes_[node].child[bit];
+      if (next == kNone) break;
+      node = next;
+      if (nodes_[node].rule != kNone) best = nodes_[node].rule;
+    }
+    if (best == kNone) return std::nullopt;
+    return best;
+  }
+
+ private:
+  static constexpr std::size_t kNone = ~std::size_t{0};
+  struct Node {
+    std::size_t child[2] = {kNone, kNone};
+    std::size_t rule = kNone;
+  };
+  unsigned width_;
+  std::vector<Node> nodes_;
+};
+
+class LpmClassifier final : public Classifier {
+ public:
+  explicit LpmClassifier(const TableSpec& table) {
+    expects(table.profile() == MatchProfile::kSinglePrefix,
+            "LPM template requires a single-prefix rule set");
+
+    // Identify the prefix field: the one with any non-full mask.
+    prefix_field_ = table.fields.front();
+    for (const Rule& rule : table.rules) {
+      for (const FieldMatch& m : rule.matches) {
+        const unsigned w = field_width(m.field);
+        const std::uint64_t full =
+            w >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << w) - 1);
+        if (m.mask != full) prefix_field_ = m.field;
+      }
+    }
+    prefix_width_ = field_width(prefix_field_);
+    for (const FieldId f : table.fields) {
+      if (f != prefix_field_) exact_fields_.push_back(f);
+    }
+
+    for (std::size_t r = 0; r < table.rules.size(); ++r) {
+      std::vector<std::uint64_t> exact_key(exact_fields_.size(), 0);
+      std::uint64_t prefix_value = 0;
+      unsigned plen = 0;
+      for (const FieldMatch& m : table.rules[r].matches) {
+        if (m.field == prefix_field_) {
+          prefix_value = m.value;
+          plen = static_cast<unsigned>(std::popcount(m.mask));
+        } else {
+          for (std::size_t f = 0; f < exact_fields_.size(); ++f) {
+            if (exact_fields_[f] == m.field) exact_key[f] = m.value;
+          }
+        }
+      }
+      // Buckets chain on hash collisions across distinct exact keys.
+      auto& bucket = groups_[detail::hash_words(exact_key)];
+      Group* group = nullptr;
+      for (const auto& g : bucket) {
+        if (g->exact_key == exact_key) {
+          group = g.get();
+          break;
+        }
+      }
+      if (group == nullptr) {
+        bucket.push_back(std::make_unique<Group>(prefix_width_));
+        group = bucket.back().get();
+        group->exact_key = exact_key;
+      }
+      group->trie.insert(prefix_value, plen, r);
+    }
+  }
+
+  [[nodiscard]] std::optional<std::size_t> lookup(
+      const FlowKey& key) const override {
+    std::uint64_t exact_key[kNumFields];
+    for (std::size_t f = 0; f < exact_fields_.size(); ++f) {
+      exact_key[f] = key.get(exact_fields_[f]);
+    }
+    const std::span<const std::uint64_t> view(exact_key,
+                                              exact_fields_.size());
+    const auto it = groups_.find(detail::hash_words(view));
+    if (it == groups_.end()) return std::nullopt;
+    for (const auto& group : it->second) {
+      bool equal = true;
+      for (std::size_t f = 0; f < exact_fields_.size(); ++f) {
+        if (group->exact_key[f] != exact_key[f]) {
+          equal = false;
+          break;
+        }
+      }
+      if (equal) return group->trie.lookup(key.get(prefix_field_));
+    }
+    return std::nullopt;
+  }
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "lpm";
+  }
+
+ private:
+  struct Group {
+    explicit Group(unsigned width) : trie(width) {}
+    std::vector<std::uint64_t> exact_key;
+    PrefixTrie trie;
+  };
+
+  FieldId prefix_field_ = FieldId::kIpDst;
+  unsigned prefix_width_ = 32;
+  std::vector<FieldId> exact_fields_;
+  std::unordered_map<std::uint64_t, std::vector<std::unique_ptr<Group>>>
+      groups_;
+};
+
+}  // namespace
+
+std::unique_ptr<Classifier> make_lpm(const TableSpec& table) {
+  return std::make_unique<LpmClassifier>(table);
+}
+
+}  // namespace maton::dp

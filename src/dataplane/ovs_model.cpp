@@ -1,0 +1,217 @@
+// OVS-style flow-cache model.
+//
+// §5: "the [OVS] datapath collapses OpenFlow tables into a single flow
+// cache; in other words, OVS explicitly denormalizes the pipeline prior
+// to encoding it into the datapath." The model runs the multi-table
+// program only on the slow path; the traversal accumulates the megaflow
+// mask (the union of header bits the decision depended on) and installs a
+// collapsed single-lookup cache entry. Subsequent packets of the flow hit
+// the cache, so steady-state cost is one masked lookup regardless of the
+// pipeline representation.
+#include <unordered_map>
+#include <vector>
+
+#include "dataplane/classifier_detail.hpp"
+#include "dataplane/switch.hpp"
+#include "util/contract.hpp"
+
+namespace maton::dp {
+
+namespace {
+
+/// A dynamic tuple-space cache of collapsed megaflow entries.
+class MegaflowCache {
+ public:
+  struct Entry {
+    std::array<std::uint64_t, kNumFields> values{};
+    ExecResult result;
+    /// Rules whose lookup this megaflow collapses; their flow counters
+    /// are credited on every cache hit (OVS stats attribution).
+    std::vector<MatchedRule> contributors;
+  };
+
+  void insert(const std::array<std::uint64_t, kNumFields>& mask,
+              const FlowKey& key, const ExecResult& result,
+              std::vector<MatchedRule> contributors) {
+    SubTable* sub = nullptr;
+    for (auto& candidate : subtables_) {
+      if (candidate.mask == mask) {
+        sub = &candidate;
+        break;
+      }
+    }
+    if (sub == nullptr) {
+      subtables_.push_back({mask, {}});
+      sub = &subtables_.back();
+    }
+    Entry entry;
+    for (std::size_t f = 0; f < kNumFields; ++f) {
+      entry.values[f] = key.values[f] & mask[f];
+    }
+    entry.result = result;
+    entry.contributors = std::move(contributors);
+    sub->entries[detail::hash_words(entry.values)].push_back(std::move(entry));
+    ++size_;
+  }
+
+  [[nodiscard]] const Entry* lookup(const FlowKey& key) const {
+    std::array<std::uint64_t, kNumFields> masked{};
+    for (const SubTable& sub : subtables_) {
+      for (std::size_t f = 0; f < kNumFields; ++f) {
+        masked[f] = key.values[f] & sub.mask[f];
+      }
+      const auto it = sub.entries.find(detail::hash_words(masked));
+      if (it == sub.entries.end()) continue;
+      for (const Entry& entry : it->second) {
+        if (entry.values == masked) return &entry;
+      }
+    }
+    return nullptr;
+  }
+
+  void clear() {
+    subtables_.clear();
+    size_ = 0;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+ private:
+  struct SubTable {
+    std::array<std::uint64_t, kNumFields> mask{};
+    std::unordered_map<std::uint64_t, std::vector<Entry>> entries;
+  };
+  std::vector<SubTable> subtables_;
+  std::size_t size_ = 0;
+};
+
+class OvsModel final : public OvsModelInterface {
+ public:
+  Status load(Program program) override {
+    program_ = std::move(program);
+    cache_.clear();
+    stats_ = {};
+    counters_.reset(program_);
+    return Status::ok();
+  }
+
+  ExecResult process(const FlowKey& key) override {
+    if (const auto* cached = cache_.lookup(key)) {
+      ++stats_.cache_hits;
+      counters_.bump_all(cached->contributors);
+      ExecResult r = cached->result;
+      r.tables_visited = 1;  // one cache lookup
+      return r;
+    }
+    ++stats_.cache_misses;
+    std::vector<MatchedRule> matched;
+    const auto [result, mask] = slow_path(key, &matched);
+    counters_.bump_all(matched);
+    if (result.hit) {
+      cache_.insert(mask, key, result, std::move(matched));
+      stats_.cache_entries = cache_.size();
+    }
+    return result;
+  }
+
+  Status apply_update(const RuleUpdate& update) override {
+    const std::vector<Rule> old_rules =
+        update.table < program_.tables.size()
+            ? program_.tables[update.table].rules
+            : std::vector<Rule>{};
+    if (Status s = apply_update_to_program(program_, update); !s.is_ok()) {
+      return s;
+    }
+    counters_.carry_over(update.table, old_rules,
+                         program_.tables[update.table].rules, update);
+    // Revalidation model: any OpenFlow change invalidates the datapath
+    // cache wholesale.
+    cache_.clear();
+    ++stats_.cache_flushes;
+    stats_.cache_entries = 0;
+    return Status::ok();
+  }
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "ovs";
+  }
+  /// Userspace OVS datapath bookkeeping per packet.
+  [[nodiscard]] double per_packet_overhead_ns() const noexcept override {
+    return 160.0;
+  }
+  [[nodiscard]] OvsStats stats() const noexcept override { return stats_; }
+  [[nodiscard]] Result<std::uint64_t> read_rule_counter(
+      std::size_t table,
+      const std::vector<FieldMatch>& target) const override {
+    return counters_.read(program_, table, target);
+  }
+
+ private:
+  /// Full pipeline traversal tracking the megaflow mask: bits of the
+  /// *original* packet the decision depended on. Matches on fields
+  /// rewritten earlier in the pipeline (metadata tags) do not widen the
+  /// mask — their information content is already covered by the fields
+  /// that determined the rewrite.
+  [[nodiscard]] std::pair<ExecResult, std::array<std::uint64_t, kNumFields>>
+  slow_path(const FlowKey& key, std::vector<MatchedRule>* matched) const {
+    ExecResult result;
+    std::array<std::uint64_t, kNumFields> mask{};
+    std::uint32_t written = 0;
+
+    FlowKey state = key;
+    std::optional<std::size_t> current =
+        program_.tables.empty() ? std::nullopt
+                                : std::optional{program_.entry};
+    while (current.has_value()) {
+      const std::size_t idx = *current;
+      expects(idx < program_.tables.size(), "jump out of range");
+      expects(result.tables_visited <= program_.tables.size(),
+              "table graph cycle during slow path");
+      ++result.tables_visited;
+      const TableSpec& table = program_.tables[idx];
+
+      const Rule* hit = nullptr;
+      for (std::size_t r = 0; r < table.rules.size(); ++r) {
+        if (table.rules[r].matches_key(state)) {
+          hit = &table.rules[r];
+          if (matched != nullptr) matched->push_back({idx, r});
+          break;
+        }
+      }
+      if (hit == nullptr) {
+        result.hit = false;
+        result.out_port = 0;
+        return {result, mask};
+      }
+      for (const FieldMatch& m : hit->matches) {
+        if (((written >> field_index(m.field)) & 1u) == 0) {
+          mask[field_index(m.field)] |= m.mask;
+        }
+      }
+      for (const Action& action : hit->actions) {
+        if (action.kind == Action::Kind::kOutput) {
+          result.out_port = action.value;
+        } else {
+          state.set(action.field, action.value);
+          written |= (1u << field_index(action.field));
+        }
+      }
+      current = hit->goto_table.has_value() ? hit->goto_table : table.next;
+    }
+    result.hit = true;
+    return {result, mask};
+  }
+
+  Program program_;
+  MegaflowCache cache_;
+  OvsStats stats_;
+  RuleCounters counters_;
+};
+
+}  // namespace
+
+std::unique_ptr<SwitchModel> make_ovs_model() {
+  return std::make_unique<OvsModel>();
+}
+
+}  // namespace maton::dp

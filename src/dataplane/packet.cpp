@@ -1,0 +1,142 @@
+#include "dataplane/packet.hpp"
+
+#include <cstring>
+
+#include "util/contract.hpp"
+
+namespace maton::dp {
+
+namespace {
+
+constexpr std::uint16_t kEthTypeIpv4 = 0x0800;
+constexpr std::uint16_t kEthTypeVlan = 0x8100;
+constexpr std::uint8_t kProtoTcp = 6;
+
+void put16(std::uint8_t* p, std::uint16_t v) {
+  p[0] = static_cast<std::uint8_t>(v >> 8);
+  p[1] = static_cast<std::uint8_t>(v);
+}
+
+void put32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v >> 24);
+  p[1] = static_cast<std::uint8_t>(v >> 16);
+  p[2] = static_cast<std::uint8_t>(v >> 8);
+  p[3] = static_cast<std::uint8_t>(v);
+}
+
+void put_mac(std::uint8_t* p, std::uint64_t mac) {
+  for (int i = 0; i < 6; ++i) {
+    p[i] = static_cast<std::uint8_t>(mac >> (8 * (5 - i)));
+  }
+}
+
+std::uint16_t get16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>((p[0] << 8) | p[1]);
+}
+
+std::uint32_t get32(const std::uint8_t* p) {
+  return (static_cast<std::uint32_t>(p[0]) << 24) |
+         (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) | p[3];
+}
+
+std::uint64_t get_mac(const std::uint8_t* p) {
+  std::uint64_t mac = 0;
+  for (int i = 0; i < 6; ++i) mac = (mac << 8) | p[i];
+  return mac;
+}
+
+}  // namespace
+
+std::uint16_t internet_checksum(const std::uint8_t* data, std::size_t len) {
+  std::uint32_t sum = 0;
+  for (std::size_t i = 0; i + 1 < len; i += 2) {
+    sum += static_cast<std::uint32_t>(get16(data + i));
+  }
+  if (len % 2 != 0) {
+    sum += static_cast<std::uint32_t>(data[len - 1]) << 8;
+  }
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum);
+}
+
+RawPacket build_frame(const FrameSpec& spec) {
+  RawPacket pkt;
+  pkt.in_port = spec.in_port;
+  std::uint8_t* p = pkt.bytes.data();
+
+  put_mac(p, spec.eth_dst);
+  put_mac(p + 6, spec.eth_src);
+  std::size_t l3 = 14;
+  if (spec.vlan != 0) {
+    put16(p + 12, kEthTypeVlan);
+    put16(p + 14, spec.vlan & 0x0fff);
+    put16(p + 16, kEthTypeIpv4);
+    l3 = 18;
+  } else {
+    put16(p + 12, kEthTypeIpv4);
+  }
+
+  std::uint8_t* ip = p + l3;
+  const std::uint16_t ip_total =
+      static_cast<std::uint16_t>(kFrameSize - l3);
+  ip[0] = 0x45;  // v4, IHL 5
+  ip[1] = 0;     // DSCP/ECN
+  put16(ip + 2, ip_total);
+  put16(ip + 4, 0x1234);  // identification
+  put16(ip + 6, 0x4000);  // DF
+  ip[8] = spec.ip_ttl;
+  ip[9] = kProtoTcp;
+  put16(ip + 10, 0);  // checksum placeholder
+  put32(ip + 12, spec.ip_src);
+  put32(ip + 16, spec.ip_dst);
+  put16(ip + 10, internet_checksum(ip, 20));
+
+  std::uint8_t* tcp = ip + 20;
+  put16(tcp, spec.tcp_src);
+  put16(tcp + 2, spec.tcp_dst);
+  put32(tcp + 4, 1);       // seq
+  put32(tcp + 8, 0);       // ack
+  tcp[12] = 0x50;          // data offset 5
+  tcp[13] = 0x02;          // SYN
+  put16(tcp + 14, 0xffff); // window
+  // TCP checksum left zero: the substrate does not validate L4 sums.
+  return pkt;
+}
+
+std::optional<FlowKey> parse(const RawPacket& packet) {
+  const std::uint8_t* p = packet.bytes.data();
+  FlowKey key;
+  key.set(FieldId::kInPort, packet.in_port);
+  key.set(FieldId::kEthDst, get_mac(p));
+  key.set(FieldId::kEthSrc, get_mac(p + 6));
+
+  std::uint16_t eth_type = get16(p + 12);
+  std::size_t l3 = 14;
+  if (eth_type == kEthTypeVlan) {
+    key.set(FieldId::kVlan, get16(p + 14) & 0x0fff);
+    eth_type = get16(p + 16);
+    l3 = 18;
+  }
+  key.set(FieldId::kEthType, eth_type);
+  if (eth_type != kEthTypeIpv4) return std::nullopt;
+
+  const std::uint8_t* ip = p + l3;
+  if ((ip[0] >> 4) != 4) return std::nullopt;
+  const std::size_t ihl = static_cast<std::size_t>(ip[0] & 0x0f) * 4;
+  if (ihl < 20 || l3 + ihl + 20 > kFrameSize) return std::nullopt;
+  if (internet_checksum(ip, ihl) != 0) return std::nullopt;
+
+  key.set(FieldId::kIpTtl, ip[8]);
+  key.set(FieldId::kIpProto, ip[9]);
+  key.set(FieldId::kIpSrc, get32(ip + 12));
+  key.set(FieldId::kIpDst, get32(ip + 16));
+  if (ip[9] != kProtoTcp) return std::nullopt;
+
+  const std::uint8_t* tcp = ip + ihl;
+  key.set(FieldId::kTcpSrc, get16(tcp));
+  key.set(FieldId::kTcpDst, get16(tcp + 2));
+  return key;
+}
+
+}  // namespace maton::dp

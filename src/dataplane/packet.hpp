@@ -1,0 +1,52 @@
+// Raw packet crafting and parsing for the data-plane substrate.
+//
+// The evaluation (§5) measures 64-byte packets; we build real
+// Ethernet/IPv4/TCP frames (with a correct IPv4 header checksum) and
+// parse them back into FlowKeys, so the measured per-packet work includes
+// genuine header extraction.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "dataplane/flow_key.hpp"
+
+namespace maton::dp {
+
+/// Minimum Ethernet frame (without FCS): 14 (eth) + 20 (IPv4) + 20 (TCP)
+/// + 10 padding = 64 bytes.
+inline constexpr std::size_t kFrameSize = 64;
+
+/// One wire frame plus receive-side metadata (ingress port).
+struct RawPacket {
+  std::array<std::uint8_t, kFrameSize> bytes{};
+  std::uint16_t in_port = 0;
+};
+
+/// Fields used to craft a test frame.
+struct FrameSpec {
+  std::uint64_t eth_src = 0x02'00'00'00'00'01ULL;
+  std::uint64_t eth_dst = 0x02'00'00'00'00'02ULL;
+  std::uint16_t vlan = 0;        // 0 = untagged (no 802.1Q header)
+  std::uint32_t ip_src = 0;
+  std::uint32_t ip_dst = 0;
+  std::uint8_t ip_ttl = 64;
+  std::uint16_t tcp_src = 0;
+  std::uint16_t tcp_dst = 0;
+  std::uint16_t in_port = 1;
+};
+
+/// Builds a 64-byte TCP/IPv4 frame. VLAN-tagged frames use 802.1Q
+/// (squeezing 4 bytes out of the padding).
+[[nodiscard]] RawPacket build_frame(const FrameSpec& spec);
+
+/// Parses a frame into a FlowKey. Returns nullopt for frames that are
+/// not IPv4/TCP (the substrate's parse graph) or fail the IPv4 checksum.
+[[nodiscard]] std::optional<FlowKey> parse(const RawPacket& packet);
+
+/// The Internet checksum (RFC 1071) over `len` bytes.
+[[nodiscard]] std::uint16_t internet_checksum(const std::uint8_t* data,
+                                              std::size_t len);
+
+}  // namespace maton::dp

@@ -1,0 +1,232 @@
+#include "dataplane/program.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <map>
+
+#include "util/contract.hpp"
+
+namespace maton::dp {
+
+namespace {
+
+[[nodiscard]] constexpr std::uint64_t full_mask(FieldId field) noexcept {
+  const unsigned w = field_width(field);
+  return w >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << w) - 1);
+}
+
+/// True when `mask` is a prefix mask within the field's width
+/// (contiguous high ones, contiguous low zeros).
+[[nodiscard]] bool is_prefix_mask(FieldId field, std::uint64_t mask) {
+  const std::uint64_t full = full_mask(field);
+  if ((mask & ~full) != 0) return false;
+  const std::uint64_t low_zeros = ~mask & full;
+  return (low_zeros & (low_zeros + 1)) == 0;
+}
+
+/// Maps well-known attribute names onto wire fields.
+std::optional<FieldId> builtin_field(std::string_view name) {
+  if (name == "in_port") return FieldId::kInPort;
+  if (name == "eth_src" || name == "mod_smac") return FieldId::kEthSrc;
+  if (name == "eth_dst" || name == "mod_dmac") return FieldId::kEthDst;
+  if (name == "eth_type") return FieldId::kEthType;
+  if (name == "vlan") return FieldId::kVlan;
+  if (name == "ip_src") return FieldId::kIpSrc;
+  if (name == "ip_dst") return FieldId::kIpDst;
+  if (name == "ip_proto") return FieldId::kIpProto;
+  if (name == "ip_ttl" || name == "mod_ttl") return FieldId::kIpTtl;
+  if (name == "tcp_src") return FieldId::kTcpSrc;
+  if (name == "tcp_dst") return FieldId::kTcpDst;
+  return std::nullopt;
+}
+
+/// Attribute-name → FieldId assignment shared across the whole program,
+/// allocating metadata registers for names without a wire field.
+class FieldAllocator {
+ public:
+  Result<FieldId> resolve(const std::string& name) {
+    if (const auto builtin = builtin_field(name)) return *builtin;
+    const auto it = assigned_.find(name);
+    if (it != assigned_.end()) return it->second;
+    if (next_meta_ > field_index(FieldId::kMeta3)) {
+      return invalid_argument(
+          "out of metadata registers for attribute '" + name + "'");
+    }
+    const FieldId id = static_cast<FieldId>(next_meta_++);
+    assigned_.emplace(name, id);
+    return id;
+  }
+
+ private:
+  std::map<std::string, FieldId> assigned_;
+  std::size_t next_meta_ = field_index(FieldId::kMeta0);
+};
+
+/// Converts one core cell into a masked match according to its codec.
+FieldMatch lower_match(FieldId field, const core::Attribute& attr,
+                       core::Value v) {
+  FieldMatch m;
+  m.field = field;
+  if (attr.codec == core::ValueCodec::kIpv4Prefix) {
+    const auto addr = static_cast<std::uint32_t>(v >> 8);
+    const unsigned plen = static_cast<unsigned>(v & 0xff);
+    const unsigned width = field_width(field);
+    expects(plen <= width, "prefix length exceeds field width");
+    m.mask = plen == 0
+                 ? 0
+                 : (full_mask(field) << (width - plen)) & full_mask(field);
+    m.value = addr & m.mask;
+  } else {
+    m.mask = full_mask(field);
+    m.value = v & m.mask;
+  }
+  return m;
+}
+
+}  // namespace
+
+MatchProfile TableSpec::profile() const {
+  // Which fields ever carry a non-full mask or go unmatched (wildcard)?
+  bool any_wildcard = false;
+  std::optional<FieldId> prefix_field;
+  bool multi_variable = false;
+
+  for (const Rule& rule : rules) {
+    for (const FieldId f : fields) {
+      const auto it = std::find_if(
+          rule.matches.begin(), rule.matches.end(),
+          [&](const FieldMatch& m) { return m.field == f; });
+      if (it == rule.matches.end()) {
+        any_wildcard = true;
+        continue;
+      }
+      if (it->mask == full_mask(f)) continue;
+      if (!is_prefix_mask(f, it->mask)) return MatchProfile::kTernary;
+      if (prefix_field.has_value() && *prefix_field != f) {
+        multi_variable = true;
+      }
+      prefix_field = f;
+    }
+  }
+  if (multi_variable || (any_wildcard && prefix_field.has_value())) {
+    return MatchProfile::kTernary;
+  }
+  if (any_wildcard) return MatchProfile::kTernary;
+  if (prefix_field.has_value()) return MatchProfile::kSinglePrefix;
+  return MatchProfile::kAllExact;
+}
+
+std::size_t Program::total_rules() const noexcept {
+  std::size_t n = 0;
+  for (const TableSpec& t : tables) n += t.rules.size();
+  return n;
+}
+
+Result<Program> compile(const core::Pipeline& pipeline) {
+  if (Status s = pipeline.validate(); !s.is_ok()) return s;
+
+  Program program;
+  program.entry = pipeline.entry();
+  FieldAllocator alloc;
+
+  for (std::size_t si = 0; si < pipeline.num_stages(); ++si) {
+    const core::Stage& stage = pipeline.stage(si);
+    const core::Schema& schema = stage.table.schema();
+    TableSpec spec;
+    spec.name = stage.table.name();
+    spec.next = stage.next;
+
+    // Resolve every attribute once.
+    std::vector<FieldId> col_field(schema.size());
+    for (std::size_t c = 0; c < schema.size(); ++c) {
+      auto id = alloc.resolve(schema.at(c).name);
+      if (!id.is_ok()) return id.status();
+      col_field[c] = id.value();
+    }
+    for (std::size_t c : schema.match_set()) {
+      if (std::find(spec.fields.begin(), spec.fields.end(), col_field[c]) ==
+          spec.fields.end()) {
+        spec.fields.push_back(col_field[c]);
+      }
+    }
+
+    for (std::size_t r = 0; r < stage.table.num_rows(); ++r) {
+      Rule rule;
+      std::uint32_t specificity = 0;
+      for (std::size_t c : schema.match_set()) {
+        const FieldMatch m =
+            lower_match(col_field[c], schema.at(c), stage.table.at(r, c));
+        specificity += static_cast<std::uint32_t>(std::popcount(m.mask));
+        rule.matches.push_back(m);
+      }
+      // Longest-prefix-first semantics: more specific rules win.
+      rule.priority = specificity;
+
+      for (std::size_t c : schema.action_set()) {
+        const core::Attribute& attr = schema.at(c);
+        const core::Value v = stage.table.at(r, c);
+        if (attr.name == "out") {
+          rule.actions.push_back({Action::Kind::kOutput, FieldId::kMeta0, v});
+        } else {
+          rule.actions.push_back(
+              {Action::Kind::kSetField, col_field[c], v});
+        }
+      }
+      if (stage.uses_goto()) rule.goto_table = stage.goto_targets[r];
+      spec.rules.push_back(std::move(rule));
+    }
+
+    // Priority order: most specific first; stable to keep insertion order
+    // among equals.
+    std::stable_sort(spec.rules.begin(), spec.rules.end(),
+                     [](const Rule& a, const Rule& b) {
+                       return a.priority > b.priority;
+                     });
+    program.tables.push_back(std::move(spec));
+  }
+  return program;
+}
+
+ExecResult execute_reference(const Program& program, const FlowKey& key,
+                             std::vector<MatchedRule>* matched) {
+  ExecResult result;
+  if (matched != nullptr) matched->clear();
+  if (program.tables.empty()) return result;
+
+  FlowKey state = key;
+  std::optional<std::size_t> current = program.entry;
+  while (current.has_value()) {
+    expects(*current < program.tables.size(),
+            "program jump out of range");
+    expects(result.tables_visited <= program.tables.size(),
+            "program table graph contains a cycle");
+    ++result.tables_visited;
+    const TableSpec& table = program.tables[*current];
+
+    const Rule* hit = nullptr;
+    for (std::size_t r = 0; r < table.rules.size(); ++r) {  // priority order
+      if (table.rules[r].matches_key(state)) {
+        hit = &table.rules[r];
+        if (matched != nullptr) matched->push_back({*current, r});
+        break;
+      }
+    }
+    if (hit == nullptr) {
+      result.hit = false;
+      result.out_port = 0;
+      return result;
+    }
+    for (const Action& action : hit->actions) {
+      if (action.kind == Action::Kind::kOutput) {
+        result.out_port = action.value;
+      } else {
+        state.set(action.field, action.value);
+      }
+    }
+    current = hit->goto_table.has_value() ? hit->goto_table : table.next;
+  }
+  result.hit = true;
+  return result;
+}
+
+}  // namespace maton::dp

@@ -1,0 +1,114 @@
+// Data-plane programs: the lowered form of a core::Pipeline that switch
+// models load and execute.
+//
+// A Program is a list of TableSpecs. Each table declares the fields it
+// matches (with per-rule masks supporting exact, prefix and wildcard
+// matching), its rules in priority order, and per-rule actions (output,
+// set-field for header rewrites and metadata tags, goto-table).
+//
+// The compiler maps core attribute names onto the FieldId registry:
+// well-known header names map directly, `meta.*` attributes are assigned
+// to metadata registers, `out` becomes the output action, `mod_<field>`
+// becomes a set-field action, and ValueCodec::kIpv4Prefix tokens are
+// unpacked into value/mask prefix matches.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "dataplane/flow_key.hpp"
+#include "util/status.hpp"
+
+namespace maton::dp {
+
+/// Masked single-field match: key.get(field) & mask == value.
+struct FieldMatch {
+  FieldId field = FieldId::kInPort;
+  std::uint64_t value = 0;
+  std::uint64_t mask = ~std::uint64_t{0};
+
+  [[nodiscard]] bool matches(const FlowKey& key) const noexcept {
+    return (key.get(field) & mask) == value;
+  }
+  friend bool operator==(const FieldMatch&, const FieldMatch&) = default;
+};
+
+struct Action {
+  enum class Kind { kOutput, kSetField };
+  Kind kind = Kind::kOutput;
+  FieldId field = FieldId::kMeta0;  // for kSetField
+  std::uint64_t value = 0;          // port for kOutput, new value otherwise
+
+  friend bool operator==(const Action&, const Action&) = default;
+};
+
+struct Rule {
+  std::uint32_t priority = 0;
+  std::vector<FieldMatch> matches;
+  std::vector<Action> actions;
+  /// Next table index on hit; nullopt falls through to the table default.
+  std::optional<std::size_t> goto_table;
+
+  [[nodiscard]] bool matches_key(const FlowKey& key) const noexcept {
+    for (const FieldMatch& m : matches) {
+      if (!m.matches(key)) return false;
+    }
+    return true;
+  }
+};
+
+/// How a table's lookup should behave structurally (derived, not chosen).
+enum class MatchProfile {
+  kAllExact,       // every rule masks every declared field fully
+  kSinglePrefix,   // exactly one field varies by prefix, rest exact
+  kTernary,        // anything else
+};
+
+struct TableSpec {
+  std::string name;
+  /// Fields this table may match on (union over rules).
+  std::vector<FieldId> fields;
+  std::vector<Rule> rules;
+  /// Default successor after a hit when the rule has no goto (linear
+  /// chaining); nullopt ends the pipeline.
+  std::optional<std::size_t> next;
+
+  [[nodiscard]] MatchProfile profile() const;
+};
+
+struct Program {
+  std::vector<TableSpec> tables;
+  std::size_t entry = 0;
+
+  [[nodiscard]] std::size_t total_rules() const noexcept;
+};
+
+/// Lowers a core pipeline into a data-plane program.
+/// Fails (kInvalidArgument) when an attribute name cannot be mapped and
+/// no metadata register is free.
+[[nodiscard]] Result<Program> compile(const core::Pipeline& pipeline);
+
+/// Result of pushing one packet through a switch model.
+struct ExecResult {
+  bool hit = false;
+  std::uint64_t out_port = 0;
+  std::uint32_t tables_visited = 0;
+};
+
+/// (table index, rule index) of one matched entry along an execution.
+struct MatchedRule {
+  std::size_t table = 0;
+  std::size_t rule = 0;
+};
+
+/// Reference executor: straightforward interpretation of the program
+/// (linear scans). Switch models must agree with this on every packet.
+/// When `matched` is non-null it receives the (table, rule) pairs the
+/// packet hit, in order.
+[[nodiscard]] ExecResult execute_reference(
+    const Program& program, const FlowKey& key,
+    std::vector<MatchedRule>* matched = nullptr);
+
+}  // namespace maton::dp

@@ -1,0 +1,178 @@
+// Switch models: behavioural stand-ins for the four data planes of the
+// paper's evaluation (§5) — OVS, ESwitch, Lagopus and the NoviFlow 2128.
+//
+// Software models (ESwitch/OVS/Lagopus) do real per-packet work — hash
+// probes, trie walks, tuple-space probes — so relative performance
+// emerges from genuine code paths; a documented per-packet framework
+// overhead constant converts measured classifier time into absolute
+// packet rates of the right magnitude (see EXPERIMENTS.md). The hardware
+// model is analytic: line-rate forwarding plus a TCAM update-stall model.
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "dataplane/classifier.hpp"
+#include "dataplane/program.hpp"
+
+namespace maton::dp {
+
+/// One control-plane rule update applied to a running switch.
+struct RuleUpdate {
+  enum class Kind { kInsert, kRemove, kModify };
+  Kind kind = Kind::kModify;
+  std::size_t table = 0;
+  /// Identifies the existing rule by its exact match vector
+  /// (kRemove / kModify).
+  std::vector<FieldMatch> target;
+  /// The new rule (kInsert / kModify).
+  Rule rule;
+};
+
+class SwitchModel {
+ public:
+  virtual ~SwitchModel() = default;
+  SwitchModel(const SwitchModel&) = delete;
+  SwitchModel& operator=(const SwitchModel&) = delete;
+
+  [[nodiscard]] virtual Status load(Program program) = 0;
+  [[nodiscard]] virtual ExecResult process(const FlowKey& key) = 0;
+  [[nodiscard]] virtual Status apply_update(const RuleUpdate& update) = 0;
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  /// Fixed per-packet framework cost (I/O, metadata bookkeeping) added to
+  /// the measured classifier time when reporting absolute packet rates.
+  [[nodiscard]] virtual double per_packet_overhead_ns() const noexcept {
+    return 0.0;
+  }
+
+  /// Per-rule packet counter (OpenFlow flow stats): packets that matched
+  /// the rule identified by its match vector. Counters survive kModify
+  /// (the modified rule inherits the old count) and start at zero for
+  /// inserts. This is what §2's monitorability discussion reads.
+  [[nodiscard]] virtual Result<std::uint64_t> read_rule_counter(
+      std::size_t table, const std::vector<FieldMatch>& target) const = 0;
+
+ protected:
+  SwitchModel() = default;
+};
+
+/// Per-rule packet counters parallel to a program's tables, with the
+/// OpenFlow preservation semantics across rule updates. Shared by the
+/// switch model implementations.
+class RuleCounters {
+ public:
+  /// Re-sizes to match `program`, zeroing everything.
+  void reset(const Program& program);
+
+  void bump(std::size_t table, std::size_t rule);
+  void bump_all(const std::vector<MatchedRule>& matched);
+
+  /// Call with the table's rules as they were *before* an update and as
+  /// they are after: counts carry over by match vector; a kModify target
+  /// donates its count to the update's new rule.
+  void carry_over(std::size_t table, const std::vector<Rule>& old_rules,
+                  const std::vector<Rule>& new_rules,
+                  const RuleUpdate& update);
+
+  [[nodiscard]] Result<std::uint64_t> read(
+      const Program& program, std::size_t table,
+      const std::vector<FieldMatch>& target) const;
+
+ private:
+  std::vector<std::vector<std::uint64_t>> counts_;
+};
+
+/// ESwitch-style datapath specialization: every table compiled to the
+/// most efficient classifier template its rules admit (§5: exact-match /
+/// LPM / tuple-space / linear).
+[[nodiscard]] std::unique_ptr<SwitchModel> make_eswitch_model();
+
+/// Lagopus-style generic datapath: tuple-space lookup for every table
+/// regardless of structure, plus a large fixed per-packet overhead that
+/// dominates either representation (which is why Lagopus is agnostic to
+/// normalization in Table 1).
+[[nodiscard]] std::unique_ptr<SwitchModel> make_lagopus_model();
+
+/// OVS-style flow-cache datapath: the multi-table pipeline runs only on
+/// the slow path; the first packet of each megaflow installs a collapsed
+/// single-lookup cache entry, explicitly denormalizing the pipeline (§5).
+[[nodiscard]] std::unique_ptr<SwitchModel> make_ovs_model();
+
+struct OvsStats {
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_entries = 0;
+  std::uint64_t cache_flushes = 0;
+};
+
+/// Extended interface of the OVS model, for cache-behaviour tests.
+class OvsModelInterface : public SwitchModel {
+ public:
+  [[nodiscard]] virtual OvsStats stats() const noexcept = 0;
+};
+
+/// NoviFlow-2128-style hardware model: analytic line-rate forwarding
+/// with per-stage latency and a TCAM update-stall model (drives Fig. 4).
+class HwTcamModel final : public SwitchModel {
+ public:
+  HwTcamModel() = default;
+
+  Status load(Program program) override;
+  ExecResult process(const FlowKey& key) override;
+  Status apply_update(const RuleUpdate& update) override;
+  [[nodiscard]] Result<std::uint64_t> read_rule_counter(
+      std::size_t table,
+      const std::vector<FieldMatch>& target) const override;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "noviflow-hw";
+  }
+
+  /// 64-byte line rate of the measured port configuration [Mpps].
+  [[nodiscard]] double line_rate_mpps() const noexcept { return 10.75; }
+
+  /// Packet latency [µs] for a pipeline of the given depth:
+  /// fixed port/fabric cost plus one TCAM stage per table.
+  /// Calibrated so depth 1 → 6.4 µs and depth 2 → 8.4 µs (Table 1).
+  [[nodiscard]] double latency_us(std::size_t depth) const noexcept {
+    return 4.4 + 2.0 * static_cast<double>(depth);
+  }
+
+  /// Pipeline stall caused by installing/modifying `entries_touched`
+  /// rules in a table currently holding `table_size` entries. Models
+  /// per-entry install cost plus TCAM reorganization proportional to the
+  /// table size (priority shuffling), the effect behind Fig. 4's 20×
+  /// throughput loss.
+  [[nodiscard]] double update_stall_seconds(
+      std::size_t entries_touched, std::size_t table_size) const noexcept {
+    constexpr double kPerEntrySeconds = 59e-6;
+    constexpr double kReorgPerExistingEntrySeconds = 7.05e-6;
+    return static_cast<double>(entries_touched) *
+           (kPerEntrySeconds +
+            kReorgPerExistingEntrySeconds * static_cast<double>(table_size));
+  }
+
+  /// Effective throughput [Mpps] under `stall_seconds_per_second` of
+  /// accumulated update stalls per wall-clock second.
+  [[nodiscard]] double throughput_mpps(double stall_seconds_per_second)
+      const noexcept {
+    const double available = 1.0 - stall_seconds_per_second;
+    return line_rate_mpps() * (available < 0.0 ? 0.0 : available);
+  }
+
+  [[nodiscard]] const Program& program() const noexcept { return program_; }
+  [[nodiscard]] std::size_t pipeline_depth() const noexcept;
+
+ private:
+  Program program_;
+  RuleCounters counters_;
+  std::vector<MatchedRule> matched_scratch_;
+};
+
+/// Applies `update` to a program's table in place (shared by the software
+/// models). Returns kNotFound when the target rule does not exist.
+[[nodiscard]] Status apply_update_to_program(Program& program,
+                                             const RuleUpdate& update);
+
+}  // namespace maton::dp

@@ -1,0 +1,161 @@
+#include <algorithm>
+
+#include "dataplane/switch.hpp"
+#include "util/contract.hpp"
+
+namespace maton::dp {
+
+Status apply_update_to_program(Program& program, const RuleUpdate& update) {
+  if (update.table >= program.tables.size()) {
+    return invalid_argument("update targets a non-existent table");
+  }
+  TableSpec& table = program.tables[update.table];
+
+  auto find_target = [&]() {
+    return std::find_if(table.rules.begin(), table.rules.end(),
+                        [&](const Rule& r) {
+                          return r.matches == update.target;
+                        });
+  };
+
+  switch (update.kind) {
+    case RuleUpdate::Kind::kInsert: {
+      table.rules.push_back(update.rule);
+      break;
+    }
+    case RuleUpdate::Kind::kRemove: {
+      const auto it = find_target();
+      if (it == table.rules.end()) {
+        return not_found("rule to remove not present in table " +
+                         table.name);
+      }
+      table.rules.erase(it);
+      return Status::ok();  // no re-sort needed
+    }
+    case RuleUpdate::Kind::kModify: {
+      const auto it = find_target();
+      if (it == table.rules.end()) {
+        return not_found("rule to modify not present in table " +
+                         table.name);
+      }
+      *it = update.rule;
+      break;
+    }
+  }
+  std::stable_sort(
+      table.rules.begin(), table.rules.end(),
+      [](const Rule& a, const Rule& b) { return a.priority > b.priority; });
+  return Status::ok();
+}
+
+void RuleCounters::reset(const Program& program) {
+  counts_.clear();
+  counts_.reserve(program.tables.size());
+  for (const TableSpec& table : program.tables) {
+    counts_.emplace_back(table.rules.size(), 0);
+  }
+}
+
+void RuleCounters::bump(std::size_t table, std::size_t rule) {
+  expects(table < counts_.size() && rule < counts_[table].size(),
+          "counter index out of range");
+  ++counts_[table][rule];
+}
+
+void RuleCounters::bump_all(const std::vector<MatchedRule>& matched) {
+  for (const MatchedRule& m : matched) bump(m.table, m.rule);
+}
+
+void RuleCounters::carry_over(std::size_t table,
+                              const std::vector<Rule>& old_rules,
+                              const std::vector<Rule>& new_rules,
+                              const RuleUpdate& update) {
+  expects(table < counts_.size(), "counter table out of range");
+  std::vector<std::uint64_t> next(new_rules.size(), 0);
+  for (std::size_t n = 0; n < new_rules.size(); ++n) {
+    // A modified rule inherits the count of the rule it replaced.
+    const std::vector<FieldMatch>& lookup =
+        (update.kind == RuleUpdate::Kind::kModify &&
+         new_rules[n].matches == update.rule.matches)
+            ? update.target
+            : new_rules[n].matches;
+    for (std::size_t o = 0; o < old_rules.size(); ++o) {
+      if (old_rules[o].matches == lookup) {
+        next[n] = counts_[table][o];
+        break;
+      }
+    }
+  }
+  counts_[table] = std::move(next);
+}
+
+Result<std::uint64_t> RuleCounters::read(
+    const Program& program, std::size_t table,
+    const std::vector<FieldMatch>& target) const {
+  if (table >= program.tables.size()) {
+    return invalid_argument("counter read targets a non-existent table");
+  }
+  const auto& rules = program.tables[table].rules;
+  for (std::size_t r = 0; r < rules.size(); ++r) {
+    if (rules[r].matches == target) return counts_[table][r];
+  }
+  return not_found("no rule with the given match vector in table " +
+                   program.tables[table].name);
+}
+
+Status HwTcamModel::load(Program program) {
+  program_ = std::move(program);
+  counters_.reset(program_);
+  return Status::ok();
+}
+
+ExecResult HwTcamModel::process(const FlowKey& key) {
+  // The hardware forwards at line rate regardless of representation; the
+  // model only needs functional correctness (and flow stats) here.
+  const ExecResult result =
+      execute_reference(program_, key, &matched_scratch_);
+  counters_.bump_all(matched_scratch_);
+  return result;
+}
+
+Status HwTcamModel::apply_update(const RuleUpdate& update) {
+  const std::vector<Rule> old_rules =
+      update.table < program_.tables.size()
+          ? program_.tables[update.table].rules
+          : std::vector<Rule>{};
+  if (Status s = apply_update_to_program(program_, update); !s.is_ok()) {
+    return s;
+  }
+  counters_.carry_over(update.table, old_rules,
+                       program_.tables[update.table].rules, update);
+  return Status::ok();
+}
+
+Result<std::uint64_t> HwTcamModel::read_rule_counter(
+    std::size_t table, const std::vector<FieldMatch>& target) const {
+  return counters_.read(program_, table, target);
+}
+
+std::size_t HwTcamModel::pipeline_depth() const noexcept {
+  // Longest table chain from the entry (tables form a DAG by
+  // construction; compiled pipelines are validated acyclic).
+  std::vector<int> memo(program_.tables.size(), -1);
+  auto depth = [&](auto&& self, std::size_t i) -> std::size_t {
+    if (memo[i] >= 0) return static_cast<std::size_t>(memo[i]);
+    memo[i] = 0;  // break accidental cycles defensively
+    const TableSpec& t = program_.tables[i];
+    std::size_t best = 0;
+    if (t.next.has_value()) best = self(self, *t.next);
+    for (const Rule& r : t.rules) {
+      if (r.goto_table.has_value()) {
+        best = std::max(best, self(self, *r.goto_table));
+      }
+    }
+    memo[i] = static_cast<int>(best + 1);
+    return best + 1;
+  };
+  if (program_.tables.empty()) return 0;
+  return depth(depth, program_.entry);
+}
+
+}  // namespace maton::dp

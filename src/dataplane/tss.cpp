@@ -1,0 +1,187 @@
+// Tuple-space search classifier: rules grouped by their mask vector, one
+// exact hash per group, probing groups in decreasing best-priority order
+// with early exit — the OVS megaflow lookup structure (§5, [28]).
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "dataplane/classifier.hpp"
+#include "dataplane/classifier_detail.hpp"
+#include "util/contract.hpp"
+
+namespace maton::dp {
+
+namespace {
+
+class TssClassifier final : public Classifier {
+ public:
+  explicit TssClassifier(const TableSpec& table) : fields_(table.fields) {
+    // Group rules by their full mask vector over the declared fields
+    // (absent field match ⇒ mask 0, i.e. wildcard).
+    for (std::size_t r = 0; r < table.rules.size(); ++r) {
+      std::vector<std::uint64_t> mask_vec(fields_.size(), 0);
+      std::vector<std::uint64_t> value_vec(fields_.size(), 0);
+      for (const FieldMatch& m : table.rules[r].matches) {
+        for (std::size_t f = 0; f < fields_.size(); ++f) {
+          if (fields_[f] == m.field) {
+            mask_vec[f] = m.mask;
+            value_vec[f] = m.value;
+          }
+        }
+      }
+      SubTable* sub = nullptr;
+      for (auto& candidate : subtables_) {
+        if (candidate.masks == mask_vec) {
+          sub = &candidate;
+          break;
+        }
+      }
+      if (sub == nullptr) {
+        subtables_.push_back({});
+        sub = &subtables_.back();
+        sub->masks = mask_vec;
+      }
+      const std::uint32_t priority = table.rules[r].priority;
+      auto [it, inserted] = sub->entries.try_emplace(
+          detail::hash_words(value_vec), Entry{value_vec, r, priority});
+      if (!inserted) {
+        // Hash bucket occupied: chain.
+        Entry* e = &it->second;
+        while (true) {
+          if (e->values == value_vec) break;  // duplicate key: keep first
+          if (e->overflow == kNone) {
+            e->overflow = sub->spill.size();
+            sub->spill.push_back(Entry{value_vec, r, priority});
+            break;
+          }
+          e = &sub->spill[e->overflow];
+        }
+      }
+      sub->best_priority = std::max(sub->best_priority, priority);
+    }
+    std::sort(subtables_.begin(), subtables_.end(),
+              [](const SubTable& a, const SubTable& b) {
+                return a.best_priority > b.best_priority;
+              });
+  }
+
+  [[nodiscard]] std::optional<std::size_t> lookup(
+      const FlowKey& key) const override {
+    std::optional<std::size_t> best;
+    std::uint32_t best_priority = 0;
+    std::uint64_t masked[kNumFields];
+    for (const SubTable& sub : subtables_) {
+      if (best.has_value() && best_priority >= sub.best_priority) break;
+      for (std::size_t f = 0; f < fields_.size(); ++f) {
+        masked[f] = key.get(fields_[f]) & sub.masks[f];
+      }
+      const std::span<const std::uint64_t> view(masked, fields_.size());
+      const auto it = sub.entries.find(detail::hash_words(view));
+      if (it == sub.entries.end()) continue;
+      const Entry* e = &it->second;
+      while (e != nullptr) {
+        bool equal = true;
+        for (std::size_t f = 0; f < fields_.size(); ++f) {
+          if (e->values[f] != masked[f]) {
+            equal = false;
+            break;
+          }
+        }
+        if (equal) {
+          if (!best.has_value() || e->priority > best_priority) {
+            best = e->rule;
+            best_priority = e->priority;
+          }
+          break;
+        }
+        e = e->overflow == kNone ? nullptr : &sub.spill[e->overflow];
+      }
+    }
+    return best;
+  }
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "tss";
+  }
+
+ private:
+  static constexpr std::size_t kNone = ~std::size_t{0};
+  struct Entry {
+    std::vector<std::uint64_t> values;
+    std::size_t rule = 0;
+    std::uint32_t priority = 0;
+    std::size_t overflow = kNone;  // chain into SubTable::spill
+  };
+  struct SubTable {
+    std::vector<std::uint64_t> masks;
+    std::unordered_map<std::uint64_t, Entry> entries;
+    std::vector<Entry> spill;
+    std::uint32_t best_priority = 0;
+  };
+
+  std::vector<FieldId> fields_;
+  std::vector<SubTable> subtables_;
+};
+
+class LinearClassifier final : public Classifier {
+ public:
+  explicit LinearClassifier(const TableSpec& table) : rules_(table.rules) {}
+
+  [[nodiscard]] std::optional<std::size_t> lookup(
+      const FlowKey& key) const override {
+    for (std::size_t r = 0; r < rules_.size(); ++r) {  // priority-sorted
+      if (rules_[r].matches_key(key)) return r;
+    }
+    return std::nullopt;
+  }
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "linear";
+  }
+
+ private:
+  std::vector<Rule> rules_;
+};
+
+}  // namespace
+
+std::unique_ptr<Classifier> make_tss(const TableSpec& table) {
+  return std::make_unique<TssClassifier>(table);
+}
+
+std::unique_ptr<Classifier> make_linear(const TableSpec& table) {
+  return std::make_unique<LinearClassifier>(table);
+}
+
+std::unique_ptr<Classifier> select_classifier(const TableSpec& table) {
+  switch (table.profile()) {
+    case MatchProfile::kAllExact:
+      return make_exact_match(table);
+    case MatchProfile::kSinglePrefix:
+      return make_lpm(table);
+    case MatchProfile::kTernary:
+      // Tiny ternary tables scan faster than they hash.
+      if (table.rules.size() <= 8) return make_linear(table);
+      return make_tss(table);
+  }
+  return make_linear(table);
+}
+
+std::unique_ptr<Classifier> select_classifier_eswitch(
+    const TableSpec& table) {
+  switch (table.profile()) {
+    case MatchProfile::kAllExact:
+      return make_exact_match(table);
+    case MatchProfile::kSinglePrefix:
+      // ESwitch only has a single-field LPM template; a prefix column
+      // mixed with other match fields falls through to the wildcard
+      // processor.
+      if (table.fields.size() == 1) return make_lpm(table);
+      return make_linear(table);
+    case MatchProfile::kTernary:
+      return make_linear(table);
+  }
+  return make_linear(table);
+}
+
+}  // namespace maton::dp

@@ -1,0 +1,24 @@
+// OpenFlow exporter: renders a compiled data-plane program as
+// `ovs-ofctl add-flow` lines, so normalized pipelines can be loaded into
+// a real OpenFlow 1.3+ switch (goto_table joins map to goto_table
+// instructions, metadata tags to NXM registers).
+#pragma once
+
+#include <string>
+
+#include "dataplane/program.hpp"
+
+namespace maton::exporter {
+
+struct OpenflowOptions {
+  /// Bridge name used in the leading comment.
+  std::string bridge = "br0";
+};
+
+/// One `table=…, priority=…, <matches>, actions=…` line per rule,
+/// preceded by a per-table comment. Returns kInvalidArgument for field
+/// kinds that have no OpenFlow encoding.
+[[nodiscard]] Result<std::string> to_openflow(const dp::Program& program,
+                                              const OpenflowOptions& opts = {});
+
+}  // namespace maton::exporter

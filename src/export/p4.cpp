@@ -1,0 +1,240 @@
+#include "export/p4.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <map>
+
+#include "util/contract.hpp"
+
+namespace maton::exporter {
+
+namespace {
+
+using core::AttrKind;
+using core::Attribute;
+using core::Schema;
+using core::Stage;
+using core::ValueCodec;
+
+std::string sanitize(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    out += (std::isalnum(static_cast<unsigned char>(c)) != 0) ? c : '_';
+  }
+  if (out.empty() || (std::isdigit(static_cast<unsigned char>(out[0])) != 0)) {
+    out.insert(out.begin(), 't');
+  }
+  return out;
+}
+
+/// P4 lvalue for a core attribute; names without a wire header become
+/// user-metadata fields (collected by the caller).
+std::string p4_lvalue(const std::string& name,
+                      std::map<std::string, unsigned>* user_meta,
+                      unsigned width) {
+  if (name == "ip_dst") return "hdr.ipv4.dst_addr";
+  if (name == "ip_src") return "hdr.ipv4.src_addr";
+  if (name == "ip_ttl" || name == "mod_ttl") return "hdr.ipv4.ttl";
+  if (name == "tcp_dst") return "hdr.tcp.dst_port";
+  if (name == "tcp_src") return "hdr.tcp.src_port";
+  if (name == "eth_type") return "hdr.ethernet.ether_type";
+  if (name == "eth_src" || name == "mod_smac") return "hdr.ethernet.src_addr";
+  if (name == "eth_dst" || name == "mod_dmac") return "hdr.ethernet.dst_addr";
+  if (name == "in_port") return "standard_metadata.ingress_port";
+  if (name == "out") return "standard_metadata.egress_spec";
+  const std::string field = sanitize(name);
+  if (user_meta != nullptr) {
+    const auto it = user_meta->find(field);
+    if (it == user_meta->end()) {
+      user_meta->emplace(field, width);
+    }
+  }
+  return "meta." + field;
+}
+
+std::string hex(core::Value v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "0x%llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+/// Match value rendering; prefix tokens become `value &&& mask`.
+std::string entry_key(const Attribute& attr, core::Value v) {
+  if (attr.codec == ValueCodec::kIpv4Prefix) {
+    const auto addr = static_cast<std::uint32_t>(v >> 8);
+    const unsigned plen = static_cast<unsigned>(v & 0xff);
+    const std::uint32_t mask =
+        plen == 0 ? 0 : 0xffffffffu << (32 - plen);
+    return hex(addr & mask) + " &&& " + hex(mask);
+  }
+  return hex(v);
+}
+
+}  // namespace
+
+Result<std::string> to_p4(const core::Pipeline& pipeline,
+                          const P4Options& opts) {
+  if (pipeline.num_stages() == 0) {
+    return failed_precondition("cannot export an empty pipeline");
+  }
+  if (Status s = pipeline.validate(); !s.is_ok()) return s;
+  for (const Stage& stage : pipeline.stages()) {
+    if (stage.uses_goto()) {
+      return unimplemented(
+          "goto_table joins have no structural P4 counterpart; "
+          "re-normalize with JoinKind::kMetadata before exporting");
+    }
+  }
+
+  // Stage order along the linear chain, skipping spliced husks.
+  std::vector<std::size_t> chain;
+  std::optional<std::size_t> cursor = pipeline.entry();
+  while (cursor.has_value()) {
+    expects(chain.size() <= pipeline.num_stages(), "cycle during export");
+    if (pipeline.stage(*cursor).table.num_cols() > 0) {
+      chain.push_back(*cursor);
+    }
+    cursor = pipeline.stage(*cursor).next;
+  }
+
+  std::map<std::string, unsigned> user_meta;
+  std::string tables;
+  std::string actions;
+
+  actions +=
+      "    action drop_() { mark_to_drop(standard_metadata); }\n";
+
+  for (const std::size_t si : chain) {
+    const Stage& stage = pipeline.stage(si);
+    const Schema& schema = stage.table.schema();
+    const std::string tname = sanitize(stage.table.name());
+
+    // Action: one per stage, parameterized by its action columns.
+    std::string params;
+    std::string body;
+    for (const std::size_t c : schema.action_set()) {
+      const Attribute& attr = schema.at(c);
+      if (!params.empty()) params += ", ";
+      const std::string p = sanitize(attr.name);
+      params += "bit<" + std::to_string(attr.width_bits) + "> " + p;
+      body += "        " +
+              p4_lvalue(attr.name, &user_meta, attr.width_bits) + " = " +
+              (attr.name == "out" ? "(bit<9>)" + p : p) + ";\n";
+    }
+    actions += "    action " + tname + "_act(" + params + ") {\n" + body +
+               "    }\n";
+
+    // Table: keys from the match columns.
+    tables += "    table " + tname + " {\n        key = {\n";
+    for (const std::size_t c : schema.match_set()) {
+      const Attribute& attr = schema.at(c);
+      const char* kind =
+          attr.codec == ValueCodec::kIpv4Prefix ? "lpm" : "exact";
+      tables += "            " +
+                p4_lvalue(attr.name, &user_meta, attr.width_bits) + " : " +
+                kind + ";\n";
+    }
+    tables += "        }\n        actions = { " + tname +
+              "_act; drop_; }\n        default_action = drop_();\n";
+
+    tables += "        const entries = {\n";
+    for (std::size_t r = 0; r < stage.table.num_rows(); ++r) {
+      tables += "            (";
+      bool first = true;
+      for (const std::size_t c : schema.match_set()) {
+        if (!first) tables += ", ";
+        first = false;
+        tables += entry_key(schema.at(c), stage.table.at(r, c));
+      }
+      tables += ") : " + tname + "_act(";
+      first = true;
+      for (const std::size_t c : schema.action_set()) {
+        if (!first) tables += ", ";
+        first = false;
+        tables += hex(stage.table.at(r, c));
+      }
+      tables += ");\n";
+    }
+    tables += "        };\n    }\n";
+  }
+
+  // Apply block: nested hit-gating along the chain.
+  std::string apply;
+  std::string indent = "        ";
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    const std::string tname =
+        sanitize(pipeline.stage(chain[i]).table.name());
+    apply += indent + "if (" + tname + ".apply().hit) {\n";
+    indent += "    ";
+  }
+  apply += indent + "/* pipeline completed */\n";
+  for (std::size_t i = chain.size(); i > 0; --i) {
+    indent.resize(indent.size() - 4);
+    apply += indent + "}\n";
+  }
+
+  // Assemble the program.
+  std::string meta_struct = "struct metadata_t {\n";
+  for (const auto& [field, width] : user_meta) {
+    meta_struct +=
+        "    bit<" + std::to_string(width) + "> " + field + ";\n";
+  }
+  meta_struct += "}\n";
+
+  std::string out;
+  out += "// " + opts.program_name + " — generated by maton\n";
+  out += "#include <core.p4>\n#include <v1model.p4>\n\n";
+  out +=
+      "header ethernet_t {\n    bit<48> dst_addr;\n    bit<48> src_addr;\n"
+      "    bit<16> ether_type;\n}\n"
+      "header ipv4_t {\n    bit<4>  version;\n    bit<4>  ihl;\n"
+      "    bit<8>  diffserv;\n    bit<16> total_len;\n"
+      "    bit<16> identification;\n    bit<16> flags_frag;\n"
+      "    bit<8>  ttl;\n    bit<8>  protocol;\n    bit<16> hdr_checksum;\n"
+      "    bit<32> src_addr;\n    bit<32> dst_addr;\n}\n"
+      "header tcp_t {\n    bit<16> src_port;\n    bit<16> dst_port;\n"
+      "    bit<96> rest;\n}\n"
+      "struct headers_t {\n    ethernet_t ethernet;\n    ipv4_t ipv4;\n"
+      "    tcp_t tcp;\n}\n";
+  out += meta_struct;
+  out +=
+      "\nparser MatonParser(packet_in packet, out headers_t hdr,\n"
+      "                   inout metadata_t meta,\n"
+      "                   inout standard_metadata_t standard_metadata) {\n"
+      "    state start {\n        packet.extract(hdr.ethernet);\n"
+      "        transition select(hdr.ethernet.ether_type) {\n"
+      "            0x0800: parse_ipv4;\n            default: accept;\n"
+      "        }\n    }\n"
+      "    state parse_ipv4 {\n        packet.extract(hdr.ipv4);\n"
+      "        transition select(hdr.ipv4.protocol) {\n"
+      "            6: parse_tcp;\n            default: accept;\n"
+      "        }\n    }\n"
+      "    state parse_tcp {\n        packet.extract(hdr.tcp);\n"
+      "        transition accept;\n    }\n}\n\n";
+  out += "control MatonIngress(inout headers_t hdr, inout metadata_t meta,\n"
+         "                     inout standard_metadata_t standard_metadata) "
+         "{\n";
+  out += actions;
+  out += tables;
+  out += "    apply {\n" + apply + "    }\n}\n\n";
+  out +=
+      "control MatonVerifyChecksum(inout headers_t hdr, inout metadata_t "
+      "meta) { apply { } }\n"
+      "control MatonEgress(inout headers_t hdr, inout metadata_t meta,\n"
+      "                    inout standard_metadata_t standard_metadata) { "
+      "apply { } }\n"
+      "control MatonComputeChecksum(inout headers_t hdr, inout metadata_t "
+      "meta) { apply { } }\n"
+      "control MatonDeparser(packet_out packet, in headers_t hdr) {\n"
+      "    apply {\n        packet.emit(hdr.ethernet);\n"
+      "        packet.emit(hdr.ipv4);\n        packet.emit(hdr.tcp);\n"
+      "    }\n}\n\n";
+  out += "V1Switch(MatonParser(), MatonVerifyChecksum(), MatonIngress(),\n"
+         "         MatonEgress(), MatonComputeChecksum(), MatonDeparser()) "
+         "main;\n";
+  return out;
+}
+
+}  // namespace maton::exporter

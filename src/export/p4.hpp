@@ -1,0 +1,26 @@
+// P4_16 exporter: renders a core pipeline as a v1model P4 program with
+// one table per stage (match kinds derived from the attribute codecs),
+// one action per stage's action signature, and const entries carrying the
+// pipeline's rules — compilable with p4c / runnable on bmv2.
+//
+// Linear pipelines (metadata / rematch / product joins) export directly:
+// the apply block applies the stages in order, gating each on the
+// previous stage's hit. Goto joins have no direct P4 counterpart (P4's
+// control flow is structural); convert to the metadata join first —
+// to_p4 reports kUnimplemented for goto pipelines and says so.
+#pragma once
+
+#include <string>
+
+#include "core/pipeline.hpp"
+
+namespace maton::exporter {
+
+struct P4Options {
+  std::string program_name = "maton_pipeline";
+};
+
+[[nodiscard]] Result<std::string> to_p4(const core::Pipeline& pipeline,
+                                        const P4Options& opts = {});
+
+}  // namespace maton::exporter

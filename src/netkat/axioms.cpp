@@ -1,0 +1,71 @@
+#include "netkat/axioms.hpp"
+
+#include "util/contract.hpp"
+
+namespace maton::netkat::axioms {
+
+Law ka_plus_comm(PolicyPtr a, PolicyPtr b) {
+  return {par(a, b), par(b, a)};
+}
+
+Law ka_plus_assoc(PolicyPtr a, PolicyPtr b, PolicyPtr c) {
+  return {par(a, par(b, c)), par(par(a, b), c)};
+}
+
+Law ka_plus_idem(PolicyPtr a) { return {par(a, a), a}; }
+
+Law ka_plus_zero(PolicyPtr a) { return {par(a, drop()), a}; }
+
+Law ka_seq_assoc(PolicyPtr a, PolicyPtr b, PolicyPtr c) {
+  return {seq(a, seq(b, c)), seq(seq(a, b), c)};
+}
+
+Law ka_one_seq(PolicyPtr a) { return {seq(id(), a), a}; }
+
+Law ka_seq_zero(PolicyPtr a) { return {seq(drop(), a), drop()}; }
+
+Law ka_seq_dist_l(PolicyPtr a, PolicyPtr b, PolicyPtr c) {
+  return {seq(a, par(b, c)), par(seq(a, b), seq(a, c))};
+}
+
+Law ka_seq_dist_r(PolicyPtr a, PolicyPtr b, PolicyPtr c) {
+  return {seq(par(a, b), c), par(seq(a, c), seq(b, c))};
+}
+
+Law ba_seq_comm(const std::string& f, Value v, const std::string& g,
+                Value w) {
+  return {seq(test(f, v), test(g, w)), seq(test(g, w), test(f, v))};
+}
+
+Law ba_seq_idem(const std::string& f, Value v) {
+  return {seq(test(f, v), test(f, v)), test(f, v)};
+}
+
+Law ba_contra(const std::string& f, Value v, Value w) {
+  expects(v != w, "BA-Contra requires two distinct values");
+  return {seq(test(f, v), test(f, w)), drop()};
+}
+
+Law pa_mod_filter(const std::string& f, Value v) {
+  return {seq(mod(f, v), test(f, v)), mod(f, v)};
+}
+
+Law pa_filter_mod(const std::string& f, Value v) {
+  return {seq(test(f, v), mod(f, v)), test(f, v)};
+}
+
+Law pa_mod_mod(const std::string& f, Value v, Value w) {
+  return {seq(mod(f, v), mod(f, w)), mod(f, w)};
+}
+
+Law pa_mod_comm(const std::string& f, Value v, const std::string& g,
+                Value w) {
+  expects(f != g, "PA-Mod-Comm requires distinct fields");
+  return {seq(mod(f, v), test(g, w)), seq(test(g, w), mod(f, v))};
+}
+
+bool holds(const Law& law, std::span<const Packet> probes) {
+  return equivalent_on(law.first, law.second, probes);
+}
+
+}  // namespace maton::netkat::axioms

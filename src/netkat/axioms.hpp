@@ -1,0 +1,58 @@
+// Semantic checkers for the NetKAT axioms used in the proof of Theorem 1
+// (§4 of the paper): each function returns the two policies that the
+// axiom equates, so tests and the Theorem-1 replay can verify the
+// equality under the packet-set semantics.
+//
+// Axiom names follow the paper/NetKAT report:
+//   KA-Plus-Comm    a + b        = b + a
+//   KA-Plus-Assoc   a + (b + c)  = (a + b) + c
+//   KA-Plus-Idem    a + a        = a
+//   KA-Plus-Zero    a + 0        = a
+//   KA-Seq-Assoc    a; (b; c)    = (a; b); c
+//   KA-One-Seq      1; a         = a
+//   KA-Seq-Zero     0; a         = 0
+//   KA-Seq-Dist-L   a; (b + c)   = a; b + a; c
+//   KA-Seq-Dist-R   (a + b); c   = a; c + b; c
+//   BA-Seq-Comm     (f=v); (g=w) = (g=w); (f=v)        (tests commute)
+//   BA-Seq-Idem     (f=v); (f=v) = (f=v)
+//   BA-Contra       (f=v); (f=w) = 0   for v ≠ w
+//   PA-Mod-Filter   (f←v); (f=v) = (f←v)
+//   PA-Filter-Mod   (f=v); (f←v) = (f=v)
+//   PA-Mod-Mod      (f←v); (f←w) = (f←w)
+//   PA-Mod-Comm     (f←v); (g=w) = (g=w); (f←v)  for f ≠ g
+#pragma once
+
+#include <utility>
+
+#include "netkat/eval.hpp"
+
+namespace maton::netkat::axioms {
+
+/// A pair of policies an axiom asserts equal.
+using Law = std::pair<PolicyPtr, PolicyPtr>;
+
+[[nodiscard]] Law ka_plus_comm(PolicyPtr a, PolicyPtr b);
+[[nodiscard]] Law ka_plus_assoc(PolicyPtr a, PolicyPtr b, PolicyPtr c);
+[[nodiscard]] Law ka_plus_idem(PolicyPtr a);
+[[nodiscard]] Law ka_plus_zero(PolicyPtr a);
+[[nodiscard]] Law ka_seq_assoc(PolicyPtr a, PolicyPtr b, PolicyPtr c);
+[[nodiscard]] Law ka_one_seq(PolicyPtr a);
+[[nodiscard]] Law ka_seq_zero(PolicyPtr a);
+[[nodiscard]] Law ka_seq_dist_l(PolicyPtr a, PolicyPtr b, PolicyPtr c);
+[[nodiscard]] Law ka_seq_dist_r(PolicyPtr a, PolicyPtr b, PolicyPtr c);
+
+[[nodiscard]] Law ba_seq_comm(const std::string& f, Value v,
+                              const std::string& g, Value w);
+[[nodiscard]] Law ba_seq_idem(const std::string& f, Value v);
+[[nodiscard]] Law ba_contra(const std::string& f, Value v, Value w);
+
+[[nodiscard]] Law pa_mod_filter(const std::string& f, Value v);
+[[nodiscard]] Law pa_filter_mod(const std::string& f, Value v);
+[[nodiscard]] Law pa_mod_mod(const std::string& f, Value v, Value w);
+[[nodiscard]] Law pa_mod_comm(const std::string& f, Value v,
+                              const std::string& g, Value w);
+
+/// Checks one law over a probe universe.
+[[nodiscard]] bool holds(const Law& law, std::span<const Packet> probes);
+
+}  // namespace maton::netkat::axioms

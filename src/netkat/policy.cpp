@@ -1,0 +1,100 @@
+#include "netkat/policy.hpp"
+
+#include "util/contract.hpp"
+
+namespace maton::netkat {
+
+namespace {
+
+PolicyPtr make(Policy::Kind kind, std::string field = {}, Value value = 0,
+               PolicyPtr left = nullptr, PolicyPtr right = nullptr) {
+  return std::make_shared<const Policy>(Policy::Internal{}, kind,
+                                        std::move(field), value,
+                                        std::move(left), std::move(right));
+}
+
+}  // namespace
+
+PolicyPtr drop() {
+  static const PolicyPtr instance = make(Policy::Kind::kDrop);
+  return instance;
+}
+
+PolicyPtr id() {
+  static const PolicyPtr instance = make(Policy::Kind::kId);
+  return instance;
+}
+
+PolicyPtr test(std::string field, Value v) {
+  expects(!field.empty(), "test field must be named");
+  return make(Policy::Kind::kTest, std::move(field), v);
+}
+
+PolicyPtr mod(std::string field, Value v) {
+  expects(!field.empty(), "mod field must be named");
+  return make(Policy::Kind::kMod, std::move(field), v);
+}
+
+PolicyPtr seq(PolicyPtr a, PolicyPtr b) {
+  expects(a != nullptr && b != nullptr, "seq of null policy");
+  return make(Policy::Kind::kSeq, {}, 0, std::move(a), std::move(b));
+}
+
+PolicyPtr par(PolicyPtr a, PolicyPtr b) {
+  expects(a != nullptr && b != nullptr, "par of null policy");
+  return make(Policy::Kind::kPar, {}, 0, std::move(a), std::move(b));
+}
+
+PolicyPtr seq_all(std::span<const PolicyPtr> policies) {
+  if (policies.empty()) return id();
+  PolicyPtr acc = policies.front();
+  for (std::size_t i = 1; i < policies.size(); ++i) {
+    acc = seq(std::move(acc), policies[i]);
+  }
+  return acc;
+}
+
+PolicyPtr par_all(std::span<const PolicyPtr> policies) {
+  if (policies.empty()) return drop();
+  PolicyPtr acc = policies.front();
+  for (std::size_t i = 1; i < policies.size(); ++i) {
+    acc = par(std::move(acc), policies[i]);
+  }
+  return acc;
+}
+
+std::string to_string(const PolicyPtr& policy) {
+  expects(policy != nullptr, "to_string of null policy");
+  switch (policy->kind()) {
+    case Policy::Kind::kDrop: return "0";
+    case Policy::Kind::kId: return "1";
+    case Policy::Kind::kTest:
+      return policy->field() + " = " + std::to_string(policy->value());
+    case Policy::Kind::kMod:
+      return policy->field() + " <- " + std::to_string(policy->value());
+    case Policy::Kind::kSeq:
+      return "(" + to_string(policy->left()) + "; " +
+             to_string(policy->right()) + ")";
+    case Policy::Kind::kPar:
+      return "(" + to_string(policy->left()) + " + " +
+             to_string(policy->right()) + ")";
+  }
+  return "?";
+}
+
+std::size_t policy_size(const PolicyPtr& policy) {
+  expects(policy != nullptr, "policy_size of null policy");
+  switch (policy->kind()) {
+    case Policy::Kind::kDrop:
+    case Policy::Kind::kId:
+    case Policy::Kind::kTest:
+    case Policy::Kind::kMod:
+      return 1;
+    case Policy::Kind::kSeq:
+    case Policy::Kind::kPar:
+      return 1 + policy_size(policy->left()) + policy_size(policy->right());
+  }
+  return 1;
+}
+
+}  // namespace maton::netkat

@@ -1,0 +1,85 @@
+// A local-policy fragment of NetKAT (Anderson et al.), the formalism §3
+// of the paper adopts: predicates filter packets, modifications update
+// header fields, and policies compose sequentially (a; b) or in parallel
+// (a + b). We restrict to per-switch policies — no dup, no Kleene star —
+// which is exactly the fragment match-action tables need (Eq. 1).
+//
+// Policies are immutable trees shared by shared_ptr; construction
+// functions are the only way to build them.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"  // for core::Value / PacketState
+
+namespace maton::netkat {
+
+using Value = core::Value;
+
+class Policy;
+using PolicyPtr = std::shared_ptr<const Policy>;
+
+/// Immutable NetKAT policy node.
+class Policy {
+ public:
+  enum class Kind {
+    kDrop,  // 0   — rejects every packet
+    kId,    // 1   — passes every packet unchanged
+    kTest,  // f = v
+    kMod,   // f ← v
+    kSeq,   // a ; b
+    kPar,   // a + b
+  };
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] const std::string& field() const noexcept { return field_; }
+  [[nodiscard]] Value value() const noexcept { return value_; }
+  [[nodiscard]] const PolicyPtr& left() const noexcept { return left_; }
+  [[nodiscard]] const PolicyPtr& right() const noexcept { return right_; }
+
+  // Construction goes through the free functions below.
+  struct Internal {};
+  Policy(Internal, Kind kind, std::string field, Value value, PolicyPtr left,
+         PolicyPtr right)
+      : kind_(kind),
+        field_(std::move(field)),
+        value_(value),
+        left_(std::move(left)),
+        right_(std::move(right)) {}
+
+ private:
+  Kind kind_;
+  std::string field_;
+  Value value_ = 0;
+  PolicyPtr left_;
+  PolicyPtr right_;
+};
+
+/// The `0` policy (drop).
+[[nodiscard]] PolicyPtr drop();
+/// The `1` policy (identity / skip).
+[[nodiscard]] PolicyPtr id();
+/// The predicate f = v.
+[[nodiscard]] PolicyPtr test(std::string field, Value v);
+/// The modification f ← v.
+[[nodiscard]] PolicyPtr mod(std::string field, Value v);
+/// Sequential composition a ; b.
+[[nodiscard]] PolicyPtr seq(PolicyPtr a, PolicyPtr b);
+/// Parallel composition a + b.
+[[nodiscard]] PolicyPtr par(PolicyPtr a, PolicyPtr b);
+
+/// Folds a list into a sequence; empty list is `id`.
+[[nodiscard]] PolicyPtr seq_all(std::span<const PolicyPtr> policies);
+/// Folds a list into a parallel sum; empty list is `drop`.
+[[nodiscard]] PolicyPtr par_all(std::span<const PolicyPtr> policies);
+
+/// "(ip_dst = 3; out <- 1) + ..." rendering.
+[[nodiscard]] std::string to_string(const PolicyPtr& policy);
+
+/// Node count of the policy tree (size measure used in tests/benches).
+[[nodiscard]] std::size_t policy_size(const PolicyPtr& policy);
+
+}  // namespace maton::netkat

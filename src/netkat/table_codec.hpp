@@ -1,0 +1,44 @@
+// Encoding match-action tables and pipelines as NetKAT policies (Eq. 1)
+// and verifying core-level transformations against the NetKAT semantics.
+//
+// A 1NF table becomes the sum of its entries, each the sequence of its
+// match tests followed by its action modifications:
+//   T = Σ_i (f1 = x_i1; …; fk = x_ik; a_i1; …; a_in)
+// A pipeline becomes the stage policies chained by inlining: a stage's
+// entry policy sequences into its successor's policy (per-entry for the
+// goto join). Metadata joins need no special handling — metadata columns
+// are ordinary fields of the NetKAT packet.
+#pragma once
+
+#include "core/equivalence.hpp"
+#include "netkat/eval.hpp"
+
+namespace maton::netkat {
+
+/// Eq. 1: the sum-of-entries policy of a 1NF table.
+[[nodiscard]] PolicyPtr from_table(const core::Table& table);
+
+/// The policy of a whole pipeline, with successor stages inlined.
+/// The pipeline must be acyclic (Pipeline::validate()).
+[[nodiscard]] PolicyPtr from_pipeline(const core::Pipeline& pipeline);
+
+struct VerifyOptions {
+  std::size_t random_probes = 128;
+  std::uint64_t seed = 0x6e6574ULL;
+};
+
+/// Cross-checks the core pipeline evaluator against the NetKAT
+/// denotational semantics: for probe packets drawn from the table's
+/// active domain, ⟦from_table(T)⟧ and ⟦from_pipeline(P)⟧ agree, and both
+/// agree with core::Pipeline::evaluate on hit/miss and action bindings.
+struct VerifyReport {
+  bool consistent = true;
+  std::size_t packets_checked = 0;
+  std::string counterexample;
+};
+
+[[nodiscard]] VerifyReport verify_against_netkat(
+    const core::Table& table, const core::Pipeline& pipeline,
+    const VerifyOptions& opts = {});
+
+}  // namespace maton::netkat

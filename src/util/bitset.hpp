@@ -1,0 +1,168 @@
+// SmallBitset: a fixed-capacity (64-element) bitset used to represent sets
+// of schema attributes (columns) throughout the normalization core.
+//
+// Match-action tables in practice have far fewer than 64 columns, so a
+// single machine word keeps attribute-set algebra (closure computation,
+// lattice walks in FD mining) allocation-free and branch-cheap.
+#pragma once
+
+#include <bit>
+#include <iterator>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+
+#include "util/contract.hpp"
+
+namespace maton {
+
+/// Set of small integers in [0, 64), stored as one word.
+///
+/// Iteration order is ascending. All operations are O(1) except
+/// to_string() and the iterator, which are O(popcount).
+class SmallBitset {
+ public:
+  static constexpr std::size_t kCapacity = 64;
+
+  constexpr SmallBitset() noexcept = default;
+
+  constexpr SmallBitset(std::initializer_list<std::size_t> elems) {
+    for (std::size_t e : elems) insert(e);
+  }
+
+  /// Set containing every element in [0, n).
+  [[nodiscard]] static constexpr SmallBitset full(std::size_t n) {
+    SmallBitset s;
+    s.bits_ = n >= kCapacity ? ~std::uint64_t{0}
+                             : ((std::uint64_t{1} << n) - 1);
+    return s;
+  }
+
+  /// Singleton {e}.
+  [[nodiscard]] static constexpr SmallBitset single(std::size_t e) {
+    SmallBitset s;
+    s.insert(e);
+    return s;
+  }
+
+  constexpr void insert(std::size_t e) {
+    bits_ |= word(e);
+  }
+  constexpr void erase(std::size_t e) { bits_ &= ~word(e); }
+  [[nodiscard]] constexpr bool contains(std::size_t e) const {
+    return (bits_ & word(e)) != 0;
+  }
+
+  [[nodiscard]] constexpr bool empty() const noexcept { return bits_ == 0; }
+  [[nodiscard]] constexpr std::size_t size() const noexcept {
+    return static_cast<std::size_t>(std::popcount(bits_));
+  }
+
+  [[nodiscard]] constexpr std::uint64_t raw() const noexcept { return bits_; }
+  [[nodiscard]] static constexpr SmallBitset from_raw(std::uint64_t bits) {
+    SmallBitset s;
+    s.bits_ = bits;
+    return s;
+  }
+
+  /// True when every element of this set is also in `other`.
+  [[nodiscard]] constexpr bool subset_of(const SmallBitset& other) const noexcept {
+    return (bits_ & ~other.bits_) == 0;
+  }
+  /// True when this is a subset of `other` and not equal to it.
+  [[nodiscard]] constexpr bool proper_subset_of(
+      const SmallBitset& other) const noexcept {
+    return subset_of(other) && bits_ != other.bits_;
+  }
+  [[nodiscard]] constexpr bool intersects(const SmallBitset& other) const noexcept {
+    return (bits_ & other.bits_) != 0;
+  }
+
+  [[nodiscard]] constexpr SmallBitset operator|(const SmallBitset& o) const noexcept {
+    return from_raw(bits_ | o.bits_);
+  }
+  [[nodiscard]] constexpr SmallBitset operator&(const SmallBitset& o) const noexcept {
+    return from_raw(bits_ & o.bits_);
+  }
+  /// Set difference: elements in this but not in `o`.
+  [[nodiscard]] constexpr SmallBitset operator-(const SmallBitset& o) const noexcept {
+    return from_raw(bits_ & ~o.bits_);
+  }
+  constexpr SmallBitset& operator|=(const SmallBitset& o) noexcept {
+    bits_ |= o.bits_;
+    return *this;
+  }
+  constexpr SmallBitset& operator&=(const SmallBitset& o) noexcept {
+    bits_ &= o.bits_;
+    return *this;
+  }
+  constexpr SmallBitset& operator-=(const SmallBitset& o) noexcept {
+    bits_ &= ~o.bits_;
+    return *this;
+  }
+
+  friend constexpr bool operator==(const SmallBitset&, const SmallBitset&) = default;
+  friend constexpr auto operator<=>(const SmallBitset& a, const SmallBitset& b) {
+    return a.bits_ <=> b.bits_;
+  }
+
+  /// Smallest element; set must be non-empty.
+  [[nodiscard]] std::size_t min() const {
+    expects(!empty(), "min() of empty bitset");
+    return static_cast<std::size_t>(std::countr_zero(bits_));
+  }
+
+  /// Forward iterator yielding elements in ascending order.
+  class const_iterator {
+   public:
+    using value_type = std::size_t;
+    using iterator_category = std::forward_iterator_tag;
+    using difference_type = std::ptrdiff_t;
+    using pointer = void;
+    using reference = std::size_t;
+
+    constexpr explicit const_iterator(std::uint64_t rest) noexcept : rest_(rest) {}
+    constexpr std::size_t operator*() const noexcept {
+      return static_cast<std::size_t>(std::countr_zero(rest_));
+    }
+    constexpr const_iterator& operator++() noexcept {
+      rest_ &= rest_ - 1;  // clear lowest set bit
+      return *this;
+    }
+    friend constexpr bool operator==(const const_iterator&,
+                                     const const_iterator&) = default;
+
+   private:
+    std::uint64_t rest_;
+  };
+
+  [[nodiscard]] constexpr const_iterator begin() const noexcept {
+    return const_iterator(bits_);
+  }
+  [[nodiscard]] constexpr const_iterator end() const noexcept {
+    return const_iterator(0);
+  }
+
+  /// "{0, 3, 7}"-style rendering; element order is ascending.
+  [[nodiscard]] std::string to_string() const {
+    std::string out = "{";
+    bool first = true;
+    for (std::size_t e : *this) {
+      if (!first) out += ", ";
+      out += std::to_string(e);
+      first = false;
+    }
+    out += "}";
+    return out;
+  }
+
+ private:
+  [[nodiscard]] static constexpr std::uint64_t word(std::size_t e) {
+    expects(e < kCapacity, "SmallBitset element out of range");
+    return std::uint64_t{1} << e;
+  }
+
+  std::uint64_t bits_ = 0;
+};
+
+}  // namespace maton

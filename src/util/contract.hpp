@@ -1,0 +1,44 @@
+// Contract checking for programming errors (precondition violations).
+//
+// Recoverable conditions use maton::Status / maton::Result (see status.hpp);
+// contract violations indicate a bug in the caller and throw
+// maton::ContractViolation carrying the source location.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace maton {
+
+/// Thrown when a documented precondition or invariant is violated.
+/// This signals a programming error, not a runtime condition: callers
+/// should not catch it except at test or process boundaries.
+class ContractViolation : public std::logic_error {
+ public:
+  ContractViolation(std::string_view what, const std::source_location& loc)
+      : std::logic_error(std::string(loc.file_name()) + ":" +
+                         std::to_string(loc.line()) + ": contract violation: " +
+                         std::string(what)) {}
+};
+
+/// Checks a precondition; throws ContractViolation when `ok` is false.
+/// constexpr so it is usable in constant-evaluated contexts (where a
+/// violation fails compilation instead of throwing).
+///
+/// Usage: `expects(i < size(), "index out of range");`
+constexpr void expects(
+    bool ok, std::string_view message,
+    const std::source_location& loc = std::source_location::current()) {
+  if (!ok) throw ContractViolation(message, loc);
+}
+
+/// Checks a postcondition or internal invariant; same semantics as expects().
+constexpr void ensures(
+    bool ok, std::string_view message,
+    const std::source_location& loc = std::source_location::current()) {
+  if (!ok) throw ContractViolation(message, loc);
+}
+
+}  // namespace maton

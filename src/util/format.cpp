@@ -1,0 +1,69 @@
+#include "util/format.hpp"
+
+#include <array>
+#include <charconv>
+#include <cstdio>
+
+namespace maton {
+
+std::string format_ipv4(std::uint32_t addr) {
+  std::array<char, 16> buf{};
+  const int n = std::snprintf(buf.data(), buf.size(), "%u.%u.%u.%u",
+                              (addr >> 24) & 0xff, (addr >> 16) & 0xff,
+                              (addr >> 8) & 0xff, addr & 0xff);
+  return std::string(buf.data(), static_cast<std::size_t>(n));
+}
+
+std::string format_ipv4_prefix(std::uint32_t addr, unsigned prefix_len) {
+  expects(prefix_len <= 32, "IPv4 prefix length out of range");
+  return format_ipv4(addr) + "/" + std::to_string(prefix_len);
+}
+
+std::string format_mac(std::uint64_t mac) {
+  std::array<char, 18> buf{};
+  const int n = std::snprintf(
+      buf.data(), buf.size(), "%02x:%02x:%02x:%02x:%02x:%02x",
+      static_cast<unsigned>((mac >> 40) & 0xff),
+      static_cast<unsigned>((mac >> 32) & 0xff),
+      static_cast<unsigned>((mac >> 24) & 0xff),
+      static_cast<unsigned>((mac >> 16) & 0xff),
+      static_cast<unsigned>((mac >> 8) & 0xff),
+      static_cast<unsigned>(mac & 0xff));
+  return std::string(buf.data(), static_cast<std::size_t>(n));
+}
+
+Result<std::uint32_t> parse_ipv4(std::string_view text) {
+  std::uint32_t addr = 0;
+  const char* p = text.data();
+  const char* end = text.data() + text.size();
+  for (int octet = 0; octet < 4; ++octet) {
+    unsigned v = 0;
+    const auto [next, ec] = std::from_chars(p, end, v);
+    if (ec != std::errc{} || v > 255) {
+      return invalid_argument("malformed IPv4 address: " + std::string(text));
+    }
+    addr = (addr << 8) | v;
+    p = next;
+    if (octet < 3) {
+      if (p == end || *p != '.') {
+        return invalid_argument("malformed IPv4 address: " +
+                                std::string(text));
+      }
+      ++p;
+    }
+  }
+  if (p != end) {
+    return invalid_argument("trailing characters in IPv4 address: " +
+                            std::string(text));
+  }
+  return addr;
+}
+
+std::string format_double(double v, int precision) {
+  std::array<char, 64> buf{};
+  const int n =
+      std::snprintf(buf.data(), buf.size(), "%.*f", precision, v);
+  return std::string(buf.data(), static_cast<std::size_t>(n));
+}
+
+}  // namespace maton

@@ -1,0 +1,35 @@
+// Formatting and parsing of network-typed values (IPv4 addresses, MAC
+// addresses, ports) used when pretty-printing tables and in tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/status.hpp"
+
+namespace maton {
+
+/// 192.0.2.1-style rendering of a host-order IPv4 address.
+[[nodiscard]] std::string format_ipv4(std::uint32_t addr);
+
+/// "192.0.2.1/24"-style rendering; prefix_len in [0, 32].
+[[nodiscard]] std::string format_ipv4_prefix(std::uint32_t addr,
+                                             unsigned prefix_len);
+
+/// aa:bb:cc:dd:ee:ff rendering of the low 48 bits.
+[[nodiscard]] std::string format_mac(std::uint64_t mac);
+
+/// Parses dotted-quad IPv4 into host order.
+[[nodiscard]] Result<std::uint32_t> parse_ipv4(std::string_view text);
+
+/// Convenience for building addresses in code: ipv4(192, 0, 2, 1).
+[[nodiscard]] constexpr std::uint32_t ipv4(unsigned a, unsigned b, unsigned c,
+                                           unsigned d) noexcept {
+  return (a << 24) | (b << 16) | (c << 8) | d;
+}
+
+/// Fixed-precision decimal rendering (e.g. format_double(1.5, 2) == "1.50").
+[[nodiscard]] std::string format_double(double v, int precision);
+
+}  // namespace maton

@@ -1,0 +1,139 @@
+#include "util/quantile.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace maton {
+
+P2Quantile::P2Quantile(double q) : q_(q) {
+  expects(q > 0.0 && q < 1.0, "P2Quantile: q must be in (0, 1)");
+  increments_ = {0.0, q_ / 2.0, q_, (1.0 + q_) / 2.0, 1.0};
+}
+
+void P2Quantile::add(double sample) {
+  if (count_ < 5) {
+    insert_initial(sample);
+    return;
+  }
+
+  // Find the cell the sample falls into and bump marker 0/4 if the sample
+  // extends the observed range.
+  int k;
+  if (sample < heights_[0]) {
+    heights_[0] = sample;
+    k = 0;
+  } else if (sample >= heights_[4]) {
+    heights_[4] = sample;
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && sample >= heights_[k + 1]) ++k;
+  }
+
+  for (int i = k + 1; i < 5; ++i) positions_[i] += 1.0;
+  for (int i = 0; i < 5; ++i) desired_[i] += increments_[i];
+  ++count_;
+
+  adjust_markers();
+}
+
+void P2Quantile::insert_initial(double sample) {
+  heights_[count_] = sample;
+  ++count_;
+  if (count_ == 5) {
+    std::sort(heights_.begin(), heights_.end());
+    for (int i = 0; i < 5; ++i) positions_[i] = i + 1;
+    desired_ = {1.0, 1.0 + 2.0 * q_, 1.0 + 4.0 * q_, 3.0 + 2.0 * q_, 5.0};
+  }
+}
+
+void P2Quantile::adjust_markers() {
+  for (int i = 1; i <= 3; ++i) {
+    const double d = desired_[i] - positions_[i];
+    const bool up = d >= 1.0 && positions_[i + 1] - positions_[i] > 1.0;
+    const bool down = d <= -1.0 && positions_[i - 1] - positions_[i] < -1.0;
+    if (!up && !down) continue;
+
+    const double dir = up ? 1.0 : -1.0;
+    double candidate = parabolic(i, dir);
+    if (heights_[i - 1] < candidate && candidate < heights_[i + 1]) {
+      heights_[i] = candidate;
+    } else {
+      heights_[i] = linear(i, dir);
+    }
+    positions_[i] += dir;
+  }
+}
+
+double P2Quantile::parabolic(int i, double d) const {
+  const auto& n = positions_;
+  const auto& h = heights_;
+  return h[i] + d / (n[i + 1] - n[i - 1]) *
+                    ((n[i] - n[i - 1] + d) * (h[i + 1] - h[i]) /
+                         (n[i + 1] - n[i]) +
+                     (n[i + 1] - n[i] - d) * (h[i] - h[i - 1]) /
+                         (n[i] - n[i - 1]));
+}
+
+double P2Quantile::linear(int i, double d) const {
+  const int j = i + static_cast<int>(d);
+  return heights_[i] + d * (heights_[j] - heights_[i]) /
+                           (positions_[j] - positions_[i]);
+}
+
+double P2Quantile::estimate() const {
+  expects(count_ > 0, "P2Quantile::estimate with no samples");
+  if (count_ < 5) {
+    // Too few samples for the marker machinery: fall back to the exact
+    // order statistic over what we have.
+    std::array<double, 5> sorted = heights_;
+    std::sort(sorted.begin(), sorted.begin() + count_);
+    const auto rank = static_cast<std::size_t>(
+        q_ * static_cast<double>(count_ - 1) + 0.5);
+    return sorted[std::min(rank, count_ - 1)];
+  }
+  return heights_[2];
+}
+
+double ExactQuantile::quantile(double q) const {
+  expects(!samples_.empty(), "ExactQuantile::quantile with no samples");
+  expects(q >= 0.0 && q <= 1.0, "quantile must be in [0, 1]");
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  const double pos = q * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+double ExactQuantile::mean() const {
+  expects(!samples_.empty(), "ExactQuantile::mean with no samples");
+  double sum = 0.0;
+  for (double s : samples_) sum += s;
+  return sum / static_cast<double>(samples_.size());
+}
+
+void LatencyRecorder::add(double sample) {
+  if (count_ == 0 || sample < min_) min_ = sample;
+  sum_ += sample;
+  ++count_;
+  p50_.add(sample);
+  p75_.add(sample);
+  p99_.add(sample);
+}
+
+double LatencyRecorder::min() const {
+  expects(count_ > 0, "LatencyRecorder::min with no samples");
+  return min_;
+}
+
+double LatencyRecorder::mean() const {
+  expects(count_ > 0, "LatencyRecorder::mean with no samples");
+  return sum_ / static_cast<double>(count_);
+}
+
+}  // namespace maton

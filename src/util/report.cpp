@@ -1,0 +1,73 @@
+#include "util/report.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "util/contract.hpp"
+
+namespace maton {
+
+void ReportTable::set_header(std::vector<std::string> header) {
+  expects(rows_.empty(), "set_header after rows were added");
+  header_ = std::move(header);
+}
+
+void ReportTable::add_row(std::vector<std::string> row) {
+  expects(header_.empty() || row.size() == header_.size(),
+          "row width differs from header width");
+  rows_.push_back(std::move(row));
+}
+
+std::string ReportTable::to_string() const {
+  const std::size_t cols =
+      header_.empty() ? (rows_.empty() ? 0 : rows_[0].size())
+                      : header_.size();
+  std::vector<std::size_t> width(cols, 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size() && c < cols; ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  };
+  if (!header_.empty()) widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  auto emit_row = [&](const std::vector<std::string>& row, std::string& out) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string{};
+      out += cell;
+      if (c + 1 < cols) out.append(width[c] - cell.size() + 2, ' ');
+    }
+    out += '\n';
+  };
+
+  std::string out = "== " + title_ + " ==\n";
+  if (!header_.empty()) {
+    emit_row(header_, out);
+    std::size_t rule = 0;
+    for (std::size_t c = 0; c < cols; ++c) rule += width[c] + (c + 1 < cols ? 2 : 0);
+    out.append(rule, '-');
+    out += '\n';
+  }
+  for (const auto& r : rows_) emit_row(r, out);
+  return out;
+}
+
+std::string ReportTable::to_csv() const {
+  auto emit = [](const std::vector<std::string>& row, std::string& out) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) out += ',';
+      out += row[c];
+    }
+    out += '\n';
+  };
+  std::string out;
+  if (!header_.empty()) emit(header_, out);
+  for (const auto& r : rows_) emit(r, out);
+  return out;
+}
+
+void ReportTable::print(std::ostream& os) const {
+  os << to_string() << '\n';
+}
+
+}  // namespace maton

@@ -1,0 +1,40 @@
+// Plain-text report tables for the benchmark harness.
+//
+// Each bench binary regenerates one table or figure from the paper and
+// prints it in a stable, diff-friendly ASCII layout (plus optional CSV for
+// plotting), so EXPERIMENTS.md can quote paper-vs-measured side by side.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace maton {
+
+/// Column-aligned ASCII table with a title, built row by row.
+class ReportTable {
+ public:
+  explicit ReportTable(std::string title) : title_(std::move(title)) {}
+
+  /// Sets the header row; call before add_row.
+  void set_header(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Renders with a title line, a header rule, and aligned columns.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Comma-separated rendering (header + rows) for plotting scripts.
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Prints to_string() to the stream followed by a blank line.
+  void print(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace maton

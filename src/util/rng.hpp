@@ -1,0 +1,53 @@
+// Deterministic pseudo-random source for workload generation and
+// property-based tests. All randomness in the library flows through Rng so
+// every experiment is reproducible from a seed.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "util/contract.hpp"
+
+namespace maton {
+
+/// Seeded Mersenne-Twister wrapper with the handful of draw shapes the
+/// workload generators need.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive; requires lo <= hi.
+  [[nodiscard]] std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi) {
+    expects(lo <= hi, "uniform: empty range");
+    return std::uniform_int_distribution<std::uint64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [0, n); requires n > 0.
+  [[nodiscard]] std::size_t index(std::size_t n) {
+    expects(n > 0, "index: empty range");
+    return static_cast<std::size_t>(uniform(0, n - 1));
+  }
+
+  /// Uniform real in [0, 1).
+  [[nodiscard]] double real() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// Bernoulli draw with probability p of true.
+  [[nodiscard]] bool chance(double p) { return real() < p; }
+
+  /// Exponentially distributed inter-arrival time with the given rate
+  /// (events per unit time); requires rate > 0.
+  [[nodiscard]] double exponential(double rate) {
+    expects(rate > 0.0, "exponential: rate must be positive");
+    return std::exponential_distribution<double>(rate)(engine_);
+  }
+
+  /// Underlying engine, for std::shuffle and distributions not wrapped here.
+  [[nodiscard]] std::mt19937_64& engine() noexcept { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace maton

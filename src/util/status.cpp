@@ -1,0 +1,27 @@
+#include "util/status.hpp"
+
+namespace maton {
+
+std::string_view to_string(StatusCode code) noexcept {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kInvalidArgument: return "invalid-argument";
+    case StatusCode::kFailedPrecondition: return "failed-precondition";
+    case StatusCode::kNotFound: return "not-found";
+    case StatusCode::kAlreadyExists: return "already-exists";
+    case StatusCode::kUnimplemented: return "unimplemented";
+    case StatusCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::to_string() const {
+  std::string out{maton::to_string(code_)};
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace maton

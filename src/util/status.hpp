@@ -1,0 +1,125 @@
+// Lightweight status / expected-value types for recoverable errors.
+//
+// The library reports recoverable conditions (e.g. "this decomposition is
+// invalid because the resulting sub-table would violate 1NF") through
+// Status and Result<T> rather than exceptions, so callers can branch on
+// the outcome without control-flow surprises.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+#include "util/contract.hpp"
+
+namespace maton {
+
+/// Machine-readable category of a recoverable error.
+enum class StatusCode {
+  kOk,
+  kInvalidArgument,   // malformed input (bad schema, unknown attribute, ...)
+  kFailedPrecondition,// operation undefined for this input (not in 1NF, ...)
+  kNotFound,          // lookup missed
+  kAlreadyExists,     // duplicate insertion
+  kUnimplemented,     // feature intentionally out of scope
+  kInternal,          // invariant broke mid-operation (library bug)
+};
+
+/// Human-readable name of a StatusCode ("ok", "invalid-argument", ...).
+[[nodiscard]] std::string_view to_string(StatusCode code) noexcept;
+
+/// Outcome of an operation that produces no value: either OK or an error
+/// code plus message. Cheap to copy in the OK case.
+class [[nodiscard]] Status {
+ public:
+  /// Constructs an OK status.
+  Status() noexcept = default;
+
+  /// Constructs an error status. `code` must not be kOk.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    expects(code != StatusCode::kOk, "error Status must carry an error code");
+  }
+
+  [[nodiscard]] static Status ok() noexcept { return Status(); }
+
+  [[nodiscard]] bool is_ok() const noexcept { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const noexcept { return code_; }
+  [[nodiscard]] const std::string& message() const noexcept { return message_; }
+
+  /// Full "code: message" rendering for logs and test failures.
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Status& a, const Status& b) noexcept {
+    return a.code_ == b.code_;  // messages are advisory
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+[[nodiscard]] inline Status invalid_argument(std::string message) {
+  return {StatusCode::kInvalidArgument, std::move(message)};
+}
+[[nodiscard]] inline Status failed_precondition(std::string message) {
+  return {StatusCode::kFailedPrecondition, std::move(message)};
+}
+[[nodiscard]] inline Status not_found(std::string message) {
+  return {StatusCode::kNotFound, std::move(message)};
+}
+[[nodiscard]] inline Status already_exists(std::string message) {
+  return {StatusCode::kAlreadyExists, std::move(message)};
+}
+[[nodiscard]] inline Status unimplemented(std::string message) {
+  return {StatusCode::kUnimplemented, std::move(message)};
+}
+[[nodiscard]] inline Status internal_error(std::string message) {
+  return {StatusCode::kInternal, std::move(message)};
+}
+
+/// Either a value of type T or an error Status. Accessing the value of an
+/// error Result is a contract violation.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : state_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : state_(std::move(status)) {  // NOLINT
+    expects(!std::get<Status>(state_).is_ok(),
+            "Result error must carry a non-OK status");
+  }
+
+  [[nodiscard]] bool is_ok() const noexcept {
+    return std::holds_alternative<T>(state_);
+  }
+
+  [[nodiscard]] Status status() const {
+    if (is_ok()) return Status::ok();
+    return std::get<Status>(state_);
+  }
+
+  [[nodiscard]] const T& value() const& {
+    expects(is_ok(), "Result::value() on error result");
+    return std::get<T>(state_);
+  }
+  [[nodiscard]] T& value() & {
+    expects(is_ok(), "Result::value() on error result");
+    return std::get<T>(state_);
+  }
+  [[nodiscard]] T&& value() && {
+    expects(is_ok(), "Result::value() on error result");
+    return std::get<T>(std::move(state_));
+  }
+
+  /// Returns the contained value or `fallback` when this holds an error.
+  [[nodiscard]] T value_or(T fallback) const& {
+    return is_ok() ? std::get<T>(state_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> state_;
+};
+
+}  // namespace maton

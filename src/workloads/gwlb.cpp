@@ -1,0 +1,214 @@
+#include "workloads/gwlb.hpp"
+
+#include <bit>
+#include <set>
+
+#include "util/contract.hpp"
+#include "util/format.hpp"
+#include "util/rng.hpp"
+
+namespace maton::workloads {
+
+using core::AttrKind;
+using core::Schema;
+using core::Table;
+using core::Value;
+using core::ValueCodec;
+
+namespace {
+
+Schema universal_schema() {
+  Schema schema;
+  schema.add_match("ip_src", ValueCodec::kIpv4Prefix, 32);
+  schema.add_match("ip_dst", ValueCodec::kIpv4, 32);
+  schema.add_match("tcp_dst", ValueCodec::kPort, 16);
+  schema.add_action("out", ValueCodec::kPort, 16);
+  return schema;
+}
+
+/// Packs an IPv4 prefix into the exact-match token the core layer uses.
+constexpr Value prefix_token(std::uint32_t addr, unsigned len) {
+  return (static_cast<Value>(addr) << 8) | len;
+}
+
+Gwlb assemble(std::vector<GwlbService> services) {
+  Gwlb gwlb;
+  gwlb.services = std::move(services);
+  gwlb.universal = Table("gwlb.universal", universal_schema());
+  for (const GwlbService& svc : gwlb.services) {
+    for (std::size_t b = 0; b < svc.src_prefixes.size(); ++b) {
+      gwlb.universal.add_row({svc.src_prefixes[b], svc.vip, svc.port,
+                              svc.backends[b]});
+    }
+  }
+  gwlb.model_fds.add(core::AttrSet::single(kGwlbIpDst),
+                     core::AttrSet::single(kGwlbTcpDst));
+  return gwlb;
+}
+
+}  // namespace
+
+Gwlb make_gwlb(const GwlbConfig& config) {
+  expects(config.num_services > 0, "gwlb needs at least one service");
+  expects(config.num_backends > 0 &&
+              std::has_single_bit(config.num_backends),
+          "gwlb backend count must be a power of two");
+
+  Rng rng(config.seed);
+  const unsigned split_len =
+      static_cast<unsigned>(std::countr_zero(config.num_backends));
+
+  std::set<std::uint32_t> used_vips;
+  std::vector<GwlbService> services;
+  services.reserve(config.num_services);
+  std::uint64_t next_vm = 1;
+  for (std::size_t s = 0; s < config.num_services; ++s) {
+    GwlbService svc;
+    // Unique public VIP in 198.18.0.0/15 (benchmark address space).
+    do {
+      svc.vip = ipv4(198, 18, static_cast<unsigned>(rng.uniform(0, 255)),
+                     static_cast<unsigned>(rng.uniform(1, 254)));
+    } while (!used_vips.insert(svc.vip).second);
+    svc.port = static_cast<std::uint16_t>(rng.uniform(1, 65535));
+
+    for (std::size_t b = 0; b < config.num_backends; ++b) {
+      const std::uint32_t base =
+          split_len == 0
+              ? 0
+              : static_cast<std::uint32_t>(b) << (32 - split_len);
+      svc.src_prefixes.push_back(prefix_token(base, split_len));
+      svc.backends.push_back(next_vm++);
+    }
+    services.push_back(std::move(svc));
+  }
+  return assemble(std::move(services));
+}
+
+Gwlb make_paper_example() {
+  std::vector<GwlbService> services(3);
+
+  // Tenant 1: web service at 192.0.2.1:80, two equal backends.
+  services[0].vip = ipv4(192, 0, 2, 1);
+  services[0].port = 80;
+  services[0].src_prefixes = {prefix_token(0x00000000, 1),
+                              prefix_token(0x80000000, 1)};
+  services[0].backends = {1, 2};  // vm1, vm2
+
+  // Tenant 2: HTTPS at 192.0.2.2:443, three backends in proportion 1:1:2.
+  services[1].vip = ipv4(192, 0, 2, 2);
+  services[1].port = 443;
+  services[1].src_prefixes = {prefix_token(0x00000000, 2),
+                              prefix_token(0x40000000, 2),
+                              prefix_token(0x80000000, 1)};
+  services[1].backends = {3, 4, 5};  // vm3, vm4, vm5
+
+  // Tenant 3: SSH at 192.0.2.3:22, a single backend (no split).
+  services[2].vip = ipv4(192, 0, 2, 3);
+  services[2].port = 22;
+  services[2].src_prefixes = {prefix_token(0x00000000, 0)};
+  services[2].backends = {6};  // vm6
+
+  return assemble(std::move(services));
+}
+
+core::Pipeline gwlb_goto_pipeline(const Gwlb& gwlb) {
+  core::Pipeline pipeline;
+
+  Schema service_schema;
+  service_schema.add_match("ip_dst", ValueCodec::kIpv4, 32);
+  service_schema.add_match("tcp_dst", ValueCodec::kPort, 16);
+  Table t0("gwlb.services", std::move(service_schema));
+  const std::size_t first = pipeline.add_stage({std::move(t0), {}, {}});
+
+  // Removed services (no backends) keep their (empty, unreachable) LB
+  // table so stage indices stay stable across control-plane updates, but
+  // get no service entry.
+  std::vector<std::size_t> targets;
+  for (std::size_t s = 0; s < gwlb.services.size(); ++s) {
+    const GwlbService& svc = gwlb.services[s];
+    Schema lb_schema;
+    lb_schema.add_match("ip_src", ValueCodec::kIpv4Prefix, 32);
+    lb_schema.add_action("out", ValueCodec::kPort, 16);
+    Table lb("gwlb.lb" + std::to_string(s), std::move(lb_schema));
+    for (std::size_t b = 0; b < svc.src_prefixes.size(); ++b) {
+      lb.add_row({svc.src_prefixes[b], svc.backends[b]});
+    }
+    const std::size_t stage = pipeline.add_stage({std::move(lb), {}, {}});
+    if (!svc.src_prefixes.empty()) {
+      pipeline.stage(first).table.add_row({svc.vip, svc.port});
+      targets.push_back(stage);
+    }
+  }
+  pipeline.stage(first).goto_targets = std::move(targets);
+  pipeline.set_entry(first);
+  return pipeline;
+}
+
+core::Pipeline gwlb_metadata_pipeline(const Gwlb& gwlb) {
+  core::Pipeline pipeline;
+
+  Schema service_schema;
+  service_schema.add_match("ip_dst", ValueCodec::kIpv4, 32);
+  service_schema.add_match("tcp_dst", ValueCodec::kPort, 16);
+  service_schema.add_action("meta.tenant", ValueCodec::kPlain, 16);
+  Table t0("gwlb.services", std::move(service_schema));
+  for (std::size_t s = 0; s < gwlb.services.size(); ++s) {
+    if (gwlb.services[s].src_prefixes.empty()) continue;  // removed
+    t0.add_row({gwlb.services[s].vip, gwlb.services[s].port,
+                static_cast<Value>(s)});
+  }
+
+  Schema lb_schema;
+  lb_schema.add_match("meta.tenant", ValueCodec::kPlain, 16);
+  lb_schema.add_match("ip_src", ValueCodec::kIpv4Prefix, 32);
+  lb_schema.add_action("out", ValueCodec::kPort, 16);
+  Table t1("gwlb.lb", std::move(lb_schema));
+  for (std::size_t s = 0; s < gwlb.services.size(); ++s) {
+    const GwlbService& svc = gwlb.services[s];
+    for (std::size_t b = 0; b < svc.src_prefixes.size(); ++b) {
+      t1.add_row({static_cast<Value>(s), svc.src_prefixes[b],
+                  svc.backends[b]});
+    }
+  }
+
+  const std::size_t first = pipeline.add_stage({std::move(t0), {}, {}});
+  const std::size_t second = pipeline.add_stage({std::move(t1), {}, {}});
+  pipeline.stage(first).next = second;
+  pipeline.set_entry(first);
+  return pipeline;
+}
+
+core::Pipeline gwlb_rematch_pipeline(const Gwlb& gwlb) {
+  core::Pipeline pipeline;
+
+  Schema service_schema;
+  service_schema.add_match("ip_dst", ValueCodec::kIpv4, 32);
+  service_schema.add_match("tcp_dst", ValueCodec::kPort, 16);
+  Table t0("gwlb.services", std::move(service_schema));
+  for (const GwlbService& svc : gwlb.services) {
+    if (svc.src_prefixes.empty()) continue;  // removed service
+    t0.add_row({svc.vip, svc.port});
+  }
+
+  Schema lb_schema;
+  lb_schema.add_match("ip_src", ValueCodec::kIpv4Prefix, 32);
+  lb_schema.add_match("ip_dst", ValueCodec::kIpv4, 32);
+  Table t1("gwlb.lb", [&] {
+    Schema s = lb_schema;
+    s.add_action("out", ValueCodec::kPort, 16);
+    return s;
+  }());
+  for (const GwlbService& svc : gwlb.services) {
+    for (std::size_t b = 0; b < svc.src_prefixes.size(); ++b) {
+      t1.add_row({svc.src_prefixes[b], svc.vip, svc.backends[b]});
+    }
+  }
+
+  const std::size_t first = pipeline.add_stage({std::move(t0), {}, {}});
+  const std::size_t second = pipeline.add_stage({std::move(t1), {}, {}});
+  pipeline.stage(first).next = second;
+  pipeline.set_entry(first);
+  return pipeline;
+}
+
+}  // namespace maton::workloads

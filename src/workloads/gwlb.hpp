@@ -1,0 +1,73 @@
+// The cloud access-gateway & load-balancer workload of Fig. 1 (§2) and of
+// the evaluation (§5: N = 20 random services, M = 8 backends each).
+//
+// Routes tenants' services, addressed by public VIP:port pairs, to the
+// backend VMs running the workload; load is split across backends by
+// disjoint source-IP prefixes. Emits the universal single-table
+// representation plus the three hand-built decompositions of Fig. 1b–d,
+// and the model-level dependency set (ip_dst → tcp_dst: "a service lives
+// on exactly one port of its VIP").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/fd.hpp"
+#include "core/pipeline.hpp"
+#include "core/table.hpp"
+
+namespace maton::workloads {
+
+struct GwlbConfig {
+  std::size_t num_services = 20;
+  /// Backends per service; must be a power of two (equal-weight split by
+  /// source prefixes of length log2(M)).
+  std::size_t num_backends = 8;
+  std::uint64_t seed = 1;
+};
+
+/// One tenant service: a VIP:port pair load-balanced over backends.
+struct GwlbService {
+  std::uint32_t vip = 0;
+  std::uint16_t port = 0;
+  /// Source-prefix tokens ((addr << 8) | prefix_len) splitting the load.
+  std::vector<std::uint64_t> src_prefixes;
+  /// Output port (VM) per backend, parallel to src_prefixes.
+  std::vector<std::uint64_t> backends;
+};
+
+struct Gwlb {
+  std::vector<GwlbService> services;
+  /// Fig. 1a: the universal table over (ip_src, ip_dst, tcp_dst | out).
+  core::Table universal;
+  /// Model dependency: ip_dst → tcp_dst (each VIP hosts one service).
+  core::FdSet model_fds;
+};
+
+/// Column order of the universal gwlb table.
+inline constexpr std::size_t kGwlbIpSrc = 0;
+inline constexpr std::size_t kGwlbIpDst = 1;
+inline constexpr std::size_t kGwlbTcpDst = 2;
+inline constexpr std::size_t kGwlbOut = 3;
+
+/// Randomized instance with the given shape (§5 uses 20 services × 8
+/// backends).
+[[nodiscard]] Gwlb make_gwlb(const GwlbConfig& config);
+
+/// The exact six-entry instance of Fig. 1a: three tenants at
+/// 192.0.2.1:80, 192.0.2.2:443 and 192.0.2.3:22 with 2, 3 (weights
+/// 1:1:2) and 1 backends.
+[[nodiscard]] Gwlb make_paper_example();
+
+/// Fig. 1b: first stage matches (ip_dst, tcp_dst) and jumps to a
+/// per-service load-balancer table via goto_table.
+[[nodiscard]] core::Pipeline gwlb_goto_pipeline(const Gwlb& gwlb);
+
+/// Fig. 1c: the service stage writes an opaque tenant tag (meta.tenant);
+/// a single second stage matches the tag plus ip_src.
+[[nodiscard]] core::Pipeline gwlb_metadata_pipeline(const Gwlb& gwlb);
+
+/// Fig. 1d: the second stage simply re-matches ip_dst next to ip_src.
+[[nodiscard]] core::Pipeline gwlb_rematch_pipeline(const Gwlb& gwlb);
+
+}  // namespace maton::workloads

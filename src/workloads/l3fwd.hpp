@@ -1,0 +1,55 @@
+// The L3 forwarding pipeline of Fig. 2 (§3, "Third normal form").
+//
+// A classic single-table IP router: check eth_type, longest-prefix match
+// on ip_dst, then decrement TTL, rewrite source/destination MACs and
+// forward. Redundancy structure:
+//   * eth_type and mod_ttl are constant → factor out (Cartesian product);
+//   * mod_dmac → (mod_ttl, mod_smac, out): several prefixes share a
+//     next-hop (violates 2NF; decomposition reproduces the OpenFlow
+//     group-table / OS neighbor-table shape);
+//   * out → mod_smac: groups on the same port share the source MAC
+//     (transitive dependency, violates 3NF).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/fd.hpp"
+#include "core/pipeline.hpp"
+#include "core/table.hpp"
+
+namespace maton::workloads {
+
+struct L3Config {
+  std::size_t num_prefixes = 32;
+  /// Distinct next-hops (each with its own destination MAC).
+  std::size_t num_nexthops = 8;
+  /// Physical ports; each next-hop hangs off one port, each port has one
+  /// source MAC. Must be <= num_nexthops.
+  std::size_t num_ports = 4;
+  std::uint64_t seed = 2;
+};
+
+struct L3Fwd {
+  /// Fig. 2a: (eth_type, ip_dst | mod_ttl, mod_smac, mod_dmac, out).
+  core::Table universal;
+  /// Model dependencies: mod_dmac → (mod_ttl, mod_smac, out) and
+  /// out → mod_smac (plus ip_dst → everything).
+  core::FdSet model_fds;
+};
+
+/// Column order of the universal L3 table.
+inline constexpr std::size_t kL3EthType = 0;
+inline constexpr std::size_t kL3IpDst = 1;
+inline constexpr std::size_t kL3ModTtl = 2;
+inline constexpr std::size_t kL3ModSmac = 3;
+inline constexpr std::size_t kL3ModDmac = 4;
+inline constexpr std::size_t kL3Out = 5;
+
+[[nodiscard]] L3Fwd make_l3fwd(const L3Config& config);
+
+/// The exact Fig. 2a flavour: four prefixes P1–P4, next-hops D1–D3 with
+/// P1, P4 → D1; D1, D2 on port 1 (same source MAC), D3 on port 2.
+[[nodiscard]] L3Fwd make_paper_l3_example();
+
+}  // namespace maton::workloads

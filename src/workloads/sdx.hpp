@@ -1,0 +1,48 @@
+// The Software-Defined Internet eXchange use case of the appendix
+// (Fig. 5): redundancy *beyond* the third normal form.
+//
+// Member A receives prefixes P1, P2; member C announces P1 only, member
+// D announces both. A's outbound policy prefers C for HTTP traffic to
+// prefixes C actually announces; C's inbound policy balances across its
+// two edge routers C1, C2; everything else follows BGP ranking (D wins).
+//
+// The natural three-way split into announcement / outbound / inbound
+// tables is a *join dependency* (4NF/5NF territory), not derivable from
+// functional dependencies — and the naive pipeline T_an ≫ T_out ≫ T_in is
+// incorrect because T_in is not order-independent. Communicating the
+// candidate set forward in an explicit metadata field (the "all" field of
+// Fig. 5c, generalized in MacDavid et al.) repairs it; this module builds
+// both the broken and the repaired pipelines so tests and benches can
+// demonstrate the phenomenon.
+#pragma once
+
+#include "core/pipeline.hpp"
+#include "core/table.hpp"
+
+namespace maton::workloads {
+
+/// Column order of the universal SDX table.
+inline constexpr std::size_t kSdxIpDst = 0;    // destination prefix token
+inline constexpr std::size_t kSdxTcpDst = 1;   // 80 = HTTP, 0 = other
+inline constexpr std::size_t kSdxHash = 2;     // load-balancing bit
+inline constexpr std::size_t kSdxOut = 3;      // egress router
+
+/// Egress router ids.
+inline constexpr core::Value kSdxC1 = 1;
+inline constexpr core::Value kSdxC2 = 2;
+inline constexpr core::Value kSdxD = 3;
+
+struct Sdx {
+  /// The collapsed single-table policy of Fig. 5a.
+  core::Table universal;
+  /// The incorrect T_an ≫ T_out ≫ T_in pipeline (Fig. 5b chained
+  /// naively): its last table is not order-independent.
+  core::Pipeline broken;
+  /// The repaired pipeline carrying the announcement set in an explicit
+  /// metadata field (Fig. 5c).
+  core::Pipeline repaired;
+};
+
+[[nodiscard]] Sdx make_sdx_example();
+
+}  // namespace maton::workloads

@@ -1,0 +1,53 @@
+#include "workloads/traffic.hpp"
+
+#include "util/contract.hpp"
+#include "util/rng.hpp"
+
+namespace maton::workloads {
+
+namespace {
+
+dp::FrameSpec random_frame_spec(const Gwlb& gwlb, Rng& rng,
+                                double hit_fraction) {
+  dp::FrameSpec spec;
+  spec.ip_src = static_cast<std::uint32_t>(rng.uniform(0, 0xffffffffULL));
+  if (rng.chance(hit_fraction)) {
+    const GwlbService& svc = gwlb.services[rng.index(gwlb.services.size())];
+    spec.ip_dst = svc.vip;
+    spec.tcp_dst = svc.port;
+  } else {
+    spec.ip_dst = static_cast<std::uint32_t>(rng.uniform(0, 0xffffffffULL));
+    spec.tcp_dst = static_cast<std::uint16_t>(rng.uniform(0, 65535));
+  }
+  spec.tcp_src = static_cast<std::uint16_t>(rng.uniform(1024, 65535));
+  return spec;
+}
+
+}  // namespace
+
+std::vector<dp::RawPacket> make_gwlb_traffic(const Gwlb& gwlb,
+                                             const TrafficConfig& config) {
+  expects(!gwlb.services.empty(), "traffic needs at least one service");
+  Rng rng(config.seed);
+  std::vector<dp::RawPacket> packets;
+  packets.reserve(config.num_packets);
+  for (std::size_t i = 0; i < config.num_packets; ++i) {
+    packets.push_back(
+        dp::build_frame(random_frame_spec(gwlb, rng, config.hit_fraction)));
+  }
+  return packets;
+}
+
+std::vector<dp::FlowKey> make_gwlb_keys(const Gwlb& gwlb,
+                                        const TrafficConfig& config) {
+  std::vector<dp::FlowKey> keys;
+  keys.reserve(config.num_packets);
+  for (const dp::RawPacket& packet : make_gwlb_traffic(gwlb, config)) {
+    const auto key = dp::parse(packet);
+    ensures(key.has_value(), "generated frame failed to parse");
+    keys.push_back(*key);
+  }
+  return keys;
+}
+
+}  // namespace maton::workloads

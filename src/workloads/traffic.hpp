@@ -1,0 +1,29 @@
+// Traffic generation for the data-plane benchmarks: 64-byte TCP frames
+// aimed at the gwlb services (the §5 measurement workload).
+#pragma once
+
+#include <vector>
+
+#include "dataplane/packet.hpp"
+#include "workloads/gwlb.hpp"
+
+namespace maton::workloads {
+
+struct TrafficConfig {
+  std::size_t num_packets = 4096;
+  /// Fraction of packets addressed to a live service (the rest miss).
+  double hit_fraction = 1.0;
+  std::uint64_t seed = 8;
+};
+
+/// Random 64-byte frames: uniformly chosen service VIP:port, uniformly
+/// random source address (exercising all backend prefixes).
+[[nodiscard]] std::vector<dp::RawPacket> make_gwlb_traffic(
+    const Gwlb& gwlb, const TrafficConfig& config);
+
+/// Pre-parsed flow keys for the same distribution (skips per-packet
+/// parsing when a benchmark wants to isolate classification cost).
+[[nodiscard]] std::vector<dp::FlowKey> make_gwlb_keys(
+    const Gwlb& gwlb, const TrafficConfig& config);
+
+}  // namespace maton::workloads

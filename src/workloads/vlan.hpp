@@ -1,0 +1,23 @@
+// The VLAN table of Fig. 3 (§4): the canonical example of an
+// action → match dependency (out → vlan) whose naive decomposition
+// produces sub-tables that violate 1NF and must therefore be rejected.
+#pragma once
+
+#include "core/fd.hpp"
+#include "core/table.hpp"
+
+namespace maton::workloads {
+
+/// Column order of the Fig. 3 table.
+inline constexpr std::size_t kVlanInPort = 0;
+inline constexpr std::size_t kVlanVlan = 1;
+inline constexpr std::size_t kVlanOut = 2;
+
+/// Fig. 3a verbatim: rows (in_port, vlan | out) =
+/// (1,1|1), (1,2|2), (2,1|1), (3,1|3). The dependency out → vlan holds.
+[[nodiscard]] core::Table make_vlan_example();
+
+/// The out → vlan dependency of Fig. 3.
+[[nodiscard]] core::Fd vlan_action_to_match_fd();
+
+}  // namespace maton::workloads

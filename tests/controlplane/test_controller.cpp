@@ -1,0 +1,122 @@
+#include "controlplane/controller.hpp"
+
+#include <gtest/gtest.h>
+
+#include "controlplane/churn.hpp"
+
+namespace maton::cp {
+namespace {
+
+TEST(Controller, AccountsUpdatesAndInconsistencyWindow) {
+  const auto gwlb =
+      workloads::make_gwlb({.num_services = 4, .num_backends = 4});
+  auto sw = dp::make_eswitch_model();
+  Controller controller(
+      std::make_unique<GwlbBinding>(gwlb, Representation::kUniversal), *sw);
+
+  const auto n =
+      controller.apply(MoveServicePort{.service = 0, .new_port = 4040});
+  ASSERT_TRUE(n.is_ok());
+  EXPECT_EQ(n.value(), 4u);
+  EXPECT_EQ(controller.stats().intents_applied, 1u);
+  EXPECT_EQ(controller.stats().rule_updates_issued, 4u);
+  EXPECT_EQ(controller.stats().inconsistency_window, 3u);
+
+  // The normalized representation applies the same intent atomically.
+  auto sw2 = dp::make_eswitch_model();
+  Controller normalized(
+      std::make_unique<GwlbBinding>(gwlb, Representation::kGoto), *sw2);
+  ASSERT_TRUE(
+      normalized.apply(MoveServicePort{.service = 0, .new_port = 4040})
+          .is_ok());
+  EXPECT_EQ(normalized.stats().inconsistency_window, 0u);
+}
+
+TEST(Controller, FailedIntentIsCounted) {
+  const auto gwlb =
+      workloads::make_gwlb({.num_services = 2, .num_backends = 2});
+  auto sw = dp::make_eswitch_model();
+  Controller controller(
+      std::make_unique<GwlbBinding>(gwlb, Representation::kGoto), *sw);
+  EXPECT_FALSE(controller.apply(MoveServicePort{.service = 9}).is_ok());
+  EXPECT_EQ(controller.stats().failed_intents, 1u);
+  EXPECT_EQ(controller.stats().intents_applied, 0u);
+}
+
+TEST(Churn, RespectsRateAndDuration) {
+  const auto schedule = make_port_churn(
+      {.rate_per_second = 100.0, .duration_seconds = 2.0,
+       .num_services = 20, .seed = 1, .poisson = false});
+  // Deterministic spacing: one intent every 10 ms, ~200 total.
+  ASSERT_FALSE(schedule.empty());
+  EXPECT_NEAR(static_cast<double>(schedule.size()), 200.0, 1.0);
+  for (std::size_t i = 1; i < schedule.size(); ++i) {
+    EXPECT_GT(schedule[i].at_seconds, schedule[i - 1].at_seconds);
+    EXPECT_LT(schedule[i].at_seconds, 2.0);
+  }
+}
+
+TEST(Churn, PoissonAveragesToRate) {
+  const auto schedule = make_port_churn(
+      {.rate_per_second = 500.0, .duration_seconds = 4.0,
+       .num_services = 20, .seed = 7, .poisson = true});
+  EXPECT_NEAR(static_cast<double>(schedule.size()), 2000.0, 200.0);
+}
+
+TEST(Churn, ZeroRateYieldsEmptySchedule) {
+  EXPECT_TRUE(make_port_churn({.rate_per_second = 0.0}).empty());
+}
+
+TEST(Churn, IntentsTargetValidServices) {
+  const auto schedule =
+      make_port_churn({.rate_per_second = 200.0, .duration_seconds = 1.0,
+                       .num_services = 5, .seed = 2});
+  for (const TimedIntent& timed : schedule) {
+    const auto* move = std::get_if<MoveServicePort>(&timed.intent);
+    ASSERT_NE(move, nullptr);
+    EXPECT_LT(move->service, 5u);
+    EXPECT_GE(move->new_port, 49152u);
+  }
+}
+
+TEST(Controller, ChurnAppliesEndToEnd) {
+  // The whole Fig. 4 control loop, functionally: a burst of port moves
+  // against both representations; both switches must stay consistent
+  // with their bindings throughout.
+  const auto gwlb =
+      workloads::make_gwlb({.num_services = 8, .num_backends = 4});
+  const auto schedule =
+      make_port_churn({.rate_per_second = 50.0, .duration_seconds = 1.0,
+                       .num_services = 8, .seed = 3});
+
+  for (const Representation repr :
+       {Representation::kUniversal, Representation::kGoto}) {
+    auto sw = dp::make_eswitch_model();
+    Controller controller(std::make_unique<GwlbBinding>(gwlb, repr), *sw);
+    for (const TimedIntent& timed : schedule) {
+      ASSERT_TRUE(controller.apply(timed.intent).is_ok());
+    }
+    EXPECT_EQ(controller.stats().intents_applied, schedule.size());
+    // Universal issues ~M× the updates of the normalized form.
+    if (repr == Representation::kUniversal) {
+      EXPECT_EQ(controller.stats().rule_updates_issued,
+                schedule.size() * 4u);
+    } else {
+      EXPECT_EQ(controller.stats().rule_updates_issued, schedule.size());
+    }
+
+    // Spot-check forwarding after the churn: every service reachable on
+    // its current port.
+    for (std::size_t s = 0; s < 8; ++s) {
+      dp::FlowKey key;
+      key.set(dp::FieldId::kIpSrc, 0);
+      key.set(dp::FieldId::kIpDst, controller.binding().gwlb().services[s].vip);
+      key.set(dp::FieldId::kTcpDst,
+              controller.binding().gwlb().services[s].port);
+      EXPECT_TRUE(sw->process(key).hit) << "service " << s;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace maton::cp

@@ -1,0 +1,134 @@
+#include "core/join.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/fd_mine.hpp"
+#include "util/rng.hpp"
+#include "workloads/gwlb.hpp"
+
+namespace maton::core {
+namespace {
+
+Table make(std::initializer_list<const char*> match,
+           std::initializer_list<const char*> action,
+           std::initializer_list<Row> rows) {
+  Schema s;
+  for (const char* m : match) s.add_match(m);
+  for (const char* a : action) s.add_action(a);
+  Table t("t", std::move(s));
+  for (const Row& r : rows) t.add_row(r);
+  return t;
+}
+
+TEST(NaturalJoin, JoinsOnSharedNames) {
+  const Table left = make({"a"}, {"b"}, {{1, 10}, {2, 20}});
+  const Table right = make({"b"}, {"c"}, {{10, 100}, {10, 101}, {30, 300}});
+  const Table joined = natural_join(left, right);
+  // (1,10) pairs with both b=10 rows; (2,20) matches nothing.
+  EXPECT_EQ(joined.num_cols(), 3u);
+  EXPECT_EQ(joined.num_rows(), 2u);
+  EXPECT_EQ(joined.at(0, 0), 1u);
+  EXPECT_EQ(joined.at(0, 2), 100u);
+  EXPECT_EQ(joined.at(1, 2), 101u);
+}
+
+TEST(NaturalJoin, NoSharedNamesIsCartesianProduct) {
+  const Table left = make({"a"}, {}, {{1}, {2}});
+  const Table right = make({"b"}, {}, {{10}, {20}, {30}});
+  const Table joined = natural_join(left, right);
+  EXPECT_EQ(joined.num_rows(), 6u);
+  EXPECT_EQ(joined.num_cols(), 2u);
+}
+
+TEST(NaturalJoin, AllSharedIsIntersection) {
+  const Table left = make({"a", "b"}, {}, {{1, 2}, {3, 4}});
+  const Table right = make({"a", "b"}, {}, {{1, 2}, {5, 6}});
+  const Table joined = natural_join(left, right);
+  EXPECT_EQ(joined.num_rows(), 1u);
+  EXPECT_EQ(joined.num_cols(), 2u);
+}
+
+TEST(SameRelation, DetectsEqualityUpToOrder) {
+  const Table a = make({"a"}, {"b"}, {{1, 10}, {2, 20}});
+  const Table b = make({"a"}, {"b"}, {{2, 20}, {1, 10}});
+  EXPECT_TRUE(same_relation(a, b));
+  const Table c = make({"a"}, {"b"}, {{1, 10}, {2, 21}});
+  EXPECT_FALSE(same_relation(a, c));
+  const Table d = make({"a"}, {"b"}, {{1, 10}});
+  EXPECT_FALSE(same_relation(a, d));
+  // Duplicate multiplicity matters.
+  const Table e = make({"a"}, {"b"}, {{1, 10}, {1, 10}});
+  const Table f = make({"a"}, {"b"}, {{1, 10}, {2, 20}});
+  EXPECT_FALSE(same_relation(e, f));
+}
+
+TEST(HeathSplit, ProjectsBothSides) {
+  const auto gwlb = workloads::make_paper_example();
+  const Fd fd{AttrSet::single(workloads::kGwlbIpDst),
+              AttrSet::single(workloads::kGwlbTcpDst)};
+  const HeathSplit split = heath_split(gwlb.universal, fd);
+  EXPECT_EQ(split.t_xy.num_cols(), 2u);  // (ip_dst, tcp_dst), dedup'd
+  EXPECT_EQ(split.t_xy.num_rows(), 3u);  // one per service
+  EXPECT_EQ(split.t_xz.num_cols(), 3u);  // (ip_src, ip_dst, out)
+  EXPECT_EQ(split.t_xz.num_rows(), 6u);
+}
+
+TEST(HeathTheorem, LosslessIffFdHolds) {
+  // The paper's Heath citation, checked on the Fig. 1 instance:
+  // ip_dst → tcp_dst holds → lossless; tcp_dst → out doesn't → lossy.
+  const auto gwlb = workloads::make_paper_example();
+  const Fd holds{AttrSet::single(workloads::kGwlbIpDst),
+                 AttrSet::single(workloads::kGwlbTcpDst)};
+  ASSERT_TRUE(fd_holds(gwlb.universal, holds));
+  EXPECT_TRUE(is_lossless_split(gwlb.universal, holds));
+
+  const Fd breaks{AttrSet::single(workloads::kGwlbTcpDst),
+                  AttrSet::single(workloads::kGwlbOut)};
+  ASSERT_FALSE(fd_holds(gwlb.universal, breaks));
+  EXPECT_FALSE(is_lossless_split(gwlb.universal, breaks));
+}
+
+// Property: over random tables and random candidate dependencies,
+// is_lossless_split(T, fd) == fd_holds(T, fd) — Heath's theorem, both
+// directions.
+class HeathProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HeathProperty, LosslessnessCoincidesWithDependency) {
+  Rng rng(GetParam());
+  const std::size_t cols = 3 + rng.index(3);
+  Schema schema;
+  for (std::size_t c = 0; c < cols; ++c) {
+    schema.add_match("f" + std::to_string(c));
+  }
+  Table t("rand", std::move(schema));
+  const std::size_t rows = 2 + rng.index(20);
+  for (std::size_t r = 0; r < rows; ++r) {
+    Row row;
+    for (std::size_t c = 0; c < cols; ++c) row.push_back(rng.uniform(0, 3));
+    t.add_row(std::move(row));
+  }
+
+  for (int trial = 0; trial < 12; ++trial) {
+    AttrSet lhs;
+    lhs.insert(rng.index(cols));
+    if (rng.chance(0.4)) lhs.insert(rng.index(cols));
+    AttrSet rhs;
+    rhs.insert(rng.index(cols));
+    rhs -= lhs;
+    if (rhs.empty()) continue;
+    const Fd fd{lhs, rhs};
+    // Full binary-decomposition criterion: R_XY ⋈ R_XZ is lossless iff
+    // X → Y or X → Z holds (Heath's statement is the X → Y direction).
+    const AttrSet z = (t.schema().all() - lhs) - rhs;
+    const bool expected = fd_holds(t, fd) || fd_holds(t, {lhs, z});
+    EXPECT_EQ(is_lossless_split(t, fd), expected)
+        << to_string(fd, t.schema()) << "\n"
+        << t.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, HeathProperty,
+                         ::testing::Range<std::uint64_t>(300, 330));
+
+}  // namespace
+}  // namespace maton::core

@@ -1,0 +1,247 @@
+#include "core/synthesis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/equivalence.hpp"
+#include "core/fd_mine.hpp"
+#include "util/rng.hpp"
+#include "workloads/gwlb.hpp"
+#include "workloads/l3fwd.hpp"
+#include "workloads/vlan.hpp"
+
+namespace maton::core {
+namespace {
+
+/// Every non-husk stage of the pipeline must satisfy `target` against its
+/// own instance-mined dependencies.
+void expect_stages_in_form(const Pipeline& p, NormalForm target) {
+  for (std::size_t i = 0; i < p.num_stages(); ++i) {
+    const Table& t = p.stage(i).table;
+    if (t.num_cols() == 0) continue;  // spliced husk
+    const NfReport report = analyze(t);
+    EXPECT_GE(static_cast<int>(report.highest()), static_cast<int>(target))
+        << "stage " << i << " (" << t.name() << ") is only "
+        << to_string(report.highest()) << "\n"
+        << t.to_string();
+  }
+}
+
+TEST(Normalize, GwlbPaperExampleInstanceFdsNeedBcnfTarget) {
+  // A subtle instance-vs-model point: in the literal Fig. 1a instance
+  // every backend VM appears exactly once, so `out` is a key and *every*
+  // attribute is prime — the instance satisfies 3NF and the redundancy
+  // only shows up as a BCNF violation (ip_dst → tcp_dst with a prime
+  // RHS). Targeting BCNF with instance-mined dependencies must therefore
+  // decompose it; 3NF leaves it alone (the model-FD test below shows the
+  // paper's intended 2NF reading).
+  const auto gwlb = workloads::make_paper_example();
+  const auto third = normalize(gwlb.universal, {.target = NormalForm::kThird});
+  ASSERT_TRUE(third.is_ok());
+  EXPECT_TRUE(third.value().trace.empty());
+
+  for (const JoinKind join :
+       {JoinKind::kGoto, JoinKind::kMetadata, JoinKind::kRematch}) {
+    const auto out = normalize(
+        gwlb.universal, {.target = NormalForm::kBoyceCodd, .join = join});
+    ASSERT_TRUE(out.is_ok()) << out.status().to_string();
+    const auto& result = out.value();
+    EXPECT_FALSE(result.trace.empty());
+    const auto eq = check_equivalence(gwlb.universal, result.pipeline);
+    EXPECT_TRUE(eq.equivalent)
+        << to_string(join) << ": " << eq.counterexample;
+  }
+}
+
+TEST(Normalize, GwlbWithModelFdsUsesOnlyModelDependencies) {
+  // Under the model (ip_dst → tcp_dst plus the match-key dependency),
+  // normalization must perform exactly the Fig. 1 decomposition and not
+  // chase accidental instance dependencies like tcp_dst → ip_dst.
+  const auto gwlb = workloads::make_paper_example();
+  FdSet model = gwlb.model_fds;
+  model.add(gwlb.universal.schema().match_set(),
+            gwlb.universal.schema().all());
+
+  const auto out = normalize(gwlb.universal,
+                             {.join = JoinKind::kGoto, .model_fds = model});
+  ASSERT_TRUE(out.is_ok()) << out.status().to_string();
+  const auto& result = out.value();
+  ASSERT_EQ(result.trace.size(), 1u);
+  EXPECT_NE(result.trace[0].description.find("ip_dst"), std::string::npos);
+  // Fig. 1b shape: one service table + one LB table per service.
+  EXPECT_EQ(result.pipeline.num_stages(), 1u + gwlb.services.size() + 1u);
+  const auto eq = check_equivalence(gwlb.universal, result.pipeline);
+  EXPECT_TRUE(eq.equivalent) << eq.counterexample;
+  // And the goto footprint matches the paper: 21 fields (the spliced
+  // husk contributes none).
+  EXPECT_EQ(result.pipeline.field_count(), 21u);
+}
+
+TEST(Normalize, L3PaperExampleFactorsConstantsAndReaches3NF) {
+  const auto l3 = workloads::make_paper_l3_example();
+  const auto out = normalize(l3.universal, {.join = JoinKind::kMetadata});
+  ASSERT_TRUE(out.is_ok()) << out.status().to_string();
+  const auto& result = out.value();
+  expect_stages_in_form(result.pipeline, NormalForm::kThird);
+  const auto eq = check_equivalence(l3.universal, result.pipeline);
+  EXPECT_TRUE(eq.equivalent) << eq.counterexample;
+
+  // The constant columns (eth_type, mod_ttl) must end up in a product
+  // stage of their own, as in Fig. 2c.
+  bool has_constant_stage = false;
+  for (std::size_t i = 0; i < result.pipeline.num_stages(); ++i) {
+    const Table& t = result.pipeline.stage(i).table;
+    if (t.num_rows() == 1 && t.num_cols() >= 1 &&
+        t.schema().find("mod_ttl").has_value()) {
+      has_constant_stage = true;
+    }
+  }
+  EXPECT_TRUE(has_constant_stage);
+}
+
+TEST(Normalize, L3WithoutConstantFactoring) {
+  const auto l3 = workloads::make_paper_l3_example();
+  const auto out = normalize(
+      l3.universal,
+      {.join = JoinKind::kMetadata, .factor_constant_columns = false});
+  ASSERT_TRUE(out.is_ok());
+  const auto eq = check_equivalence(l3.universal, out.value().pipeline);
+  EXPECT_TRUE(eq.equivalent) << eq.counterexample;
+}
+
+TEST(Normalize, VlanActionToMatchIsSkippedNotFatal) {
+  // Fig. 3: normalization must not die on the out → vlan dependency; it
+  // records the skip and leaves the table alone (or decomposes along
+  // some other legal dependency), still producing an equivalent program.
+  const Table vlan = workloads::make_vlan_example();
+  const auto out = normalize(vlan, {.join = JoinKind::kMetadata});
+  ASSERT_TRUE(out.is_ok()) << out.status().to_string();
+  const auto eq = check_equivalence(vlan, out.value().pipeline);
+  EXPECT_TRUE(eq.equivalent) << eq.counterexample;
+}
+
+TEST(Normalize, Already3NFTableIsUntouched) {
+  Schema s;
+  s.add_match("a");
+  s.add_action("x");
+  Table t("t", std::move(s));
+  t.add_row({1, 10});
+  t.add_row({2, 20});
+  const auto out = normalize(t);
+  ASSERT_TRUE(out.is_ok());
+  EXPECT_TRUE(out.value().trace.empty());
+  EXPECT_EQ(out.value().pipeline.num_stages(), 1u);
+}
+
+TEST(Normalize, RejectsNon1NFInput) {
+  Schema s;
+  s.add_match("a");
+  s.add_action("x");
+  Table t("t", std::move(s));
+  t.add_row({1, 10});
+  t.add_row({1, 20});
+  EXPECT_FALSE(normalize(t).is_ok());
+}
+
+TEST(Normalize, TargetSecondStopsEarlierThanThird) {
+  // A table with both a partial and a (post-decomposition) transitive
+  // dependency: target=2NF must apply no more steps than target=3NF.
+  const auto l3 = workloads::make_paper_l3_example();
+  const auto second =
+      normalize(l3.universal, {.target = NormalForm::kSecond});
+  const auto third = normalize(l3.universal, {.target = NormalForm::kThird});
+  ASSERT_TRUE(second.is_ok());
+  ASSERT_TRUE(third.is_ok());
+  EXPECT_LE(second.value().trace.size(), third.value().trace.size());
+  expect_stages_in_form(second.value().pipeline, NormalForm::kSecond);
+}
+
+// Property: normalization of random 1NF tables terminates, yields stages
+// in 3NF, and preserves semantics.
+class NormalizeRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(NormalizeRandom, RandomTablesNormalizeEquivalently) {
+  Rng rng(GetParam());
+  const std::size_t match_cols = 1 + rng.index(3);
+  const std::size_t action_cols = 1 + rng.index(3);
+  Schema s;
+  for (std::size_t i = 0; i < match_cols; ++i) {
+    s.add_match("m" + std::to_string(i));
+  }
+  for (std::size_t i = 0; i < action_cols; ++i) {
+    s.add_action("a" + std::to_string(i));
+  }
+  Table t("rand", std::move(s));
+  // Generate rows with unique match parts (1NF by construction).
+  std::set<std::vector<Value>> used;
+  const std::size_t rows = 2 + rng.index(14);
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::vector<Value> match_part;
+    for (std::size_t c = 0; c < match_cols; ++c) {
+      match_part.push_back(rng.uniform(0, 4));
+    }
+    if (!used.insert(match_part).second) continue;
+    Row row = match_part;
+    for (std::size_t c = 0; c < action_cols; ++c) {
+      row.push_back(rng.uniform(0, 2));
+    }
+    t.add_row(std::move(row));
+  }
+
+  for (const JoinKind join : {JoinKind::kGoto, JoinKind::kMetadata}) {
+    const auto out = normalize(t, {.join = join});
+    ASSERT_TRUE(out.is_ok()) << out.status().to_string();
+    const auto eq = check_equivalence(t, out.value().pipeline,
+                                      {.random_probes = 128});
+    EXPECT_TRUE(eq.equivalent)
+        << to_string(join) << " on\n"
+        << t.to_string() << "\n"
+        << out.value().pipeline.to_string() << "\n"
+        << eq.counterexample;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomTables, NormalizeRandom,
+                         ::testing::Range<std::uint64_t>(1000, 1030));
+
+TEST(Synthesize3NF, GroupsCoverByLhs) {
+  // a -> b, b -> c: schemas {a,b} and {b,c}; {a,b} contains the key a.
+  FdSet fds;
+  fds.add(AttrSet{0}, AttrSet{1});
+  fds.add(AttrSet{1}, AttrSet{2});
+  const auto schemas = synthesize_3nf_schemas(fds, AttrSet::full(3));
+  ASSERT_EQ(schemas.size(), 2u);
+  EXPECT_EQ(schemas[0], (AttrSet{0, 1}));
+  EXPECT_EQ(schemas[1], (AttrSet{1, 2}));
+}
+
+TEST(Synthesize3NF, AddsKeySchemaWhenMissing) {
+  // b -> c over {a,b,c}: key is {a,b}; no group contains it.
+  FdSet fds;
+  fds.add(AttrSet{1}, AttrSet{2});
+  const auto schemas = synthesize_3nf_schemas(fds, AttrSet::full(3));
+  bool has_key = false;
+  for (const AttrSet& schema : schemas) {
+    if (AttrSet({0, 1}).subset_of(schema)) has_key = true;
+  }
+  EXPECT_TRUE(has_key);
+}
+
+TEST(Synthesize3NF, NoFdsYieldsSingleUniversalSchema) {
+  const auto schemas = synthesize_3nf_schemas(FdSet{}, AttrSet::full(3));
+  ASSERT_EQ(schemas.size(), 1u);
+  EXPECT_EQ(schemas[0], AttrSet::full(3));
+}
+
+TEST(Synthesize3NF, DropsSubsumedSchemas) {
+  // a -> b and (a,b) -> c reduce: cover shrinks (a,b)->c to a->c, so one
+  // group {a,b,c} remains.
+  FdSet fds;
+  fds.add(AttrSet{0}, AttrSet{1});
+  fds.add(AttrSet{0, 1}, AttrSet{2});
+  const auto schemas = synthesize_3nf_schemas(fds, AttrSet::full(3));
+  ASSERT_EQ(schemas.size(), 1u);
+  EXPECT_EQ(schemas[0], AttrSet::full(3));
+}
+
+}  // namespace
+}  // namespace maton::core

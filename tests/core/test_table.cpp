@@ -1,0 +1,157 @@
+#include "core/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/format.hpp"
+
+namespace maton::core {
+namespace {
+
+Schema make_schema() {
+  Schema s;
+  s.add_match("a");
+  s.add_match("b");
+  s.add_action("c");
+  return s;
+}
+
+TEST(Schema, AddAndLookup) {
+  Schema s = make_schema();
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.index_of("b"), 1u);
+  EXPECT_EQ(s.find("missing"), std::nullopt);
+  EXPECT_EQ(s.at(2).kind, AttrKind::kAction);
+  EXPECT_THROW(s.add({"a", AttrKind::kMatch, ValueCodec::kPlain, 32}),
+               ContractViolation);
+  EXPECT_THROW(s.add({"", AttrKind::kMatch, ValueCodec::kPlain, 32}),
+               ContractViolation);
+}
+
+TEST(Schema, MatchAndActionSets) {
+  Schema s = make_schema();
+  EXPECT_EQ(s.match_set(), (AttrSet{0, 1}));
+  EXPECT_EQ(s.action_set(), AttrSet{2});
+  EXPECT_EQ(s.all(), (AttrSet{0, 1, 2}));
+}
+
+TEST(Schema, ProjectKeepsOrderAndReportsOrigin) {
+  Schema s = make_schema();
+  std::vector<std::size_t> old_cols;
+  Schema p = s.project(AttrSet{0, 2}, &old_cols);
+  EXPECT_EQ(p.size(), 2u);
+  EXPECT_EQ(p.at(0).name, "a");
+  EXPECT_EQ(p.at(1).name, "c");
+  EXPECT_EQ(old_cols, (std::vector<std::size_t>{0, 2}));
+}
+
+TEST(Schema, Names) {
+  Schema s = make_schema();
+  EXPECT_EQ(s.names(AttrSet{0, 2}), "a, c");
+  EXPECT_EQ(s.names(AttrSet{}), "");
+}
+
+TEST(Table, AddRowValidatesWidth) {
+  Table t("t", make_schema());
+  t.add_row({1, 2, 3});
+  EXPECT_EQ(t.num_rows(), 1u);
+  EXPECT_THROW(t.add_row({1, 2}), ContractViolation);
+  EXPECT_EQ(t.at(0, 2), 3u);
+  EXPECT_THROW((void)t.at(1, 0), ContractViolation);
+}
+
+TEST(Table, ProjectionDeduplicates) {
+  Table t("t", make_schema());
+  t.add_row({1, 10, 100});
+  t.add_row({1, 20, 100});
+  t.add_row({2, 10, 200});
+  Table p = t.project(AttrSet{0, 2});
+  EXPECT_EQ(p.num_rows(), 2u);  // (1,100) appears twice, merged
+  EXPECT_EQ(p.num_cols(), 2u);
+  EXPECT_EQ(p.at(0, 0), 1u);
+  EXPECT_EQ(p.at(0, 1), 100u);
+}
+
+TEST(Table, SelectEq) {
+  Table t("t", make_schema());
+  t.add_row({1, 10, 100});
+  t.add_row({1, 20, 200});
+  t.add_row({2, 10, 300});
+  Table s = t.select_eq(0, 1);
+  EXPECT_EQ(s.num_rows(), 2u);
+  EXPECT_EQ(s.at(1, 2), 200u);
+}
+
+TEST(Table, UniqueOnAndOrderIndependence) {
+  Table t("t", make_schema());
+  t.add_row({1, 10, 100});
+  t.add_row({1, 20, 100});
+  EXPECT_TRUE(t.is_order_independent());
+  EXPECT_TRUE(t.unique_on(AttrSet{0, 1}));
+  EXPECT_FALSE(t.unique_on(AttrSet{0}));
+  EXPECT_FALSE(t.unique_on(AttrSet{2}));  // both rows have c=100
+
+  t.add_row({1, 10, 999});  // duplicate match key
+  EXPECT_FALSE(t.is_order_independent());
+}
+
+TEST(Table, EmptyColumnSetUniqueOnlyForSingleRow) {
+  Table t("t", make_schema());
+  EXPECT_TRUE(t.unique_on(AttrSet{}));
+  t.add_row({1, 2, 3});
+  EXPECT_TRUE(t.unique_on(AttrSet{}));
+  t.add_row({4, 5, 6});
+  EXPECT_FALSE(t.unique_on(AttrSet{}));
+}
+
+TEST(Table, FindRow) {
+  Table t("t", make_schema());
+  t.add_row({1, 10, 100});
+  t.add_row({2, 20, 200});
+  const Value key[] = {2, 20};
+  EXPECT_EQ(t.find_row(AttrSet{0, 1}, key), std::optional<std::size_t>{1});
+  const Value miss[] = {2, 21};
+  EXPECT_EQ(t.find_row(AttrSet{0, 1}, miss), std::nullopt);
+  const Value single[] = {10};
+  EXPECT_EQ(t.find_row(AttrSet{1}, single), std::optional<std::size_t>{0});
+}
+
+TEST(Table, FieldCountMatchesPaperArithmetic) {
+  // §2: a table with r entries over k attributes holds r*k fields.
+  Table t("t", make_schema());
+  t.add_row({1, 10, 100});
+  t.add_row({2, 20, 200});
+  EXPECT_EQ(t.field_count(), 6u);
+}
+
+TEST(Table, DistinctCount) {
+  Table t("t", make_schema());
+  t.add_row({1, 10, 100});
+  t.add_row({1, 20, 100});
+  t.add_row({2, 10, 100});
+  EXPECT_EQ(t.distinct_count(AttrSet{0}), 2u);
+  EXPECT_EQ(t.distinct_count(AttrSet{2}), 1u);
+  EXPECT_EQ(t.distinct_count(AttrSet{0, 1}), 3u);
+}
+
+TEST(Table, FormatValueUsesCodec) {
+  Attribute ip{"ip", AttrKind::kMatch, ValueCodec::kIpv4, 32};
+  EXPECT_EQ(format_value(ip, ipv4(192, 0, 2, 1)), "192.0.2.1");
+  Attribute pfx{"p", AttrKind::kMatch, ValueCodec::kIpv4Prefix, 32};
+  EXPECT_EQ(format_value(pfx, (Value{ipv4(10, 0, 0, 0)} << 8) | 8),
+            "10.0.0.0/8");
+  Attribute mac{"m", AttrKind::kAction, ValueCodec::kMac, 48};
+  EXPECT_EQ(format_value(mac, 0x0000deadbeef0102ULL), "de:ad:be:ef:01:02");
+  Attribute plain{"x", AttrKind::kMatch, ValueCodec::kPlain, 32};
+  EXPECT_EQ(format_value(plain, 42), "42");
+}
+
+TEST(Table, ToStringMarksActions) {
+  Table t("demo", make_schema());
+  t.add_row({1, 2, 3});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("demo"), std::string::npos);
+  EXPECT_NE(s.find("c!"), std::string::npos);  // actions are marked with !
+}
+
+}  // namespace
+}  // namespace maton::core

@@ -1,0 +1,167 @@
+#include "core/text.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/format.hpp"
+#include "workloads/gwlb.hpp"
+#include "workloads/l3fwd.hpp"
+
+namespace maton::core {
+namespace {
+
+constexpr const char* kGwlbSpec = R"(
+# Fig. 1a
+table gwlb {
+  match ip_src: ipv4_prefix;
+  match ip_dst: ipv4;
+  match tcp_dst: port;
+  action out: port;
+
+  fd ip_dst -> tcp_dst;
+
+  0.0.0.0/1,   192.0.2.1, 80  -> 1;
+  128.0.0.0/1, 192.0.2.1, 80  -> 2;  # trailing comment
+  0.0.0.0/0,   192.0.2.3, 22  -> 6;
+}
+)";
+
+TEST(ParseSpec, ParsesGwlbFlavour) {
+  const auto spec = parse_spec(kGwlbSpec);
+  ASSERT_TRUE(spec.is_ok()) << spec.status().to_string();
+  const Table& t = spec.value().table;
+  EXPECT_EQ(t.name(), "gwlb");
+  EXPECT_EQ(t.num_rows(), 3u);
+  EXPECT_EQ(t.num_cols(), 4u);
+  EXPECT_EQ(t.schema().at(0).codec, ValueCodec::kIpv4Prefix);
+  EXPECT_EQ(t.schema().at(3).kind, AttrKind::kAction);
+  // 128.0.0.0/1 token.
+  EXPECT_EQ(t.at(1, 0), (Value{0x80000000ULL} << 8) | 1);
+  EXPECT_EQ(t.at(0, 1), Value{ipv4(192, 0, 2, 1)});
+  EXPECT_EQ(t.at(2, 3), 6u);
+
+  ASSERT_EQ(spec.value().model_fds.size(), 1u);
+  EXPECT_EQ(spec.value().model_fds.fds()[0].lhs, AttrSet{1});
+  EXPECT_EQ(spec.value().model_fds.fds()[0].rhs, AttrSet{2});
+}
+
+TEST(ParseSpec, MacAndHexValues) {
+  const auto spec = parse_spec(R"(
+table l3 {
+  match eth_type: plain;
+  action mod_dmac: mac;
+  0x800 -> de:ad:be:ef:00:01;
+}
+)");
+  ASSERT_TRUE(spec.is_ok()) << spec.status().to_string();
+  EXPECT_EQ(spec.value().table.at(0, 0), 0x800u);
+  EXPECT_EQ(spec.value().table.at(0, 1), 0xdeadbeef0001ULL);
+}
+
+TEST(ParseSpec, MatchOnlyTableNeedsNoArrow) {
+  const auto spec = parse_spec(R"(
+table filter {
+  match ip_dst: ipv4;
+  192.0.2.1;
+  192.0.2.2;
+}
+)");
+  ASSERT_TRUE(spec.is_ok()) << spec.status().to_string();
+  EXPECT_EQ(spec.value().table.num_rows(), 2u);
+}
+
+TEST(ParseSpec, ErrorsCarryLineNumbers) {
+  const auto bad_value = parse_spec(R"(
+table t {
+  match a: ipv4;
+  notanip;
+}
+)");
+  ASSERT_FALSE(bad_value.is_ok());
+  EXPECT_NE(bad_value.status().message().find("line 4"), std::string::npos);
+}
+
+TEST(ParseSpec, StructuralErrors) {
+  EXPECT_FALSE(parse_spec("").is_ok());
+  EXPECT_FALSE(parse_spec("table t {").is_ok());          // unclosed
+  EXPECT_FALSE(parse_spec("table t {\n}\nx").is_ok());    // trailing junk
+  EXPECT_FALSE(parse_spec("table {\n}").is_ok());         // unnamed
+  EXPECT_FALSE(parse_spec(R"(
+table t {
+  match a: plain;
+  match a: plain;
+}
+)").is_ok());  // duplicate column
+  EXPECT_FALSE(parse_spec(R"(
+table t {
+  match a: plain;
+  1;
+  match b: plain;
+}
+)").is_ok());  // column after entries
+  EXPECT_FALSE(parse_spec(R"(
+table t {
+  match a: wibble;
+}
+)").is_ok());  // unknown codec
+  EXPECT_FALSE(parse_spec(R"(
+table t {
+  match a: plain;
+  action x: plain;
+  1, 2 -> 3;
+}
+)").is_ok());  // arity mismatch
+  EXPECT_FALSE(parse_spec(R"(
+table t {
+  match a: plain;
+  1
+}
+)").is_ok());  // missing semicolon
+}
+
+TEST(ParseSpec, DeclaredFdMustHoldInInstance) {
+  const auto spec = parse_spec(R"(
+table t {
+  match a: plain;
+  match b: plain;
+  action x: plain;
+  fd a -> b;
+  1, 1 -> 10;
+  1, 2 -> 20;
+}
+)");
+  ASSERT_FALSE(spec.is_ok());
+  EXPECT_NE(spec.status().message().find("does not hold"),
+            std::string::npos);
+}
+
+TEST(ParseSpec, FdNamingUnknownColumnFails) {
+  const auto spec = parse_spec(R"(
+table t {
+  match a: plain;
+  action x: plain;
+  fd a -> nosuch;
+  1 -> 10;
+}
+)");
+  ASSERT_FALSE(spec.is_ok());
+  EXPECT_NE(spec.status().message().find("unknown column"),
+            std::string::npos);
+}
+
+TEST(TextRoundTrip, SerializeThenParse) {
+  const auto gwlb = workloads::make_paper_example();
+  const std::string text = to_text(gwlb.universal);
+  const auto parsed = parse_table(text);
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string() << "\n" << text;
+  EXPECT_EQ(parsed.value(), gwlb.universal);
+}
+
+TEST(TextRoundTrip, L3WithMacsAndConstants) {
+  const auto l3 = workloads::make_paper_l3_example();
+  const auto parsed = parse_table(to_text(l3.universal));
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  EXPECT_EQ(parsed.value(), l3.universal);
+}
+
+}  // namespace
+}  // namespace maton::core

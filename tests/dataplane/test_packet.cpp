@@ -1,0 +1,90 @@
+#include "dataplane/packet.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/format.hpp"
+
+namespace maton::dp {
+namespace {
+
+TEST(Packet, BuildParseRoundTrip) {
+  FrameSpec spec;
+  spec.eth_src = 0x020000000011ULL;
+  spec.eth_dst = 0x020000000022ULL;
+  spec.ip_src = ipv4(10, 1, 2, 3);
+  spec.ip_dst = ipv4(192, 0, 2, 1);
+  spec.ip_ttl = 17;
+  spec.tcp_src = 49152;
+  spec.tcp_dst = 443;
+  spec.in_port = 7;
+
+  const RawPacket pkt = build_frame(spec);
+  const auto key = parse(pkt);
+  ASSERT_TRUE(key.has_value());
+  EXPECT_EQ(key->get(FieldId::kInPort), 7u);
+  EXPECT_EQ(key->get(FieldId::kEthSrc), spec.eth_src);
+  EXPECT_EQ(key->get(FieldId::kEthDst), spec.eth_dst);
+  EXPECT_EQ(key->get(FieldId::kEthType), 0x0800u);
+  EXPECT_EQ(key->get(FieldId::kIpSrc), spec.ip_src);
+  EXPECT_EQ(key->get(FieldId::kIpDst), spec.ip_dst);
+  EXPECT_EQ(key->get(FieldId::kIpTtl), 17u);
+  EXPECT_EQ(key->get(FieldId::kIpProto), 6u);
+  EXPECT_EQ(key->get(FieldId::kTcpSrc), 49152u);
+  EXPECT_EQ(key->get(FieldId::kTcpDst), 443u);
+  EXPECT_FALSE(key->has(FieldId::kVlan));
+  EXPECT_FALSE(key->has(FieldId::kMeta0));
+}
+
+TEST(Packet, VlanTaggedRoundTrip) {
+  FrameSpec spec;
+  spec.vlan = 42;
+  spec.ip_dst = ipv4(10, 0, 0, 1);
+  spec.tcp_dst = 80;
+  const RawPacket pkt = build_frame(spec);
+  const auto key = parse(pkt);
+  ASSERT_TRUE(key.has_value());
+  EXPECT_TRUE(key->has(FieldId::kVlan));
+  EXPECT_EQ(key->get(FieldId::kVlan), 42u);
+  EXPECT_EQ(key->get(FieldId::kEthType), 0x0800u);
+  EXPECT_EQ(key->get(FieldId::kTcpDst), 80u);
+}
+
+TEST(Packet, ChecksumIsValidAndVerified) {
+  const RawPacket pkt = build_frame({.ip_src = 1, .ip_dst = 2});
+  // The IPv4 header starts at offset 14 for untagged frames; a valid
+  // header checksums to zero.
+  EXPECT_EQ(internet_checksum(pkt.bytes.data() + 14, 20), 0u);
+
+  // Corrupt one byte of the IP header: parse must reject the frame.
+  RawPacket bad = pkt;
+  bad.bytes[16] ^= 0xff;
+  EXPECT_FALSE(parse(bad).has_value());
+}
+
+TEST(Packet, RejectsNonIpv4) {
+  RawPacket pkt = build_frame({});
+  pkt.bytes[12] = 0x86;  // IPv6 ethertype
+  pkt.bytes[13] = 0xdd;
+  EXPECT_FALSE(parse(pkt).has_value());
+}
+
+TEST(Packet, ChecksumRfc1071Example) {
+  // Canonical RFC 1071 example bytes.
+  const std::uint8_t data[] = {0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7};
+  EXPECT_EQ(internet_checksum(data, sizeof(data)),
+            static_cast<std::uint16_t>(~0xddf2 & 0xffff));
+}
+
+TEST(FlowKey, SetGetValidity) {
+  FlowKey key;
+  EXPECT_FALSE(key.has(FieldId::kIpDst));
+  key.set(FieldId::kIpDst, 7);
+  EXPECT_TRUE(key.has(FieldId::kIpDst));
+  EXPECT_EQ(key.get(FieldId::kIpDst), 7u);
+  EXPECT_EQ(to_string(FieldId::kIpDst), "ip_dst");
+  EXPECT_EQ(field_width(FieldId::kEthSrc), 48u);
+  EXPECT_EQ(field_width(FieldId::kVlan), 12u);
+}
+
+}  // namespace
+}  // namespace maton::dp

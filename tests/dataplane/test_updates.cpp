@@ -1,0 +1,140 @@
+// Rule-update plumbing across switch models: insert / remove / modify
+// semantics, priority re-sorting, and classifier recompilation.
+#include <gtest/gtest.h>
+
+#include "dataplane/switch.hpp"
+
+namespace maton::dp {
+namespace {
+
+constexpr std::uint64_t kFull32 = 0xffffffffULL;
+
+Program two_rule_program() {
+  Program program;
+  TableSpec table;
+  table.name = "t0";
+  table.fields = {FieldId::kIpDst};
+  Rule a;
+  a.priority = 32;
+  a.matches = {{FieldId::kIpDst, 1, kFull32}};
+  a.actions = {{Action::Kind::kOutput, FieldId::kMeta0, 10}};
+  Rule b = a;
+  b.matches[0].value = 2;
+  b.actions[0].value = 20;
+  table.rules = {a, b};
+  program.tables.push_back(std::move(table));
+  return program;
+}
+
+FlowKey key(std::uint64_t dst) {
+  FlowKey k;
+  k.set(FieldId::kIpDst, dst);
+  return k;
+}
+
+class UpdateSemantics : public ::testing::TestWithParam<const char*> {
+ protected:
+  static std::unique_ptr<SwitchModel> make() {
+    const std::string_view which = GetParam();
+    if (which == "eswitch") return make_eswitch_model();
+    if (which == "lagopus") return make_lagopus_model();
+    if (which == "ovs") return make_ovs_model();
+    return std::make_unique<HwTcamModel>();
+  }
+};
+
+TEST_P(UpdateSemantics, InsertAddsForwardingState) {
+  auto sw = make();
+  ASSERT_TRUE(sw->load(two_rule_program()).is_ok());
+  EXPECT_FALSE(sw->process(key(3)).hit);
+
+  RuleUpdate insert;
+  insert.kind = RuleUpdate::Kind::kInsert;
+  insert.table = 0;
+  insert.rule.priority = 32;
+  insert.rule.matches = {{FieldId::kIpDst, 3, kFull32}};
+  insert.rule.actions = {{Action::Kind::kOutput, FieldId::kMeta0, 30}};
+  ASSERT_TRUE(sw->apply_update(insert).is_ok());
+
+  const ExecResult r = sw->process(key(3));
+  EXPECT_TRUE(r.hit);
+  EXPECT_EQ(r.out_port, 30u);
+  // Pre-existing state unaffected.
+  EXPECT_EQ(sw->process(key(1)).out_port, 10u);
+}
+
+TEST_P(UpdateSemantics, RemoveDeletesForwardingState) {
+  auto sw = make();
+  ASSERT_TRUE(sw->load(two_rule_program()).is_ok());
+  ASSERT_TRUE(sw->process(key(2)).hit);
+
+  RuleUpdate remove;
+  remove.kind = RuleUpdate::Kind::kRemove;
+  remove.table = 0;
+  remove.target = {{FieldId::kIpDst, 2, kFull32}};
+  ASSERT_TRUE(sw->apply_update(remove).is_ok());
+  EXPECT_FALSE(sw->process(key(2)).hit);
+  EXPECT_TRUE(sw->process(key(1)).hit);
+}
+
+TEST_P(UpdateSemantics, ModifyReplacesActions) {
+  auto sw = make();
+  ASSERT_TRUE(sw->load(two_rule_program()).is_ok());
+
+  RuleUpdate modify;
+  modify.kind = RuleUpdate::Kind::kModify;
+  modify.table = 0;
+  modify.target = {{FieldId::kIpDst, 1, kFull32}};
+  modify.rule.priority = 32;
+  modify.rule.matches = {{FieldId::kIpDst, 1, kFull32}};
+  modify.rule.actions = {{Action::Kind::kOutput, FieldId::kMeta0, 99}};
+  ASSERT_TRUE(sw->apply_update(modify).is_ok());
+  EXPECT_EQ(sw->process(key(1)).out_port, 99u);
+}
+
+TEST_P(UpdateSemantics, UpdateToUnknownTableFails) {
+  auto sw = make();
+  ASSERT_TRUE(sw->load(two_rule_program()).is_ok());
+  RuleUpdate bad;
+  bad.kind = RuleUpdate::Kind::kInsert;
+  bad.table = 7;
+  const Status s = sw->apply_update(bad);
+  ASSERT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_P(UpdateSemantics, InsertedHigherPriorityRuleWins) {
+  auto sw = make();
+  Program program = two_rule_program();
+  // Widen rule space: add a low-priority catch-all for dst 1's /8.
+  ASSERT_TRUE(sw->load(program).is_ok());
+
+  RuleUpdate insert;
+  insert.kind = RuleUpdate::Kind::kInsert;
+  insert.table = 0;
+  insert.rule.priority = 64;  // beats the existing exact rule
+  insert.rule.matches = {{FieldId::kIpDst, 1, kFull32}};
+  insert.rule.actions = {{Action::Kind::kOutput, FieldId::kMeta0, 77}};
+  ASSERT_TRUE(sw->apply_update(insert).is_ok());
+  EXPECT_EQ(sw->process(key(1)).out_port, 77u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, UpdateSemantics,
+                         ::testing::Values("eswitch", "lagopus", "ovs",
+                                           "hw"));
+
+TEST(UpdateProgram, StandaloneHelper) {
+  Program program = two_rule_program();
+  RuleUpdate remove;
+  remove.kind = RuleUpdate::Kind::kRemove;
+  remove.table = 0;
+  remove.target = {{FieldId::kIpDst, 9, kFull32}};
+  EXPECT_EQ(apply_update_to_program(program, remove).code(),
+            StatusCode::kNotFound);
+  remove.target = {{FieldId::kIpDst, 1, kFull32}};
+  EXPECT_TRUE(apply_update_to_program(program, remove).is_ok());
+  EXPECT_EQ(program.tables[0].rules.size(), 1u);
+}
+
+}  // namespace
+}  // namespace maton::dp

@@ -1,0 +1,90 @@
+#include "export/openflow.hpp"
+
+#include <gtest/gtest.h>
+
+#include "controlplane/compiler.hpp"
+#include "workloads/gwlb.hpp"
+#include "workloads/l3fwd.hpp"
+
+namespace maton::exporter {
+namespace {
+
+std::size_t count_lines_with(const std::string& text,
+                             const std::string& needle) {
+  std::size_t count = 0;
+  std::size_t pos = 0;
+  while ((pos = text.find(needle, pos)) != std::string::npos) {
+    ++count;
+    pos += needle.size();
+  }
+  return count;
+}
+
+TEST(OpenflowExport, UniversalGwlbTable) {
+  const auto gwlb = workloads::make_paper_example();
+  const cp::GwlbBinding binding(gwlb, cp::Representation::kUniversal);
+  const auto out = to_openflow(binding.program());
+  ASSERT_TRUE(out.is_ok()) << out.status().to_string();
+  const std::string& text = out.value();
+
+  // One add-flow line per entry.
+  EXPECT_EQ(count_lines_with(text, "table=0,priority="), 6u);
+  // VIPs and ports appear in OpenFlow field syntax.
+  EXPECT_NE(text.find("nw_dst=192.0.2.1"), std::string::npos);
+  EXPECT_NE(text.find("tp_dst=80"), std::string::npos);
+  // Source prefixes render in CIDR form.
+  EXPECT_NE(text.find("nw_src=0.0.0.0/1"), std::string::npos);
+  EXPECT_NE(text.find("nw_src=128.0.0.0/1"), std::string::npos);
+  // Backends are outputs; TCP prerequisites are declared.
+  EXPECT_EQ(count_lines_with(text, "output:"), 6u);
+  EXPECT_GE(count_lines_with(text, ",tcp,"), 6u);
+}
+
+TEST(OpenflowExport, GotoPipelineUsesGotoTable) {
+  const auto gwlb = workloads::make_paper_example();
+  const cp::GwlbBinding binding(gwlb, cp::Representation::kGoto);
+  const auto out = to_openflow(binding.program());
+  ASSERT_TRUE(out.is_ok());
+  const std::string& text = out.value();
+  // Three service entries jump to their per-tenant tables.
+  EXPECT_EQ(count_lines_with(text, "goto_table:"), 3u);
+  EXPECT_NE(text.find("goto_table:1"), std::string::npos);
+  EXPECT_NE(text.find("goto_table:3"), std::string::npos);
+}
+
+TEST(OpenflowExport, MetadataPipelineUsesRegisters) {
+  const auto gwlb = workloads::make_paper_example();
+  const cp::GwlbBinding binding(gwlb, cp::Representation::kMetadata);
+  const auto out = to_openflow(binding.program());
+  ASSERT_TRUE(out.is_ok());
+  const std::string& text = out.value();
+  // Stage 1 writes the tenant tag, stage 2 matches it.
+  EXPECT_EQ(count_lines_with(text, "load:"), 3u);
+  EXPECT_NE(text.find("->NXM_NX_REG0[]"), std::string::npos);
+  EXPECT_GE(count_lines_with(text, "reg0="), 6u);
+}
+
+TEST(OpenflowExport, L3RewritesAndTtl) {
+  const auto l3 = workloads::make_paper_l3_example();
+  const auto program = dp::compile(core::Pipeline::single(l3.universal));
+  ASSERT_TRUE(program.is_ok());
+  const auto out = to_openflow(program.value());
+  ASSERT_TRUE(out.is_ok());
+  const std::string& text = out.value();
+  EXPECT_EQ(count_lines_with(text, "mod_dl_dst:"), 4u);
+  EXPECT_EQ(count_lines_with(text, "mod_dl_src:"), 4u);
+  EXPECT_EQ(count_lines_with(text, "dec_ttl"), 4u);
+  EXPECT_NE(text.find("nw_dst=10.1.0.0/16"), std::string::npos);
+}
+
+TEST(OpenflowExport, BridgeNameInHeader) {
+  const auto gwlb = workloads::make_paper_example();
+  const cp::GwlbBinding binding(gwlb, cp::Representation::kUniversal);
+  const auto out = to_openflow(binding.program(), {.bridge = "br-int"});
+  ASSERT_TRUE(out.is_ok());
+  EXPECT_NE(out.value().find("ovs-ofctl add-flows br-int"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace maton::exporter

@@ -1,0 +1,85 @@
+#include "netkat/policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netkat/eval.hpp"
+
+namespace maton::netkat {
+namespace {
+
+TEST(Policy, Constructors) {
+  EXPECT_EQ(drop()->kind(), Policy::Kind::kDrop);
+  EXPECT_EQ(id()->kind(), Policy::Kind::kId);
+  const PolicyPtr t = test("a", 1);
+  EXPECT_EQ(t->kind(), Policy::Kind::kTest);
+  EXPECT_EQ(t->field(), "a");
+  EXPECT_EQ(t->value(), 1u);
+  const PolicyPtr m = mod("b", 2);
+  EXPECT_EQ(m->kind(), Policy::Kind::kMod);
+  const PolicyPtr s = seq(t, m);
+  EXPECT_EQ(s->kind(), Policy::Kind::kSeq);
+  EXPECT_EQ(s->left(), t);
+  EXPECT_EQ(s->right(), m);
+  EXPECT_THROW(test("", 1), ContractViolation);
+}
+
+TEST(Policy, FoldHelpers) {
+  EXPECT_EQ(seq_all({})->kind(), Policy::Kind::kId);
+  EXPECT_EQ(par_all({})->kind(), Policy::Kind::kDrop);
+  const std::vector<PolicyPtr> one = {test("a", 1)};
+  EXPECT_EQ(seq_all(one), one[0]);
+  const std::vector<PolicyPtr> two = {test("a", 1), mod("b", 2)};
+  EXPECT_EQ(seq_all(two)->kind(), Policy::Kind::kSeq);
+  EXPECT_EQ(par_all(two)->kind(), Policy::Kind::kPar);
+}
+
+TEST(Policy, ToStringAndSize) {
+  const PolicyPtr p = par(seq(test("a", 1), mod("x", 9)), drop());
+  EXPECT_EQ(to_string(p), "((a = 1; x <- 9) + 0)");
+  EXPECT_EQ(policy_size(p), 5u);
+  EXPECT_EQ(policy_size(id()), 1u);
+}
+
+TEST(Eval, Atoms) {
+  const Packet pkt{{"a", 1}, {"b", 2}};
+  EXPECT_TRUE(eval(drop(), pkt).empty());
+  EXPECT_EQ(eval(id(), pkt), PacketSet{pkt});
+  EXPECT_EQ(eval(test("a", 1), pkt), PacketSet{pkt});
+  EXPECT_TRUE(eval(test("a", 9), pkt).empty());
+  EXPECT_TRUE(eval(test("missing", 1), pkt).empty());
+
+  const PacketSet modded = eval(mod("a", 5), pkt);
+  ASSERT_EQ(modded.size(), 1u);
+  EXPECT_EQ(modded.begin()->at("a"), 5u);
+  EXPECT_EQ(modded.begin()->at("b"), 2u);
+
+  const PacketSet fresh = eval(mod("c", 7), pkt);
+  ASSERT_EQ(fresh.size(), 1u);
+  EXPECT_EQ(fresh.begin()->at("c"), 7u);
+}
+
+TEST(Eval, SeqThreadsPackets) {
+  const Packet pkt{{"a", 1}};
+  const PolicyPtr p = seq(mod("a", 2), test("a", 2));
+  EXPECT_EQ(eval(p, pkt).size(), 1u);
+  const PolicyPtr q = seq(test("a", 2), mod("a", 3));
+  EXPECT_TRUE(eval(q, pkt).empty());
+}
+
+TEST(Eval, ParUnions) {
+  const Packet pkt{{"a", 1}};
+  const PolicyPtr p = par(mod("a", 2), mod("a", 3));
+  const PacketSet out = eval(p, pkt);
+  EXPECT_EQ(out.size(), 2u);
+  // Identical branches collapse (set semantics).
+  EXPECT_EQ(eval(par(mod("a", 2), mod("a", 2)), pkt).size(), 1u);
+}
+
+TEST(Eval, EquivalentOn) {
+  const std::vector<Packet> probes = {{{"a", 1}}, {{"a", 2}}, {{"a", 3}}};
+  EXPECT_TRUE(equivalent_on(seq(id(), test("a", 1)), test("a", 1), probes));
+  EXPECT_FALSE(equivalent_on(test("a", 1), test("a", 2), probes));
+}
+
+}  // namespace
+}  // namespace maton::netkat

@@ -1,0 +1,134 @@
+#include "util/bitset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace maton {
+namespace {
+
+TEST(SmallBitset, DefaultIsEmpty) {
+  SmallBitset s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0u);
+}
+
+TEST(SmallBitset, InsertEraseContains) {
+  SmallBitset s;
+  s.insert(3);
+  s.insert(17);
+  EXPECT_TRUE(s.contains(3));
+  EXPECT_TRUE(s.contains(17));
+  EXPECT_FALSE(s.contains(4));
+  EXPECT_EQ(s.size(), 2u);
+  s.erase(3);
+  EXPECT_FALSE(s.contains(3));
+  EXPECT_EQ(s.size(), 1u);
+  s.erase(3);  // erasing an absent element is a no-op
+  EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(SmallBitset, InitializerListAndFull) {
+  const SmallBitset s{0, 2, 5};
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_TRUE(s.contains(0));
+  EXPECT_TRUE(s.contains(2));
+  EXPECT_TRUE(s.contains(5));
+
+  const SmallBitset f = SmallBitset::full(4);
+  EXPECT_EQ(f.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_TRUE(f.contains(i));
+  EXPECT_FALSE(f.contains(4));
+
+  EXPECT_EQ(SmallBitset::full(64).size(), 64u);
+  EXPECT_EQ(SmallBitset::full(0).size(), 0u);
+}
+
+TEST(SmallBitset, SubsetRelations) {
+  const SmallBitset a{1, 2};
+  const SmallBitset b{1, 2, 3};
+  EXPECT_TRUE(a.subset_of(b));
+  EXPECT_TRUE(a.proper_subset_of(b));
+  EXPECT_FALSE(b.subset_of(a));
+  EXPECT_TRUE(a.subset_of(a));
+  EXPECT_FALSE(a.proper_subset_of(a));
+  EXPECT_TRUE(SmallBitset{}.subset_of(a));
+}
+
+TEST(SmallBitset, SetAlgebra) {
+  const SmallBitset a{1, 2, 3};
+  const SmallBitset b{3, 4};
+  EXPECT_EQ((a | b), (SmallBitset{1, 2, 3, 4}));
+  EXPECT_EQ((a & b), SmallBitset{3});
+  EXPECT_EQ((a - b), (SmallBitset{1, 2}));
+  EXPECT_TRUE(a.intersects(b));
+  EXPECT_FALSE((a - b).intersects(b));
+}
+
+TEST(SmallBitset, CompoundAssignment) {
+  SmallBitset s{1};
+  s |= SmallBitset{2};
+  EXPECT_EQ(s, (SmallBitset{1, 2}));
+  s &= SmallBitset{2, 3};
+  EXPECT_EQ(s, SmallBitset{2});
+  s -= SmallBitset{2};
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(SmallBitset, IterationAscending) {
+  const SmallBitset s{63, 0, 31};
+  std::vector<std::size_t> got(s.begin(), s.end());
+  EXPECT_EQ(got, (std::vector<std::size_t>{0, 31, 63}));
+}
+
+TEST(SmallBitset, MinAndToString) {
+  const SmallBitset s{5, 9};
+  EXPECT_EQ(s.min(), 5u);
+  EXPECT_EQ(s.to_string(), "{5, 9}");
+  EXPECT_EQ(SmallBitset{}.to_string(), "{}");
+  EXPECT_THROW((void)SmallBitset{}.min(), ContractViolation);
+}
+
+TEST(SmallBitset, OutOfRangeIsContractViolation) {
+  SmallBitset s;
+  EXPECT_THROW(s.insert(64), ContractViolation);
+  EXPECT_THROW((void)s.contains(64), ContractViolation);
+}
+
+TEST(SmallBitset, RawRoundTrip) {
+  const SmallBitset s{0, 63};
+  EXPECT_EQ(SmallBitset::from_raw(s.raw()), s);
+}
+
+// Property: algebra against a reference std::set implementation.
+TEST(SmallBitset, MatchesReferenceSetSemantics) {
+  std::uint64_t state = 0x9e3779b97f4a7c15ULL;
+  auto next = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  for (int trial = 0; trial < 200; ++trial) {
+    SmallBitset a = SmallBitset::from_raw(next());
+    SmallBitset b = SmallBitset::from_raw(next());
+    std::set<std::size_t> ra(a.begin(), a.end());
+    std::set<std::size_t> rb(b.begin(), b.end());
+
+    std::set<std::size_t> runion;
+    runion.insert(ra.begin(), ra.end());
+    runion.insert(rb.begin(), rb.end());
+    EXPECT_EQ(std::set<std::size_t>((a | b).begin(), (a | b).end()), runion);
+
+    std::set<std::size_t> rdiff;
+    for (std::size_t e : ra) {
+      if (rb.count(e) == 0) rdiff.insert(e);
+    }
+    EXPECT_EQ(std::set<std::size_t>((a - b).begin(), (a - b).end()), rdiff);
+    EXPECT_EQ(a.size(), ra.size());
+  }
+}
+
+}  // namespace
+}  // namespace maton

@@ -1,0 +1,57 @@
+#include "util/format.hpp"
+
+#include <gtest/gtest.h>
+
+namespace maton {
+namespace {
+
+TEST(Format, Ipv4) {
+  EXPECT_EQ(format_ipv4(ipv4(192, 0, 2, 1)), "192.0.2.1");
+  EXPECT_EQ(format_ipv4(0), "0.0.0.0");
+  EXPECT_EQ(format_ipv4(0xffffffff), "255.255.255.255");
+}
+
+TEST(Format, Ipv4Prefix) {
+  EXPECT_EQ(format_ipv4_prefix(ipv4(10, 0, 0, 0), 8), "10.0.0.0/8");
+  EXPECT_EQ(format_ipv4_prefix(0, 0), "0.0.0.0/0");
+  EXPECT_THROW((void)format_ipv4_prefix(0, 33), ContractViolation);
+}
+
+TEST(Format, Mac) {
+  EXPECT_EQ(format_mac(0x0000deadbeef0102ULL), "de:ad:be:ef:01:02");
+  EXPECT_EQ(format_mac(0), "00:00:00:00:00:00");
+}
+
+TEST(Parse, Ipv4RoundTrip) {
+  const auto parsed = parse_ipv4("192.0.2.1");
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(parsed.value(), ipv4(192, 0, 2, 1));
+  EXPECT_EQ(format_ipv4(parse_ipv4("255.254.253.252").value()),
+            "255.254.253.252");
+}
+
+TEST(Parse, Ipv4Rejections) {
+  EXPECT_FALSE(parse_ipv4("").is_ok());
+  EXPECT_FALSE(parse_ipv4("1.2.3").is_ok());
+  EXPECT_FALSE(parse_ipv4("1.2.3.4.5").is_ok());
+  EXPECT_FALSE(parse_ipv4("1.2.3.256").is_ok());
+  EXPECT_FALSE(parse_ipv4("a.b.c.d").is_ok());
+  EXPECT_FALSE(parse_ipv4("1.2.3.4 ").is_ok());
+  EXPECT_EQ(parse_ipv4("1..2.3").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(Format, Double) {
+  EXPECT_EQ(format_double(1.5, 2), "1.50");
+  EXPECT_EQ(format_double(0.125, 3), "0.125");
+  EXPECT_EQ(format_double(3.14159, 0), "3");
+  EXPECT_EQ(format_double(-2.5, 1), "-2.5");
+}
+
+TEST(Format, Ipv4ConstexprBuilder) {
+  static_assert(ipv4(1, 2, 3, 4) == 0x01020304u);
+  EXPECT_EQ(ipv4(198, 18, 0, 1), 0xC6120001u);
+}
+
+}  // namespace
+}  // namespace maton

@@ -1,0 +1,110 @@
+#include "util/quantile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace maton {
+namespace {
+
+TEST(ExactQuantile, OrderStatistics) {
+  ExactQuantile q;
+  for (double v : {5.0, 1.0, 3.0, 2.0, 4.0}) q.add(v);
+  EXPECT_DOUBLE_EQ(q.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(q.quantile(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(q.quantile(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(q.quantile(0.25), 2.0);
+  EXPECT_DOUBLE_EQ(q.mean(), 3.0);
+  EXPECT_EQ(q.count(), 5u);
+}
+
+TEST(ExactQuantile, InterpolatesBetweenRanks) {
+  ExactQuantile q;
+  q.add(0.0);
+  q.add(10.0);
+  EXPECT_DOUBLE_EQ(q.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(q.quantile(0.75), 7.5);
+}
+
+TEST(ExactQuantile, EmptyIsContractViolation) {
+  ExactQuantile q;
+  EXPECT_THROW((void)q.quantile(0.5), ContractViolation);
+  EXPECT_THROW((void)q.mean(), ContractViolation);
+  q.add(1.0);
+  EXPECT_THROW((void)q.quantile(1.5), ContractViolation);
+}
+
+TEST(P2Quantile, ExactForFewSamples) {
+  P2Quantile q(0.5);
+  q.add(3.0);
+  EXPECT_DOUBLE_EQ(q.estimate(), 3.0);
+  q.add(1.0);
+  q.add(2.0);
+  // Median of {1,2,3} = 2.
+  EXPECT_DOUBLE_EQ(q.estimate(), 2.0);
+}
+
+TEST(P2Quantile, RejectsDegenerateQuantile) {
+  EXPECT_THROW(P2Quantile(0.0), ContractViolation);
+  EXPECT_THROW(P2Quantile(1.0), ContractViolation);
+  P2Quantile q(0.5);
+  EXPECT_THROW((void)q.estimate(), ContractViolation);
+}
+
+TEST(P2Quantile, TracksUniformDistribution) {
+  Rng rng(1);
+  P2Quantile p75(0.75);
+  ExactQuantile exact;
+  for (int i = 0; i < 20000; ++i) {
+    const double v = rng.real() * 100.0;
+    p75.add(v);
+    exact.add(v);
+  }
+  EXPECT_NEAR(p75.estimate(), exact.quantile(0.75), 1.5);
+  EXPECT_EQ(p75.count(), 20000u);
+}
+
+TEST(P2Quantile, TracksBimodalDistribution) {
+  // Latency-like mixture: fast path ~100ns, slow path ~1000ns.
+  Rng rng(2);
+  P2Quantile p75(0.75);
+  ExactQuantile exact;
+  for (int i = 0; i < 20000; ++i) {
+    const double v = rng.chance(0.8) ? 100.0 + rng.real() * 20.0
+                                     : 1000.0 + rng.real() * 200.0;
+    p75.add(v);
+    exact.add(v);
+  }
+  const double want = exact.quantile(0.75);
+  EXPECT_NEAR(p75.estimate(), want, want * 0.1);
+}
+
+TEST(P2Quantile, MonotoneInQ) {
+  Rng rng(3);
+  P2Quantile p50(0.5);
+  P2Quantile p99(0.99);
+  for (int i = 0; i < 5000; ++i) {
+    const double v = rng.real();
+    p50.add(v);
+    p99.add(v);
+  }
+  EXPECT_LT(p50.estimate(), p99.estimate());
+}
+
+TEST(LatencyRecorder, BundlesStatistics) {
+  LatencyRecorder rec;
+  EXPECT_THROW((void)rec.min(), ContractViolation);
+  for (int i = 1; i <= 1000; ++i) rec.add(static_cast<double>(i));
+  EXPECT_EQ(rec.count(), 1000u);
+  EXPECT_DOUBLE_EQ(rec.min(), 1.0);
+  EXPECT_DOUBLE_EQ(rec.mean(), 500.5);
+  EXPECT_NEAR(rec.p50(), 500.0, 20.0);
+  EXPECT_NEAR(rec.p75(), 750.0, 20.0);
+  EXPECT_NEAR(rec.p99(), 990.0, 20.0);
+}
+
+}  // namespace
+}  // namespace maton

@@ -1,0 +1,75 @@
+#include "util/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/contract.hpp"
+
+namespace maton {
+namespace {
+
+TEST(ReportTable, AlignsColumns) {
+  ReportTable t("demo");
+  t.set_header({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "22"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("== demo =="), std::string::npos);
+  // Header and the separator rule are present.
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  // Columns align: "value" starts at the same offset in each line.
+  std::istringstream lines(out);
+  std::string title;
+  std::string header;
+  std::getline(lines, title);
+  std::getline(lines, header);
+  const std::size_t col = header.find("value");
+  std::string rule;
+  std::string row1;
+  std::string row2;
+  std::getline(lines, rule);
+  std::getline(lines, row1);
+  std::getline(lines, row2);
+  EXPECT_EQ(row1.find('1'), col);
+  EXPECT_EQ(row2.find("22"), col);
+}
+
+TEST(ReportTable, CsvOutput) {
+  ReportTable t("demo");
+  t.set_header({"a", "b"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "a,b\n1,2\n");
+}
+
+TEST(ReportTable, RowWidthChecked) {
+  ReportTable t("demo");
+  t.set_header({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), ContractViolation);
+}
+
+TEST(ReportTable, HeaderAfterRowsRejected) {
+  ReportTable t("demo");
+  t.add_row({"1"});
+  EXPECT_THROW(t.set_header({"a"}), ContractViolation);
+}
+
+TEST(ReportTable, HeaderlessTable) {
+  ReportTable t("raw");
+  t.add_row({"1", "2"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("1"), std::string::npos);
+  EXPECT_EQ(out.find("---"), std::string::npos);  // no rule without header
+}
+
+TEST(ReportTable, PrintAppendsBlankLine) {
+  ReportTable t("p");
+  t.add_row({"x"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_TRUE(os.str().ends_with("\n\n"));
+}
+
+}  // namespace
+}  // namespace maton

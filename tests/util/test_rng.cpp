@@ -1,0 +1,73 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+namespace maton {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniform(0, 1000), b.uniform(0, 1000));
+  }
+  Rng c(43);
+  bool all_equal = true;
+  Rng a2(42);
+  for (int i = 0; i < 100; ++i) {
+    if (a2.uniform(0, 1000) != c.uniform(0, 1000)) all_equal = false;
+  }
+  EXPECT_FALSE(all_equal);
+}
+
+TEST(Rng, UniformStaysInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = rng.uniform(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+  EXPECT_EQ(rng.uniform(7, 7), 7u);
+  EXPECT_THROW((void)rng.uniform(5, 4), ContractViolation);
+}
+
+TEST(Rng, IndexBounds) {
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.index(13), 13u);
+  }
+  EXPECT_EQ(rng.index(1), 0u);
+  EXPECT_THROW((void)rng.index(0), ContractViolation);
+}
+
+TEST(Rng, RealInUnitInterval) {
+  Rng rng(3);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.real();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceMatchesProbability) {
+  Rng rng(4);
+  int heads = 0;
+  for (int i = 0; i < 10000; ++i) {
+    heads += rng.chance(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(heads / 10000.0, 0.3, 0.03);
+}
+
+TEST(Rng, ExponentialMeanIsInverseRate) {
+  Rng rng(5);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) sum += rng.exponential(100.0);
+  EXPECT_NEAR(sum / 20000.0, 0.01, 0.001);
+  EXPECT_THROW((void)rng.exponential(0.0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace maton

@@ -1,0 +1,83 @@
+#include "util/status.hpp"
+
+#include <gtest/gtest.h>
+
+namespace maton {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  const Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.to_string(), "ok");
+  EXPECT_EQ(Status::ok(), s);
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  const Status s = invalid_argument("bad input");
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad input");
+  EXPECT_EQ(s.to_string(), "invalid-argument: bad input");
+}
+
+TEST(Status, OkCodeWithMessageIsContractViolation) {
+  EXPECT_THROW(Status(StatusCode::kOk, "nope"), ContractViolation);
+}
+
+TEST(Status, Factories) {
+  EXPECT_EQ(failed_precondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(not_found("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(already_exists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(internal_error("x").code(), StatusCode::kInternal);
+}
+
+TEST(Status, CodeNames) {
+  EXPECT_EQ(to_string(StatusCode::kOk), "ok");
+  EXPECT_EQ(to_string(StatusCode::kInvalidArgument), "invalid-argument");
+  EXPECT_EQ(to_string(StatusCode::kInternal), "internal");
+}
+
+TEST(Result, HoldsValue) {
+  const Result<int> r = 42;
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().is_ok());
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(Result, HoldsError) {
+  const Result<int> r = not_found("missing");
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(7), 7);
+  EXPECT_THROW((void)r.value(), ContractViolation);
+}
+
+TEST(Result, OkStatusCannotBeAnError) {
+  EXPECT_THROW(Result<int>(Status::ok()), ContractViolation);
+}
+
+TEST(Result, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  const std::string moved = std::move(r).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+TEST(Contract, ExpectsAndEnsures) {
+  EXPECT_NO_THROW(expects(true, "fine"));
+  EXPECT_NO_THROW(ensures(true, "fine"));
+  try {
+    expects(false, "boom");
+    FAIL() << "expects did not throw";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("boom"), std::string::npos);
+    EXPECT_NE(what.find("test_status.cpp"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace maton

@@ -1,0 +1,91 @@
+#include "workloads/l3fwd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/fd_mine.hpp"
+#include "core/normal_forms.hpp"
+
+namespace maton::workloads {
+namespace {
+
+TEST(L3PaperExample, MatchesFig2aStructure) {
+  const L3Fwd l3 = make_paper_l3_example();
+  EXPECT_EQ(l3.universal.num_rows(), 4u);
+  EXPECT_EQ(l3.universal.num_cols(), 6u);
+  EXPECT_TRUE(l3.universal.is_order_independent());
+
+  // P1 and P4 share next-hop D1 (§3).
+  EXPECT_EQ(l3.universal.at(0, kL3ModDmac), l3.universal.at(3, kL3ModDmac));
+  // Groups on port 1 (rows 0,1,3) share the source MAC; row 2 differs.
+  EXPECT_EQ(l3.universal.at(0, kL3ModSmac), l3.universal.at(1, kL3ModSmac));
+  EXPECT_NE(l3.universal.at(0, kL3ModSmac), l3.universal.at(2, kL3ModSmac));
+}
+
+TEST(L3PaperExample, ModelFdsHoldInInstance) {
+  const L3Fwd l3 = make_paper_l3_example();
+  for (const core::Fd& fd : l3.model_fds.fds()) {
+    EXPECT_TRUE(core::fd_holds(l3.universal, fd))
+        << core::to_string(fd, l3.universal.schema());
+  }
+}
+
+TEST(L3PaperExample, MinedFdsIncludePaperDependencies) {
+  const L3Fwd l3 = make_paper_l3_example();
+  const core::FdSet mined = core::mine_fds_tane(l3.universal);
+  // mod_dmac → (mod_ttl, mod_smac, out) — the 2NF violation of §3.
+  EXPECT_TRUE(mined.implies({core::AttrSet::single(kL3ModDmac),
+                             core::AttrSet{kL3ModTtl, kL3ModSmac, kL3Out}}));
+  // out → mod_smac — the 3NF violation.
+  EXPECT_TRUE(mined.implies(
+      {core::AttrSet::single(kL3Out), core::AttrSet::single(kL3ModSmac)}));
+  // Constants.
+  EXPECT_TRUE(mined.implies(
+      {core::AttrSet{}, core::AttrSet{kL3EthType, kL3ModTtl}}));
+}
+
+TEST(L3Generator, EveryNexthopUsedAndPortsConsistent) {
+  const L3Fwd l3 = make_l3fwd(
+      {.num_prefixes = 32, .num_nexthops = 8, .num_ports = 4, .seed = 5});
+  EXPECT_EQ(l3.universal.num_rows(), 32u);
+  std::set<core::Value> dmacs;
+  for (std::size_t r = 0; r < l3.universal.num_rows(); ++r) {
+    dmacs.insert(l3.universal.at(r, kL3ModDmac));
+  }
+  EXPECT_EQ(dmacs.size(), 8u);
+  // The model dependencies must hold in generated instances too.
+  for (const core::Fd& fd : l3.model_fds.fds()) {
+    EXPECT_TRUE(core::fd_holds(l3.universal, fd));
+  }
+}
+
+TEST(L3Generator, PrefixesDisjoint) {
+  const L3Fwd l3 = make_l3fwd(
+      {.num_prefixes = 64, .num_nexthops = 8, .num_ports = 4, .seed = 6});
+  std::set<core::Value> prefixes;
+  for (std::size_t r = 0; r < l3.universal.num_rows(); ++r) {
+    prefixes.insert(l3.universal.at(r, kL3IpDst));
+  }
+  EXPECT_EQ(prefixes.size(), 64u);
+}
+
+TEST(L3Generator, RejectsBadConfig) {
+  EXPECT_THROW(
+      (void)make_l3fwd({.num_prefixes = 2, .num_nexthops = 4, .num_ports = 1}),
+      ContractViolation);
+  EXPECT_THROW(
+      (void)make_l3fwd({.num_prefixes = 8, .num_nexthops = 4, .num_ports = 5}),
+      ContractViolation);
+}
+
+TEST(L3Generator, AnalysisFindsViolationsUnderModelFds) {
+  const L3Fwd l3 = make_paper_l3_example();
+  core::FdSet fds = l3.model_fds;
+  fds.add(l3.universal.schema().match_set(), l3.universal.schema().all());
+  const auto report = core::analyze(l3.universal, fds);
+  EXPECT_EQ(report.highest(), core::NormalForm::kFirst);
+}
+
+}  // namespace
+}  // namespace maton::workloads

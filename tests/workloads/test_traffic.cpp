@@ -1,0 +1,76 @@
+#include "workloads/traffic.hpp"
+
+#include <gtest/gtest.h>
+
+namespace maton::workloads {
+namespace {
+
+TEST(Traffic, FramesParseAndAreFrameSized) {
+  const Gwlb gwlb = make_gwlb({.num_services = 4, .num_backends = 4});
+  const auto packets = make_gwlb_traffic(gwlb, {.num_packets = 256});
+  ASSERT_EQ(packets.size(), 256u);
+  for (const dp::RawPacket& pkt : packets) {
+    const auto key = dp::parse(pkt);
+    ASSERT_TRUE(key.has_value());
+    EXPECT_EQ(key->get(dp::FieldId::kEthType), 0x0800u);
+    EXPECT_TRUE(key->has(dp::FieldId::kTcpDst));
+  }
+}
+
+TEST(Traffic, HitFractionControlsServiceTargeting) {
+  const Gwlb gwlb = make_gwlb({.num_services = 4, .num_backends = 4});
+  auto is_service_packet = [&](const dp::FlowKey& key) {
+    for (const GwlbService& svc : gwlb.services) {
+      if (svc.vip == key.get(dp::FieldId::kIpDst) &&
+          svc.port == key.get(dp::FieldId::kTcpDst)) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  const auto all_hits =
+      make_gwlb_keys(gwlb, {.num_packets = 512, .hit_fraction = 1.0});
+  for (const dp::FlowKey& key : all_hits) {
+    EXPECT_TRUE(is_service_packet(key));
+  }
+
+  const auto mixed =
+      make_gwlb_keys(gwlb, {.num_packets = 2048, .hit_fraction = 0.5});
+  std::size_t hits = 0;
+  for (const dp::FlowKey& key : mixed) {
+    hits += is_service_packet(key) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / 2048.0, 0.5, 0.06);
+}
+
+TEST(Traffic, DeterministicPerSeed) {
+  const Gwlb gwlb = make_gwlb({.num_services = 2, .num_backends = 2});
+  const auto a = make_gwlb_traffic(gwlb, {.num_packets = 16, .seed = 5});
+  const auto b = make_gwlb_traffic(gwlb, {.num_packets = 16, .seed = 5});
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].bytes, b[i].bytes);
+  }
+  const auto c = make_gwlb_traffic(gwlb, {.num_packets = 16, .seed = 6});
+  bool identical = true;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].bytes != c[i].bytes) identical = false;
+  }
+  EXPECT_FALSE(identical);
+}
+
+TEST(Traffic, SourceAddressesSpreadAcrossBackendPrefixes) {
+  // With M=4 backends per service (prefix split /2), a uniform source
+  // distribution must reach every backend of a service.
+  const Gwlb gwlb = make_gwlb({.num_services = 1, .num_backends = 4});
+  const auto keys =
+      make_gwlb_keys(gwlb, {.num_packets = 512, .hit_fraction = 1.0});
+  std::set<std::uint64_t> quadrants;
+  for (const dp::FlowKey& key : keys) {
+    quadrants.insert(key.get(dp::FieldId::kIpSrc) >> 30);
+  }
+  EXPECT_EQ(quadrants.size(), 4u);
+}
+
+}  // namespace
+}  // namespace maton::workloads

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "core/equivalence.hpp"
+#include "core/fd_mine.hpp"
+#include "workloads/sdx.hpp"
+#include "workloads/vlan.hpp"
+
+namespace maton::workloads {
+namespace {
+
+TEST(VlanExample, MatchesFig3a) {
+  const core::Table vlan = make_vlan_example();
+  EXPECT_EQ(vlan.num_rows(), 4u);
+  EXPECT_TRUE(vlan.is_order_independent());
+  // The out → vlan dependency holds in the instance.
+  EXPECT_TRUE(core::fd_holds(vlan, vlan_action_to_match_fd()));
+  // But vlan → out does not (vlan 1 maps to outs 1 and 3).
+  EXPECT_FALSE(core::fd_holds(
+      vlan, {core::AttrSet::single(kVlanVlan),
+             core::AttrSet::single(kVlanOut)}));
+}
+
+TEST(VlanExample, NaiveFirstStageProjectionViolates1NF) {
+  // Fig. 3b: projecting onto (in_port, out) yields duplicate in_port
+  // match keys — the structural reason the decomposition is invalid.
+  const core::Table vlan = make_vlan_example();
+  const core::Table t1 =
+      vlan.project(core::AttrSet{kVlanInPort, kVlanOut});
+  EXPECT_FALSE(t1.is_order_independent());
+}
+
+TEST(SdxExample, UniversalTableShape) {
+  const Sdx sdx = make_sdx_example();
+  EXPECT_EQ(sdx.universal.num_rows(), 8u);
+  EXPECT_TRUE(sdx.universal.is_order_independent());
+}
+
+TEST(SdxExample, BrokenPipelineViolatesOrderIndependence) {
+  // The appendix's point: chaining the individually-authored tables
+  // leaves T_in with duplicate match keys.
+  const Sdx sdx = make_sdx_example();
+  const Status status = sdx.broken.validate();
+  ASSERT_FALSE(status.is_ok());
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SdxExample, RepairedPipelineIsEquivalent) {
+  // Fig. 5c: carrying the outbound choice in an explicit metadata field
+  // makes the three-stage pipeline equal to the collapsed policy.
+  const Sdx sdx = make_sdx_example();
+  ASSERT_TRUE(sdx.repaired.validate().is_ok());
+  const auto report = core::check_equivalence(sdx.universal, sdx.repaired);
+  EXPECT_TRUE(report.equivalent) << report.counterexample;
+}
+
+TEST(SdxExample, JoinDependencyIsNotFunctional) {
+  // The split is 4NF/5NF territory: no nontrivial FD of the universal
+  // SDX table has ip_dst alone as LHS and out as RHS (C1/C2/D depend on
+  // the *combination* of prefix, port and hash).
+  const Sdx sdx = make_sdx_example();
+  EXPECT_FALSE(core::fd_holds(
+      sdx.universal,
+      {core::AttrSet::single(kSdxIpDst), core::AttrSet::single(kSdxOut)}));
+  EXPECT_FALSE(core::fd_holds(
+      sdx.universal,
+      {core::AttrSet{kSdxIpDst, kSdxTcpDst}, core::AttrSet::single(kSdxOut)}));
+  // Only the full match key determines the egress.
+  EXPECT_TRUE(core::fd_holds(
+      sdx.universal, {core::AttrSet{kSdxIpDst, kSdxTcpDst, kSdxHash},
+                      core::AttrSet::single(kSdxOut)}));
+}
+
+TEST(SdxExample, RepairedPipelineFootprintBeatsUniversal) {
+  const Sdx sdx = make_sdx_example();
+  const std::size_t universal =
+      core::Pipeline::single(sdx.universal).field_count();
+  EXPECT_LT(sdx.repaired.field_count(), universal);
+}
+
+}  // namespace
+}  // namespace maton::workloads

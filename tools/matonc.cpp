@@ -1,0 +1,229 @@
+// matonc — the maton command-line normalizer.
+//
+//   matonc analyze   <table.maton>                 dependency & NF report
+//   matonc normalize <table.maton> [options]       print the pipeline
+//   matonc export    <table.maton> [options]       emit a data plane
+//
+// Options:
+//   --join goto|metadata|rematch     join abstraction   (default metadata)
+//   --target 2nf|3nf|bcnf            normalization goal (default 3nf)
+//   --format openflow|p4             export backend     (default openflow)
+//   --no-constants                   keep constant columns inline
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/equivalence.hpp"
+#include "core/fd_mine.hpp"
+#include "core/mvd.hpp"
+#include "core/normal_forms.hpp"
+#include "core/synthesis.hpp"
+#include "core/text.hpp"
+#include "export/openflow.hpp"
+#include "export/p4.hpp"
+
+namespace {
+
+using namespace maton;
+
+int usage(std::ostream& os) {
+  os << "usage: matonc <analyze|normalize|export> <table.maton>\n"
+        "  [--join goto|metadata|rematch] [--target 2nf|3nf|bcnf]\n"
+        "  [--format openflow|p4] [--no-constants]\n";
+  return 2;
+}
+
+struct CliOptions {
+  std::string command;
+  std::string path;
+  core::JoinKind join = core::JoinKind::kMetadata;
+  core::NormalForm target = core::NormalForm::kThird;
+  std::string format = "openflow";
+  bool factor_constants = true;
+};
+
+bool parse_args(const std::vector<std::string>& args, CliOptions& opts,
+                std::ostream& err) {
+  if (args.size() < 2) return false;
+  opts.command = args[0];
+  opts.path = args[1];
+  for (std::size_t i = 2; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    auto next = [&]() -> const std::string* {
+      return i + 1 < args.size() ? &args[++i] : nullptr;
+    };
+    if (arg == "--join") {
+      const std::string* v = next();
+      if (v == nullptr) return false;
+      if (*v == "goto") {
+        opts.join = core::JoinKind::kGoto;
+      } else if (*v == "metadata") {
+        opts.join = core::JoinKind::kMetadata;
+      } else if (*v == "rematch") {
+        opts.join = core::JoinKind::kRematch;
+      } else {
+        err << "unknown join '" << *v << "'\n";
+        return false;
+      }
+    } else if (arg == "--target") {
+      const std::string* v = next();
+      if (v == nullptr) return false;
+      if (*v == "2nf") {
+        opts.target = core::NormalForm::kSecond;
+      } else if (*v == "3nf") {
+        opts.target = core::NormalForm::kThird;
+      } else if (*v == "bcnf") {
+        opts.target = core::NormalForm::kBoyceCodd;
+      } else {
+        err << "unknown target '" << *v << "'\n";
+        return false;
+      }
+    } else if (arg == "--format") {
+      const std::string* v = next();
+      if (v == nullptr) return false;
+      opts.format = *v;
+    } else if (arg == "--no-constants") {
+      opts.factor_constants = false;
+    } else {
+      err << "unknown option '" << arg << "'\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+int analyze(const core::ParsedSpec& spec, std::ostream& os) {
+  const core::Table& table = spec.table;
+  os << table.to_string() << "\n";
+  const core::FdSet fds = core::mine_fds_tane(table);
+  os << "functional dependencies (instance, minimal):\n"
+     << fds.to_string(table.schema());
+  const core::NfReport report = core::analyze(table, fds);
+  os << "\n" << report.to_string(table.schema());
+  if (!spec.model_fds.empty()) {
+    core::FdSet model = spec.model_fds;
+    model.add(table.schema().match_set(), table.schema().all());
+    os << "\nunder the declared model dependencies:\n"
+       << spec.model_fds.to_string(table.schema()) << "\n"
+       << core::analyze(table, model).to_string(table.schema());
+  }
+  const core::Nf4Report nf4 = core::analyze_4nf(table, fds);
+  if (!nf4.satisfied) {
+    os << "beyond 3NF: proper multi-valued dependencies present:\n";
+    for (const core::Mvd& mvd : nf4.violations) {
+      os << "  " << to_string(mvd, table.schema()) << "\n";
+    }
+  }
+  return 0;
+}
+
+Result<core::Pipeline> run_normalize(const core::ParsedSpec& spec,
+                                     const CliOptions& opts,
+                                     std::ostream& os) {
+  const core::Table& table = spec.table;
+  std::optional<core::FdSet> model;
+  if (!spec.model_fds.empty()) {
+    model = spec.model_fds;
+    model->add(table.schema().match_set(), table.schema().all());
+    os << "# normalizing against the declared model dependencies\n";
+  }
+  auto out = core::normalize(
+      table, {.target = opts.target,
+              .join = opts.join,
+              .factor_constant_columns = opts.factor_constants,
+              .model_fds = std::move(model)});
+  if (!out.is_ok()) return out.status();
+  for (const auto& step : out.value().trace) {
+    os << "# " << step.description << "\n";
+  }
+  for (const std::string& skipped : out.value().skipped) {
+    os << "# skipped: " << skipped << "\n";
+  }
+  const auto eq = core::check_equivalence(table, out.value().pipeline);
+  if (!eq.equivalent) {
+    return internal_error("normalization produced a non-equivalent "
+                          "pipeline: " + eq.counterexample);
+  }
+  os << "# verified equivalent over " << eq.packets_checked
+     << " probe packets\n";
+  return std::move(out).value().pipeline;
+}
+
+int run(const std::vector<std::string>& args, std::ostream& os,
+        std::ostream& err) {
+  CliOptions opts;
+  if (!parse_args(args, opts, err)) return usage(err);
+
+  std::ifstream file(opts.path);
+  if (!file) {
+    err << "cannot open " << opts.path << "\n";
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  const auto spec = core::parse_spec(buffer.str());
+  if (!spec.is_ok()) {
+    err << opts.path << ": " << spec.status().to_string() << "\n";
+    return 1;
+  }
+
+  if (opts.command == "analyze") {
+    return analyze(spec.value(), os);
+  }
+  if (opts.command == "normalize") {
+    const auto pipeline = run_normalize(spec.value(), opts, os);
+    if (!pipeline.is_ok()) {
+      err << pipeline.status().to_string() << "\n";
+      return 1;
+    }
+    os << pipeline.value().to_string();
+    return 0;
+  }
+  if (opts.command == "export") {
+    const auto pipeline = run_normalize(spec.value(), opts, os);
+    if (!pipeline.is_ok()) {
+      err << pipeline.status().to_string() << "\n";
+      return 1;
+    }
+    if (opts.format == "p4") {
+      const auto p4 = exporter::to_p4(pipeline.value());
+      if (!p4.is_ok()) {
+        err << p4.status().to_string() << "\n";
+        return 1;
+      }
+      os << p4.value();
+      return 0;
+    }
+    if (opts.format == "openflow") {
+      const auto program = dp::compile(pipeline.value());
+      if (!program.is_ok()) {
+        err << program.status().to_string() << "\n";
+        return 1;
+      }
+      const auto flows = exporter::to_openflow(program.value());
+      if (!flows.is_ok()) {
+        err << flows.status().to_string() << "\n";
+        return 1;
+      }
+      os << flows.value();
+      return 0;
+    }
+    err << "unknown format '" << opts.format << "'\n";
+    return 2;
+  }
+  return usage(err);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  try {
+    return run(args, std::cout, std::cerr);
+  } catch (const std::exception& e) {
+    std::cerr << "matonc: " << e.what() << "\n";
+    return 1;
+  }
+}
