@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_classifiers.dir/bench_classifiers.cpp.o"
+  "CMakeFiles/bench_classifiers.dir/bench_classifiers.cpp.o.d"
+  "bench_classifiers"
+  "bench_classifiers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_classifiers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

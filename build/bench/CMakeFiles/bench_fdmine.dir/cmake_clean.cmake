@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fdmine.dir/bench_fdmine.cpp.o"
+  "CMakeFiles/bench_fdmine.dir/bench_fdmine.cpp.o.d"
+  "bench_fdmine"
+  "bench_fdmine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fdmine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

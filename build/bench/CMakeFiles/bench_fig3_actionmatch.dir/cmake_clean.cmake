@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_actionmatch.dir/bench_fig3_actionmatch.cpp.o"
+  "CMakeFiles/bench_fig3_actionmatch.dir/bench_fig3_actionmatch.cpp.o.d"
+  "bench_fig3_actionmatch"
+  "bench_fig3_actionmatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_actionmatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_reactiveness.dir/bench_fig4_reactiveness.cpp.o"
+  "CMakeFiles/bench_fig4_reactiveness.dir/bench_fig4_reactiveness.cpp.o.d"
+  "bench_fig4_reactiveness"
+  "bench_fig4_reactiveness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_reactiveness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_sdx.dir/bench_fig5_sdx.cpp.o"
+  "CMakeFiles/bench_fig5_sdx.dir/bench_fig5_sdx.cpp.o.d"
+  "bench_fig5_sdx"
+  "bench_fig5_sdx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_sdx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/export_pipeline.dir/export_pipeline.cpp.o"
+  "CMakeFiles/export_pipeline.dir/export_pipeline.cpp.o.d"
+  "export_pipeline"
+  "export_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/export_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gwlb_pipeline.dir/gwlb_pipeline.cpp.o"
+  "CMakeFiles/gwlb_pipeline.dir/gwlb_pipeline.cpp.o.d"
+  "gwlb_pipeline"
+  "gwlb_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gwlb_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for gwlb_pipeline.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/l3_router.dir/l3_router.cpp.o"
+  "CMakeFiles/l3_router.dir/l3_router.cpp.o.d"
+  "l3_router"
+  "l3_router.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/l3_router.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

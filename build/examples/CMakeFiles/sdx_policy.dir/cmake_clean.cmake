@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdx_policy.dir/sdx_policy.cpp.o"
+  "CMakeFiles/sdx_policy.dir/sdx_policy.cpp.o.d"
+  "sdx_policy"
+  "sdx_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdx_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

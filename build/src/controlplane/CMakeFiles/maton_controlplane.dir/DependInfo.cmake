@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/controlplane/churn.cpp" "src/controlplane/CMakeFiles/maton_controlplane.dir/churn.cpp.o" "gcc" "src/controlplane/CMakeFiles/maton_controlplane.dir/churn.cpp.o.d"
+  "/root/repo/src/controlplane/compiler.cpp" "src/controlplane/CMakeFiles/maton_controlplane.dir/compiler.cpp.o" "gcc" "src/controlplane/CMakeFiles/maton_controlplane.dir/compiler.cpp.o.d"
+  "/root/repo/src/controlplane/controller.cpp" "src/controlplane/CMakeFiles/maton_controlplane.dir/controller.cpp.o" "gcc" "src/controlplane/CMakeFiles/maton_controlplane.dir/controller.cpp.o.d"
+  "/root/repo/src/controlplane/monitor.cpp" "src/controlplane/CMakeFiles/maton_controlplane.dir/monitor.cpp.o" "gcc" "src/controlplane/CMakeFiles/maton_controlplane.dir/monitor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dataplane/CMakeFiles/maton_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/maton_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/maton_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/maton_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

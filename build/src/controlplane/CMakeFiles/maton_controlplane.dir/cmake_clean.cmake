@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maton_controlplane.dir/churn.cpp.o"
+  "CMakeFiles/maton_controlplane.dir/churn.cpp.o.d"
+  "CMakeFiles/maton_controlplane.dir/compiler.cpp.o"
+  "CMakeFiles/maton_controlplane.dir/compiler.cpp.o.d"
+  "CMakeFiles/maton_controlplane.dir/controller.cpp.o"
+  "CMakeFiles/maton_controlplane.dir/controller.cpp.o.d"
+  "CMakeFiles/maton_controlplane.dir/monitor.cpp.o"
+  "CMakeFiles/maton_controlplane.dir/monitor.cpp.o.d"
+  "libmaton_controlplane.a"
+  "libmaton_controlplane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maton_controlplane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

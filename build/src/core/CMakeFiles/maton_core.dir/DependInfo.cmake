@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/attr.cpp" "src/core/CMakeFiles/maton_core.dir/attr.cpp.o" "gcc" "src/core/CMakeFiles/maton_core.dir/attr.cpp.o.d"
+  "/root/repo/src/core/decompose.cpp" "src/core/CMakeFiles/maton_core.dir/decompose.cpp.o" "gcc" "src/core/CMakeFiles/maton_core.dir/decompose.cpp.o.d"
+  "/root/repo/src/core/denormalize.cpp" "src/core/CMakeFiles/maton_core.dir/denormalize.cpp.o" "gcc" "src/core/CMakeFiles/maton_core.dir/denormalize.cpp.o.d"
+  "/root/repo/src/core/equivalence.cpp" "src/core/CMakeFiles/maton_core.dir/equivalence.cpp.o" "gcc" "src/core/CMakeFiles/maton_core.dir/equivalence.cpp.o.d"
+  "/root/repo/src/core/fd.cpp" "src/core/CMakeFiles/maton_core.dir/fd.cpp.o" "gcc" "src/core/CMakeFiles/maton_core.dir/fd.cpp.o.d"
+  "/root/repo/src/core/fd_mine.cpp" "src/core/CMakeFiles/maton_core.dir/fd_mine.cpp.o" "gcc" "src/core/CMakeFiles/maton_core.dir/fd_mine.cpp.o.d"
+  "/root/repo/src/core/join.cpp" "src/core/CMakeFiles/maton_core.dir/join.cpp.o" "gcc" "src/core/CMakeFiles/maton_core.dir/join.cpp.o.d"
+  "/root/repo/src/core/keys.cpp" "src/core/CMakeFiles/maton_core.dir/keys.cpp.o" "gcc" "src/core/CMakeFiles/maton_core.dir/keys.cpp.o.d"
+  "/root/repo/src/core/mvd.cpp" "src/core/CMakeFiles/maton_core.dir/mvd.cpp.o" "gcc" "src/core/CMakeFiles/maton_core.dir/mvd.cpp.o.d"
+  "/root/repo/src/core/normal_forms.cpp" "src/core/CMakeFiles/maton_core.dir/normal_forms.cpp.o" "gcc" "src/core/CMakeFiles/maton_core.dir/normal_forms.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/maton_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/maton_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/synthesis.cpp" "src/core/CMakeFiles/maton_core.dir/synthesis.cpp.o" "gcc" "src/core/CMakeFiles/maton_core.dir/synthesis.cpp.o.d"
+  "/root/repo/src/core/table.cpp" "src/core/CMakeFiles/maton_core.dir/table.cpp.o" "gcc" "src/core/CMakeFiles/maton_core.dir/table.cpp.o.d"
+  "/root/repo/src/core/text.cpp" "src/core/CMakeFiles/maton_core.dir/text.cpp.o" "gcc" "src/core/CMakeFiles/maton_core.dir/text.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/maton_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

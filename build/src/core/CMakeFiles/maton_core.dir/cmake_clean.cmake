@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maton_core.dir/attr.cpp.o"
+  "CMakeFiles/maton_core.dir/attr.cpp.o.d"
+  "CMakeFiles/maton_core.dir/decompose.cpp.o"
+  "CMakeFiles/maton_core.dir/decompose.cpp.o.d"
+  "CMakeFiles/maton_core.dir/denormalize.cpp.o"
+  "CMakeFiles/maton_core.dir/denormalize.cpp.o.d"
+  "CMakeFiles/maton_core.dir/equivalence.cpp.o"
+  "CMakeFiles/maton_core.dir/equivalence.cpp.o.d"
+  "CMakeFiles/maton_core.dir/fd.cpp.o"
+  "CMakeFiles/maton_core.dir/fd.cpp.o.d"
+  "CMakeFiles/maton_core.dir/fd_mine.cpp.o"
+  "CMakeFiles/maton_core.dir/fd_mine.cpp.o.d"
+  "CMakeFiles/maton_core.dir/join.cpp.o"
+  "CMakeFiles/maton_core.dir/join.cpp.o.d"
+  "CMakeFiles/maton_core.dir/keys.cpp.o"
+  "CMakeFiles/maton_core.dir/keys.cpp.o.d"
+  "CMakeFiles/maton_core.dir/mvd.cpp.o"
+  "CMakeFiles/maton_core.dir/mvd.cpp.o.d"
+  "CMakeFiles/maton_core.dir/normal_forms.cpp.o"
+  "CMakeFiles/maton_core.dir/normal_forms.cpp.o.d"
+  "CMakeFiles/maton_core.dir/pipeline.cpp.o"
+  "CMakeFiles/maton_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/maton_core.dir/synthesis.cpp.o"
+  "CMakeFiles/maton_core.dir/synthesis.cpp.o.d"
+  "CMakeFiles/maton_core.dir/table.cpp.o"
+  "CMakeFiles/maton_core.dir/table.cpp.o.d"
+  "CMakeFiles/maton_core.dir/text.cpp.o"
+  "CMakeFiles/maton_core.dir/text.cpp.o.d"
+  "libmaton_core.a"
+  "libmaton_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maton_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataplane/exact_match.cpp" "src/dataplane/CMakeFiles/maton_dataplane.dir/exact_match.cpp.o" "gcc" "src/dataplane/CMakeFiles/maton_dataplane.dir/exact_match.cpp.o.d"
+  "/root/repo/src/dataplane/flow_key.cpp" "src/dataplane/CMakeFiles/maton_dataplane.dir/flow_key.cpp.o" "gcc" "src/dataplane/CMakeFiles/maton_dataplane.dir/flow_key.cpp.o.d"
+  "/root/repo/src/dataplane/lpm_trie.cpp" "src/dataplane/CMakeFiles/maton_dataplane.dir/lpm_trie.cpp.o" "gcc" "src/dataplane/CMakeFiles/maton_dataplane.dir/lpm_trie.cpp.o.d"
+  "/root/repo/src/dataplane/ovs_model.cpp" "src/dataplane/CMakeFiles/maton_dataplane.dir/ovs_model.cpp.o" "gcc" "src/dataplane/CMakeFiles/maton_dataplane.dir/ovs_model.cpp.o.d"
+  "/root/repo/src/dataplane/packet.cpp" "src/dataplane/CMakeFiles/maton_dataplane.dir/packet.cpp.o" "gcc" "src/dataplane/CMakeFiles/maton_dataplane.dir/packet.cpp.o.d"
+  "/root/repo/src/dataplane/program.cpp" "src/dataplane/CMakeFiles/maton_dataplane.dir/program.cpp.o" "gcc" "src/dataplane/CMakeFiles/maton_dataplane.dir/program.cpp.o.d"
+  "/root/repo/src/dataplane/switch_common.cpp" "src/dataplane/CMakeFiles/maton_dataplane.dir/switch_common.cpp.o" "gcc" "src/dataplane/CMakeFiles/maton_dataplane.dir/switch_common.cpp.o.d"
+  "/root/repo/src/dataplane/table_walk_models.cpp" "src/dataplane/CMakeFiles/maton_dataplane.dir/table_walk_models.cpp.o" "gcc" "src/dataplane/CMakeFiles/maton_dataplane.dir/table_walk_models.cpp.o.d"
+  "/root/repo/src/dataplane/tss.cpp" "src/dataplane/CMakeFiles/maton_dataplane.dir/tss.cpp.o" "gcc" "src/dataplane/CMakeFiles/maton_dataplane.dir/tss.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/maton_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/maton_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maton_dataplane.dir/exact_match.cpp.o"
+  "CMakeFiles/maton_dataplane.dir/exact_match.cpp.o.d"
+  "CMakeFiles/maton_dataplane.dir/flow_key.cpp.o"
+  "CMakeFiles/maton_dataplane.dir/flow_key.cpp.o.d"
+  "CMakeFiles/maton_dataplane.dir/lpm_trie.cpp.o"
+  "CMakeFiles/maton_dataplane.dir/lpm_trie.cpp.o.d"
+  "CMakeFiles/maton_dataplane.dir/ovs_model.cpp.o"
+  "CMakeFiles/maton_dataplane.dir/ovs_model.cpp.o.d"
+  "CMakeFiles/maton_dataplane.dir/packet.cpp.o"
+  "CMakeFiles/maton_dataplane.dir/packet.cpp.o.d"
+  "CMakeFiles/maton_dataplane.dir/program.cpp.o"
+  "CMakeFiles/maton_dataplane.dir/program.cpp.o.d"
+  "CMakeFiles/maton_dataplane.dir/switch_common.cpp.o"
+  "CMakeFiles/maton_dataplane.dir/switch_common.cpp.o.d"
+  "CMakeFiles/maton_dataplane.dir/table_walk_models.cpp.o"
+  "CMakeFiles/maton_dataplane.dir/table_walk_models.cpp.o.d"
+  "CMakeFiles/maton_dataplane.dir/tss.cpp.o"
+  "CMakeFiles/maton_dataplane.dir/tss.cpp.o.d"
+  "libmaton_dataplane.a"
+  "libmaton_dataplane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maton_dataplane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

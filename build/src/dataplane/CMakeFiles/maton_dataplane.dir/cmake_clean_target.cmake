@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmaton_dataplane.a"
+)

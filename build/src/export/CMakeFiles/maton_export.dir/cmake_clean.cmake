@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maton_export.dir/openflow.cpp.o"
+  "CMakeFiles/maton_export.dir/openflow.cpp.o.d"
+  "CMakeFiles/maton_export.dir/p4.cpp.o"
+  "CMakeFiles/maton_export.dir/p4.cpp.o.d"
+  "libmaton_export.a"
+  "libmaton_export.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maton_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netkat/axioms.cpp" "src/netkat/CMakeFiles/maton_netkat.dir/axioms.cpp.o" "gcc" "src/netkat/CMakeFiles/maton_netkat.dir/axioms.cpp.o.d"
+  "/root/repo/src/netkat/eval.cpp" "src/netkat/CMakeFiles/maton_netkat.dir/eval.cpp.o" "gcc" "src/netkat/CMakeFiles/maton_netkat.dir/eval.cpp.o.d"
+  "/root/repo/src/netkat/policy.cpp" "src/netkat/CMakeFiles/maton_netkat.dir/policy.cpp.o" "gcc" "src/netkat/CMakeFiles/maton_netkat.dir/policy.cpp.o.d"
+  "/root/repo/src/netkat/table_codec.cpp" "src/netkat/CMakeFiles/maton_netkat.dir/table_codec.cpp.o" "gcc" "src/netkat/CMakeFiles/maton_netkat.dir/table_codec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/maton_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/maton_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maton_netkat.dir/axioms.cpp.o"
+  "CMakeFiles/maton_netkat.dir/axioms.cpp.o.d"
+  "CMakeFiles/maton_netkat.dir/eval.cpp.o"
+  "CMakeFiles/maton_netkat.dir/eval.cpp.o.d"
+  "CMakeFiles/maton_netkat.dir/policy.cpp.o"
+  "CMakeFiles/maton_netkat.dir/policy.cpp.o.d"
+  "CMakeFiles/maton_netkat.dir/table_codec.cpp.o"
+  "CMakeFiles/maton_netkat.dir/table_codec.cpp.o.d"
+  "libmaton_netkat.a"
+  "libmaton_netkat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maton_netkat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

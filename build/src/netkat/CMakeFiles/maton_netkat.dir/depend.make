@@ -1,0 +1,2 @@
+# Empty dependencies file for maton_netkat.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maton_util.dir/format.cpp.o"
+  "CMakeFiles/maton_util.dir/format.cpp.o.d"
+  "CMakeFiles/maton_util.dir/quantile.cpp.o"
+  "CMakeFiles/maton_util.dir/quantile.cpp.o.d"
+  "CMakeFiles/maton_util.dir/report.cpp.o"
+  "CMakeFiles/maton_util.dir/report.cpp.o.d"
+  "CMakeFiles/maton_util.dir/status.cpp.o"
+  "CMakeFiles/maton_util.dir/status.cpp.o.d"
+  "libmaton_util.a"
+  "libmaton_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maton_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

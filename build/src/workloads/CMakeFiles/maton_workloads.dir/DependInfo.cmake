@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/gwlb.cpp" "src/workloads/CMakeFiles/maton_workloads.dir/gwlb.cpp.o" "gcc" "src/workloads/CMakeFiles/maton_workloads.dir/gwlb.cpp.o.d"
+  "/root/repo/src/workloads/l3fwd.cpp" "src/workloads/CMakeFiles/maton_workloads.dir/l3fwd.cpp.o" "gcc" "src/workloads/CMakeFiles/maton_workloads.dir/l3fwd.cpp.o.d"
+  "/root/repo/src/workloads/sdx.cpp" "src/workloads/CMakeFiles/maton_workloads.dir/sdx.cpp.o" "gcc" "src/workloads/CMakeFiles/maton_workloads.dir/sdx.cpp.o.d"
+  "/root/repo/src/workloads/traffic.cpp" "src/workloads/CMakeFiles/maton_workloads.dir/traffic.cpp.o" "gcc" "src/workloads/CMakeFiles/maton_workloads.dir/traffic.cpp.o.d"
+  "/root/repo/src/workloads/vlan.cpp" "src/workloads/CMakeFiles/maton_workloads.dir/vlan.cpp.o" "gcc" "src/workloads/CMakeFiles/maton_workloads.dir/vlan.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/maton_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataplane/CMakeFiles/maton_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/maton_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

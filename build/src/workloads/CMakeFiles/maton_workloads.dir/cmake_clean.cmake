@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maton_workloads.dir/gwlb.cpp.o"
+  "CMakeFiles/maton_workloads.dir/gwlb.cpp.o.d"
+  "CMakeFiles/maton_workloads.dir/l3fwd.cpp.o"
+  "CMakeFiles/maton_workloads.dir/l3fwd.cpp.o.d"
+  "CMakeFiles/maton_workloads.dir/sdx.cpp.o"
+  "CMakeFiles/maton_workloads.dir/sdx.cpp.o.d"
+  "CMakeFiles/maton_workloads.dir/traffic.cpp.o"
+  "CMakeFiles/maton_workloads.dir/traffic.cpp.o.d"
+  "CMakeFiles/maton_workloads.dir/vlan.cpp.o"
+  "CMakeFiles/maton_workloads.dir/vlan.cpp.o.d"
+  "libmaton_workloads.a"
+  "libmaton_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maton_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/controlplane_test_compiler.dir/controlplane/test_compiler.cpp.o"
+  "CMakeFiles/controlplane_test_compiler.dir/controlplane/test_compiler.cpp.o.d"
+  "controlplane_test_compiler"
+  "controlplane_test_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/controlplane_test_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/controlplane_test_controller.dir/controlplane/test_controller.cpp.o"
+  "CMakeFiles/controlplane_test_controller.dir/controlplane/test_controller.cpp.o.d"
+  "controlplane_test_controller"
+  "controlplane_test_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/controlplane_test_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/controlplane_test_monitor.dir/controlplane/test_monitor.cpp.o"
+  "CMakeFiles/controlplane_test_monitor.dir/controlplane/test_monitor.cpp.o.d"
+  "controlplane_test_monitor"
+  "controlplane_test_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/controlplane_test_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

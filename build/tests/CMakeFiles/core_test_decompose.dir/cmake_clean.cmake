@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test_decompose.dir/core/test_decompose.cpp.o"
+  "CMakeFiles/core_test_decompose.dir/core/test_decompose.cpp.o.d"
+  "core_test_decompose"
+  "core_test_decompose.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test_decompose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

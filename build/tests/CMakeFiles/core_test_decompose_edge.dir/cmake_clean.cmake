@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test_decompose_edge.dir/core/test_decompose_edge.cpp.o"
+  "CMakeFiles/core_test_decompose_edge.dir/core/test_decompose_edge.cpp.o.d"
+  "core_test_decompose_edge"
+  "core_test_decompose_edge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test_decompose_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test_denormalize.dir/core/test_denormalize.cpp.o"
+  "CMakeFiles/core_test_denormalize.dir/core/test_denormalize.cpp.o.d"
+  "core_test_denormalize"
+  "core_test_denormalize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test_denormalize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test_equivalence.dir/core/test_equivalence.cpp.o"
+  "CMakeFiles/core_test_equivalence.dir/core/test_equivalence.cpp.o.d"
+  "core_test_equivalence"
+  "core_test_equivalence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test_equivalence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

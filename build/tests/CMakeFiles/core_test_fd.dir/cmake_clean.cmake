@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test_fd.dir/core/test_fd.cpp.o"
+  "CMakeFiles/core_test_fd.dir/core/test_fd.cpp.o.d"
+  "core_test_fd"
+  "core_test_fd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test_fd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

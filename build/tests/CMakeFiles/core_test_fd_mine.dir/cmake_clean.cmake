@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test_fd_mine.dir/core/test_fd_mine.cpp.o"
+  "CMakeFiles/core_test_fd_mine.dir/core/test_fd_mine.cpp.o.d"
+  "core_test_fd_mine"
+  "core_test_fd_mine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test_fd_mine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

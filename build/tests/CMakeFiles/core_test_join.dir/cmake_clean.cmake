@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test_join.dir/core/test_join.cpp.o"
+  "CMakeFiles/core_test_join.dir/core/test_join.cpp.o.d"
+  "core_test_join"
+  "core_test_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

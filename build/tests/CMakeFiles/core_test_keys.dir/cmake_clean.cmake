@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test_keys.dir/core/test_keys.cpp.o"
+  "CMakeFiles/core_test_keys.dir/core/test_keys.cpp.o.d"
+  "core_test_keys"
+  "core_test_keys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test_keys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

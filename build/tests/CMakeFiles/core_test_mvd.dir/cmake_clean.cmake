@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test_mvd.dir/core/test_mvd.cpp.o"
+  "CMakeFiles/core_test_mvd.dir/core/test_mvd.cpp.o.d"
+  "core_test_mvd"
+  "core_test_mvd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test_mvd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

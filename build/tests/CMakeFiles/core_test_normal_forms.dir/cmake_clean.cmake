@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test_normal_forms.dir/core/test_normal_forms.cpp.o"
+  "CMakeFiles/core_test_normal_forms.dir/core/test_normal_forms.cpp.o.d"
+  "core_test_normal_forms"
+  "core_test_normal_forms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test_normal_forms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_pipeline.cpp" "tests/CMakeFiles/core_test_pipeline.dir/core/test_pipeline.cpp.o" "gcc" "tests/CMakeFiles/core_test_pipeline.dir/core/test_pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/maton_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/maton_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/maton_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/netkat/CMakeFiles/maton_netkat.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataplane/CMakeFiles/maton_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/controlplane/CMakeFiles/maton_controlplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/export/CMakeFiles/maton_export.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test_pipeline.dir/core/test_pipeline.cpp.o"
+  "CMakeFiles/core_test_pipeline.dir/core/test_pipeline.cpp.o.d"
+  "core_test_pipeline"
+  "core_test_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

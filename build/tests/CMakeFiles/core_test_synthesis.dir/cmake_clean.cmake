@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test_synthesis.dir/core/test_synthesis.cpp.o"
+  "CMakeFiles/core_test_synthesis.dir/core/test_synthesis.cpp.o.d"
+  "core_test_synthesis"
+  "core_test_synthesis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test_synthesis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test_table.dir/core/test_table.cpp.o"
+  "CMakeFiles/core_test_table.dir/core/test_table.cpp.o.d"
+  "core_test_table"
+  "core_test_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

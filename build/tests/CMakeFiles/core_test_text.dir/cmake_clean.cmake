@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test_text.dir/core/test_text.cpp.o"
+  "CMakeFiles/core_test_text.dir/core/test_text.cpp.o.d"
+  "core_test_text"
+  "core_test_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

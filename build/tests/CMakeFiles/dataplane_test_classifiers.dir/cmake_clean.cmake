@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataplane_test_classifiers.dir/dataplane/test_classifiers.cpp.o"
+  "CMakeFiles/dataplane_test_classifiers.dir/dataplane/test_classifiers.cpp.o.d"
+  "dataplane_test_classifiers"
+  "dataplane_test_classifiers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataplane_test_classifiers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataplane_test_packet.dir/dataplane/test_packet.cpp.o"
+  "CMakeFiles/dataplane_test_packet.dir/dataplane/test_packet.cpp.o.d"
+  "dataplane_test_packet"
+  "dataplane_test_packet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataplane_test_packet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

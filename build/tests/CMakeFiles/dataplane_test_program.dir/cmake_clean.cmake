@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataplane_test_program.dir/dataplane/test_program.cpp.o"
+  "CMakeFiles/dataplane_test_program.dir/dataplane/test_program.cpp.o.d"
+  "dataplane_test_program"
+  "dataplane_test_program.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataplane_test_program.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

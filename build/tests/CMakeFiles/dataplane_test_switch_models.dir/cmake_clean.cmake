@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataplane_test_switch_models.dir/dataplane/test_switch_models.cpp.o"
+  "CMakeFiles/dataplane_test_switch_models.dir/dataplane/test_switch_models.cpp.o.d"
+  "dataplane_test_switch_models"
+  "dataplane_test_switch_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataplane_test_switch_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

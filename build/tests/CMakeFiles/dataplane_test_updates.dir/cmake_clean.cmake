@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataplane_test_updates.dir/dataplane/test_updates.cpp.o"
+  "CMakeFiles/dataplane_test_updates.dir/dataplane/test_updates.cpp.o.d"
+  "dataplane_test_updates"
+  "dataplane_test_updates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataplane_test_updates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

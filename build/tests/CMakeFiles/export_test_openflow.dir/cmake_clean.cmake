@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/export_test_openflow.dir/export/test_openflow.cpp.o"
+  "CMakeFiles/export_test_openflow.dir/export/test_openflow.cpp.o.d"
+  "export_test_openflow"
+  "export_test_openflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/export_test_openflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

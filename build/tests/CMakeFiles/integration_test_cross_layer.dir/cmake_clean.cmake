@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_test_cross_layer.dir/integration/test_cross_layer.cpp.o"
+  "CMakeFiles/integration_test_cross_layer.dir/integration/test_cross_layer.cpp.o.d"
+  "integration_test_cross_layer"
+  "integration_test_cross_layer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_test_cross_layer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

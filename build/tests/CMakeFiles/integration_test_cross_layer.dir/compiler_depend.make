@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for integration_test_cross_layer.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netkat_test_axioms.dir/netkat/test_axioms.cpp.o"
+  "CMakeFiles/netkat_test_axioms.dir/netkat/test_axioms.cpp.o.d"
+  "netkat_test_axioms"
+  "netkat_test_axioms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netkat_test_axioms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for netkat_test_axioms.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netkat_test_policy.dir/netkat/test_policy.cpp.o"
+  "CMakeFiles/netkat_test_policy.dir/netkat/test_policy.cpp.o.d"
+  "netkat_test_policy"
+  "netkat_test_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netkat_test_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netkat_test_product_stage.dir/netkat/test_product_stage.cpp.o"
+  "CMakeFiles/netkat_test_product_stage.dir/netkat/test_product_stage.cpp.o.d"
+  "netkat_test_product_stage"
+  "netkat_test_product_stage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netkat_test_product_stage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

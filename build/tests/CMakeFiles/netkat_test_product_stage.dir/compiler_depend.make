@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for netkat_test_product_stage.
+# This may be replaced when dependencies are built.

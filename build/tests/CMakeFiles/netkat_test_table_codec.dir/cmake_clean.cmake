@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netkat_test_table_codec.dir/netkat/test_table_codec.cpp.o"
+  "CMakeFiles/netkat_test_table_codec.dir/netkat/test_table_codec.cpp.o.d"
+  "netkat_test_table_codec"
+  "netkat_test_table_codec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netkat_test_table_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

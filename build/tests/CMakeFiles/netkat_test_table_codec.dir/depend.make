@@ -1,0 +1,2 @@
+# Empty dependencies file for netkat_test_table_codec.
+# This may be replaced when dependencies are built.

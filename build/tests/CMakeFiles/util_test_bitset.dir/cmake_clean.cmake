@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_test_bitset.dir/util/test_bitset.cpp.o"
+  "CMakeFiles/util_test_bitset.dir/util/test_bitset.cpp.o.d"
+  "util_test_bitset"
+  "util_test_bitset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_test_bitset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

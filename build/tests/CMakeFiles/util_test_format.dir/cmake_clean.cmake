@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_test_format.dir/util/test_format.cpp.o"
+  "CMakeFiles/util_test_format.dir/util/test_format.cpp.o.d"
+  "util_test_format"
+  "util_test_format.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_test_format.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

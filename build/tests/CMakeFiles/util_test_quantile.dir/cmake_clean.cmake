@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_test_quantile.dir/util/test_quantile.cpp.o"
+  "CMakeFiles/util_test_quantile.dir/util/test_quantile.cpp.o.d"
+  "util_test_quantile"
+  "util_test_quantile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_test_quantile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_test_report.dir/util/test_report.cpp.o"
+  "CMakeFiles/util_test_report.dir/util/test_report.cpp.o.d"
+  "util_test_report"
+  "util_test_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_test_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_test_status.dir/util/test_status.cpp.o"
+  "CMakeFiles/util_test_status.dir/util/test_status.cpp.o.d"
+  "util_test_status"
+  "util_test_status.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_test_status.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

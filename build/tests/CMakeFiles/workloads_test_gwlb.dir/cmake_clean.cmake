@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workloads_test_gwlb.dir/workloads/test_gwlb.cpp.o"
+  "CMakeFiles/workloads_test_gwlb.dir/workloads/test_gwlb.cpp.o.d"
+  "workloads_test_gwlb"
+  "workloads_test_gwlb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workloads_test_gwlb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

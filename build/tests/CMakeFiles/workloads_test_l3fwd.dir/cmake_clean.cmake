@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workloads_test_l3fwd.dir/workloads/test_l3fwd.cpp.o"
+  "CMakeFiles/workloads_test_l3fwd.dir/workloads/test_l3fwd.cpp.o.d"
+  "workloads_test_l3fwd"
+  "workloads_test_l3fwd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workloads_test_l3fwd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workloads_test_traffic.dir/workloads/test_traffic.cpp.o"
+  "CMakeFiles/workloads_test_traffic.dir/workloads/test_traffic.cpp.o.d"
+  "workloads_test_traffic"
+  "workloads_test_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workloads_test_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workloads_test_vlan_sdx.dir/workloads/test_vlan_sdx.cpp.o"
+  "CMakeFiles/workloads_test_vlan_sdx.dir/workloads/test_vlan_sdx.cpp.o.d"
+  "workloads_test_vlan_sdx"
+  "workloads_test_vlan_sdx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workloads_test_vlan_sdx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matonc.dir/matonc.cpp.o"
+  "CMakeFiles/matonc.dir/matonc.cpp.o.d"
+  "matonc"
+  "matonc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matonc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tools/matonc_analyze "/root/repo/build/tools/matonc" "analyze" "/root/repo/tools/../examples/specs/gwlb.maton")
+set_tests_properties(tools/matonc_analyze PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tools/matonc_normalize "/root/repo/build/tools/matonc" "normalize" "/root/repo/tools/../examples/specs/l3.maton" "--join" "metadata" "--target" "3nf")
+set_tests_properties(tools/matonc_normalize PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tools/matonc_export_openflow "/root/repo/build/tools/matonc" "export" "/root/repo/tools/../examples/specs/gwlb.maton" "--join" "goto" "--format" "openflow")
+set_tests_properties(tools/matonc_export_openflow PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tools/matonc_export_p4 "/root/repo/build/tools/matonc" "export" "/root/repo/tools/../examples/specs/l3.maton" "--format" "p4")
+set_tests_properties(tools/matonc_export_p4 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
