@@ -68,7 +68,68 @@ BENCHMARK(BM_MineTane)
     ->Args({1024, 4})
     ->Args({64, 6})
     ->Args({64, 8})
-    ->Args({1024, 8});
+    ->Args({1024, 8})
+    ->Args({4096, 8});
+
+// Thread-count sweep on the acceptance-criteria table (4096 x 8).
+// threads = 0 is the strictly sequential engine; larger counts fan the
+// lattice out over the shared pool (bounded by the machine's cores).
+void BM_MineTaneThreads(benchmark::State& state) {
+  const Table t = random_table(4096, 8, 3, 7);
+  const core::MineOptions opts{
+      .threads = static_cast<std::size_t>(state.range(0))};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::mine_fds_tane(t, opts));
+  }
+}
+BENCHMARK(BM_MineTaneThreads)->Arg(0)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+// Repeated mining of one unchanged table (the control-plane re-mine
+// pattern): cold = no cache, every call recomputes all partitions;
+// cached = a PartitionCache persists across the 10 calls.
+void BM_MineTaneRepeatedCold(benchmark::State& state) {
+  const Table t = random_table(4096, 8, 3, 7);
+  for (auto _ : state) {
+    for (int i = 0; i < 10; ++i) {
+      benchmark::DoNotOptimize(core::mine_fds_tane(t));
+    }
+  }
+}
+BENCHMARK(BM_MineTaneRepeatedCold);
+
+void BM_MineTaneRepeatedCached(benchmark::State& state) {
+  const Table t = random_table(4096, 8, 3, 7);
+  for (auto _ : state) {
+    core::tane::PartitionCache cache;
+    for (int i = 0; i < 10; ++i) {
+      benchmark::DoNotOptimize(
+          core::mine_fds_tane(t, {.cache = &cache}));
+    }
+  }
+}
+BENCHMARK(BM_MineTaneRepeatedCached);
+
+// Churn-style reuse: each iteration perturbs one column's contents, so
+// the cache serves the other columns' partitions across calls (the
+// cross-call case the engine is built for).
+void BM_MineTaneChurnCached(benchmark::State& state) {
+  const Table t = random_table(1024, 8, 3, 7);
+  core::tane::PartitionCache cache;
+  std::uint64_t tick = 0;
+  for (auto _ : state) {
+    // Rewrite column 7 only, differently per iteration.
+    Table mutated("bench", t.schema());
+    for (std::size_t r = 0; r < t.num_rows(); ++r) {
+      core::Row row = t.row(r);
+      row[7] = (row[7] + tick) % 5;
+      mutated.add_row(std::move(row));
+    }
+    ++tick;
+    benchmark::DoNotOptimize(
+        core::mine_fds_tane(mutated, {.cache = &cache}));
+  }
+}
+BENCHMARK(BM_MineTaneChurnCached);
 
 void BM_MineTaneGwlb(benchmark::State& state) {
   const auto gwlb = workloads::make_gwlb(

@@ -28,6 +28,8 @@ struct ChurnOutcome {
   double throughput_mpps = 0.0;
   double latency_us = 0.0;
   bool consistent = false;
+  /// Stripped-partition reuse while re-mining FDs after every intent.
+  double mine_cache_hit_rate = 0.0;
 };
 
 ChurnOutcome run_churn(const workloads::Gwlb& gwlb, Representation repr,
@@ -58,9 +60,22 @@ ChurnOutcome run_churn(const workloads::Gwlb& gwlb, Representation repr,
       expects(applied.is_ok(), "hw model rejected update");
       ++rule_mods;
     }
+    // Live dependency tracking: re-mine the mutated universal table and
+    // check the model FD still holds. A MoveServicePort intent only
+    // rewrites the tcp_dst column, so the binding's partition cache
+    // serves every other column's partitions unchanged — re-mining per
+    // update instead of recomputing the world per update.
+    for (const core::Fd& fd : binding.gwlb().model_fds.fds()) {
+      expects(binding.mined_fds().implies(fd),
+              "model FD no longer holds after churn intent");
+    }
   }
+  const auto cache = binding.partition_cache().stats();
+  const double probes = static_cast<double>(cache.hits + cache.misses);
 
   outcome.rule_mods_per_second = static_cast<double>(rule_mods);
+  outcome.mine_cache_hit_rate =
+      probes == 0.0 ? 0.0 : static_cast<double>(cache.hits) / probes;
   outcome.stall_fraction = stall_seconds;
   outcome.throughput_mpps = hw.throughput_mpps(stall_seconds);
   // Latency is dominated by the pipeline depth; churn adds a small
@@ -137,5 +152,11 @@ int main() {
                "for the normalized pipeline;\n"
                "normalization costs ~25% latency (6.4 -> 8.4 us), churn-"
                "independent\n";
+  std::cout << "\nlive FD re-mine after every intent: partition-cache hit "
+               "rate "
+            << format_double(100.0 * at100.mine_cache_hit_rate, 1)
+            << "% (universal) / "
+            << format_double(100.0 * at100_goto.mine_cache_hit_rate, 1)
+            << "% (goto) at 100 updates/s\n";
   return 0;
 }

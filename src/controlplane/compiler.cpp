@@ -126,7 +126,15 @@ GwlbBinding::GwlbBinding(Gwlb gwlb, Representation repr)
   rebuild_program();
 }
 
+const core::FdSet& GwlbBinding::mined_fds() {
+  if (!mined_.has_value()) {
+    mined_ = core::mine_fds_tane(gwlb_.universal, {.cache = &mine_cache_});
+  }
+  return *mined_;
+}
+
 void GwlbBinding::rebuild_program() {
+  mined_.reset();  // the universal table is about to change
   // Rebuild the universal table from the service model first (the
   // decomposed builders read services directly).
   core::Table universal("gwlb.universal", gwlb_.universal.schema());

@@ -5,9 +5,11 @@
 // window when updates are not applied atomically).
 #pragma once
 
+#include <optional>
 #include <vector>
 
 #include "controlplane/intent.hpp"
+#include "core/fd_mine.hpp"
 #include "dataplane/switch.hpp"
 #include "workloads/gwlb.hpp"
 
@@ -58,12 +60,28 @@ class GwlbBinding {
   /// partially-applied states.
   [[nodiscard]] std::size_t identity_entries(std::size_t service) const;
 
+  /// FDs holding in the *current* universal table, re-mined lazily after
+  /// each applied intent (§3's transient dependencies tracked live under
+  /// churn). The binding keeps a cross-call PartitionCache: an intent
+  /// rewrites a few cells of one or two columns, so the next re-mine
+  /// reuses every stripped partition whose columns the intent left
+  /// untouched instead of recomputing the world per update.
+  [[nodiscard]] const core::FdSet& mined_fds();
+
+  /// The partition cache backing mined_fds(), for reuse diagnostics.
+  [[nodiscard]] const core::tane::PartitionCache& partition_cache() const
+      noexcept {
+    return mine_cache_;
+  }
+
  private:
   void rebuild_program();
 
   workloads::Gwlb gwlb_;
   Representation repr_;
   dp::Program program_;
+  core::tane::PartitionCache mine_cache_;
+  std::optional<core::FdSet> mined_;  // invalidated by rebuild_program()
 };
 
 /// Builds the core pipeline for a representation (universal = single

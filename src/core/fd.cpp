@@ -12,33 +12,60 @@ std::string to_string(const Fd& fd, const Schema& schema) {
 }
 
 bool fd_holds(const Table& table, const Fd& fd) {
-  // Group rows by their LHS values and require a single RHS value per group.
-  struct VecHash {
-    std::size_t operator()(const std::vector<Value>& vals) const noexcept {
-      std::uint64_t h = 1469598103934665603ULL;
-      for (Value v : vals) {
-        h ^= v;
-        h *= 1099511628211ULL;
-      }
+  // Partition-refinement check: refine the all-rows group by each LHS
+  // column in turn (exact — groups split only on actual value
+  // inequality), then require every group to be constant on the RHS
+  // columns, compared in place against the group's first row. No per-row
+  // key/value vectors are materialized.
+  const std::size_t n = table.num_rows();
+  if (n == 0 || fd.trivial()) return true;
+
+  std::vector<std::uint32_t> group(n, 0);
+  std::uint32_t num_groups = 1;
+
+  struct SplitKey {
+    std::uint32_t group;
+    Value value;
+    bool operator==(const SplitKey& o) const noexcept {
+      return group == o.group && value == o.value;
+    }
+  };
+  struct SplitKeyHash {
+    std::size_t operator()(const SplitKey& k) const noexcept {
+      std::uint64_t h = (std::uint64_t{k.group} << 1) ^ k.value;
+      h ^= h >> 33;
+      h *= 0xff51afd7ed558ccdULL;
+      h ^= h >> 29;
       return static_cast<std::size_t>(h);
     }
   };
-  std::unordered_map<std::vector<Value>, std::vector<Value>, VecHash> groups;
-  groups.reserve(table.num_rows());
-  for (const Row& r : table.rows()) {
-    std::vector<Value> key;
-    key.reserve(fd.lhs.size());
-    for (std::size_t c : fd.lhs) key.push_back(r[c]);
-    std::vector<Value> val;
-    val.reserve(fd.rhs.size());
-    for (std::size_t c : fd.rhs) val.push_back(r[c]);
+  std::unordered_map<SplitKey, std::uint32_t, SplitKeyHash> splitter;
+  splitter.reserve(n);
+  const std::vector<Row>& rows = table.rows();
+  for (std::size_t c : fd.lhs) {
+    splitter.clear();
+    std::uint32_t next_id = 0;
+    for (std::size_t r = 0; r < n; ++r) {
+      const auto [it, inserted] =
+          splitter.try_emplace({group[r], rows[r][c]}, next_id);
+      if (inserted) ++next_id;
+      group[r] = it->second;
+    }
+    num_groups = next_id;
+    if (num_groups == n) return true;  // all rows distinct on the LHS
+  }
 
-    auto [it, inserted] = groups.emplace(std::move(key), std::move(val));
-    if (!inserted) {
-      std::vector<Value> cur;
-      cur.reserve(fd.rhs.size());
-      for (std::size_t c : fd.rhs) cur.push_back(r[c]);
-      if (cur != it->second) return false;
+  // Representative (first) row per group; compare later rows in place.
+  constexpr std::uint32_t kNone = ~std::uint32_t{0};
+  std::vector<std::uint32_t> rep(num_groups, kNone);
+  for (std::size_t r = 0; r < n; ++r) {
+    std::uint32_t& leader = rep[group[r]];
+    if (leader == kNone) {
+      leader = static_cast<std::uint32_t>(r);
+      continue;
+    }
+    for (std::size_t c : fd.rhs) {
+      if (rows[r][c] != rows[leader][c]) return false;
     }
   }
   return true;

@@ -108,6 +108,30 @@ std::size_t Table::distinct_count(const AttrSet& cols) const {
   return seen.size();
 }
 
+std::uint64_t Table::column_fingerprint(std::size_t col) const {
+  expects(col < schema_.size(), "column index out of range");
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const Row& r : rows_) {
+    h ^= r[col];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::uint64_t Table::fingerprint() const noexcept {
+  std::uint64_t h = 1469598103934665603ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  };
+  mix(schema_.size());
+  mix(rows_.size());
+  for (const Row& r : rows_) {
+    for (Value v : r) mix(v);
+  }
+  return h;
+}
+
 std::string format_value(const Attribute& attr, Value v) {
   switch (attr.codec) {
     case ValueCodec::kPlain:

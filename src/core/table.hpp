@@ -70,6 +70,16 @@ class Table {
   /// Number of distinct value combinations over `cols`.
   [[nodiscard]] std::size_t distinct_count(const AttrSet& cols) const;
 
+  /// Content fingerprint of one column: a hash of its value sequence in
+  /// row order. Equal fingerprints ⇒ (whp) equal column contents, which
+  /// is the FD-mining partition-cache reuse criterion — π(X) depends
+  /// only on the value sequences of X's columns.
+  [[nodiscard]] std::uint64_t column_fingerprint(std::size_t col) const;
+
+  /// Whole-table content fingerprint: schema width, row count, and every
+  /// cell, in order. Mutating the table (add_row) changes it.
+  [[nodiscard]] std::uint64_t fingerprint() const noexcept;
+
   /// Pretty-printed table (attribute header + typed value rendering).
   [[nodiscard]] std::string to_string() const;
 

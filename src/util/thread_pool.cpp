@@ -1,0 +1,150 @@
+#include "util/thread_pool.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+
+#include "util/contract.hpp"
+
+namespace maton::util {
+
+/// One parallel_for invocation in flight. Workers pull tickets until the
+/// counter runs dry; the last lane to leave signals the submitting thread.
+struct ThreadPool::Batch {
+  const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
+  std::size_t n = 0;
+  std::atomic<std::size_t> next{0};
+  /// Lanes (pool workers) still inside run(); the caller's own lane is
+  /// not counted — it waits for this to hit zero after draining.
+  std::atomic<std::size_t> active{0};
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  std::mutex error_mutex;
+  std::exception_ptr error;
+
+  void run(std::size_t worker) {
+    for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed); i < n;
+         i = next.fetch_add(1, std::memory_order_relaxed)) {
+      try {
+        (*fn)(i, worker);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) error = std::current_exception();
+        // Drain the remaining tickets so every lane exits promptly.
+        next.store(n, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  void lane_done() {
+    if (active.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(done_mutex);
+      done_cv.notify_all();
+    }
+  }
+};
+
+struct ThreadPool::State {
+  std::mutex mutex;
+  std::condition_variable work_cv;
+  Batch* batch = nullptr;  // non-null while a parallel_for wants helpers
+  std::size_t helpers_wanted = 0;
+  bool shutdown = false;
+};
+
+ThreadPool::ThreadPool(std::size_t workers) : state_(new State) {
+  threads_.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    state_->shutdown = true;
+  }
+  state_->work_cv.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    Batch* batch = nullptr;
+    std::size_t lane = 0;
+    {
+      std::unique_lock<std::mutex> lock(state_->mutex);
+      state_->work_cv.wait(lock, [this] {
+        return state_->shutdown ||
+               (state_->batch != nullptr && state_->helpers_wanted > 0);
+      });
+      if (state_->shutdown) return;
+      batch = state_->batch;
+      lane = state_->helpers_wanted--;  // lanes 1..W; caller is lane 0
+      if (state_->helpers_wanted == 0) state_->batch = nullptr;
+    }
+    batch->run(lane);
+    batch->lane_done();
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n, std::size_t max_workers,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  std::size_t workers = std::min(max_workers, max_parallelism());
+  workers = std::min(workers, n);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i, 0);
+    return;
+  }
+
+  Batch batch;
+  batch.fn = &fn;
+  batch.n = n;
+  const std::size_t helpers = workers - 1;
+  batch.active.store(helpers, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    // Only one parallel_for is in flight at a time per pool (the mining
+    // engine never nests); a concurrent submitter would clobber `batch`.
+    ensures(state_->batch == nullptr,
+            "ThreadPool::parallel_for does not support nested/concurrent "
+            "submissions on one pool");
+    state_->batch = &batch;
+    state_->helpers_wanted = helpers;
+  }
+  state_->work_cv.notify_all();
+
+  batch.run(0);
+
+  {
+    // Withdraw any helper slots no worker has claimed yet, so stragglers
+    // cannot touch `batch` after it leaves scope.
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    if (state_->batch == &batch) {
+      const std::size_t unclaimed = state_->helpers_wanted;
+      state_->helpers_wanted = 0;
+      state_->batch = nullptr;
+      batch.active.fetch_sub(unclaimed, std::memory_order_acq_rel);
+    }
+  }
+  {
+    std::unique_lock<std::mutex> lock(batch.done_mutex);
+    batch.done_cv.wait(lock, [&batch] {
+      return batch.active.load(std::memory_order_acquire) == 0;
+    });
+  }
+  if (batch.error) std::rethrow_exception(batch.error);
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool([] {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw <= 1 ? std::size_t{0} : std::size_t{hw - 1};
+  }());
+  return pool;
+}
+
+}  // namespace maton::util

@@ -1,0 +1,74 @@
+// A small fixed-size thread pool with a blocking parallel_for helper.
+//
+// Built for the FD-mining engine (src/core/fd_mine.cpp): lattice levels
+// fan out as index ranges whose per-element work is independent, results
+// are written to caller-provided slots by index, and the caller merges
+// them in deterministic order afterwards. The pool therefore offers no
+// futures or task graph — just "run fn(i) for i in [0, n) on up to W
+// workers and wait".
+//
+// Design points:
+//  * The calling thread participates as worker 0, so a pool of size 0
+//    degenerates to a plain sequential loop (no threads touched at all —
+//    this is the `MineOptions::threads == 0` reproducibility path).
+//  * Work is distributed by an atomic ticket counter, not pre-chunked,
+//    so skewed per-element costs (partition products shrink as the
+//    lattice deepens) self-balance.
+//  * The first exception thrown by any worker is captured and rethrown
+//    on the calling thread after the loop drains (contract violations
+//    inside parallel sections surface exactly like sequential ones).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace maton::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads. 0 is valid: parallel_for then runs inline
+  /// on the calling thread.
+  explicit ThreadPool(std::size_t workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of pool-owned worker threads (excluding callers).
+  [[nodiscard]] std::size_t size() const noexcept { return threads_.size(); }
+
+  /// Maximum workers a parallel_for can engage: pool threads + the caller.
+  [[nodiscard]] std::size_t max_parallelism() const noexcept {
+    return threads_.size() + 1;
+  }
+
+  /// Runs fn(index, worker) for every index in [0, n), on at most
+  /// `max_workers` workers (clamped to max_parallelism(); the calling
+  /// thread is always worker 0). Blocks until every index completed.
+  /// `worker` ∈ [0, max_workers) identifies the executing lane so callers
+  /// can maintain per-worker scratch state without synchronization.
+  /// Rethrows the first exception any lane produced.
+  void parallel_for(std::size_t n, std::size_t max_workers,
+                    const std::function<void(std::size_t index,
+                                             std::size_t worker)>& fn);
+
+  /// Process-wide pool sized to hardware_concurrency() − 1, created on
+  /// first use. Shared by every mine_fds_tane call so repeated mining
+  /// (the control-plane churn loop) does not pay thread start-up per call.
+  [[nodiscard]] static ThreadPool& shared();
+
+ private:
+  struct Batch;
+
+  void worker_loop();
+
+  std::vector<std::thread> threads_;
+  // Pool state lives behind a pimpl-free mutex/cv pair; see .cpp.
+  struct State;
+  std::unique_ptr<State> state_;
+};
+
+}  // namespace maton::util

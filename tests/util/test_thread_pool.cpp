@@ -1,0 +1,92 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "util/contract.hpp"
+
+namespace maton::util {
+namespace {
+
+TEST(ThreadPool, ZeroWorkersRunsInline) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 0u);
+  EXPECT_EQ(pool.max_parallelism(), 1u);
+  std::vector<std::size_t> seen;
+  pool.parallel_for(8, 4, [&](std::size_t i, std::size_t worker) {
+    EXPECT_EQ(worker, 0u);  // only the calling thread
+    seen.push_back(i);      // safe: inline execution is sequential
+  });
+  std::vector<std::size_t> expected(8);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(seen, expected);  // and in ascending order
+}
+
+TEST(ThreadPool, EveryIndexRunsExactlyOnce) {
+  ThreadPool pool(3);
+  constexpr std::size_t kN = 10000;
+  std::vector<std::atomic<int>> counts(kN);
+  pool.parallel_for(kN, 4, [&](std::size_t i, std::size_t worker) {
+    EXPECT_LT(worker, 4u);
+    counts[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(counts[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, MaxWorkersClampsLaneIds) {
+  ThreadPool pool(3);
+  std::atomic<std::size_t> max_lane{0};
+  pool.parallel_for(1000, 2, [&](std::size_t, std::size_t worker) {
+    std::size_t seen = max_lane.load();
+    while (seen < worker && !max_lane.compare_exchange_weak(seen, worker)) {
+    }
+  });
+  EXPECT_LT(max_lane.load(), 2u);
+}
+
+TEST(ThreadPool, ReusableAcrossManyBatches) {
+  ThreadPool pool(2);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<std::size_t> sum{0};
+    pool.parallel_for(100, 3, [&](std::size_t i, std::size_t) {
+      sum.fetch_add(i, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(sum.load(), 100u * 99u / 2u);
+  }
+}
+
+TEST(ThreadPool, PropagatesFirstException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(100, 3,
+                        [&](std::size_t i, std::size_t) {
+                          if (i == 42) {
+                            ensures(false, "boom from worker");
+                          }
+                        }),
+      ContractViolation);
+  // The pool survives a throwing batch.
+  std::atomic<std::size_t> ran{0};
+  pool.parallel_for(10, 3, [&](std::size_t, std::size_t) {
+    ran.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(ran.load(), 10u);
+}
+
+TEST(ThreadPool, SharedPoolIsUsable) {
+  ThreadPool& pool = ThreadPool::shared();
+  std::atomic<std::size_t> sum{0};
+  pool.parallel_for(64, pool.max_parallelism(),
+                    [&](std::size_t i, std::size_t) {
+                      sum.fetch_add(i, std::memory_order_relaxed);
+                    });
+  EXPECT_EQ(sum.load(), 64u * 63u / 2u);
+}
+
+}  // namespace
+}  // namespace maton::util
