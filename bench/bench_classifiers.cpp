@@ -54,11 +54,53 @@ void run_lookups(benchmark::State& state, const dp::Classifier& classifier,
       static_cast<double>(state.iterations());
 }
 
+/// Batch counterpart of run_lookups: whole-trace lookup_batch passes.
+void run_batch_lookups(benchmark::State& state,
+                       const dp::Classifier& classifier,
+                       const std::vector<dp::FlowKey>& keys) {
+  std::vector<std::size_t> out(keys.size());
+  std::size_t hits = 0;
+  for (auto _ : state) {
+    classifier.lookup_batch(keys, out);
+    for (const std::size_t r : out) hits += r != dp::kNoRule ? 1 : 0;
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(keys.size()));
+  state.counters["hit_rate"] =
+      static_cast<double>(hits) /
+      static_cast<double>(state.iterations() * keys.size());
+}
+
 void BM_UniversalLinear(benchmark::State& state) {
   const auto c = dp::make_linear(setup20().universal.tables[0]);
   run_lookups(state, *c, setup20().keys);
 }
 BENCHMARK(BM_UniversalLinear);
+
+void BM_UniversalLinearBatch(benchmark::State& state) {
+  const auto c = dp::make_linear(setup20().universal.tables[0]);
+  run_batch_lookups(state, *c, setup20().keys);
+}
+BENCHMARK(BM_UniversalLinearBatch);
+
+void BM_UniversalTssBatch(benchmark::State& state) {
+  const auto c = dp::make_tss(setup20().universal.tables[0]);
+  run_batch_lookups(state, *c, setup20().keys);
+}
+BENCHMARK(BM_UniversalTssBatch);
+
+void BM_StageExactBatch(benchmark::State& state) {
+  const auto c = dp::make_exact_match(setup20().goto_program.tables[0]);
+  run_batch_lookups(state, *c, setup20().keys);
+}
+BENCHMARK(BM_StageExactBatch);
+
+void BM_StageLpmBatch(benchmark::State& state) {
+  const auto c = dp::make_lpm(setup20().goto_program.tables[1]);
+  run_batch_lookups(state, *c, setup20().keys);
+}
+BENCHMARK(BM_StageLpmBatch);
 
 void BM_UniversalTss(benchmark::State& state) {
   const auto c = dp::make_tss(setup20().universal.tables[0]);

@@ -1,0 +1,155 @@
+// P1 — Data-plane throughput baseline: scalar vs batch vs batch+threads
+// per switch model on the Table-1 workload (gwlb N=20, M=8, pre-parsed
+// 64B-frame keys). `bench/run_dataplane_baseline.sh` turns this suite
+// into BENCH_dataplane.json, the packet-path analogue of
+// BENCH_fdmine.json.
+//
+// Every benchmark reports items_per_second = packets per second through
+// the switch under test; parsing is excluded (keys are pre-extracted),
+// so scalar-vs-batch ratios isolate the execution engine itself.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "controlplane/compiler.hpp"
+#include "dataplane/switch.hpp"
+#include "workloads/replay.hpp"
+#include "workloads/traffic.hpp"
+
+namespace {
+
+using namespace maton;
+
+constexpr std::size_t kNumKeys = 4096;
+constexpr std::size_t kBatch = 256;
+
+struct Setup {
+  workloads::Gwlb gwlb;
+  dp::Program universal;
+  dp::Program goto_program;
+  std::vector<dp::FlowKey> keys;
+
+  Setup() {
+    gwlb = workloads::make_gwlb({.num_services = 20, .num_backends = 8});
+    universal =
+        cp::GwlbBinding(gwlb, cp::Representation::kUniversal).program();
+    goto_program =
+        cp::GwlbBinding(gwlb, cp::Representation::kGoto).program();
+    keys = workloads::make_gwlb_keys(
+        gwlb, {.num_packets = kNumKeys, .hit_fraction = 1.0});
+  }
+};
+
+const Setup& setup() {
+  static const Setup s;
+  return s;
+}
+
+[[nodiscard]] std::unique_ptr<dp::SwitchModel> make_model(
+    std::string_view which) {
+  if (which == "eswitch") return dp::make_eswitch_model();
+  if (which == "lagopus") return dp::make_lagopus_model();
+  return dp::make_ovs_model();
+}
+
+[[nodiscard]] const dp::Program& program_for(std::string_view repr) {
+  return repr == "universal" ? setup().universal : setup().goto_program;
+}
+
+/// One iteration = one full pass over the 4096-key trace.
+void BM_Scalar(benchmark::State& state, const char* model,
+               const char* repr) {
+  auto sw = make_model(model);
+  if (!sw->load(program_for(repr)).is_ok()) {
+    state.SkipWithError("load failed");
+    return;
+  }
+  const auto& keys = setup().keys;
+  // Warm-up: populates the OVS megaflow cache, touches all memory.
+  for (const dp::FlowKey& key : keys) (void)sw->process(key);
+  std::uint64_t hits = 0;
+  for (auto _ : state) {
+    for (const dp::FlowKey& key : keys) {
+      hits += sw->process(key).hit ? 1 : 0;
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(keys.size()));
+}
+
+void BM_Batch(benchmark::State& state, const char* model,
+              const char* repr) {
+  auto sw = make_model(model);
+  if (!sw->load(program_for(repr)).is_ok()) {
+    state.SkipWithError("load failed");
+    return;
+  }
+  const auto& keys = setup().keys;
+  std::vector<dp::ExecResult> results(kBatch);
+  for (const dp::FlowKey& key : keys) (void)sw->process(key);  // warm-up
+  std::uint64_t hits = 0;
+  for (auto _ : state) {
+    for (std::size_t base = 0; base < keys.size(); base += kBatch) {
+      const std::size_t n = std::min(kBatch, keys.size() - base);
+      sw->process_batch({keys.data() + base, n}, {results.data(), n});
+      for (std::size_t i = 0; i < n; ++i) hits += results[i].hit ? 1 : 0;
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(keys.size()));
+}
+
+/// Multi-queue scaling: the trace sharded over `threads` per-queue
+/// switch instances replaying concurrently (batch path). Real time, not
+/// CPU time, is the meaningful denominator here.
+void BM_BatchThreads(benchmark::State& state, const char* model,
+                     const char* repr) {
+  const auto queues = static_cast<std::size_t>(state.range(0));
+  const auto& keys = setup().keys;
+  std::uint64_t hits = 0;
+  for (auto _ : state) {
+    const workloads::ReplayStats stats = workloads::replay_threaded(
+        [&] { return make_model(model); }, program_for(repr), keys,
+        /*rounds=*/4, queues, kBatch);
+    hits += stats.hits;
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(keys.size()) * 4);
+  state.counters["queues"] = static_cast<double>(queues);
+}
+
+BENCHMARK_CAPTURE(BM_Scalar, eswitch_universal, "eswitch", "universal");
+BENCHMARK_CAPTURE(BM_Scalar, eswitch_goto, "eswitch", "goto");
+BENCHMARK_CAPTURE(BM_Scalar, ovs_universal, "ovs", "universal");
+BENCHMARK_CAPTURE(BM_Scalar, ovs_goto, "ovs", "goto");
+BENCHMARK_CAPTURE(BM_Scalar, lagopus_universal, "lagopus", "universal");
+BENCHMARK_CAPTURE(BM_Scalar, lagopus_goto, "lagopus", "goto");
+
+BENCHMARK_CAPTURE(BM_Batch, eswitch_universal, "eswitch", "universal");
+BENCHMARK_CAPTURE(BM_Batch, eswitch_goto, "eswitch", "goto");
+BENCHMARK_CAPTURE(BM_Batch, ovs_universal, "ovs", "universal");
+BENCHMARK_CAPTURE(BM_Batch, ovs_goto, "ovs", "goto");
+BENCHMARK_CAPTURE(BM_Batch, lagopus_universal, "lagopus", "universal");
+BENCHMARK_CAPTURE(BM_Batch, lagopus_goto, "lagopus", "goto");
+
+BENCHMARK_CAPTURE(BM_BatchThreads, eswitch_goto, "eswitch", "goto")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime();
+BENCHMARK_CAPTURE(BM_BatchThreads, eswitch_universal, "eswitch",
+                  "universal")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

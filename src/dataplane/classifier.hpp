@@ -10,11 +10,15 @@
 
 #include <memory>
 #include <optional>
+#include <span>
 #include <string_view>
 
 #include "dataplane/program.hpp"
 
 namespace maton::dp {
+
+/// Miss sentinel for batch lookups (out-of-band of any rule index).
+inline constexpr std::size_t kNoRule = ~std::size_t{0};
 
 /// Immutable lookup structure over one table's rules. Returns the index
 /// of the winning (highest-priority) rule, or nullopt on miss.
@@ -26,6 +30,20 @@ class Classifier {
 
   [[nodiscard]] virtual std::optional<std::size_t> lookup(
       const FlowKey& key) const = 0;
+
+  /// Batch lookup: out[i] = winning rule index for keys[i], or kNoRule on
+  /// miss — bit-identical to calling lookup() per key. The base
+  /// implementation is the scalar loop; templates override it where
+  /// batching pays (software prefetch of hash buckets, level-synchronous
+  /// trie walks, per-subtable mask hoisting). Requires
+  /// out.size() >= keys.size().
+  virtual void lookup_batch(std::span<const FlowKey> keys,
+                            std::span<std::size_t> out) const {
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      const auto r = lookup(keys[i]);
+      out[i] = r.has_value() ? *r : kNoRule;
+    }
+  }
 
   [[nodiscard]] virtual std::string_view name() const noexcept = 0;
 

@@ -26,4 +26,20 @@ namespace maton::dp::detail {
   return cap;
 }
 
+/// Read-prefetch hint: pulls the cache line holding `p` towards L1 while
+/// the batch kernels work on other keys. A no-op on compilers without the
+/// builtin — correctness never depends on it.
+inline void prefetch_read(const void* p) noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(p, /*rw=*/0, /*locality=*/3);
+#else
+  (void)p;
+#endif
+}
+
+/// Batch kernels process keys in fixed-size chunks: big enough to put
+/// several independent memory accesses in flight (prefetch distance),
+/// small enough that per-chunk scratch stays in L1.
+inline constexpr std::size_t kBatchChunk = 64;
+
 }  // namespace maton::dp::detail

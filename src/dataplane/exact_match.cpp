@@ -1,5 +1,7 @@
 // Exact-match classifier: open-addressing hash table over the packed
 // field vector — the "very fast exact-match template" of ESwitch (§5).
+#include <algorithm>
+#include <array>
 #include <vector>
 
 #include "dataplane/classifier.hpp"
@@ -46,6 +48,45 @@ class ExactMatchClassifier final : public Classifier {
       slot = (slot + 1) & (capacity_ - 1);
     }
     return std::nullopt;
+  }
+
+  /// Two-pass chunked probe: pass 1 packs and hashes every key and issues
+  /// a prefetch for its home bucket; pass 2 probes with the bucket lines
+  /// already in flight, so the per-key dependent load stalls overlap
+  /// across the chunk.
+  void lookup_batch(std::span<const FlowKey> keys,
+                    std::span<std::size_t> out) const override {
+    const std::size_t nf = fields_.size();
+    std::array<std::uint64_t, detail::kBatchChunk * kNumFields> packed;
+    std::array<std::size_t, detail::kBatchChunk> home;
+    for (std::size_t base = 0; base < keys.size();
+         base += detail::kBatchChunk) {
+      const std::size_t n =
+          std::min(detail::kBatchChunk, keys.size() - base);
+      for (std::size_t i = 0; i < n; ++i) {
+        std::uint64_t* p = packed.data() + i * nf;
+        for (std::size_t f = 0; f < nf; ++f) {
+          p[f] = keys[base + i].get(fields_[f]);
+        }
+        home[i] = detail::hash_words({p, nf}) & (capacity_ - 1);
+        detail::prefetch_read(&slots_[home[i]]);
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::span<const std::uint64_t> view(packed.data() + i * nf,
+                                                  nf);
+        std::size_t slot = home[i];
+        std::size_t found = kNoRule;
+        while (slots_[slot] != kEmpty) {
+          const std::size_t entry = slots_[slot];
+          if (equals(entry, view)) {
+            found = rule_of_[entry];
+            break;
+          }
+          slot = (slot + 1) & (capacity_ - 1);
+        }
+        out[base + i] = found;
+      }
+    }
   }
 
   [[nodiscard]] std::string_view name() const noexcept override {

@@ -1,6 +1,8 @@
 // Longest-prefix-match classifier: rules are grouped by their exact-match
 // part (hash), each group owning a binary trie over the single prefix
 // field — ESwitch's "efficient longest-prefix-matching template" (§5).
+#include <algorithm>
+#include <array>
 #include <bit>
 #include <unordered_map>
 #include <vector>
@@ -48,8 +50,26 @@ class PrefixTrie {
     return best;
   }
 
- private:
+  // Single-step accessors for the batch walker: it descends many tries
+  // level-synchronously, keeping one dependent load per key in flight
+  // instead of chasing one pointer chain to completion at a time.
   static constexpr std::size_t kNone = ~std::size_t{0};
+  [[nodiscard]] std::size_t root_rule() const noexcept {
+    return nodes_[0].rule;
+  }
+  [[nodiscard]] std::size_t child(std::size_t node,
+                                  unsigned bit) const noexcept {
+    return nodes_[node].child[bit];
+  }
+  [[nodiscard]] std::size_t rule(std::size_t node) const noexcept {
+    return nodes_[node].rule;
+  }
+  [[nodiscard]] unsigned width() const noexcept { return width_; }
+  void prefetch(std::size_t node) const noexcept {
+    detail::prefetch_read(&nodes_[node]);
+  }
+
+ private:
   struct Node {
     std::size_t child[2] = {kNone, kNone};
     std::size_t rule = kNone;
@@ -113,25 +133,67 @@ class LpmClassifier final : public Classifier {
 
   [[nodiscard]] std::optional<std::size_t> lookup(
       const FlowKey& key) const override {
-    std::uint64_t exact_key[kNumFields];
-    for (std::size_t f = 0; f < exact_fields_.size(); ++f) {
-      exact_key[f] = key.get(exact_fields_[f]);
-    }
-    const std::span<const std::uint64_t> view(exact_key,
-                                              exact_fields_.size());
-    const auto it = groups_.find(detail::hash_words(view));
-    if (it == groups_.end()) return std::nullopt;
-    for (const auto& group : it->second) {
-      bool equal = true;
-      for (std::size_t f = 0; f < exact_fields_.size(); ++f) {
-        if (group->exact_key[f] != exact_key[f]) {
-          equal = false;
-          break;
+    const Group* group = find_group(key);
+    if (group == nullptr) return std::nullopt;
+    return group->trie.lookup(key.get(prefix_field_));
+  }
+
+  /// Chunked batch lookup: stage 1 resolves each key's exact-match group;
+  /// stage 2 walks all tries level-synchronously, prefetching each key's
+  /// next trie node before moving to the other keys, so the dependent
+  /// node loads of the whole chunk overlap.
+  void lookup_batch(std::span<const FlowKey> keys,
+                    std::span<std::size_t> out) const override {
+    std::array<const PrefixTrie*, detail::kBatchChunk> trie;
+    std::array<std::uint64_t, detail::kBatchChunk> value;
+    std::array<std::size_t, detail::kBatchChunk> node;
+    std::array<std::size_t, detail::kBatchChunk> best;
+    std::array<std::uint32_t, detail::kBatchChunk> active;
+    for (std::size_t base = 0; base < keys.size();
+         base += detail::kBatchChunk) {
+      const std::size_t n =
+          std::min(detail::kBatchChunk, keys.size() - base);
+      std::size_t live = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const Group* group = find_group(keys[base + i]);
+        if (group == nullptr) {
+          out[base + i] = kNoRule;
+          continue;
         }
+        trie[i] = &group->trie;
+        value[i] = keys[base + i].get(prefix_field_);
+        node[i] = 0;
+        best[i] = group->trie.root_rule();
+        trie[i]->prefetch(0);
+        active[live++] = static_cast<std::uint32_t>(i);
       }
-      if (equal) return group->trie.lookup(key.get(prefix_field_));
+      for (unsigned depth = 0; live > 0 && depth < prefix_width_; ++depth) {
+        std::size_t still = 0;
+        for (std::size_t a = 0; a < live; ++a) {
+          const std::uint32_t i = active[a];
+          const unsigned bit = static_cast<unsigned>(
+              (value[i] >> (prefix_width_ - 1 - depth)) & 1);
+          const std::size_t next = trie[i]->child(node[i], bit);
+          if (next == PrefixTrie::kNone) {
+            out[base + i] =
+                best[i] == PrefixTrie::kNone ? kNoRule : best[i];
+            continue;
+          }
+          node[i] = next;
+          trie[i]->prefetch(next);
+          if (trie[i]->rule(next) != PrefixTrie::kNone) {
+            best[i] = trie[i]->rule(next);
+          }
+          active[still++] = i;
+        }
+        live = still;
+      }
+      // Keys that consumed every prefix bit without falling off the trie.
+      for (std::size_t a = 0; a < live; ++a) {
+        const std::uint32_t i = active[a];
+        out[base + i] = best[i] == PrefixTrie::kNone ? kNoRule : best[i];
+      }
     }
-    return std::nullopt;
   }
 
   [[nodiscard]] std::string_view name() const noexcept override {
@@ -144,6 +206,28 @@ class LpmClassifier final : public Classifier {
     std::vector<std::uint64_t> exact_key;
     PrefixTrie trie;
   };
+
+  [[nodiscard]] const Group* find_group(const FlowKey& key) const {
+    std::uint64_t exact_key[kNumFields];
+    for (std::size_t f = 0; f < exact_fields_.size(); ++f) {
+      exact_key[f] = key.get(exact_fields_[f]);
+    }
+    const std::span<const std::uint64_t> view(exact_key,
+                                              exact_fields_.size());
+    const auto it = groups_.find(detail::hash_words(view));
+    if (it == groups_.end()) return nullptr;
+    for (const auto& group : it->second) {
+      bool equal = true;
+      for (std::size_t f = 0; f < exact_fields_.size(); ++f) {
+        if (group->exact_key[f] != exact_key[f]) {
+          equal = false;
+          break;
+        }
+      }
+      if (equal) return group.get();
+    }
+    return nullptr;
+  }
 
   FieldId prefix_field_ = FieldId::kIpDst;
   unsigned prefix_width_ = 32;

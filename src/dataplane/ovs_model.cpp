@@ -8,6 +8,9 @@
 // collapsed single-lookup cache entry. Subsequent packets of the flow hit
 // the cache, so steady-state cost is one masked lookup regardless of the
 // pipeline representation.
+#include <algorithm>
+#include <array>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -32,7 +35,7 @@ class MegaflowCache {
 
   void insert(const std::array<std::uint64_t, kNumFields>& mask,
               const FlowKey& key, const ExecResult& result,
-              std::vector<MatchedRule> contributors) {
+              std::span<const MatchedRule> contributors) {
     SubTable* sub = nullptr;
     for (auto& candidate : subtables_) {
       if (candidate.mask == mask) {
@@ -49,7 +52,7 @@ class MegaflowCache {
       entry.values[f] = key.values[f] & mask[f];
     }
     entry.result = result;
-    entry.contributors = std::move(contributors);
+    entry.contributors.assign(contributors.begin(), contributors.end());
     sub->entries[detail::hash_words(entry.values)].push_back(std::move(entry));
     ++size_;
   }
@@ -67,6 +70,33 @@ class MegaflowCache {
       }
     }
     return nullptr;
+  }
+
+  /// Subtable-hoisted batch probe: each megaflow mask is applied across
+  /// the whole batch before moving to the next subtable, so the mask and
+  /// its hash-table metadata are fetched once per batch instead of once
+  /// per packet. First matching subtable wins per key — the scalar probe
+  /// order.
+  void lookup_batch(std::span<const FlowKey> keys,
+                    std::span<const Entry*> out) const {
+    for (std::size_t i = 0; i < keys.size(); ++i) out[i] = nullptr;
+    std::array<std::uint64_t, kNumFields> masked{};
+    for (const SubTable& sub : subtables_) {
+      for (std::size_t i = 0; i < keys.size(); ++i) {
+        if (out[i] != nullptr) continue;
+        for (std::size_t f = 0; f < kNumFields; ++f) {
+          masked[f] = keys[i].values[f] & sub.mask[f];
+        }
+        const auto it = sub.entries.find(detail::hash_words(masked));
+        if (it == sub.entries.end()) continue;
+        for (const Entry& entry : it->second) {
+          if (entry.values == masked) {
+            out[i] = &entry;
+            break;
+          }
+        }
+      }
+    }
   }
 
   void clear() {
@@ -104,14 +134,49 @@ class OvsModel final : public OvsModelInterface {
       return r;
     }
     ++stats_.cache_misses;
-    std::vector<MatchedRule> matched;
-    const auto [result, mask] = slow_path(key, &matched);
-    counters_.bump_all(matched);
+    matched_scratch_.clear();
+    const auto [result, mask] = slow_path(key, &matched_scratch_);
+    counters_.bump_all(matched_scratch_.span());
     if (result.hit) {
-      cache_.insert(mask, key, result, std::move(matched));
+      cache_.insert(mask, key, result, matched_scratch_.span());
       stats_.cache_entries = cache_.size();
     }
     return result;
+  }
+
+  /// Batched execution: the megaflow cache is probed for a whole chunk up
+  /// front (subtable-hoisted); packets the probe resolved take the hit
+  /// path directly. The first slow-path insert of a chunk makes the
+  /// pre-computed probe stale — a newer entry could shadow an older one —
+  /// so later packets of that chunk fall back to the scalar path
+  /// (probe + slow path), keeping results and stats bit-identical to
+  /// scalar processing. On a warm cache no chunk ever goes stale and the
+  /// whole batch runs through the hoisted probe.
+  void process_batch(std::span<const FlowKey> keys,
+                     std::span<ExecResult> results) override {
+    expects(results.size() >= keys.size(),
+            "process_batch result span too small");
+    std::array<const MegaflowCache::Entry*, detail::kBatchChunk> probed;
+    for (std::size_t base = 0; base < keys.size();
+         base += detail::kBatchChunk) {
+      const std::size_t n =
+          std::min(detail::kBatchChunk, keys.size() - base);
+      cache_.lookup_batch(keys.subspan(base, n), {probed.data(), n});
+      bool stale = false;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!stale && probed[i] != nullptr) {
+          ++stats_.cache_hits;
+          counters_.bump_all(probed[i]->contributors);
+          ExecResult r = probed[i]->result;
+          r.tables_visited = 1;
+          results[base + i] = r;
+          continue;
+        }
+        const std::uint64_t misses_before = stats_.cache_misses;
+        results[base + i] = process(keys[base + i]);
+        stale = stale || stats_.cache_misses != misses_before;
+      }
+    }
   }
 
   Status apply_update(const RuleUpdate& update) override {
@@ -153,7 +218,7 @@ class OvsModel final : public OvsModelInterface {
   /// mask — their information content is already covered by the fields
   /// that determined the rewrite.
   [[nodiscard]] std::pair<ExecResult, std::array<std::uint64_t, kNumFields>>
-  slow_path(const FlowKey& key, std::vector<MatchedRule>* matched) const {
+  slow_path(const FlowKey& key, MatchedBuf* matched) const {
     ExecResult result;
     std::array<std::uint64_t, kNumFields> mask{};
     std::uint32_t written = 0;
@@ -206,6 +271,8 @@ class OvsModel final : public OvsModelInterface {
   MegaflowCache cache_;
   OvsStats stats_;
   RuleCounters counters_;
+  /// Reused per packet; inline up to 8 pipeline stages (no allocation).
+  MatchedBuf matched_scratch_;
 };
 
 }  // namespace

@@ -188,7 +188,7 @@ Result<Program> compile(const core::Pipeline& pipeline) {
 }
 
 ExecResult execute_reference(const Program& program, const FlowKey& key,
-                             std::vector<MatchedRule>* matched) {
+                             MatchedBuf* matched) {
   ExecResult result;
   if (matched != nullptr) matched->clear();
   if (program.tables.empty()) return result;

@@ -19,6 +19,7 @@
 
 #include "core/pipeline.hpp"
 #include "dataplane/flow_key.hpp"
+#include "util/small_vector.hpp"
 #include "util/status.hpp"
 
 namespace maton::dp {
@@ -103,12 +104,17 @@ struct MatchedRule {
   std::size_t rule = 0;
 };
 
+/// Per-packet matched-rule scratch: one entry per pipeline stage, inline
+/// up to 8 stages (deeper than any program the compiler emits), heap
+/// beyond — so the counter path never allocates per packet.
+using MatchedBuf = util::SmallVector<MatchedRule, 8>;
+
 /// Reference executor: straightforward interpretation of the program
 /// (linear scans). Switch models must agree with this on every packet.
 /// When `matched` is non-null it receives the (table, rule) pairs the
 /// packet hit, in order.
-[[nodiscard]] ExecResult execute_reference(
-    const Program& program, const FlowKey& key,
-    std::vector<MatchedRule>* matched = nullptr);
+[[nodiscard]] ExecResult execute_reference(const Program& program,
+                                           const FlowKey& key,
+                                           MatchedBuf* matched = nullptr);
 
 }  // namespace maton::dp

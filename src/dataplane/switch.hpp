@@ -10,6 +10,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string_view>
 #include <vector>
 
@@ -38,6 +39,15 @@ class SwitchModel {
 
   [[nodiscard]] virtual Status load(Program program) = 0;
   [[nodiscard]] virtual ExecResult process(const FlowKey& key) = 0;
+
+  /// Batched execution: results[i] = process(keys[i]), in order, with
+  /// identical side effects (rule counters, caches, stats). The base
+  /// implementation is the scalar loop; software models override it with
+  /// stage-hoisted kernels that amortize dispatch and put many memory
+  /// accesses in flight. Requires results.size() >= keys.size().
+  virtual void process_batch(std::span<const FlowKey> keys,
+                             std::span<ExecResult> results);
+
   [[nodiscard]] virtual Status apply_update(const RuleUpdate& update) = 0;
   [[nodiscard]] virtual std::string_view name() const noexcept = 0;
 
@@ -67,7 +77,7 @@ class RuleCounters {
   void reset(const Program& program);
 
   void bump(std::size_t table, std::size_t rule);
-  void bump_all(const std::vector<MatchedRule>& matched);
+  void bump_all(std::span<const MatchedRule> matched);
 
   /// Call with the table's rules as they were *before* an update and as
   /// they are after: counts carry over by match vector; a kModify target
@@ -167,7 +177,7 @@ class HwTcamModel final : public SwitchModel {
  private:
   Program program_;
   RuleCounters counters_;
-  std::vector<MatchedRule> matched_scratch_;
+  MatchedBuf matched_scratch_;
 };
 
 /// Applies `update` to a program's table in place (shared by the software

@@ -5,6 +5,15 @@
 
 namespace maton::dp {
 
+void SwitchModel::process_batch(std::span<const FlowKey> keys,
+                                std::span<ExecResult> results) {
+  expects(results.size() >= keys.size(),
+          "process_batch result span too small");
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    results[i] = process(keys[i]);
+  }
+}
+
 Status apply_update_to_program(Program& program, const RuleUpdate& update) {
   if (update.table >= program.tables.size()) {
     return invalid_argument("update targets a non-existent table");
@@ -62,7 +71,7 @@ void RuleCounters::bump(std::size_t table, std::size_t rule) {
   ++counts_[table][rule];
 }
 
-void RuleCounters::bump_all(const std::vector<MatchedRule>& matched) {
+void RuleCounters::bump_all(std::span<const MatchedRule> matched) {
   for (const MatchedRule& m : matched) bump(m.table, m.rule);
 }
 
@@ -114,7 +123,7 @@ ExecResult HwTcamModel::process(const FlowKey& key) {
   // model only needs functional correctness (and flow stats) here.
   const ExecResult result =
       execute_reference(program_, key, &matched_scratch_);
-  counters_.bump_all(matched_scratch_);
+  counters_.bump_all(matched_scratch_.span());
   return result;
 }
 

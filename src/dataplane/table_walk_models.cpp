@@ -1,6 +1,9 @@
 // ESwitch- and Lagopus-style switch models: both walk the table pipeline
 // per packet; they differ in how each table's classifier is instantiated
 // and in the fixed per-packet framework overhead.
+#include <cstdint>
+#include <optional>
+#include <span>
 #include <vector>
 
 #include "dataplane/switch.hpp"
@@ -21,6 +24,7 @@ class TableWalkSwitch : public SwitchModel {
       classifiers_.push_back(instantiate(table));
     }
     counters_.reset(program_);
+    recompute_mutates();
     return Status::ok();
   }
 
@@ -59,6 +63,104 @@ class TableWalkSwitch : public SwitchModel {
     return result;
   }
 
+  /// Stage-hoisted batch execution: packets advance through the table
+  /// graph in rounds. Each round groups the live packets by their current
+  /// table and dispatches one lookup_batch per table, so per-packet
+  /// virtual dispatch disappears and the classifier kernels get whole
+  /// chunks to prefetch over. Counter bumps are the same multiset as the
+  /// scalar path (increments commute), and results are bit-identical.
+  void process_batch(std::span<const FlowKey> keys,
+                     std::span<ExecResult> results) override {
+    expects(results.size() >= keys.size(),
+            "process_batch result span too small");
+    const std::size_t num_tables = program_.tables.size();
+    for (std::size_t i = 0; i < keys.size(); ++i) results[i] = ExecResult{};
+    if (num_tables == 0) return;
+
+    expects(program_.entry < num_tables, "program entry out of range");
+    // Programs without set-field actions never mutate packet state, so
+    // the walker can classify straight out of the caller's key array
+    // instead of copying every FlowKey into the scratch buffer.
+    if (mutates_) states_.assign(keys.begin(), keys.end());
+    const FlowKey* state_base = mutates_ ? states_.data() : keys.data();
+    buckets_.resize(num_tables);
+    for (auto& bucket : buckets_) bucket.clear();
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      buckets_[program_.entry].push_back(static_cast<std::uint32_t>(i));
+    }
+
+    bool any_live = !keys.empty();
+    while (any_live) {
+      any_live = false;
+      // Snapshot this round's occupancy; packets forwarded to a later
+      // table land in its bucket for the next round, packets forwarded to
+      // an earlier one are picked up when the round reaches it again.
+      for (std::size_t t = 0; t < num_tables; ++t) {
+        if (buckets_[t].empty()) continue;
+        moving_.swap(buckets_[t]);
+        buckets_[t].clear();
+
+        // Skip the gather copy when the bucket is a contiguous run of
+        // packet indices (the common case: whole batches advance through
+        // a linear pipeline together) — the classifier can read the
+        // states array in place.
+        bool contiguous = true;
+        for (std::size_t m = 1; m < moving_.size(); ++m) {
+          if (moving_[m] != moving_[m - 1] + 1) {
+            contiguous = false;
+            break;
+          }
+        }
+        std::span<const FlowKey> stage_keys;
+        if (contiguous) {
+          stage_keys = {state_base + moving_.front(), moving_.size()};
+        } else {
+          gather_.clear();
+          gather_.reserve(moving_.size());
+          for (const std::uint32_t p : moving_) {
+            gather_.push_back(state_base[p]);
+          }
+          stage_keys = gather_;
+        }
+        rule_out_.resize(moving_.size());
+        classifiers_[t]->lookup_batch(stage_keys, rule_out_);
+
+        const TableSpec& table = program_.tables[t];
+        for (std::size_t m = 0; m < moving_.size(); ++m) {
+          const std::uint32_t p = moving_[m];
+          ExecResult& result = results[p];
+          expects(result.tables_visited <= num_tables,
+                  "table graph cycle during batch processing");
+          ++result.tables_visited;
+          if (rule_out_[m] == kNoRule) {
+            result.hit = false;
+            result.out_port = 0;
+            continue;  // miss: packet leaves the pipeline
+          }
+          counters_.bump(t, rule_out_[m]);
+          const Rule& rule = table.rules[rule_out_[m]];
+          for (const Action& action : rule.actions) {
+            if (action.kind == Action::Kind::kOutput) {
+              result.out_port = action.value;
+            } else {
+              states_[p].set(action.field, action.value);
+            }
+          }
+          const std::optional<std::size_t> next =
+              rule.goto_table.has_value() ? rule.goto_table : table.next;
+          if (next.has_value()) {
+            expects(*next < num_tables, "jump out of range");
+            buckets_[*next].push_back(p);
+            any_live = true;
+          } else {
+            result.hit = true;
+          }
+        }
+        moving_.clear();
+      }
+    }
+  }
+
   Status apply_update(const RuleUpdate& update) override {
     const std::vector<Rule> old_rules =
         update.table < program_.tables.size()
@@ -72,6 +174,7 @@ class TableWalkSwitch : public SwitchModel {
     classifiers_[update.table] = instantiate(program_.tables[update.table]);
     counters_.carry_over(update.table, old_rules,
                          program_.tables[update.table].rules, update);
+    recompute_mutates();
     return Status::ok();
   }
 
@@ -86,9 +189,31 @@ class TableWalkSwitch : public SwitchModel {
       const TableSpec& table) const = 0;
 
  private:
+  void recompute_mutates() {
+    mutates_ = false;
+    for (const TableSpec& table : program_.tables) {
+      for (const Rule& rule : table.rules) {
+        for (const Action& action : rule.actions) {
+          mutates_ = mutates_ || action.kind == Action::Kind::kSetField;
+        }
+      }
+    }
+  }
+
   Program program_;
   std::vector<std::unique_ptr<Classifier>> classifiers_;
   RuleCounters counters_;
+  /// Whether any loaded rule carries a set-field action; when false the
+  /// batch walker skips copying keys into states_.
+  bool mutates_ = false;
+
+  // Batch-walker scratch, reused across process_batch calls so the
+  // steady-state path performs no allocations.
+  std::vector<FlowKey> states_;
+  std::vector<std::vector<std::uint32_t>> buckets_;  // per-table frontier
+  std::vector<std::uint32_t> moving_;
+  std::vector<FlowKey> gather_;
+  std::vector<std::size_t> rule_out_;
 };
 
 class ESwitchModel final : public TableWalkSwitch {

@@ -1,0 +1,87 @@
+// A contiguous vector with inline storage for its first N elements.
+//
+// Built for per-packet scratch on the data-plane hot path: the matched-
+// rule list of a pipeline traversal is bounded by the pipeline depth
+// (a handful), so it fits the inline buffer and costs zero allocations;
+// pathological programs spill to the heap transparently. Restricted to
+// trivially copyable element types so growth is a memcpy and the
+// destructor never walks elements.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <type_traits>
+
+namespace maton::util {
+
+template <typename T, std::size_t N>
+class SmallVector {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SmallVector is for trivially copyable scratch elements");
+  static_assert(N > 0, "inline capacity must be non-zero");
+
+ public:
+  SmallVector() = default;
+
+  SmallVector(const SmallVector& other) { assign(other.span()); }
+  SmallVector& operator=(const SmallVector& other) {
+    if (this != &other) assign(other.span());
+    return *this;
+  }
+
+  void push_back(const T& value) {
+    if (size_ == capacity_) grow();
+    data()[size_++] = value;
+  }
+
+  /// Drops all elements; keeps whatever capacity has been reached.
+  void clear() noexcept { size_ = 0; }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  [[nodiscard]] T* data() noexcept {
+    return heap_ ? heap_.get() : inline_;
+  }
+  [[nodiscard]] const T* data() const noexcept {
+    return heap_ ? heap_.get() : inline_;
+  }
+
+  [[nodiscard]] T& operator[](std::size_t i) noexcept { return data()[i]; }
+  [[nodiscard]] const T& operator[](std::size_t i) const noexcept {
+    return data()[i];
+  }
+
+  [[nodiscard]] T* begin() noexcept { return data(); }
+  [[nodiscard]] T* end() noexcept { return data() + size_; }
+  [[nodiscard]] const T* begin() const noexcept { return data(); }
+  [[nodiscard]] const T* end() const noexcept { return data() + size_; }
+
+  [[nodiscard]] std::span<const T> span() const noexcept {
+    return {data(), size_};
+  }
+
+ private:
+  void assign(std::span<const T> values) {
+    size_ = 0;
+    for (const T& v : values) push_back(v);
+  }
+
+  void grow() {
+    const std::size_t next = capacity_ * 2;
+    auto bigger = std::make_unique<T[]>(next);
+    std::memcpy(bigger.get(), data(), size_ * sizeof(T));
+    heap_ = std::move(bigger);
+    capacity_ = next;
+  }
+
+  T inline_[N];
+  std::unique_ptr<T[]> heap_;
+  std::size_t size_ = 0;
+  std::size_t capacity_ = N;
+};
+
+}  // namespace maton::util

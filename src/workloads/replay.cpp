@@ -1,0 +1,109 @@
+#include "workloads/replay.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <vector>
+
+#include "util/contract.hpp"
+#include "util/thread_pool.hpp"
+
+namespace maton::workloads {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+[[nodiscard]] double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+[[nodiscard]] std::uint64_t run_batches(dp::SwitchModel& sw,
+                                        std::span<const dp::FlowKey> keys,
+                                        std::size_t rounds,
+                                        std::size_t batch,
+                                        std::vector<dp::ExecResult>& results) {
+  std::uint64_t hits = 0;
+  results.resize(std::min(batch, keys.size()));
+  for (std::size_t round = 0; round < rounds; ++round) {
+    for (std::size_t base = 0; base < keys.size(); base += batch) {
+      const std::size_t n = std::min(batch, keys.size() - base);
+      sw.process_batch(keys.subspan(base, n), {results.data(), n});
+      for (std::size_t i = 0; i < n; ++i) {
+        hits += results[i].hit ? 1 : 0;
+      }
+    }
+  }
+  return hits;
+}
+
+}  // namespace
+
+ReplayStats replay_scalar(dp::SwitchModel& sw,
+                          std::span<const dp::FlowKey> keys,
+                          std::size_t rounds) {
+  ReplayStats stats;
+  const auto start = Clock::now();
+  for (std::size_t round = 0; round < rounds; ++round) {
+    for (const dp::FlowKey& key : keys) {
+      stats.hits += sw.process(key).hit ? 1 : 0;
+    }
+  }
+  stats.seconds = seconds_since(start);
+  stats.packets = static_cast<std::uint64_t>(keys.size()) * rounds;
+  return stats;
+}
+
+ReplayStats replay_batch(dp::SwitchModel& sw,
+                         std::span<const dp::FlowKey> keys,
+                         std::size_t rounds, std::size_t batch) {
+  expects(batch > 0, "replay batch size must be positive");
+  ReplayStats stats;
+  std::vector<dp::ExecResult> results;
+  const auto start = Clock::now();
+  stats.hits = run_batches(sw, keys, rounds, batch, results);
+  stats.seconds = seconds_since(start);
+  stats.packets = static_cast<std::uint64_t>(keys.size()) * rounds;
+  return stats;
+}
+
+ReplayStats replay_threaded(const ModelFactory& factory,
+                            const dp::Program& program,
+                            std::span<const dp::FlowKey> keys,
+                            std::size_t rounds, std::size_t queues,
+                            std::size_t batch) {
+  expects(queues > 0, "replay needs at least one queue");
+  expects(batch > 0, "replay batch size must be positive");
+
+  // Build and load every queue's switch up front (outside the timed
+  // region): queue q replays the contiguous shard [q*per, ...).
+  std::vector<std::unique_ptr<dp::SwitchModel>> switches;
+  switches.reserve(queues);
+  for (std::size_t q = 0; q < queues; ++q) {
+    switches.push_back(factory());
+    const Status loaded = switches.back()->load(program);
+    expects(loaded.is_ok(), "replay queue failed to load program");
+  }
+  const std::size_t per = (keys.size() + queues - 1) / queues;
+
+  std::atomic<std::uint64_t> hits{0};
+  std::vector<std::vector<dp::ExecResult>> results(queues);
+  const auto start = Clock::now();
+  util::ThreadPool::shared().parallel_for(
+      queues, queues, [&](std::size_t q, std::size_t /*worker*/) {
+        const std::size_t lo = std::min(q * per, keys.size());
+        const std::size_t hi = std::min(lo + per, keys.size());
+        if (lo == hi) return;
+        const std::uint64_t mine = run_batches(
+            *switches[q], keys.subspan(lo, hi - lo), rounds, batch,
+            results[q]);
+        hits.fetch_add(mine, std::memory_order_relaxed);
+      });
+
+  ReplayStats stats;
+  stats.seconds = seconds_since(start);
+  stats.packets = static_cast<std::uint64_t>(keys.size()) * rounds;
+  stats.hits = hits.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace maton::workloads

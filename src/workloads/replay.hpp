@@ -1,0 +1,56 @@
+// Traffic replay harnesses for the data-plane benchmarks: scalar,
+// batched, and multi-queue (sharded across util::ThreadPool workers,
+// each queue owning its own switch instance — the software analogue of
+// RSS spreading one port's traffic over per-core datapaths).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+
+#include "dataplane/switch.hpp"
+
+namespace maton::workloads {
+
+struct ReplayStats {
+  std::uint64_t packets = 0;
+  std::uint64_t hits = 0;
+  /// Wall-clock time of the replay loop only (models loaded outside).
+  double seconds = 0.0;
+
+  [[nodiscard]] double packets_per_second() const noexcept {
+    return seconds > 0.0 ? static_cast<double>(packets) / seconds : 0.0;
+  }
+};
+
+/// Builds one switch instance per replay queue.
+using ModelFactory = std::function<std::unique_ptr<dp::SwitchModel>()>;
+
+/// One packet at a time through SwitchModel::process, `rounds` passes
+/// over `keys`.
+[[nodiscard]] ReplayStats replay_scalar(dp::SwitchModel& sw,
+                                        std::span<const dp::FlowKey> keys,
+                                        std::size_t rounds);
+
+/// Batched replay through SwitchModel::process_batch in slices of
+/// `batch` keys.
+[[nodiscard]] ReplayStats replay_batch(dp::SwitchModel& sw,
+                                       std::span<const dp::FlowKey> keys,
+                                       std::size_t rounds,
+                                       std::size_t batch);
+
+/// Multi-queue replay: `keys` is sharded contiguously across `queues`
+/// switch instances (each built by `factory` and loaded with `program`),
+/// which replay their shards concurrently on util::ThreadPool::shared()
+/// using the batch path. Per-queue state (model, counters, caches) is
+/// thread-private; only the final stats are merged. Wall-clock covers
+/// the parallel region, so packets_per_second reports aggregate
+/// multi-queue throughput.
+[[nodiscard]] ReplayStats replay_threaded(const ModelFactory& factory,
+                                          const dp::Program& program,
+                                          std::span<const dp::FlowKey> keys,
+                                          std::size_t rounds,
+                                          std::size_t queues,
+                                          std::size_t batch);
+
+}  // namespace maton::workloads

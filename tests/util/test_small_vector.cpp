@@ -1,0 +1,64 @@
+#include "util/small_vector.hpp"
+
+#include <gtest/gtest.h>
+
+namespace maton::util {
+namespace {
+
+TEST(SmallVector, InlineUpToCapacity) {
+  SmallVector<int, 4> v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.capacity(), 4u);
+  for (int i = 0; i < 4; ++i) v.push_back(i);
+  EXPECT_EQ(v.size(), 4u);
+  EXPECT_EQ(v.capacity(), 4u);  // still inline
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(v[i], i);
+}
+
+TEST(SmallVector, SpillsToHeapPreservingContents) {
+  SmallVector<int, 2> v;
+  for (int i = 0; i < 100; ++i) v.push_back(i * 3);
+  EXPECT_EQ(v.size(), 100u);
+  EXPECT_GE(v.capacity(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(v[i], i * 3);
+}
+
+TEST(SmallVector, ClearKeepsCapacityAndAllowsReuse) {
+  SmallVector<int, 2> v;
+  for (int i = 0; i < 20; ++i) v.push_back(i);
+  const std::size_t grown = v.capacity();
+  v.clear();
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.capacity(), grown);
+  v.push_back(7);
+  EXPECT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0], 7);
+}
+
+TEST(SmallVector, SpanAndIterationSeeAllElements) {
+  SmallVector<int, 3> v;
+  for (int i = 0; i < 5; ++i) v.push_back(i);
+  int sum = 0;
+  for (const int x : v) sum += x;
+  EXPECT_EQ(sum, 10);
+  const auto s = v.span();
+  ASSERT_EQ(s.size(), 5u);
+  EXPECT_EQ(s[4], 4);
+}
+
+TEST(SmallVector, CopyIsDeep) {
+  SmallVector<int, 2> a;
+  for (int i = 0; i < 10; ++i) a.push_back(i);
+  SmallVector<int, 2> b(a);
+  a.clear();
+  a.push_back(99);
+  ASSERT_EQ(b.size(), 10u);
+  EXPECT_EQ(b[9], 9);
+  SmallVector<int, 2> c;
+  c = b;
+  EXPECT_EQ(c.size(), 10u);
+  EXPECT_EQ(c[0], 0);
+}
+
+}  // namespace
+}  // namespace maton::util
