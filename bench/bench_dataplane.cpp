@@ -9,11 +9,13 @@
 // so scalar-vs-batch ratios isolate the execution engine itself.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <memory>
 #include <vector>
 
 #include "controlplane/compiler.hpp"
 #include "dataplane/switch.hpp"
+#include "obs/expose.hpp"
 #include "workloads/replay.hpp"
 #include "workloads/traffic.hpp"
 
@@ -152,4 +154,19 @@ BENCHMARK_CAPTURE(BM_BatchThreads, eswitch_universal, "eswitch",
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN so the run's accumulated telemetry can be
+// exported afterwards (MATON_METRICS_OUT / MATON_TRACE_OUT, see
+// obs/expose.hpp). A failed export fails the bench run loudly.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  const maton::Status exported = maton::obs::write_exports_from_env();
+  if (!exported.is_ok()) {
+    std::fprintf(stderr, "telemetry export failed: %s\n",
+                 exported.to_string().c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -13,6 +13,7 @@
 #include "controlplane/churn.hpp"
 #include "controlplane/compiler.hpp"
 #include "dataplane/switch.hpp"
+#include "obs/expose.hpp"
 #include "util/format.hpp"
 #include "util/report.hpp"
 #include "workloads/traffic.hpp"
@@ -162,5 +163,12 @@ int main() {
             << "% (universal) / "
             << format_double(100.0 * at100_goto.mine_cache_hit_rate, 1)
             << "% (goto) at 100 updates/s\n";
+
+  const Status exported = obs::write_exports_from_env();
+  if (!exported.is_ok()) {
+    std::cerr << "telemetry export failed: " << exported.to_string()
+              << "\n";
+    return 1;
+  }
   return 0;
 }

@@ -19,6 +19,7 @@
 
 #include "controlplane/compiler.hpp"
 #include "dataplane/switch.hpp"
+#include "obs/expose.hpp"
 #include "util/format.hpp"
 #include "util/quantile.hpp"
 #include "util/report.hpp"
@@ -180,5 +181,12 @@ int main() {
       << "  ESwitch   9.6 / 426   vs 15.0 / 247   (1.56x rate, 0.58x delay)\n"
       << "  Lagopus   1.4 / 731   vs  1.4 / 728   (agnostic)\n"
       << "  NoviFlow 10.73 / 6.4  vs 10.74 / 8.4  (line rate, +31% delay)\n";
+
+  const Status exported = obs::write_exports_from_env();
+  if (!exported.is_ok()) {
+    std::cerr << "telemetry export failed: " << exported.to_string()
+              << "\n";
+    return 1;
+  }
   return 0;
 }

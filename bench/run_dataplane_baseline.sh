@@ -36,15 +36,17 @@ if [[ ! -x "${build_dir}/bench/bench_dataplane" ]]; then
 fi
 
 raw_file="$(mktemp)"
-trap 'rm -f "${raw_file}"' EXIT
+metrics_file="$(mktemp --suffix=.json)"
+trap 'rm -f "${raw_file}" "${metrics_file}"' EXIT
 
+MATON_METRICS_OUT="${metrics_file}" \
 "${build_dir}/bench/bench_dataplane" \
   --benchmark_min_time="${min_time}" \
   --benchmark_format=json \
   --benchmark_out="${raw_file}" \
   --benchmark_out_format=json
 
-python3 - "${raw_file}" "${out_file}" <<'EOF'
+python3 - "${raw_file}" "${out_file}" "${metrics_file}" <<'EOF'
 import json, sys
 raw = json.load(open(sys.argv[1]))
 pps = {b["name"]: b.get("items_per_second")
@@ -76,6 +78,14 @@ if raw["context"]["num_cpus"] <= 1:
         "host exposes a single CPU: the multi-queue replay curve is "
         "expected to be flat here; each queue owns a private switch "
         "instance and scales with physical cores")
+
+# Fold the run's telemetry scrape (per-table hit/miss counters, lookup
+# histograms, replay totals) into the baseline record. Empty when the
+# bench was built with MATON_OBS_OFF.
+try:
+    raw["metrics"] = json.load(open(sys.argv[3]))
+except (OSError, ValueError):
+    raw["metrics"] = None
 json.dump(raw, open(sys.argv[2], "w"), indent=1)
 EOF
 

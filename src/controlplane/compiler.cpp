@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/contract.hpp"
 
 namespace maton::cp {
@@ -128,7 +130,11 @@ GwlbBinding::GwlbBinding(Gwlb gwlb, Representation repr)
 
 const core::FdSet& GwlbBinding::mined_fds() {
   if (!mined_.has_value()) {
+    static obs::Counter& remines =
+        obs::MetricRegistry::global().counter("maton_cp_remines_total");
+    const obs::TraceSpan span("fd_re_mine");
     mined_ = core::mine_fds_tane(gwlb_.universal, {.cache = &mine_cache_});
+    remines.add();
   }
   return *mined_;
 }
@@ -178,8 +184,10 @@ Result<std::vector<RuleUpdate>> GwlbBinding::compile_intent(
     svc.backends.clear();
   }
 
+  const obs::TraceSpan span("compile");
   const Program before = std::move(program_);
   rebuild_program();
+  const obs::TraceSpan diff_span("rule_diff");
   return diff_programs(before, program_);
 }
 

@@ -1,5 +1,7 @@
 #include "controlplane/controller.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/contract.hpp"
 
 namespace maton::cp {
@@ -14,24 +16,43 @@ Controller::Controller(std::unique_ptr<GwlbBinding> binding,
 }
 
 Result<std::size_t> Controller::apply(const Intent& intent) {
+  static auto& registry = obs::MetricRegistry::global();
+  static obs::Counter& intents_applied =
+      registry.counter("maton_cp_intents_applied_total");
+  static obs::Counter& intents_failed =
+      registry.counter("maton_cp_intents_failed_total");
+  static obs::Counter& rule_updates =
+      registry.counter("maton_cp_rule_updates_total");
+  static obs::Counter& inconsistency_window =
+      registry.counter("maton_cp_inconsistency_window_total");
+
+  const obs::TraceSpan span("intent");
   auto updates = binding_->compile_intent(intent);
   if (!updates.is_ok()) {
     ++stats_.failed_intents;
+    intents_failed.add();
     return updates.status();
   }
-  for (const dp::RuleUpdate& update : updates.value()) {
-    if (Status s = target_.apply_update(update); !s.is_ok()) {
-      ++stats_.failed_intents;
-      return Status(StatusCode::kInternal,
-                    "switch rejected an update mid-intent (data plane now "
-                    "inconsistent): " +
-                        s.message());
+  {
+    const obs::TraceSpan update_span("switch_update");
+    for (const dp::RuleUpdate& update : updates.value()) {
+      if (Status s = target_.apply_update(update); !s.is_ok()) {
+        ++stats_.failed_intents;
+        intents_failed.add();
+        return Status(StatusCode::kInternal,
+                      "switch rejected an update mid-intent (data plane now "
+                      "inconsistent): " +
+                          s.message());
+      }
     }
   }
   ++stats_.intents_applied;
+  intents_applied.add();
   stats_.rule_updates_issued += updates.value().size();
+  rule_updates.add(updates.value().size());
   if (!updates.value().empty()) {
     stats_.inconsistency_window += updates.value().size() - 1;
+    inconsistency_window.add(updates.value().size() - 1);
   }
   return updates.value().size();
 }

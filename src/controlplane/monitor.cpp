@@ -1,5 +1,7 @@
 #include "controlplane/monitor.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/contract.hpp"
 
 namespace maton::cp {
@@ -37,6 +39,13 @@ Result<ServiceTraffic> TrafficMonitor::read_service(
                           "identity; binding out of sync with program");
   }
 
+  static auto& registry = obs::MetricRegistry::global();
+  static obs::Counter& counters_read =
+      registry.counter("maton_cp_monitor_counters_read_total");
+  static obs::Counter& aggregation_steps =
+      registry.counter("maton_cp_monitor_aggregation_steps_total");
+
+  const obs::TraceSpan span("monitor_read");
   ServiceTraffic traffic;
   for (const dp::Rule* rule : rules) {
     const auto count = target_.read_rule_counter(binding_.program().entry,
@@ -46,6 +55,8 @@ Result<ServiceTraffic> TrafficMonitor::read_service(
     ++traffic.counters_read;
   }
   traffic.aggregation_steps = traffic.counters_read - 1;
+  counters_read.add(traffic.counters_read);
+  aggregation_steps.add(traffic.aggregation_steps);
   return traffic;
 }
 

@@ -1,9 +1,13 @@
 #include "core/fd_mine.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <string>
 #include <thread>
 #include <unordered_map>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/contract.hpp"
 #include "util/thread_pool.hpp"
 
@@ -188,21 +192,30 @@ std::uint64_t subset_fingerprint(const std::vector<std::uint64_t>& col_fps,
 
 std::shared_ptr<const Partition> PartitionCache::find(
     std::uint64_t fp, std::uint64_t attrs_raw) {
+  static obs::Counter& hit_count = obs::MetricRegistry::global().counter(
+      "maton_fdmine_partition_cache_hits_total");
+  static obs::Counter& miss_count = obs::MetricRegistry::global().counter(
+      "maton_fdmine_partition_cache_misses_total");
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = map_.find(Key{fp, attrs_raw});
   if (it == map_.end()) {
     ++stats_.misses;
+    miss_count.add();
     return nullptr;
   }
   ++stats_.hits;
+  hit_count.add();
   return it->second;
 }
 
 std::shared_ptr<const Partition> PartitionCache::put(
     std::uint64_t fp, std::uint64_t attrs_raw,
     std::shared_ptr<const Partition> p) {
+  static obs::Counter& evictions = obs::MetricRegistry::global().counter(
+      "maton_fdmine_partition_cache_evictions_total");
   std::lock_guard<std::mutex> lock(mutex_);
   if (map_.size() >= capacity_) {
+    evictions.add(map_.size());
     map_.clear();
     ++stats_.resets;
   }
@@ -264,6 +277,10 @@ void for_each_index(util::ThreadPool* pool, std::size_t workers,
 }  // namespace
 
 FdSet mine_fds_tane(const Table& table, MineOptions opts) {
+  static obs::Counter& mines =
+      obs::MetricRegistry::global().counter("maton_fdmine_mines_total");
+  const obs::TraceSpan mine_span("tane_mine");
+  mines.add();
   ensure_minable(table);
   const std::size_t k = table.num_cols();
   const std::size_t n = table.num_rows();
@@ -320,6 +337,9 @@ FdSet mine_fds_tane(const Table& table, MineOptions opts) {
   // All fan-out/merge below follows ascending node keys, so the emitted
   // FdSet (contents *and* order) is identical for every worker count.
   for (std::size_t depth = 1; depth <= max_level && !cur.empty(); ++depth) {
+    const obs::TraceSpan level_span("tane_level");
+    [[maybe_unused]] const auto level_start =
+        std::chrono::steady_clock::now();
     std::vector<std::uint64_t> keys;
     keys.reserve(cur.size());
     for (const auto& [raw, node] : cur) keys.push_back(raw);
@@ -435,6 +455,19 @@ FdSet mine_fds_tane(const Table& table, MineOptions opts) {
 
     prev = std::move(cur);
     cur = std::move(next);
+
+    if constexpr (obs::kEnabled) {
+      // Per-level lattice timing; the level label keeps the dozen or so
+      // depths match-action schemas reach apart without exploding the
+      // registry.
+      obs::MetricRegistry::global()
+          .histogram("maton_fdmine_level_ns",
+                     {{"level", std::to_string(depth)}})
+          .observe(static_cast<double>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - level_start)
+                  .count()));
+    }
   }
 
   return out;

@@ -1,8 +1,11 @@
 // Shared helpers for the classifier templates (internal header).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
+#include <unordered_map>
+#include <vector>
 
 #include "dataplane/flow_key.hpp"
 
@@ -41,5 +44,84 @@ inline void prefetch_read(const void* p) noexcept {
 /// several independent memory accesses in flight (prefetch distance),
 /// small enough that per-chunk scratch stays in L1.
 inline constexpr std::size_t kBatchChunk = 64;
+
+/// One mask-vector group of a tuple-space index: rules sharing a mask
+/// vector over the classifier's field set, resolved by one exact-match
+/// hash probe with an open chain for bucket collisions. Shared by
+/// TssClassifier (groups probed in decreasing best-priority order) and
+/// LinearClassifier's batch index (groups probed in ascending minimum-
+/// rule order); both order keys are maintained unconditionally so the
+/// same structure serves either probe discipline.
+struct MaskedGroup {
+  static constexpr std::size_t kNone = ~std::size_t{0};
+
+  struct Entry {
+    std::vector<std::uint64_t> values;
+    std::size_t rule = 0;
+    std::uint32_t priority = 0;
+    std::size_t overflow = kNone;  // chain into MaskedGroup::spill
+  };
+
+  std::vector<std::uint64_t> masks;
+  std::unordered_map<std::uint64_t, Entry> entries;
+  std::vector<Entry> spill;
+  /// Highest rule priority in the group (TSS early-exit bound).
+  std::uint32_t best_priority = 0;
+  /// Smallest rule index in the group (first-match early-exit bound).
+  std::size_t min_rule = kNone;
+
+  /// Inserts a masked value vector. Two rules with identical masked
+  /// values overlap completely, so the first insertion — rule order =
+  /// priority order — wins and later duplicates are dropped.
+  void insert(const std::vector<std::uint64_t>& values, std::size_t rule,
+              std::uint32_t priority) {
+    auto [it, inserted] =
+        entries.try_emplace(hash_words(values), Entry{values, rule, priority,
+                                                      kNone});
+    if (!inserted) {
+      Entry* e = &it->second;
+      while (true) {
+        if (e->values == values) break;  // duplicate key: first wins
+        if (e->overflow == kNone) {
+          e->overflow = spill.size();
+          spill.push_back(Entry{values, rule, priority, kNone});
+          break;
+        }
+        e = &spill[e->overflow];
+      }
+    }
+    best_priority = std::max(best_priority, priority);
+    min_rule = std::min(min_rule, rule);
+  }
+
+  /// Exact probe with the pre-masked key words; nullptr on miss.
+  [[nodiscard]] const Entry* find(
+      std::span<const std::uint64_t> masked) const {
+    const auto it = entries.find(hash_words(masked));
+    if (it == entries.end()) return nullptr;
+    const Entry* e = &it->second;
+    while (e != nullptr) {
+      if (std::equal(masked.begin(), masked.end(), e->values.begin())) {
+        return e;
+      }
+      e = e->overflow == kNone ? nullptr : &spill[e->overflow];
+    }
+    return nullptr;
+  }
+};
+
+/// Returns the group holding `mask_vec`, creating it if absent. Linear
+/// scan: classifiers have few distinct mask vectors, and this only runs
+/// at build time.
+[[nodiscard]] inline MaskedGroup& find_or_add_group(
+    std::vector<MaskedGroup>& groups,
+    const std::vector<std::uint64_t>& mask_vec) {
+  for (MaskedGroup& group : groups) {
+    if (group.masks == mask_vec) return group;
+  }
+  groups.emplace_back();
+  groups.back().masks = mask_vec;
+  return groups.back();
+}
 
 }  // namespace maton::dp::detail

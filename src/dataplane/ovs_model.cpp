@@ -16,6 +16,7 @@
 
 #include "dataplane/classifier_detail.hpp"
 #include "dataplane/switch.hpp"
+#include "obs/metrics.hpp"
 #include "util/contract.hpp"
 
 namespace maton::dp {
@@ -117,29 +118,46 @@ class MegaflowCache {
 
 class OvsModel final : public OvsModelInterface {
  public:
+  OvsModel() {
+    auto& registry = obs::MetricRegistry::global();
+    const obs::Labels labels{{"model", "ovs"}};
+    mf_hits_ = &registry.counter("maton_dp_megaflow_hits_total", labels);
+    mf_misses_ = &registry.counter("maton_dp_megaflow_misses_total", labels);
+    mf_flushes_ =
+        &registry.counter("maton_dp_megaflow_flushes_total", labels);
+    mf_occupancy_ =
+        &registry.gauge("maton_dp_megaflow_occupancy", labels);
+    chunk_size_ =
+        &registry.histogram("maton_dp_batch_chunk_size", labels);
+  }
+
   Status load(Program program) override {
     program_ = std::move(program);
     cache_.clear();
     stats_ = {};
     counters_.reset(program_);
+    mf_occupancy_->set(0.0);
     return Status::ok();
   }
 
   ExecResult process(const FlowKey& key) override {
     if (const auto* cached = cache_.lookup(key)) {
       ++stats_.cache_hits;
+      mf_hits_->add();
       counters_.bump_all(cached->contributors);
       ExecResult r = cached->result;
       r.tables_visited = 1;  // one cache lookup
       return r;
     }
     ++stats_.cache_misses;
+    mf_misses_->add();
     matched_scratch_.clear();
     const auto [result, mask] = slow_path(key, &matched_scratch_);
     counters_.bump_all(matched_scratch_.span());
     if (result.hit) {
       cache_.insert(mask, key, result, matched_scratch_.span());
       stats_.cache_entries = cache_.size();
+      mf_occupancy_->set(static_cast<double>(cache_.size()));
     }
     return result;
   }
@@ -162,10 +180,13 @@ class OvsModel final : public OvsModelInterface {
       const std::size_t n =
           std::min(detail::kBatchChunk, keys.size() - base);
       cache_.lookup_batch(keys.subspan(base, n), {probed.data(), n});
+      chunk_size_->observe(static_cast<double>(n));
       bool stale = false;
+      std::uint64_t chunk_hits = 0;
       for (std::size_t i = 0; i < n; ++i) {
         if (!stale && probed[i] != nullptr) {
           ++stats_.cache_hits;
+          ++chunk_hits;
           counters_.bump_all(probed[i]->contributors);
           ExecResult r = probed[i]->result;
           r.tables_visited = 1;
@@ -176,6 +197,9 @@ class OvsModel final : public OvsModelInterface {
         results[base + i] = process(keys[base + i]);
         stale = stale || stats_.cache_misses != misses_before;
       }
+      // Fallback-path hits/misses were counted inside process(); only
+      // the hoisted fast path needs crediting here.
+      if (chunk_hits != 0) mf_hits_->add(chunk_hits);
     }
   }
 
@@ -194,6 +218,8 @@ class OvsModel final : public OvsModelInterface {
     cache_.clear();
     ++stats_.cache_flushes;
     stats_.cache_entries = 0;
+    mf_flushes_->add();
+    mf_occupancy_->set(0.0);
     return Status::ok();
   }
 
@@ -271,6 +297,11 @@ class OvsModel final : public OvsModelInterface {
   MegaflowCache cache_;
   OvsStats stats_;
   RuleCounters counters_;
+  obs::Counter* mf_hits_ = nullptr;
+  obs::Counter* mf_misses_ = nullptr;
+  obs::Counter* mf_flushes_ = nullptr;
+  obs::Gauge* mf_occupancy_ = nullptr;
+  obs::Histogram* chunk_size_ = nullptr;
   /// Reused per packet; inline up to 8 pipeline stages (no allocation).
   MatchedBuf matched_scratch_;
 };

@@ -1,17 +1,26 @@
 // ESwitch- and Lagopus-style switch models: both walk the table pipeline
 // per packet; they differ in how each table's classifier is instantiated
 // and in the fixed per-packet framework overhead.
+#include <chrono>
 #include <cstdint>
 #include <optional>
 #include <span>
 #include <vector>
 
 #include "dataplane/switch.hpp"
+#include "obs/metrics.hpp"
 #include "util/contract.hpp"
 
 namespace maton::dp {
 
 namespace {
+
+std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 /// Common pipeline walker over per-table classifiers.
 class TableWalkSwitch : public SwitchModel {
@@ -25,6 +34,7 @@ class TableWalkSwitch : public SwitchModel {
     }
     counters_.reset(program_);
     recompute_mutates();
+    resolve_metrics();
     return Status::ok();
   }
 
@@ -43,10 +53,12 @@ class TableWalkSwitch : public SwitchModel {
 
       const auto rule_idx = classifiers_[idx]->lookup(state);
       if (!rule_idx.has_value()) {
+        stage_metrics_[idx].misses->add();
         result.hit = false;
         result.out_port = 0;
         return result;
       }
+      stage_metrics_[idx].hits->add();
       counters_.bump(idx, *rule_idx);
       const TableSpec& table = program_.tables[idx];
       const Rule& rule = table.rules[*rule_idx];
@@ -123,7 +135,19 @@ class TableWalkSwitch : public SwitchModel {
           stage_keys = gather_;
         }
         rule_out_.resize(moving_.size());
+        // Telemetry per stage dispatch, not per packet: two clock reads
+        // and a handful of relaxed adds amortized over the whole chunk.
+        std::uint64_t lookup_start = 0;
+        if constexpr (obs::kEnabled) lookup_start = now_ns();
         classifiers_[t]->lookup_batch(stage_keys, rule_out_);
+        if constexpr (obs::kEnabled) {
+          stage_metrics_[t].lookup_ns->observe(
+              static_cast<double>(now_ns() - lookup_start));
+          stage_metrics_[t].chunks->add();
+          batch_chunk_size_->observe(static_cast<double>(moving_.size()));
+        }
+        std::uint64_t stage_hits = 0;
+        std::uint64_t stage_misses = 0;
 
         const TableSpec& table = program_.tables[t];
         for (std::size_t m = 0; m < moving_.size(); ++m) {
@@ -133,10 +157,12 @@ class TableWalkSwitch : public SwitchModel {
                   "table graph cycle during batch processing");
           ++result.tables_visited;
           if (rule_out_[m] == kNoRule) {
+            ++stage_misses;
             result.hit = false;
             result.out_port = 0;
             continue;  // miss: packet leaves the pipeline
           }
+          ++stage_hits;
           counters_.bump(t, rule_out_[m]);
           const Rule& rule = table.rules[rule_out_[m]];
           for (const Action& action : rule.actions) {
@@ -156,6 +182,8 @@ class TableWalkSwitch : public SwitchModel {
             result.hit = true;
           }
         }
+        if (stage_hits != 0) stage_metrics_[t].hits->add(stage_hits);
+        if (stage_misses != 0) stage_metrics_[t].misses->add(stage_misses);
         moving_.clear();
       }
     }
@@ -175,6 +203,9 @@ class TableWalkSwitch : public SwitchModel {
     counters_.carry_over(update.table, old_rules,
                          program_.tables[update.table].rules, update);
     recompute_mutates();
+    // Recompiling can change the chosen classifier template, which is a
+    // metric label; re-resolve the handles.
+    resolve_metrics();
     return Status::ok();
   }
 
@@ -189,6 +220,39 @@ class TableWalkSwitch : public SwitchModel {
       const TableSpec& table) const = 0;
 
  private:
+  /// Per-table metric handles, resolved once per (re)load so the packet
+  /// path records through raw pointers without touching the registry.
+  struct StageMetrics {
+    obs::Counter* hits = nullptr;
+    obs::Counter* misses = nullptr;
+    obs::Histogram* lookup_ns = nullptr;
+    /// Chunks dispatched, labeled by the classifier template serving the
+    /// table (exact/lpm/tss/linear) — shows which kernels carry traffic.
+    obs::Counter* chunks = nullptr;
+  };
+
+  void resolve_metrics() {
+    auto& registry = obs::MetricRegistry::global();
+    const std::string model(name());
+    stage_metrics_.clear();
+    stage_metrics_.reserve(program_.tables.size());
+    for (std::size_t t = 0; t < program_.tables.size(); ++t) {
+      const obs::Labels labels{{"model", model},
+                               {"table", program_.tables[t].name}};
+      StageMetrics m;
+      m.hits = &registry.counter("maton_dp_table_hits_total", labels);
+      m.misses = &registry.counter("maton_dp_table_misses_total", labels);
+      m.lookup_ns = &registry.histogram("maton_dp_table_lookup_ns", labels);
+      m.chunks = &registry.counter(
+          "maton_dp_classifier_chunks_total",
+          {{"model", model},
+           {"template", std::string(classifiers_[t]->name())}});
+      stage_metrics_.push_back(m);
+    }
+    batch_chunk_size_ =
+        &registry.histogram("maton_dp_batch_chunk_size", {{"model", model}});
+  }
+
   void recompute_mutates() {
     mutates_ = false;
     for (const TableSpec& table : program_.tables) {
@@ -203,6 +267,8 @@ class TableWalkSwitch : public SwitchModel {
   Program program_;
   std::vector<std::unique_ptr<Classifier>> classifiers_;
   RuleCounters counters_;
+  std::vector<StageMetrics> stage_metrics_;
+  obs::Histogram* batch_chunk_size_ = nullptr;
   /// Whether any loaded rule carries a set-field action; when false the
   /// batch walker skips copying keys into states_.
   bool mutates_ = false;

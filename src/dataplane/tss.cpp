@@ -31,38 +31,11 @@ class TssClassifier final : public Classifier {
           }
         }
       }
-      SubTable* sub = nullptr;
-      for (auto& candidate : subtables_) {
-        if (candidate.masks == mask_vec) {
-          sub = &candidate;
-          break;
-        }
-      }
-      if (sub == nullptr) {
-        subtables_.push_back({});
-        sub = &subtables_.back();
-        sub->masks = mask_vec;
-      }
-      const std::uint32_t priority = table.rules[r].priority;
-      auto [it, inserted] = sub->entries.try_emplace(
-          detail::hash_words(value_vec), Entry{value_vec, r, priority});
-      if (!inserted) {
-        // Hash bucket occupied: chain.
-        Entry* e = &it->second;
-        while (true) {
-          if (e->values == value_vec) break;  // duplicate key: keep first
-          if (e->overflow == kNone) {
-            e->overflow = sub->spill.size();
-            sub->spill.push_back(Entry{value_vec, r, priority});
-            break;
-          }
-          e = &sub->spill[e->overflow];
-        }
-      }
-      sub->best_priority = std::max(sub->best_priority, priority);
+      detail::find_or_add_group(subtables_, mask_vec)
+          .insert(value_vec, r, table.rules[r].priority);
     }
     std::sort(subtables_.begin(), subtables_.end(),
-              [](const SubTable& a, const SubTable& b) {
+              [](const detail::MaskedGroup& a, const detail::MaskedGroup& b) {
                 return a.best_priority > b.best_priority;
               });
   }
@@ -72,31 +45,15 @@ class TssClassifier final : public Classifier {
     std::optional<std::size_t> best;
     std::uint32_t best_priority = 0;
     std::uint64_t masked[kNumFields];
-    for (const SubTable& sub : subtables_) {
+    for (const detail::MaskedGroup& sub : subtables_) {
       if (best.has_value() && best_priority >= sub.best_priority) break;
       for (std::size_t f = 0; f < fields_.size(); ++f) {
         masked[f] = key.get(fields_[f]) & sub.masks[f];
       }
-      const std::span<const std::uint64_t> view(masked, fields_.size());
-      const auto it = sub.entries.find(detail::hash_words(view));
-      if (it == sub.entries.end()) continue;
-      const Entry* e = &it->second;
-      while (e != nullptr) {
-        bool equal = true;
-        for (std::size_t f = 0; f < fields_.size(); ++f) {
-          if (e->values[f] != masked[f]) {
-            equal = false;
-            break;
-          }
-        }
-        if (equal) {
-          if (!best.has_value() || e->priority > best_priority) {
-            best = e->rule;
-            best_priority = e->priority;
-          }
-          break;
-        }
-        e = e->overflow == kNone ? nullptr : &sub.spill[e->overflow];
+      const auto* e = sub.find({masked, fields_.size()});
+      if (e != nullptr && (!best.has_value() || e->priority > best_priority)) {
+        best = e->rule;
+        best_priority = e->priority;
       }
     }
     return best;
@@ -130,7 +87,7 @@ class TssClassifier final : public Classifier {
         active[i] = static_cast<std::uint32_t>(i);
       }
       std::size_t live = n;
-      for (const SubTable& sub : subtables_) {
+      for (const detail::MaskedGroup& sub : subtables_) {
         // Scalar early exit, per key: a match at or above this (and every
         // later) subtable's best priority can no longer be beaten.
         std::size_t still = 0;
@@ -149,26 +106,11 @@ class TssClassifier final : public Classifier {
           for (std::size_t f = 0; f < nf; ++f) {
             masked[f] = v[f] & sub.masks[f];
           }
-          const std::span<const std::uint64_t> view(masked, nf);
-          const auto it = sub.entries.find(detail::hash_words(view));
-          if (it == sub.entries.end()) continue;
-          const Entry* e = &it->second;
-          while (e != nullptr) {
-            bool equal = true;
-            for (std::size_t f = 0; f < nf; ++f) {
-              if (e->values[f] != masked[f]) {
-                equal = false;
-                break;
-              }
-            }
-            if (equal) {
-              if (best[i] == kNoRule || e->priority > best_pri[i]) {
-                best[i] = e->rule;
-                best_pri[i] = e->priority;
-              }
-              break;
-            }
-            e = e->overflow == kNone ? nullptr : &sub.spill[e->overflow];
+          const auto* e = sub.find({masked, nf});
+          if (e != nullptr &&
+              (best[i] == kNoRule || e->priority > best_pri[i])) {
+            best[i] = e->rule;
+            best_pri[i] = e->priority;
           }
         }
       }
@@ -181,22 +123,8 @@ class TssClassifier final : public Classifier {
   }
 
  private:
-  static constexpr std::size_t kNone = ~std::size_t{0};
-  struct Entry {
-    std::vector<std::uint64_t> values;
-    std::size_t rule = 0;
-    std::uint32_t priority = 0;
-    std::size_t overflow = kNone;  // chain into SubTable::spill
-  };
-  struct SubTable {
-    std::vector<std::uint64_t> masks;
-    std::unordered_map<std::uint64_t, Entry> entries;
-    std::vector<Entry> spill;
-    std::uint32_t best_priority = 0;
-  };
-
   std::vector<FieldId> fields_;
-  std::vector<SubTable> subtables_;
+  std::vector<detail::MaskedGroup> subtables_;
 };
 
 class LinearClassifier final : public Classifier {
@@ -238,7 +166,6 @@ class LinearClassifier final : public Classifier {
   }
 
  private:
-  static constexpr std::size_t kNone = ~std::size_t{0};
   /// Below this rule count the flat scan beats the hashed group probe.
   static constexpr std::size_t kScanThreshold = 8;
 
@@ -246,18 +173,6 @@ class LinearClassifier final : public Classifier {
     std::uint64_t mask = 0;
     std::uint64_t value = 0;
     std::uint32_t index = 0;  // field_index(field) into FlowKey::values
-  };
-  struct Entry {
-    std::vector<std::uint64_t> values;
-    std::size_t rule = 0;
-    std::size_t overflow = kNone;  // chain into Group::spill
-  };
-  /// Rules sharing one mask vector over fields_: one exact-match probe.
-  struct Group {
-    std::vector<std::uint64_t> masks;
-    std::unordered_map<std::uint64_t, Entry> entries;
-    std::vector<Entry> spill;
-    std::size_t min_rule = kNone;  // smallest rule index in the group
   };
 
   /// Flattens every rule's predicates into one contiguous array so the
@@ -313,38 +228,13 @@ class LinearClassifier final : public Classifier {
         value_vec[f] |= m.value;
       }
       if (!satisfiable) continue;
-      Group* group = nullptr;
-      for (auto& candidate : groups_) {
-        if (candidate.masks == mask_vec) {
-          group = &candidate;
-          break;
-        }
-      }
-      if (group == nullptr) {
-        groups_.push_back({});
-        group = &groups_.back();
-        group->masks = mask_vec;
-      }
-      auto [it, inserted] = group->entries.try_emplace(
-          detail::hash_words(value_vec), Entry{value_vec, r, kNone});
-      if (!inserted) {
-        Entry* e = &it->second;
-        while (true) {
-          if (e->values == value_vec) break;  // duplicate: first wins
-          if (e->overflow == kNone) {
-            e->overflow = group->spill.size();
-            group->spill.push_back(Entry{value_vec, r, kNone});
-            break;
-          }
-          e = &group->spill[e->overflow];
-        }
-      }
-      group->min_rule = std::min(group->min_rule, r);
+      detail::find_or_add_group(groups_, mask_vec)
+          .insert(value_vec, r, rules_[r].priority);
     }
     // Ascending min_rule lets the probe stop as soon as the current best
     // match precedes every remaining group.
     std::sort(groups_.begin(), groups_.end(),
-              [](const Group& a, const Group& b) {
+              [](const detail::MaskedGroup& a, const detail::MaskedGroup& b) {
                 return a.min_rule < b.min_rule;
               });
   }
@@ -412,7 +302,7 @@ class LinearClassifier final : public Classifier {
         active[i] = static_cast<std::uint32_t>(i);
       }
       std::size_t live = n;
-      for (const Group& group : groups_) {
+      for (const detail::MaskedGroup& group : groups_) {
         // A key whose best match precedes this group's smallest rule
         // index is decided (groups are sorted by min_rule).
         std::size_t still = 0;
@@ -429,24 +319,8 @@ class LinearClassifier final : public Classifier {
           for (std::size_t f = 0; f < nf; ++f) {
             masked[f] = v[f] & group.masks[f];
           }
-          const std::span<const std::uint64_t> view(masked, nf);
-          const auto it = group.entries.find(detail::hash_words(view));
-          if (it == group.entries.end()) continue;
-          const Entry* e = &it->second;
-          while (e != nullptr) {
-            bool equal = true;
-            for (std::size_t f = 0; f < nf; ++f) {
-              if (e->values[f] != masked[f]) {
-                equal = false;
-                break;
-              }
-            }
-            if (equal) {
-              best[i] = std::min(best[i], e->rule);
-              break;
-            }
-            e = e->overflow == kNone ? nullptr : &group.spill[e->overflow];
-          }
+          const auto* e = group.find({masked, nf});
+          if (e != nullptr) best[i] = std::min(best[i], e->rule);
         }
       }
       for (std::size_t i = 0; i < n; ++i) out[base + i] = best[i];
@@ -457,7 +331,7 @@ class LinearClassifier final : public Classifier {
   std::vector<FlatMatch> flat_;
   std::vector<std::uint32_t> flat_begin_;
   std::vector<FieldId> fields_;  // union of matched fields, batch index
-  std::vector<Group> groups_;
+  std::vector<detail::MaskedGroup> groups_;
 };
 
 }  // namespace

@@ -1,0 +1,228 @@
+#include "obs/expose.hpp"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "obs/trace.hpp"
+
+namespace maton::obs {
+
+namespace {
+
+/// Formats a double the way Prometheus expects: integers without a
+/// fractional part, +Inf spelled out, otherwise shortest round-trip-ish
+/// representation (%.17g is overkill for exposition; %.9g keeps lines
+/// readable and is exact for every value we record).
+std::string format_value(double v) {
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  if (std::isnan(v)) return "NaN";
+  if (v == static_cast<double>(static_cast<std::int64_t>(v)) &&
+      std::abs(v) < 1e15) {
+    return std::to_string(static_cast<std::int64_t>(v));
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+void append_escaped(std::string& out, std::string_view s, bool json) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        if (json && static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+/// Renders `{key="value",...}` with an optional extra `le` label.
+/// Returns "" when there is nothing to render.
+std::string prom_labels(const Labels& labels, const std::string* le) {
+  if (labels.empty() && le == nullptr) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += k;
+    out += "=\"";
+    append_escaped(out, v, /*json=*/false);
+    out += '"';
+  }
+  if (le != nullptr) {
+    if (!first) out += ',';
+    out += "le=\"";
+    out += *le;
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace
+
+std::string render_prometheus(const Snapshot& snapshot) {
+  std::string out;
+  std::string_view last_family;
+  for (const MetricSnapshot& m : snapshot.metrics) {
+    if (m.name != last_family) {
+      out += "# TYPE ";
+      out += m.name;
+      out += ' ';
+      out += to_string(m.kind);
+      out += '\n';
+      last_family = m.name;
+    }
+    switch (m.kind) {
+      case MetricKind::kCounter:
+      case MetricKind::kGauge:
+        out += m.name;
+        out += prom_labels(m.labels, nullptr);
+        out += ' ';
+        out += format_value(m.value);
+        out += '\n';
+        break;
+      case MetricKind::kHistogram: {
+        std::uint64_t cumulative = 0;
+        for (const auto& [upper, count] : m.buckets) {
+          cumulative += count;
+          const std::string le = format_value(upper);
+          out += m.name;
+          out += "_bucket";
+          out += prom_labels(m.labels, &le);
+          out += ' ';
+          out += std::to_string(cumulative);
+          out += '\n';
+        }
+        const std::string inf = "+Inf";
+        out += m.name;
+        out += "_bucket";
+        out += prom_labels(m.labels, &inf);
+        out += ' ';
+        out += std::to_string(m.count);
+        out += '\n';
+        out += m.name;
+        out += "_sum";
+        out += prom_labels(m.labels, nullptr);
+        out += ' ';
+        out += format_value(m.sum);
+        out += '\n';
+        out += m.name;
+        out += "_count";
+        out += prom_labels(m.labels, nullptr);
+        out += ' ';
+        out += std::to_string(m.count);
+        out += '\n';
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string render_json(const Snapshot& snapshot) {
+  std::string out = "[";
+  bool first_metric = true;
+  for (const MetricSnapshot& m : snapshot.metrics) {
+    if (!first_metric) out += ',';
+    first_metric = false;
+    out += "\n {\"name\":\"";
+    append_escaped(out, m.name, /*json=*/true);
+    out += "\",\"kind\":\"";
+    out += to_string(m.kind);
+    out += "\",\"labels\":{";
+    bool first_label = true;
+    for (const auto& [k, v] : m.labels) {
+      if (!first_label) out += ',';
+      first_label = false;
+      out += '"';
+      append_escaped(out, k, /*json=*/true);
+      out += "\":\"";
+      append_escaped(out, v, /*json=*/true);
+      out += '"';
+    }
+    out += '}';
+    switch (m.kind) {
+      case MetricKind::kCounter:
+      case MetricKind::kGauge:
+        out += ",\"value\":";
+        out += format_value(m.value);
+        break;
+      case MetricKind::kHistogram: {
+        out += ",\"buckets\":[";
+        bool first_bucket = true;
+        for (const auto& [upper, count] : m.buckets) {
+          if (!first_bucket) out += ',';
+          first_bucket = false;
+          out += "{\"le\":";
+          out += std::isinf(upper) ? std::string("\"+Inf\"")
+                                   : format_value(upper);
+          out += ",\"count\":";
+          out += std::to_string(count);
+          out += '}';
+        }
+        out += "],\"sum\":";
+        out += format_value(m.sum);
+        out += ",\"count\":";
+        out += std::to_string(m.count);
+        break;
+      }
+    }
+    out += '}';
+  }
+  out += "\n]\n";
+  return out;
+}
+
+std::string render_prometheus() {
+  return render_prometheus(MetricRegistry::global().scrape());
+}
+
+std::string render_json() {
+  return render_json(MetricRegistry::global().scrape());
+}
+
+Status write_text_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return internal_error("cannot open for writing: " + path);
+  out << text;
+  out.flush();
+  if (!out) return internal_error("short write: " + path);
+  return Status::ok();
+}
+
+Status write_exports_from_env() {
+  if (const char* metrics_path = std::getenv("MATON_METRICS_OUT")) {
+    const std::string path(metrics_path);
+    const bool prom = path.size() >= 5 &&
+                      path.compare(path.size() - 5, 5, ".prom") == 0;
+    const Status wrote =
+        write_text_file(path, prom ? render_prometheus() : render_json());
+    if (!wrote.is_ok()) return wrote;
+  }
+  if (const char* trace_path = std::getenv("MATON_TRACE_OUT")) {
+    const Status wrote =
+        write_text_file(trace_path, render_chrome_trace());
+    if (!wrote.is_ok()) return wrote;
+  }
+  return Status::ok();
+}
+
+}  // namespace maton::obs

@@ -1,0 +1,38 @@
+// Exposition: render a MetricRegistry snapshot as Prometheus text
+// format or JSON, and helpers for writing scrapes/traces to files
+// driven by environment variables (used by the bench binaries so shell
+// wrappers can collect telemetry without touching the bench CLI).
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "util/status.hpp"
+
+namespace maton::obs {
+
+/// Prometheus text exposition (v0.0.4): one `# TYPE` line per metric
+/// family, then one sample line per metric; histograms emit cumulative
+/// `_bucket{le=...}` samples for every non-empty bucket plus
+/// `le="+Inf"`, `_sum`, and `_count`. Deterministic output for a given
+/// snapshot.
+[[nodiscard]] std::string render_prometheus(const Snapshot& snapshot);
+
+/// JSON exposition: an array of metric objects mirroring MetricSnapshot
+/// (name, labels, kind, value / buckets+sum+count).
+[[nodiscard]] std::string render_json(const Snapshot& snapshot);
+
+/// Convenience: scrape the global registry and render.
+[[nodiscard]] std::string render_prometheus();
+[[nodiscard]] std::string render_json();
+
+/// Writes `text` to `path` (truncating). Status error on I/O failure.
+Status write_text_file(const std::string& path, const std::string& text);
+
+/// If MATON_METRICS_OUT is set, writes the global registry scrape there
+/// (".prom" suffix selects Prometheus text, anything else JSON). If
+/// MATON_TRACE_OUT is set, writes the Chrome trace JSON there. Returns
+/// the first error; missing env vars are not errors.
+Status write_exports_from_env();
+
+}  // namespace maton::obs

@@ -1,0 +1,187 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+
+namespace maton::obs {
+
+namespace {
+
+/// Sequential thread ids (steady, small) instead of opaque
+/// std::thread::id values, so the Chrome trace shows "thread 0/1/2".
+std::uint32_t this_thread_tid() noexcept {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t tid =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+thread_local std::uint32_t t_depth = 0;
+
+std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void copy_name(std::array<char, 48>& dst, std::string_view src) noexcept {
+  const std::size_t n = std::min(src.size(), dst.size() - 1);
+  std::memcpy(dst.data(), src.data(), n);
+  dst[n] = '\0';
+}
+
+void append_json_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+struct Tracer::State {
+  mutable std::mutex mutex;
+  std::vector<TraceEvent> ring;
+  std::size_t next = 0;           // write cursor
+  std::uint64_t total = 0;        // spans ever recorded
+};
+
+Tracer::State& Tracer::state() const {
+  // Leaked for the same reason as MetricRegistry::global(): spans may be
+  // recorded from destructors of static-lifetime objects.
+  static State* instance = new State();
+  return *instance;
+}
+
+Tracer& Tracer::global() {
+  static Tracer* instance = new Tracer();
+  return *instance;
+}
+
+void Tracer::record(std::string_view name, std::uint32_t tid,
+                    std::uint32_t depth, std::uint64_t start_ns,
+                    std::uint64_t dur_ns) {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  if (s.ring.size() < kCapacity) {
+    s.ring.emplace_back();
+    TraceEvent& e = s.ring.back();
+    copy_name(e.name, name);
+    e.tid = tid;
+    e.depth = depth;
+    e.start_ns = start_ns;
+    e.dur_ns = dur_ns;
+  } else {
+    TraceEvent& e = s.ring[s.next % kCapacity];
+    copy_name(e.name, name);
+    e.tid = tid;
+    e.depth = depth;
+    e.start_ns = start_ns;
+    e.dur_ns = dur_ns;
+  }
+  ++s.next;
+  ++s.total;
+}
+
+Tracer::Contents Tracer::contents() const {
+  const State& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  Contents out;
+  out.total_recorded = s.total;
+  if (s.ring.size() < kCapacity) {
+    out.events = s.ring;
+  } else {
+    // The slot at `next % kCapacity` is the oldest surviving span.
+    out.events.reserve(kCapacity);
+    const std::size_t head = s.next % kCapacity;
+    out.events.insert(out.events.end(), s.ring.begin() + head, s.ring.end());
+    out.events.insert(out.events.end(), s.ring.begin(),
+                      s.ring.begin() + head);
+  }
+  return out;
+}
+
+void Tracer::clear() {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  s.ring.clear();
+  s.next = 0;
+  s.total = 0;
+}
+
+TraceSpan::TraceSpan(std::string_view name) noexcept {
+#if !defined(MATON_OBS_OFF)
+  copy_name(name_, name);
+  ++t_depth;
+  start_ = std::chrono::steady_clock::now();
+#else
+  (void)name;
+#endif
+}
+
+TraceSpan::~TraceSpan() {
+#if !defined(MATON_OBS_OFF)
+  const std::uint64_t end = now_ns();
+  const std::uint64_t start = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          start_.time_since_epoch())
+          .count());
+  --t_depth;
+  Tracer::global().record(std::string_view(name_.data()), this_thread_tid(),
+                          t_depth, start, end > start ? end - start : 0);
+#endif
+}
+
+std::string render_chrome_trace(const Tracer::Contents& c) {
+  std::string out;
+  out.reserve(128 + c.events.size() * 120);
+  out += "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : c.events) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"";
+    append_json_escaped(out, e.name_view());
+    out += "\",\"ph\":\"X\",\"pid\":1,\"tid\":";
+    out += std::to_string(e.tid);
+    // Chrome expects microsecond floats; keep ns precision via 3 dp.
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), ",\"ts\":%llu.%03llu,\"dur\":%llu.%03llu",
+                  static_cast<unsigned long long>(e.start_ns / 1000),
+                  static_cast<unsigned long long>(e.start_ns % 1000),
+                  static_cast<unsigned long long>(e.dur_ns / 1000),
+                  static_cast<unsigned long long>(e.dur_ns % 1000));
+    out += buf;
+    out += ",\"args\":{\"depth\":";
+    out += std::to_string(e.depth);
+    out += "}}";
+  }
+  out += "],\"displayTimeUnit\":\"ns\",\"otherData\":{\"total_recorded\":";
+  out += std::to_string(c.total_recorded);
+  out += "}}";
+  return out;
+}
+
+std::string render_chrome_trace() {
+  return render_chrome_trace(Tracer::global().contents());
+}
+
+}  // namespace maton::obs

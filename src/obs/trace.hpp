@@ -1,0 +1,95 @@
+// Phase tracing: TraceSpan is an RAII scope timer that records one
+// completed span (name, thread, start, duration, nesting depth) into a
+// process-wide fixed-capacity ring buffer on destruction. Spans are
+// meant for phase-frequency events — a churn intent, a TANE lattice
+// level, a batch round — not per-packet work, so the ring is guarded by
+// a plain mutex and the hot cost is two steady_clock reads per span.
+//
+// The ring keeps the most recent kCapacity spans; older ones are
+// overwritten. render_chrome_trace() exports the buffer as Chrome
+// trace_event JSON ("X" complete events, microsecond timestamps) that
+// loads directly in chrome://tracing or Perfetto.
+//
+// With MATON_OBS_OFF, TraceSpan is an empty object: no clock reads, no
+// recording; the exporter renders an empty event list.
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace maton::obs {
+
+#if defined(MATON_OBS_OFF)
+inline constexpr bool kTraceEnabled = false;
+#else
+inline constexpr bool kTraceEnabled = true;
+#endif
+
+/// One completed span, as stored in the ring.
+struct TraceEvent {
+  /// Span name, truncated to fit (no allocation on the record path).
+  std::array<char, 48> name{};
+  std::uint32_t tid = 0;
+  std::uint32_t depth = 0;
+  std::uint64_t start_ns = 0;
+  std::uint64_t dur_ns = 0;
+
+  [[nodiscard]] std::string_view name_view() const noexcept {
+    return std::string_view(name.data());
+  }
+};
+
+/// Process-wide span ring buffer.
+class Tracer {
+ public:
+  static constexpr std::size_t kCapacity = std::size_t{1} << 14;
+
+  [[nodiscard]] static Tracer& global();
+
+  /// Appends a completed span, overwriting the oldest if full.
+  void record(std::string_view name, std::uint32_t tid, std::uint32_t depth,
+              std::uint64_t start_ns, std::uint64_t dur_ns);
+
+  /// Spans in recording order (oldest surviving first). Total number of
+  /// spans ever recorded is reported separately so callers can tell how
+  /// many wrapped out.
+  struct Contents {
+    std::vector<TraceEvent> events;
+    std::uint64_t total_recorded = 0;
+  };
+  [[nodiscard]] Contents contents() const;
+
+  void clear();
+
+ private:
+  Tracer() = default;
+  struct State;
+  State& state() const;
+};
+
+/// RAII phase timer. Construct at scope entry; the span is recorded
+/// when the object is destroyed. Nesting depth is tracked per thread.
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string_view name) noexcept;
+  ~TraceSpan();
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+#if !defined(MATON_OBS_OFF)
+  std::array<char, 48> name_{};
+  std::chrono::steady_clock::time_point start_;
+#endif
+};
+
+/// Renders the ring (or `contents` if given) as a Chrome trace_event
+/// JSON document: {"traceEvents": [{"ph":"X", ...}, ...]}.
+[[nodiscard]] std::string render_chrome_trace();
+[[nodiscard]] std::string render_chrome_trace(const Tracer::Contents& c);
+
+}  // namespace maton::obs

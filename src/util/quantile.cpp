@@ -38,6 +38,64 @@ void P2Quantile::add(double sample) {
   adjust_markers();
 }
 
+void P2Quantile::merge(const P2Quantile& other) {
+  expects(q_ == other.q_, "P2Quantile::merge requires the same quantile");
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+
+  // Exact-fallback: a side still holding its initial samples (count < 5)
+  // stores them raw in heights_[0..count), so they replay losslessly.
+  if (other.count_ < 5) {
+    for (std::size_t i = 0; i < other.count_; ++i) add(other.heights_[i]);
+    return;
+  }
+  if (count_ < 5) {
+    P2Quantile merged = other;
+    for (std::size_t i = 0; i < count_; ++i) merged.add(heights_[i]);
+    *this = merged;
+    return;
+  }
+
+  // Marker merge. Extremes are exact; middle heights are count-weighted
+  // averages of two order-statistic estimates, positions add as rank
+  // counts (both sides count their own minimum, hence the -1).
+  const double w1 = static_cast<double>(count_);
+  const double w2 = static_cast<double>(other.count_);
+  const std::size_t merged_count = count_ + other.count_;
+
+  std::array<double, 5> h;
+  h[0] = std::min(heights_[0], other.heights_[0]);
+  h[4] = std::max(heights_[4], other.heights_[4]);
+  for (int i = 1; i <= 3; ++i) {
+    h[i] = (heights_[i] * w1 + other.heights_[i] * w2) / (w1 + w2);
+  }
+  for (int i = 1; i < 5; ++i) h[i] = std::max(h[i], h[i - 1]);
+  heights_ = h;
+
+  std::array<double, 5> p;
+  p[0] = 1.0;
+  p[4] = static_cast<double>(merged_count);
+  for (int i = 1; i <= 3; ++i) {
+    p[i] = positions_[i] + other.positions_[i] - 1.0;
+  }
+  // Positions must stay strictly increasing with unit gaps available on
+  // both sides for the adjustment steps to function.
+  for (int i = 1; i < 5; ++i) p[i] = std::max(p[i], p[i - 1] + 1.0);
+  for (int i = 3; i >= 0; --i) p[i] = std::min(p[i], p[i + 1] - 1.0);
+  positions_ = p;
+
+  const std::array<double, 5> init = {1.0, 1.0 + 2.0 * q_, 1.0 + 4.0 * q_,
+                                      3.0 + 2.0 * q_, 5.0};
+  for (int i = 0; i < 5; ++i) {
+    desired_[i] = init[i] + static_cast<double>(merged_count - 5) *
+                                increments_[i];
+  }
+  count_ = merged_count;
+}
+
 void P2Quantile::insert_initial(double sample) {
   heights_[count_] = sample;
   ++count_;
@@ -124,6 +182,16 @@ void LatencyRecorder::add(double sample) {
   p50_.add(sample);
   p75_.add(sample);
   p99_.add(sample);
+}
+
+void LatencyRecorder::merge(const LatencyRecorder& other) {
+  if (other.count_ == 0) return;
+  min_ = count_ == 0 ? other.min_ : std::min(min_, other.min_);
+  sum_ += other.sum_;
+  count_ += other.count_;
+  p50_.merge(other.p50_);
+  p75_.merge(other.p75_);
+  p99_.merge(other.p99_);
 }
 
 double LatencyRecorder::min() const {

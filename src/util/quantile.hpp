@@ -27,6 +27,19 @@ class P2Quantile {
 
   void add(double sample);
 
+  /// Folds another estimator of the same quantile into this one, as if
+  /// the two sample streams had been interleaved. When either side has
+  /// fewer than 5 samples its raw retained samples are replayed exactly;
+  /// otherwise the P² markers are merged: extreme markers take min/max,
+  /// middle marker heights are count-weighted averages (then clamped
+  /// monotone), marker positions add as rank estimates, and desired
+  /// positions are recomputed from the merged count. The merged estimate
+  /// is an approximation — two marker sets cannot recover the exact
+  /// interleaved order statistics — but stays within a few percent of a
+  /// single-stream estimator for same-shaped per-queue streams (see
+  /// util/test_quantile.cpp).
+  void merge(const P2Quantile& other);
+
   /// Current estimate; requires at least one sample.
   [[nodiscard]] double estimate() const;
 
@@ -70,6 +83,11 @@ class LatencyRecorder {
   LatencyRecorder() : p50_(0.50), p75_(0.75), p99_(0.99) {}
 
   void add(double sample);
+
+  /// Folds another recorder's stream into this one (multi-queue replay
+  /// reports one recorder folded over all queues): min/sum/count combine
+  /// exactly, the quantile estimates via P2Quantile::merge.
+  void merge(const LatencyRecorder& other);
 
   [[nodiscard]] std::size_t count() const noexcept { return count_; }
   [[nodiscard]] double min() const;

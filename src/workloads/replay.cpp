@@ -4,6 +4,7 @@
 #include <chrono>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "util/contract.hpp"
 #include "util/thread_pool.hpp"
 
@@ -17,17 +18,32 @@ using Clock = std::chrono::steady_clock;
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
+void count_replayed(const char* mode, std::uint64_t packets) {
+  if constexpr (obs::kEnabled) {
+    obs::MetricRegistry::global()
+        .counter("maton_replay_packets_total", {{"mode", mode}})
+        .add(packets);
+  }
+}
+
 [[nodiscard]] std::uint64_t run_batches(dp::SwitchModel& sw,
                                         std::span<const dp::FlowKey> keys,
                                         std::size_t rounds,
                                         std::size_t batch,
-                                        std::vector<dp::ExecResult>& results) {
+                                        std::vector<dp::ExecResult>& results,
+                                        LatencyRecorder& latency_us) {
   std::uint64_t hits = 0;
   results.resize(std::min(batch, keys.size()));
   for (std::size_t round = 0; round < rounds; ++round) {
     for (std::size_t base = 0; base < keys.size(); base += batch) {
       const std::size_t n = std::min(batch, keys.size() - base);
-      sw.process_batch(keys.subspan(base, n), {results.data(), n});
+      if constexpr (obs::kEnabled) {
+        const auto call_start = Clock::now();
+        sw.process_batch(keys.subspan(base, n), {results.data(), n});
+        latency_us.add(seconds_since(call_start) * 1e6);
+      } else {
+        sw.process_batch(keys.subspan(base, n), {results.data(), n});
+      }
       for (std::size_t i = 0; i < n; ++i) {
         hits += results[i].hit ? 1 : 0;
       }
@@ -50,6 +66,7 @@ ReplayStats replay_scalar(dp::SwitchModel& sw,
   }
   stats.seconds = seconds_since(start);
   stats.packets = static_cast<std::uint64_t>(keys.size()) * rounds;
+  count_replayed("scalar", stats.packets);
   return stats;
 }
 
@@ -60,9 +77,11 @@ ReplayStats replay_batch(dp::SwitchModel& sw,
   ReplayStats stats;
   std::vector<dp::ExecResult> results;
   const auto start = Clock::now();
-  stats.hits = run_batches(sw, keys, rounds, batch, results);
+  stats.hits = run_batches(sw, keys, rounds, batch, results,
+                           stats.batch_latency_us);
   stats.seconds = seconds_since(start);
   stats.packets = static_cast<std::uint64_t>(keys.size()) * rounds;
+  count_replayed("batch", stats.packets);
   return stats;
 }
 
@@ -87,6 +106,7 @@ ReplayStats replay_threaded(const ModelFactory& factory,
 
   std::atomic<std::uint64_t> hits{0};
   std::vector<std::vector<dp::ExecResult>> results(queues);
+  std::vector<LatencyRecorder> latencies(queues);
   const auto start = Clock::now();
   util::ThreadPool::shared().parallel_for(
       queues, queues, [&](std::size_t q, std::size_t /*worker*/) {
@@ -95,7 +115,7 @@ ReplayStats replay_threaded(const ModelFactory& factory,
         if (lo == hi) return;
         const std::uint64_t mine = run_batches(
             *switches[q], keys.subspan(lo, hi - lo), rounds, batch,
-            results[q]);
+            results[q], latencies[q]);
         hits.fetch_add(mine, std::memory_order_relaxed);
       });
 
@@ -103,6 +123,10 @@ ReplayStats replay_threaded(const ModelFactory& factory,
   stats.seconds = seconds_since(start);
   stats.packets = static_cast<std::uint64_t>(keys.size()) * rounds;
   stats.hits = hits.load(std::memory_order_relaxed);
+  for (const LatencyRecorder& queue_latency : latencies) {
+    stats.batch_latency_us.merge(queue_latency);
+  }
+  count_replayed("threaded", stats.packets);
   return stats;
 }
 

@@ -9,6 +9,7 @@
 #include <span>
 
 #include "dataplane/switch.hpp"
+#include "util/quantile.hpp"
 
 namespace maton::workloads {
 
@@ -17,6 +18,10 @@ struct ReplayStats {
   std::uint64_t hits = 0;
   /// Wall-clock time of the replay loop only (models loaded outside).
   double seconds = 0.0;
+  /// Per-process_batch-call wall time in microseconds (batch paths only;
+  /// replay_threaded folds one recorder per queue via LatencyRecorder::
+  /// merge). Empty for scalar replay and when built with MATON_OBS_OFF.
+  LatencyRecorder batch_latency_us;
 
   [[nodiscard]] double packets_per_second() const noexcept {
     return seconds > 0.0 ? static_cast<double>(packets) / seconds : 0.0;

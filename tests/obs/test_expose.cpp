@@ -1,0 +1,88 @@
+#include "obs/expose.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace maton::obs {
+namespace {
+
+#if !defined(MATON_OBS_OFF)
+
+/// One registry with one metric of each kind, deterministic values, so
+/// both renderers can be checked against verbatim golden documents.
+MetricRegistry& golden_registry() {
+  static MetricRegistry* registry = [] {
+    auto* r = new MetricRegistry();
+    r->counter("maton_x_total").add(42);
+    r->gauge("maton_occ", {{"model", "ovs"}}).set(2.5);
+    Histogram& h = r->histogram("maton_lat");
+    h.observe(3);  // exact bucket 3, upper bound 4
+    h.observe(9);  // first octave bucket, upper bound 10
+    return r;
+  }();
+  return *registry;
+}
+
+TEST(Expose, PrometheusGolden) {
+  const std::string expected =
+      "# TYPE maton_lat histogram\n"
+      "maton_lat_bucket{le=\"4\"} 1\n"
+      "maton_lat_bucket{le=\"10\"} 2\n"
+      "maton_lat_bucket{le=\"+Inf\"} 2\n"
+      "maton_lat_sum 12\n"
+      "maton_lat_count 2\n"
+      "# TYPE maton_occ gauge\n"
+      "maton_occ{model=\"ovs\"} 2.5\n"
+      "# TYPE maton_x_total counter\n"
+      "maton_x_total 42\n";
+  EXPECT_EQ(render_prometheus(golden_registry().scrape()), expected);
+}
+
+TEST(Expose, JsonGolden) {
+  const std::string expected =
+      "[\n"
+      " {\"name\":\"maton_lat\",\"kind\":\"histogram\",\"labels\":{},"
+      "\"buckets\":[{\"le\":4,\"count\":1},{\"le\":10,\"count\":1}],"
+      "\"sum\":12,\"count\":2},\n"
+      " {\"name\":\"maton_occ\",\"kind\":\"gauge\",\"labels\":"
+      "{\"model\":\"ovs\"},\"value\":2.5},\n"
+      " {\"name\":\"maton_x_total\",\"kind\":\"counter\",\"labels\":{},"
+      "\"value\":42}\n"
+      "]\n";
+  EXPECT_EQ(render_json(golden_registry().scrape()), expected);
+}
+
+TEST(Expose, LabelValuesAreEscaped) {
+  MetricRegistry registry;
+  registry.counter("maton_esc_total", {{"k", "a\"b\\c"}}).add(1);
+  const Snapshot snap = registry.scrape();
+  const std::string prom = render_prometheus(snap);
+  EXPECT_NE(prom.find("k=\"a\\\"b\\\\c\""), std::string::npos) << prom;
+  const std::string json = render_json(snap);
+  EXPECT_NE(json.find("\"k\":\"a\\\"b\\\\c\""), std::string::npos) << json;
+}
+
+#endif  // !MATON_OBS_OFF
+
+TEST(Expose, WriteTextFileRoundTrips) {
+  const std::string path =
+      ::testing::TempDir() + "/maton_expose_test.txt";
+  ASSERT_TRUE(write_text_file(path, "hello\n").is_ok());
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), "hello\n");
+  std::remove(path.c_str());
+}
+
+TEST(Expose, WriteTextFileReportsUnwritablePath) {
+  EXPECT_FALSE(
+      write_text_file("/nonexistent-dir/metrics.prom", "x").is_ok());
+}
+
+}  // namespace
+}  // namespace maton::obs

@@ -1,0 +1,108 @@
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace maton::obs {
+namespace {
+
+#if defined(MATON_OBS_OFF)
+TEST(TraceCompiledOut, NoSpansRecorded) {
+  Tracer::global().clear();
+  {
+    const TraceSpan span("outer");
+    const TraceSpan inner("inner");
+  }
+  EXPECT_TRUE(Tracer::global().contents().events.empty());
+  EXPECT_NE(render_chrome_trace().find("\"traceEvents\":[]"),
+            std::string::npos);
+}
+#else
+
+/// The tracer is process-global; every test starts from a cleared ring.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Tracer::global().clear(); }
+};
+
+TEST_F(TraceTest, SpanRecordsOnDestruction) {
+  {
+    const TraceSpan span("phase_a");
+    EXPECT_TRUE(Tracer::global().contents().events.empty());
+  }
+  const Tracer::Contents c = Tracer::global().contents();
+  ASSERT_EQ(c.events.size(), 1u);
+  EXPECT_EQ(c.events[0].name_view(), "phase_a");
+  EXPECT_EQ(c.events[0].depth, 0u);
+  EXPECT_EQ(c.total_recorded, 1u);
+}
+
+TEST_F(TraceTest, NestingDepthAndCompletionOrder) {
+  {
+    const TraceSpan outer("outer");
+    {
+      const TraceSpan mid("mid");
+      const TraceSpan inner("inner");
+    }
+  }
+  const Tracer::Contents c = Tracer::global().contents();
+  ASSERT_EQ(c.events.size(), 3u);
+  // Spans land in completion (destruction) order: innermost first.
+  // Depth is 0-based: the outermost span of a thread records depth 0.
+  EXPECT_EQ(c.events[0].name_view(), "inner");
+  EXPECT_EQ(c.events[0].depth, 2u);
+  EXPECT_EQ(c.events[1].name_view(), "mid");
+  EXPECT_EQ(c.events[1].depth, 1u);
+  EXPECT_EQ(c.events[2].name_view(), "outer");
+  EXPECT_EQ(c.events[2].depth, 0u);
+  // The outer span brackets the inner ones.
+  EXPECT_LE(c.events[2].start_ns, c.events[0].start_ns);
+  EXPECT_GE(c.events[2].start_ns + c.events[2].dur_ns,
+            c.events[0].start_ns + c.events[0].dur_ns);
+}
+
+TEST_F(TraceTest, LongNamesAreTruncatedNotOverflowed) {
+  const std::string long_name(200, 'x');
+  { const TraceSpan span(long_name); }
+  const Tracer::Contents c = Tracer::global().contents();
+  ASSERT_EQ(c.events.size(), 1u);
+  EXPECT_EQ(c.events[0].name_view(), std::string(47, 'x'));
+}
+
+TEST_F(TraceTest, RingBufferWrapsKeepingMostRecent) {
+  const std::size_t total = Tracer::kCapacity + 100;
+  for (std::size_t i = 0; i < total; ++i) {
+    Tracer::global().record("span_" + std::to_string(i), 0, 1, i, 1);
+  }
+  const Tracer::Contents c = Tracer::global().contents();
+  ASSERT_EQ(c.events.size(), Tracer::kCapacity);
+  EXPECT_EQ(c.total_recorded, total);
+  // Oldest surviving span is number `total - kCapacity`, newest is last.
+  EXPECT_EQ(c.events.front().name_view(),
+            "span_" + std::to_string(total - Tracer::kCapacity));
+  EXPECT_EQ(c.events.back().name_view(),
+            "span_" + std::to_string(total - 1));
+  // Recording order is preserved across the wrap point.
+  for (std::size_t i = 1; i < c.events.size(); ++i) {
+    EXPECT_LT(c.events[i - 1].start_ns, c.events[i].start_ns);
+  }
+}
+
+TEST_F(TraceTest, ChromeTraceRendersCompleteEvents) {
+  Tracer::global().record("alpha \"quoted\"", 7, 2, 1500, 2500);
+  const std::string json = render_chrome_trace();
+  // One "X" complete event with microsecond timestamps (1500 ns =
+  // 1.500 us) and the name JSON-escaped.
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"alpha \\\"quoted\\\"\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"ts\":1.500"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":2.500"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":7"), std::string::npos);
+}
+
+#endif  // !MATON_OBS_OFF
+
+}  // namespace
+}  // namespace maton::obs

@@ -94,6 +94,86 @@ TEST(P2Quantile, MonotoneInQ) {
   EXPECT_LT(p50.estimate(), p99.estimate());
 }
 
+TEST(P2QuantileMerge, RequiresSameQuantile) {
+  P2Quantile a(0.5);
+  P2Quantile b(0.75);
+  EXPECT_THROW(a.merge(b), ContractViolation);
+}
+
+TEST(P2QuantileMerge, EmptySidesAreExact) {
+  P2Quantile a(0.5);
+  P2Quantile b(0.5);
+  a.merge(b);  // empty into empty
+  EXPECT_EQ(a.count(), 0u);
+  for (double v : {4.0, 1.0, 9.0}) b.add(v);
+  a.merge(b);  // empty this adopts other wholesale
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.estimate(), 4.0);
+  P2Quantile c(0.5);
+  a.merge(c);  // empty other is a no-op
+  EXPECT_EQ(a.count(), 3u);
+}
+
+TEST(P2QuantileMerge, SmallSidesReplayExactly) {
+  // While either side holds fewer than 5 samples the merge replays raw
+  // samples, so the result equals a single-stream estimator verbatim.
+  P2Quantile merged(0.5);
+  P2Quantile small(0.5);
+  P2Quantile single(0.5);
+  for (double v : {10.0, 20.0, 30.0, 40.0, 50.0, 60.0}) {
+    merged.add(v);
+    single.add(v);
+  }
+  for (double v : {15.0, 25.0}) {
+    small.add(v);
+    single.add(v);
+  }
+  merged.merge(small);
+  EXPECT_EQ(merged.count(), single.count());
+  EXPECT_DOUBLE_EQ(merged.estimate(), single.estimate());
+}
+
+TEST(P2QuantileMerge, MatchesSingleStreamWithinTolerance) {
+  // Multi-queue replay shape: the same latency mixture split across 4
+  // per-queue estimators, folded, against one estimator fed everything.
+  Rng rng(7);
+  std::array<P2Quantile, 4> queues = {P2Quantile(0.75), P2Quantile(0.75),
+                                      P2Quantile(0.75), P2Quantile(0.75)};
+  ExactQuantile exact;
+  for (int i = 0; i < 40000; ++i) {
+    const double v = rng.chance(0.8) ? 100.0 + rng.real() * 20.0
+                                     : 1000.0 + rng.real() * 200.0;
+    queues[static_cast<std::size_t>(i) % 4].add(v);
+    exact.add(v);
+  }
+  P2Quantile folded = queues[0];
+  for (std::size_t q = 1; q < 4; ++q) folded.merge(queues[q]);
+  EXPECT_EQ(folded.count(), 40000u);
+  const double want = exact.quantile(0.75);
+  EXPECT_NEAR(folded.estimate(), want, want * 0.1);
+}
+
+TEST(LatencyRecorderMerge, MatchesSingleStream) {
+  Rng rng(11);
+  LatencyRecorder single;
+  std::array<LatencyRecorder, 3> queues;
+  for (int i = 0; i < 30000; ++i) {
+    const double v = 50.0 + rng.real() * 100.0;
+    single.add(v);
+    queues[static_cast<std::size_t>(i) % 3].add(v);
+  }
+  LatencyRecorder folded;
+  folded.merge(LatencyRecorder{});  // merging an empty recorder: no-op
+  for (const LatencyRecorder& q : queues) folded.merge(q);
+  EXPECT_EQ(folded.count(), single.count());
+  EXPECT_DOUBLE_EQ(folded.min(), single.min());
+  // Summation order differs between the split and single streams.
+  EXPECT_NEAR(folded.mean(), single.mean(), 1e-9);
+  EXPECT_NEAR(folded.p50(), single.p50(), single.p50() * 0.05);
+  EXPECT_NEAR(folded.p75(), single.p75(), single.p75() * 0.05);
+  EXPECT_NEAR(folded.p99(), single.p99(), single.p99() * 0.05);
+}
+
 TEST(LatencyRecorder, BundlesStatistics) {
   LatencyRecorder rec;
   EXPECT_THROW((void)rec.min(), ContractViolation);

@@ -6,6 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+
 #include "controlplane/compiler.hpp"
 #include "workloads/traffic.hpp"
 
@@ -66,6 +69,19 @@ TEST_P(ReplayThreaded, ShardedQueuesMatchSingleQueue) {
       GetParam(), 128);
   EXPECT_EQ(got.packets, want.packets);
   EXPECT_EQ(got.hits, want.hits);
+#if !defined(MATON_OBS_OFF)
+  // The folded per-queue recorders cover every process_batch call: each
+  // queue replays its shard in ceil(shard/128) chunks per round.
+  std::uint64_t expected_calls = 0;
+  const std::size_t per =
+      (fx.keys.size() + GetParam() - 1) / GetParam();
+  for (std::size_t lo = 0; lo < fx.keys.size(); lo += per) {
+    const std::size_t shard = std::min(per, fx.keys.size() - lo);
+    expected_calls += 2 * ((shard + 127) / 128);
+  }
+  EXPECT_EQ(got.batch_latency_us.count(), expected_calls);
+  EXPECT_GT(got.batch_latency_us.mean(), 0.0);
+#endif
 }
 
 INSTANTIATE_TEST_SUITE_P(Queues, ReplayThreaded,

@@ -9,6 +9,8 @@
 //   --target 2nf|3nf|bcnf            normalization goal (default 3nf)
 //   --format openflow|p4             export backend     (default openflow)
 //   --no-constants                   keep constant columns inline
+//   --metrics[=prom|json]            dump telemetry to stderr (default prom)
+//   --trace=FILE                     write Chrome trace_event JSON to FILE
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -23,6 +25,8 @@
 #include "core/text.hpp"
 #include "export/openflow.hpp"
 #include "export/p4.hpp"
+#include "obs/expose.hpp"
+#include "obs/trace.hpp"
 
 namespace {
 
@@ -31,7 +35,8 @@ using namespace maton;
 int usage(std::ostream& os) {
   os << "usage: matonc <analyze|normalize|export> <table.maton>\n"
         "  [--join goto|metadata|rematch] [--target 2nf|3nf|bcnf]\n"
-        "  [--format openflow|p4] [--no-constants]\n";
+        "  [--format openflow|p4] [--no-constants]\n"
+        "  [--metrics[=prom|json]] [--trace=FILE]\n";
   return 2;
 }
 
@@ -42,6 +47,8 @@ struct CliOptions {
   core::NormalForm target = core::NormalForm::kThird;
   std::string format = "openflow";
   bool factor_constants = true;
+  std::string metrics;     // empty = off, else "prom" or "json"
+  std::string trace_path;  // empty = off
 };
 
 bool parse_args(const std::vector<std::string>& args, CliOptions& opts,
@@ -86,6 +93,20 @@ bool parse_args(const std::vector<std::string>& args, CliOptions& opts,
       opts.format = *v;
     } else if (arg == "--no-constants") {
       opts.factor_constants = false;
+    } else if (arg == "--metrics" || arg.rfind("--metrics=", 0) == 0) {
+      const std::string v =
+          arg == "--metrics" ? "prom" : arg.substr(sizeof("--metrics=") - 1);
+      if (v != "prom" && v != "json") {
+        err << "unknown metrics format '" << v << "'\n";
+        return false;
+      }
+      opts.metrics = v;
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      opts.trace_path = arg.substr(sizeof("--trace=") - 1);
+      if (opts.trace_path.empty()) {
+        err << "--trace requires a file path\n";
+        return false;
+      }
     } else {
       err << "unknown option '" << arg << "'\n";
       return false;
@@ -151,11 +172,26 @@ Result<core::Pipeline> run_normalize(const core::ParsedSpec& spec,
   return std::move(out).value().pipeline;
 }
 
-int run(const std::vector<std::string>& args, std::ostream& os,
-        std::ostream& err) {
-  CliOptions opts;
-  if (!parse_args(args, opts, err)) return usage(err);
+/// Dumps `--metrics` to stderr and `--trace` to its file, after the
+/// command has executed. A failed trace write degrades the exit code.
+int dump_telemetry(const CliOptions& opts, std::ostream& err) {
+  if (!opts.metrics.empty()) {
+    err << (opts.metrics == "json" ? obs::render_json()
+                                   : obs::render_prometheus());
+  }
+  if (!opts.trace_path.empty()) {
+    const Status written =
+        obs::write_text_file(opts.trace_path, obs::render_chrome_trace());
+    if (!written.is_ok()) {
+      err << "matonc: " << written.to_string() << "\n";
+      return 1;
+    }
+  }
+  return 0;
+}
 
+int run_command(const CliOptions& opts, std::ostream& os,
+                std::ostream& err) {
   std::ifstream file(opts.path);
   if (!file) {
     err << "cannot open " << opts.path << "\n";
@@ -214,6 +250,15 @@ int run(const std::vector<std::string>& args, std::ostream& os,
     return 2;
   }
   return usage(err);
+}
+
+int run(const std::vector<std::string>& args, std::ostream& os,
+        std::ostream& err) {
+  CliOptions opts;
+  if (!parse_args(args, opts, err)) return usage(err);
+  const int rc = run_command(opts, os, err);
+  const int telemetry_rc = dump_telemetry(opts, err);
+  return rc != 0 ? rc : telemetry_rc;
 }
 
 }  // namespace
