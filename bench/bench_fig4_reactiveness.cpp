@@ -8,6 +8,8 @@
 // the normalized pipeline shows no visible drop, and normalization costs
 // ~25-30% extra latency (one more pipeline stage) roughly independently
 // of churn.
+#include <chrono>
+#include <fstream>
 #include <iostream>
 
 #include "controlplane/churn.hpp"
@@ -15,7 +17,9 @@
 #include "dataplane/switch.hpp"
 #include "obs/expose.hpp"
 #include "util/format.hpp"
+#include "util/quantile.hpp"
 #include "util/report.hpp"
+#include "util/rng.hpp"
 #include "workloads/traffic.hpp"
 
 namespace {
@@ -98,6 +102,86 @@ ChurnOutcome run_churn(const workloads::Gwlb& gwlb, Representation repr,
   return outcome;
 }
 
+// --- incremental vs full-rebuild compile latency ---------------------
+
+struct CompileLatency {
+  double median_us = 0.0;
+  double p90_us = 0.0;
+  double mean_us = 0.0;
+  std::size_t hits = 0;
+  std::size_t fallbacks = 0;
+};
+
+/// Mixed intent trace: port moves, VIP changes (always to a fresh VIP so
+/// the delta path never demotes), and backend retargets.
+std::vector<cp::Intent> make_intent_trace(std::size_t services,
+                                          std::size_t backends,
+                                          std::size_t count,
+                                          std::uint64_t seed) {
+  Rng rng(seed);
+  std::uint32_t next_vip = 0;
+  std::vector<cp::Intent> trace;
+  trace.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t svc = rng.index(services);
+    switch (rng.index(3)) {
+      case 0:
+        trace.push_back(cp::MoveServicePort{
+            .service = svc,
+            .new_port = static_cast<std::uint16_t>(
+                10000 + rng.uniform(0, 40000))});
+        break;
+      case 1:
+        trace.push_back(cp::ChangeServiceIp{
+            .service = svc,
+            .new_vip = ipv4(198, 19, static_cast<unsigned>(next_vip / 256),
+                            static_cast<unsigned>(next_vip % 256))});
+        ++next_vip;
+        break;
+      default:
+        trace.push_back(cp::ChangeBackend{
+            .service = svc,
+            .backend = rng.index(backends),
+            .new_out = 5000 + rng.uniform(0, 1000)});
+        break;
+    }
+  }
+  return trace;
+}
+
+CompileLatency measure_compile(const workloads::Gwlb& gwlb,
+                               Representation repr, cp::CompileMode mode,
+                               const std::vector<cp::Intent>& trace) {
+  using BenchClock = std::chrono::steady_clock;
+  cp::GwlbBinding binding(gwlb, repr, mode);
+  ExactQuantile samples;
+  for (const cp::Intent& intent : trace) {
+    const auto start = BenchClock::now();
+    const auto updates = binding.compile_intent(intent);
+    const double us =
+        std::chrono::duration<double, std::micro>(BenchClock::now() -
+                                                  start)
+            .count();
+    expects(updates.is_ok(), "bench intent failed to compile");
+    samples.add(us);
+  }
+  CompileLatency out;
+  out.median_us = samples.quantile(0.5);
+  out.p90_us = samples.quantile(0.9);
+  out.mean_us = samples.mean();
+  out.hits = binding.incremental_stats().hits;
+  out.fallbacks = binding.incremental_stats().fallbacks;
+  return out;
+}
+
+void json_latency(std::ostream& os, const char* key,
+                  const CompileLatency& lat) {
+  os << "      \"" << key << "\": {\"median_us\": " << lat.median_us
+     << ", \"p90_us\": " << lat.p90_us << ", \"mean_us\": " << lat.mean_us
+     << ", \"hits\": " << lat.hits << ", \"fallbacks\": " << lat.fallbacks
+     << "}";
+}
+
 }  // namespace
 
 int main() {
@@ -163,6 +247,69 @@ int main() {
             << "% (universal) / "
             << format_double(100.0 * at100_goto.mine_cache_hit_rate, 1)
             << "% (goto) at 100 updates/s\n";
+
+  // --- incremental vs full-rebuild compile latency -------------------
+  // Same churn intents through the delta-scoped compiler and the full
+  // rebuild+diff reference; per-intent wall time, exact quantiles.
+  std::cout << "\n=== incremental vs full-rebuild compile latency ===\n";
+  ReportTable inc_table(
+      "per-intent compile latency [us], 200 mixed intents per cell");
+  inc_table.set_header({"services", "repr", "inc p50", "inc p90",
+                        "full p50", "full p90", "speedup p50", "delta%"});
+
+  constexpr std::size_t kBackends = 8;
+  constexpr std::size_t kIntents = 200;
+  std::ofstream json("BENCH_fig4.json");
+  json << "{\n"
+       << "  \"benchmark\": \"fig4_reactiveness\",\n"
+       << "  \"workload\": {\"backends\": " << kBackends
+       << ", \"intents_per_cell\": " << kIntents
+       << ", \"intent_kinds\": [\"MoveServicePort\", \"ChangeServiceIp\", "
+          "\"ChangeBackend\"]},\n"
+       << "  \"units\": \"microseconds\",\n"
+       << "  \"compile_latency\": [\n";
+  bool first_row = true;
+  for (const std::size_t services : {std::size_t{5}, std::size_t{10},
+                                     std::size_t{20}}) {
+    const auto sized_gwlb = workloads::make_gwlb(
+        {.num_services = services, .num_backends = kBackends});
+    const auto trace =
+        make_intent_trace(services, kBackends, kIntents, 41);
+    for (const Representation repr :
+         {Representation::kUniversal, Representation::kGoto,
+          Representation::kMetadata, Representation::kRematch}) {
+      const CompileLatency inc = measure_compile(
+          sized_gwlb, repr, cp::CompileMode::kIncremental, trace);
+      const CompileLatency full = measure_compile(
+          sized_gwlb, repr, cp::CompileMode::kFullRebuild, trace);
+      const double speedup =
+          inc.median_us > 0.0 ? full.median_us / inc.median_us : 0.0;
+      const double delta_pct =
+          100.0 * static_cast<double>(inc.hits) /
+          static_cast<double>(inc.hits + inc.fallbacks);
+      inc_table.add_row({std::to_string(services),
+                         std::string(to_string(repr)),
+                         format_double(inc.median_us, 2),
+                         format_double(inc.p90_us, 2),
+                         format_double(full.median_us, 2),
+                         format_double(full.p90_us, 2),
+                         format_double(speedup, 1),
+                         format_double(delta_pct, 1)});
+      if (!first_row) json << ",\n";
+      first_row = false;
+      json << "    {\"services\": " << services << ", \"representation\": \""
+           << to_string(repr) << "\",\n";
+      json_latency(json, "incremental", inc);
+      json << ",\n";
+      json_latency(json, "full_rebuild", full);
+      json << ",\n      \"speedup_median\": " << speedup << "}";
+    }
+  }
+  json << "\n  ]\n}\n";
+  json.close();
+  inc_table.print(std::cout);
+  std::cout << "wrote BENCH_fig4.json (per-cell medians/p90s for the "
+               "incremental and full-rebuild compilers)\n";
 
   const Status exported = obs::write_exports_from_env();
   if (!exported.is_ok()) {

@@ -1,6 +1,10 @@
 #include "controlplane/compiler.hpp"
 
 #include <algorithm>
+#include <span>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -13,6 +17,7 @@ using dp::Rule;
 using dp::RuleUpdate;
 using dp::TableSpec;
 using workloads::Gwlb;
+using workloads::GwlbService;
 
 std::string to_string(const Intent& intent) {
   struct Visitor {
@@ -60,71 +65,111 @@ core::Pipeline pipeline_for(const Gwlb& gwlb, Representation repr) {
 
 namespace {
 
-bool rules_equal(const Rule& a, const Rule& b) {
-  return a.priority == b.priority && a.matches == b.matches &&
-         a.actions == b.actions && a.goto_table == b.goto_table;
+[[nodiscard]] std::uint64_t hash_rule(const Rule& r) noexcept {
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  };
+  mix(r.priority);
+  mix(r.goto_table.value_or(~std::uint64_t{0}));
+  for (const dp::FieldMatch& m : r.matches) {
+    mix(dp::field_index(m.field));
+    mix(m.value);
+    mix(m.mask);
+  }
+  for (const dp::Action& a : r.actions) {
+    mix(a.kind == dp::Action::Kind::kOutput ? 1 : 2);
+    mix(dp::field_index(a.field));
+    mix(a.value);
+  }
+  return h;
 }
 
-/// Minimal update set turning `before` into `after`: per table, unmatched
-/// old rules pair with unmatched new rules as modifies; the remainder
-/// become removes/inserts.
+/// Appends the update set turning `old_rules` into `new_rules` in table
+/// `table`. Pairing semantics: each old rule consumes the *first*
+/// unmatched equal new rule (hash buckets keep new-index order, so the
+/// pairing is the one the original quadratic scan defined); unmatched
+/// leftovers pair up as modifies in order, the remainder becomes removes
+/// then inserts. O(old + new) expected.
+void diff_rules(std::size_t table, std::span<const Rule> old_rules,
+                std::span<const Rule> new_rules,
+                std::vector<RuleUpdate>& out) {
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> buckets;
+  buckets.reserve(new_rules.size());
+  for (std::size_t n = 0; n < new_rules.size(); ++n) {
+    buckets[hash_rule(new_rules[n])].push_back(
+        static_cast<std::uint32_t>(n));
+  }
+  std::vector<char> matched(new_rules.size(), 0);
+  std::vector<std::uint32_t> removed;
+  for (std::size_t o = 0; o < old_rules.size(); ++o) {
+    bool found = false;
+    if (const auto it = buckets.find(hash_rule(old_rules[o]));
+        it != buckets.end()) {
+      for (const std::uint32_t n : it->second) {
+        if (!matched[n] && new_rules[n] == old_rules[o]) {
+          matched[n] = 1;
+          found = true;
+          break;
+        }
+      }
+    }
+    if (!found) removed.push_back(static_cast<std::uint32_t>(o));
+  }
+  std::vector<std::uint32_t> added;
+  for (std::size_t n = 0; n < new_rules.size(); ++n) {
+    if (!matched[n]) added.push_back(static_cast<std::uint32_t>(n));
+  }
+
+  const std::size_t modifies = std::min(removed.size(), added.size());
+  for (std::size_t i = 0; i < modifies; ++i) {
+    RuleUpdate u;
+    u.kind = RuleUpdate::Kind::kModify;
+    u.table = table;
+    u.target = old_rules[removed[i]].matches;
+    u.rule = new_rules[added[i]];
+    out.push_back(std::move(u));
+  }
+  for (std::size_t i = modifies; i < removed.size(); ++i) {
+    RuleUpdate u;
+    u.kind = RuleUpdate::Kind::kRemove;
+    u.table = table;
+    u.target = old_rules[removed[i]].matches;
+    out.push_back(std::move(u));
+  }
+  for (std::size_t i = modifies; i < added.size(); ++i) {
+    RuleUpdate u;
+    u.kind = RuleUpdate::Kind::kInsert;
+    u.table = table;
+    u.rule = new_rules[added[i]];
+    out.push_back(std::move(u));
+  }
+}
+
+void sort_slice(std::vector<Rule>& rules) {
+  // The compiler's table order: priority descending, emission order
+  // among equals (stable).
+  std::stable_sort(rules.begin(), rules.end(),
+                   [](const Rule& a, const Rule& b) {
+                     return a.priority > b.priority;
+                   });
+}
+
+}  // namespace
+
 std::vector<RuleUpdate> diff_programs(const Program& before,
                                       const Program& after) {
   expects(before.tables.size() == after.tables.size(),
           "representation rebuild changed the table count");
   std::vector<RuleUpdate> updates;
   for (std::size_t t = 0; t < before.tables.size(); ++t) {
-    const auto& old_rules = before.tables[t].rules;
-    const auto& new_rules = after.tables[t].rules;
-    std::vector<bool> new_matched(new_rules.size(), false);
-    std::vector<const Rule*> removed;
-    for (const Rule& old_rule : old_rules) {
-      bool found = false;
-      for (std::size_t n = 0; n < new_rules.size(); ++n) {
-        if (!new_matched[n] && rules_equal(old_rule, new_rules[n])) {
-          new_matched[n] = true;
-          found = true;
-          break;
-        }
-      }
-      if (!found) removed.push_back(&old_rule);
-    }
-    std::vector<const Rule*> added;
-    for (std::size_t n = 0; n < new_rules.size(); ++n) {
-      if (!new_matched[n]) added.push_back(&new_rules[n]);
-    }
-
-    const std::size_t modifies = std::min(removed.size(), added.size());
-    for (std::size_t i = 0; i < modifies; ++i) {
-      RuleUpdate u;
-      u.kind = RuleUpdate::Kind::kModify;
-      u.table = t;
-      u.target = removed[i]->matches;
-      u.rule = *added[i];
-      updates.push_back(std::move(u));
-    }
-    for (std::size_t i = modifies; i < removed.size(); ++i) {
-      RuleUpdate u;
-      u.kind = RuleUpdate::Kind::kRemove;
-      u.table = t;
-      u.target = removed[i]->matches;
-      updates.push_back(std::move(u));
-    }
-    for (std::size_t i = modifies; i < added.size(); ++i) {
-      RuleUpdate u;
-      u.kind = RuleUpdate::Kind::kInsert;
-      u.table = t;
-      u.rule = *added[i];
-      updates.push_back(std::move(u));
-    }
+    diff_rules(t, before.tables[t].rules, after.tables[t].rules, updates);
   }
   return updates;
 }
 
-}  // namespace
-
-GwlbBinding::GwlbBinding(Gwlb gwlb, Representation repr)
-    : gwlb_(std::move(gwlb)), repr_(repr) {
+GwlbBinding::GwlbBinding(Gwlb gwlb, Representation repr, CompileMode mode)
+    : gwlb_(std::move(gwlb)), repr_(repr), mode_(mode) {
   rebuild_program();
 }
 
@@ -144,18 +189,283 @@ void GwlbBinding::rebuild_program() {
   // Rebuild the universal table from the service model first (the
   // decomposed builders read services directly).
   core::Table universal("gwlb.universal", gwlb_.universal.schema());
-  for (const workloads::GwlbService& svc : gwlb_.services) {
-    for (std::size_t b = 0; b < svc.src_prefixes.size(); ++b) {
-      universal.add_row(
-          {svc.src_prefixes[b], svc.vip, svc.port, svc.backends[b]});
+  for (const GwlbService& svc : gwlb_.services) {
+    for (core::Row& row : workloads::gwlb_universal_rows(svc)) {
+      universal.add_row(std::move(row));
     }
   }
   gwlb_.universal = std::move(universal);
 
-  auto compiled = dp::compile(pipeline_for(gwlb_, repr_));
+  auto compiled = dp::compile(pipeline_for(gwlb_, repr_), &field_map_);
   expects(compiled.is_ok(),
           "gwlb program failed to compile: " + compiled.status().message());
   program_ = std::move(compiled).value();
+  rebuild_provenance();
+}
+
+void GwlbBinding::rebuild_provenance() {
+  provenance_.assign(program_.tables.size(), {});
+  for (std::size_t t = 0; t < program_.tables.size(); ++t) {
+    // Re-emit every service's slice and stable-sort the concatenation:
+    // per-slice pre-sorting commutes with the global stable sort, so the
+    // result must reproduce the compiled table exactly. This doubles as
+    // the cross-check that the per-service emitters cannot drift from
+    // the pipeline builders.
+    std::vector<std::pair<Rule, std::uint32_t>> emitted;
+    for (std::size_t s = 0; s < gwlb_.services.size(); ++s) {
+      auto slice = service_slice(t, gwlb_.services[s], s);
+      expects(slice.is_ok(), "service slice failed to lower: " +
+                                 slice.status().message());
+      for (Rule& rule : slice.value()) {
+        emitted.emplace_back(std::move(rule), static_cast<std::uint32_t>(s));
+      }
+    }
+    std::stable_sort(emitted.begin(), emitted.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first.priority > b.first.priority;
+                     });
+    const std::vector<Rule>& rules = program_.tables[t].rules;
+    expects(emitted.size() == rules.size(),
+            "provenance drift: emitters disagree with compiled program");
+    provenance_[t].reserve(emitted.size());
+    for (std::size_t i = 0; i < emitted.size(); ++i) {
+      expects(emitted[i].first == rules[i],
+              "provenance drift: emitters disagree with compiled program");
+      provenance_[t].push_back(emitted[i].second);
+    }
+  }
+}
+
+Result<std::vector<Rule>> GwlbBinding::service_slice(
+    std::size_t table, const GwlbService& svc, std::size_t s) const {
+  std::vector<Rule> rules;
+  const bool live = !svc.src_prefixes.empty();
+  const auto lower_into =
+      [&](const core::Schema& schema, const core::Row& row,
+          std::optional<std::size_t> goto_target) -> Status {
+    auto lowered = dp::lower_row(schema, row, field_map_, goto_target);
+    if (!lowered.is_ok()) return lowered.status();
+    rules.push_back(std::move(lowered).value());
+    return Status::ok();
+  };
+
+  switch (repr_) {
+    case Representation::kUniversal: {
+      static const core::Schema schema = workloads::gwlb_universal_schema();
+      if (table != 0) break;
+      for (const core::Row& row : workloads::gwlb_universal_rows(svc)) {
+        if (Status st = lower_into(schema, row, std::nullopt); !st.is_ok()) {
+          return st;
+        }
+      }
+      break;
+    }
+    case Representation::kGoto: {
+      static const core::Schema service_schema =
+          workloads::gwlb_goto_service_schema();
+      static const core::Schema lb_schema = workloads::gwlb_goto_lb_schema();
+      if (table == 0) {
+        if (live) {
+          if (Status st = lower_into(service_schema,
+                                     workloads::gwlb_goto_service_row(svc),
+                                     1 + s);
+              !st.is_ok()) {
+            return st;
+          }
+        }
+      } else if (table == 1 + s) {
+        for (const core::Row& row : workloads::gwlb_goto_lb_rows(svc)) {
+          if (Status st = lower_into(lb_schema, row, std::nullopt);
+              !st.is_ok()) {
+            return st;
+          }
+        }
+      }
+      break;
+    }
+    case Representation::kMetadata: {
+      static const core::Schema service_schema =
+          workloads::gwlb_metadata_service_schema();
+      static const core::Schema lb_schema =
+          workloads::gwlb_metadata_lb_schema();
+      if (table == 0) {
+        if (live) {
+          if (Status st =
+                  lower_into(service_schema,
+                             workloads::gwlb_metadata_service_row(svc, s),
+                             std::nullopt);
+              !st.is_ok()) {
+            return st;
+          }
+        }
+      } else if (table == 1) {
+        for (const core::Row& row :
+             workloads::gwlb_metadata_lb_rows(svc, s)) {
+          if (Status st = lower_into(lb_schema, row, std::nullopt);
+              !st.is_ok()) {
+            return st;
+          }
+        }
+      }
+      break;
+    }
+    case Representation::kRematch: {
+      static const core::Schema service_schema =
+          workloads::gwlb_rematch_service_schema();
+      static const core::Schema lb_schema =
+          workloads::gwlb_rematch_lb_schema();
+      if (table == 0) {
+        if (live) {
+          if (Status st = lower_into(service_schema,
+                                     workloads::gwlb_rematch_service_row(svc),
+                                     std::nullopt);
+              !st.is_ok()) {
+            return st;
+          }
+        }
+      } else if (table == 1) {
+        for (const core::Row& row : workloads::gwlb_rematch_lb_rows(svc)) {
+          if (Status st = lower_into(lb_schema, row, std::nullopt);
+              !st.is_ok()) {
+            return st;
+          }
+        }
+      }
+      break;
+    }
+  }
+  sort_slice(rules);
+  return rules;
+}
+
+std::vector<std::size_t> GwlbBinding::affected_tables(std::size_t s) const {
+  switch (repr_) {
+    case Representation::kUniversal:
+      return {0};
+    case Representation::kGoto:
+      return {0, 1 + s};  // ascending: the order the reference diff uses
+    case Representation::kMetadata:
+    case Representation::kRematch:
+      return {0, 1};
+  }
+  return {0};
+}
+
+std::optional<std::vector<RuleUpdate>> GwlbBinding::try_compile_incremental(
+    std::size_t service, const GwlbService& old_svc) {
+  const obs::TraceSpan span("compile_incremental");
+
+  // Slice-local diffing identifies rules by content. Every gwlb rule
+  // carries its service's VIP or tag, so distinct live VIPs guarantee no
+  // rule of one service can alias another's; with a duplicate VIP the
+  // reference diff could pair rules across services, so such states are
+  // demoted to the full rebuild. Both the pre- and post-intent states
+  // must be collision-free: the diff spans both programs.
+  const GwlbService& svc = gwlb_.services[service];
+  std::unordered_set<std::uint32_t> vips;
+  for (std::size_t s = 0; s < gwlb_.services.size(); ++s) {
+    if (s == service) continue;
+    const GwlbService& other = gwlb_.services[s];
+    if (other.src_prefixes.empty()) continue;
+    if (!vips.insert(other.vip).second) return std::nullopt;
+  }
+  if (!old_svc.src_prefixes.empty() && vips.contains(old_svc.vip)) {
+    return std::nullopt;
+  }
+  if (!svc.src_prefixes.empty() && !vips.insert(svc.vip).second) {
+    return std::nullopt;
+  }
+  struct Patch {
+    std::size_t table = 0;
+    std::vector<Rule> before;
+    std::vector<Rule> after;
+  };
+  std::vector<Patch> patches;
+  for (const std::size_t t : affected_tables(service)) {
+    Patch patch;
+    patch.table = t;
+    const std::vector<Rule>& rules = program_.tables[t].rules;
+    for (std::size_t i = 0; i < rules.size(); ++i) {
+      if (provenance_[t][i] == service) patch.before.push_back(rules[i]);
+    }
+    // Validation: the slice extracted from the live program must equal
+    // what the emitters produce for the pre-intent service state. A
+    // mismatch means provenance drifted — fall back, nothing mutated.
+    auto want_before = service_slice(t, old_svc, service);
+    if (!want_before.is_ok() || want_before.value() != patch.before) {
+      return std::nullopt;
+    }
+    auto after = service_slice(t, svc, service);
+    if (!after.is_ok()) return std::nullopt;
+    patch.after = std::move(after).value();
+    patches.push_back(std::move(patch));
+  }
+
+  // Validation passed — mutate. First the universal table, cell-wise, so
+  // untouched columns keep their partition-cache fingerprints across the
+  // FD re-mine.
+  std::size_t offset = 0;
+  for (std::size_t i = 0; i < service; ++i) {
+    offset += gwlb_.services[i].src_prefixes.size();
+  }
+  if (svc.src_prefixes.empty()) {
+    gwlb_.universal.erase_rows(offset, old_svc.src_prefixes.size());
+  } else {
+    for (std::size_t b = 0; b < svc.src_prefixes.size(); ++b) {
+      if (svc.vip != old_svc.vip) {
+        gwlb_.universal.set_value(offset + b, workloads::kGwlbIpDst,
+                                  svc.vip);
+      }
+      if (svc.port != old_svc.port) {
+        gwlb_.universal.set_value(offset + b, workloads::kGwlbTcpDst,
+                                  svc.port);
+      }
+      if (svc.backends[b] != old_svc.backends[b]) {
+        gwlb_.universal.set_value(offset + b, workloads::kGwlbOut,
+                                  svc.backends[b]);
+      }
+    }
+  }
+  mined_.reset();
+
+  // Then the program: per touched table (ascending), diff the slice and
+  // splice the new one in at its sorted positions. The merge reproduces
+  // the full compiler's order — priority descending, (service, ordinal)
+  // ascending among equals — so the patched program stays bit-identical
+  // to a rebuild.
+  std::vector<RuleUpdate> updates;
+  for (Patch& patch : patches) {
+    diff_rules(patch.table, patch.before, patch.after, updates);
+    if (patch.before == patch.after) continue;  // untouched slice
+
+    TableSpec& spec = program_.tables[patch.table];
+    const std::vector<std::uint32_t>& old_prov = provenance_[patch.table];
+    std::vector<Rule> merged;
+    std::vector<std::uint32_t> prov;
+    merged.reserve(spec.rules.size() - patch.before.size() +
+                   patch.after.size());
+    prov.reserve(merged.capacity());
+    std::size_t ai = 0;
+    for (std::size_t i = 0; i < spec.rules.size(); ++i) {
+      if (old_prov[i] == service) continue;
+      while (ai < patch.after.size() &&
+             (patch.after[ai].priority > spec.rules[i].priority ||
+              (patch.after[ai].priority == spec.rules[i].priority &&
+               service < old_prov[i]))) {
+        merged.push_back(std::move(patch.after[ai++]));
+        prov.push_back(static_cast<std::uint32_t>(service));
+      }
+      merged.push_back(std::move(spec.rules[i]));
+      prov.push_back(old_prov[i]);
+    }
+    for (; ai < patch.after.size(); ++ai) {
+      merged.push_back(std::move(patch.after[ai]));
+      prov.push_back(static_cast<std::uint32_t>(service));
+    }
+    spec.rules = std::move(merged);
+    provenance_[patch.table] = std::move(prov);
+  }
+  return updates;
 }
 
 Result<std::vector<RuleUpdate>> GwlbBinding::compile_intent(
@@ -165,23 +475,40 @@ Result<std::vector<RuleUpdate>> GwlbBinding::compile_intent(
   if (service >= gwlb_.services.size()) {
     return invalid_argument("intent names a non-existent service");
   }
-  workloads::GwlbService& svc = gwlb_.services[service];
+  GwlbService& svc = gwlb_.services[service];
   if (svc.src_prefixes.empty()) {
     return failed_precondition("intent targets a removed service");
   }
+  if (const auto* backend = std::get_if<ChangeBackend>(&intent)) {
+    if (backend->backend >= svc.backends.size()) {
+      return invalid_argument("intent names a non-existent backend");
+    }
+  }
 
+  const GwlbService old_svc = svc;
   if (const auto* move = std::get_if<MoveServicePort>(&intent)) {
     svc.port = move->new_port;
   } else if (const auto* reip = std::get_if<ChangeServiceIp>(&intent)) {
     svc.vip = reip->new_vip;
   } else if (const auto* backend = std::get_if<ChangeBackend>(&intent)) {
-    if (backend->backend >= svc.backends.size()) {
-      return invalid_argument("intent names a non-existent backend");
-    }
     svc.backends[backend->backend] = backend->new_out;
   } else if (std::get_if<RemoveService>(&intent) != nullptr) {
     svc.src_prefixes.clear();
     svc.backends.clear();
+  }
+
+  if (mode_ == CompileMode::kIncremental) {
+    static obs::Counter& hits = obs::MetricRegistry::global().counter(
+        "maton_cp_incremental_hits_total");
+    static obs::Counter& fallbacks = obs::MetricRegistry::global().counter(
+        "maton_cp_incremental_fallbacks_total");
+    if (auto updates = try_compile_incremental(service, old_svc)) {
+      ++inc_stats_.hits;
+      hits.add();
+      return std::move(*updates);
+    }
+    ++inc_stats_.fallbacks;
+    fallbacks.add();
   }
 
   const obs::TraceSpan span("compile");

@@ -3,6 +3,16 @@
 // (controllability: updates per intent; monitorability: counters +
 // aggregation steps per observation task; atomicity: the inconsistency
 // window when updates are not applied atomically).
+//
+// Two compilation paths exist. The *full-rebuild* reference rebuilds the
+// whole program from the service model and diffs it against the previous
+// one. The *incremental* path (the default) exploits that every intent
+// names the single service it touches: it re-emits only that service's
+// rule slice per table — through the same per-service emitters the
+// pipeline builders use — diffs the slice, and patches the program (and
+// the universal table, cell-wise) in place. The two paths are
+// differentially tested to be bit-identical over randomized churn traces
+// (tests/controlplane/test_incremental_compile.cpp).
 #pragma once
 
 #include <optional>
@@ -20,6 +30,22 @@ enum class Representation { kUniversal, kGoto, kMetadata, kRematch };
 
 [[nodiscard]] std::string_view to_string(Representation repr) noexcept;
 
+/// Which compilation path a binding uses for intents.
+enum class CompileMode {
+  /// Delta-scoped: re-emit only the touched service's slice and patch
+  /// the program in place; falls back to kFullRebuild per intent when
+  /// slice-local diffing would be ambiguous (e.g. duplicate live VIPs).
+  kIncremental,
+  /// Reference: rebuild the whole program and diff old vs new.
+  kFullRebuild,
+};
+
+/// Per-binding tally of which path compiled each applied intent.
+struct IncrementalStats {
+  std::size_t hits = 0;       ///< intents compiled by the delta path
+  std::size_t fallbacks = 0;  ///< intents demoted to a full rebuild
+};
+
 /// Plan for observing one service's aggregate traffic (§2
 /// "Monitorability": 3 counters + controller-side aggregation on the
 /// universal table vs a single counter on the normalized pipeline).
@@ -34,10 +60,15 @@ struct MonitorPlan {
 /// its internal service model in sync as intents are applied.
 class GwlbBinding {
  public:
-  GwlbBinding(workloads::Gwlb gwlb, Representation repr);
+  GwlbBinding(workloads::Gwlb gwlb, Representation repr,
+              CompileMode mode = CompileMode::kIncremental);
 
   [[nodiscard]] Representation representation() const noexcept {
     return repr_;
+  }
+  [[nodiscard]] CompileMode mode() const noexcept { return mode_; }
+  [[nodiscard]] IncrementalStats incremental_stats() const noexcept {
+    return inc_stats_;
   }
   [[nodiscard]] const workloads::Gwlb& gwlb() const noexcept { return gwlb_; }
   [[nodiscard]] const dp::Program& program() const noexcept {
@@ -65,7 +96,9 @@ class GwlbBinding {
   /// churn). The binding keeps a cross-call PartitionCache: an intent
   /// rewrites a few cells of one or two columns, so the next re-mine
   /// reuses every stripped partition whose columns the intent left
-  /// untouched instead of recomputing the world per update.
+  /// untouched instead of recomputing the world per update. The
+  /// incremental path patches the universal table cell-wise precisely so
+  /// those fingerprints stay warm.
   [[nodiscard]] const core::FdSet& mined_fds();
 
   /// The partition cache backing mined_fds(), for reuse diagnostics.
@@ -76,17 +109,52 @@ class GwlbBinding {
 
  private:
   void rebuild_program();
+  void rebuild_provenance();
+
+  /// Lowered, slice-sorted rules service `s` (in state `svc`) contributes
+  /// to program table `table`; empty when it contributes none.
+  [[nodiscard]] Result<std::vector<dp::Rule>> service_slice(
+      std::size_t table, const workloads::GwlbService& svc,
+      std::size_t s) const;
+
+  /// Program tables that may hold rules of service `s`.
+  [[nodiscard]] std::vector<std::size_t> affected_tables(
+      std::size_t s) const;
+
+  /// The delta path. Returns nullopt when the intent must fall back to
+  /// the full rebuild (ambiguous slice diff or validation mismatch);
+  /// in that case nothing has been mutated yet.
+  [[nodiscard]] std::optional<std::vector<dp::RuleUpdate>>
+  try_compile_incremental(std::size_t service,
+                          const workloads::GwlbService& old_svc);
 
   workloads::Gwlb gwlb_;
   Representation repr_;
+  CompileMode mode_;
   dp::Program program_;
+  /// Attribute→field assignment of the last full compile; single-row
+  /// re-lowering in the incremental path resolves against it.
+  dp::FieldMap field_map_;
+  /// provenance_[t][i] = service that emitted program_.tables[t].rules[i].
+  /// Rebuilt (and validated against the emitters) on every full compile,
+  /// maintained in place by the incremental patcher.
+  std::vector<std::vector<std::uint32_t>> provenance_;
+  IncrementalStats inc_stats_;
   core::tane::PartitionCache mine_cache_;
-  std::optional<core::FdSet> mined_;  // invalidated by rebuild_program()
+  std::optional<core::FdSet> mined_;  // invalidated when universal changes
 };
 
 /// Builds the core pipeline for a representation (universal = single
 /// stage).
 [[nodiscard]] core::Pipeline pipeline_for(const workloads::Gwlb& gwlb,
                                           Representation repr);
+
+/// Minimal update set turning `before` into `after`: per table, each old
+/// rule consumes the first unmatched equal new rule (hash-multiset, O(n)
+/// expected); the leftovers pair up as modifies in order, the remainder
+/// becomes removes then inserts. Exposed for the pairing-semantics tests
+/// and as the reference the incremental slice diff is held to.
+[[nodiscard]] std::vector<dp::RuleUpdate> diff_programs(
+    const dp::Program& before, const dp::Program& after);
 
 }  // namespace maton::cp

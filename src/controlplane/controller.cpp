@@ -34,16 +34,18 @@ Result<std::size_t> Controller::apply(const Intent& intent) {
     return updates.status();
   }
   {
+    // Batched push: the switch runs its per-table index maintenance once
+    // per touched table instead of once per update. Semantics match the
+    // scalar loop exactly, including the §2 non-atomicity — on failure,
+    // updates before the failing one stay applied.
     const obs::TraceSpan update_span("switch_update");
-    for (const dp::RuleUpdate& update : updates.value()) {
-      if (Status s = target_.apply_update(update); !s.is_ok()) {
-        ++stats_.failed_intents;
-        intents_failed.add();
-        return Status(StatusCode::kInternal,
-                      "switch rejected an update mid-intent (data plane now "
-                      "inconsistent): " +
-                          s.message());
-      }
+    if (Status s = target_.apply_updates(updates.value()); !s.is_ok()) {
+      ++stats_.failed_intents;
+      intents_failed.add();
+      return Status(StatusCode::kInternal,
+                    "switch rejected an update mid-intent (data plane now "
+                    "inconsistent): " +
+                        s.message());
     }
   }
   ++stats_.intents_applied;

@@ -31,6 +31,18 @@ void Table::add_row(Row row) {
   rows_.push_back(std::move(row));
 }
 
+void Table::set_value(std::size_t row_idx, std::size_t col, Value v) {
+  expects(row_idx < rows_.size(), "row index out of range");
+  expects(col < schema_.size(), "column index out of range");
+  rows_[row_idx][col] = v;
+}
+
+void Table::erase_rows(std::size_t first, std::size_t count) {
+  expects(first + count <= rows_.size(), "row range out of range");
+  rows_.erase(rows_.begin() + static_cast<std::ptrdiff_t>(first),
+              rows_.begin() + static_cast<std::ptrdiff_t>(first + count));
+}
+
 const Row& Table::row(std::size_t i) const {
   expects(i < rows_.size(), "row index out of range");
   return rows_[i];

@@ -33,6 +33,15 @@ class Table {
   /// Appends an entry; the row width must equal the schema width.
   void add_row(Row row);
 
+  /// Overwrites one cell in place. This is the control-plane patching
+  /// primitive: an intent that rewrites a few cells of one column leaves
+  /// every other column's fingerprint — and therefore its cached mining
+  /// partitions — unchanged. Callers must preserve order independence.
+  void set_value(std::size_t row, std::size_t col, Value v);
+
+  /// Erases `count` consecutive rows starting at `first`.
+  void erase_rows(std::size_t first, std::size_t count);
+
   [[nodiscard]] const Row& row(std::size_t i) const;
   [[nodiscard]] const std::vector<Row>& rows() const noexcept { return rows_; }
 

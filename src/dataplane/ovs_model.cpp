@@ -10,6 +10,7 @@
 // pipeline representation.
 #include <algorithm>
 #include <array>
+#include <deque>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -32,21 +33,30 @@ class MegaflowCache {
     /// Rules whose lookup this megaflow collapses; their flow counters
     /// are credited on every cache hit (OVS stats attribution).
     std::vector<MatchedRule> contributors;
+    /// Ordinal of the subtable holding this entry (probe order); lets
+    /// the batch path decide whether a fresh entry shadows a
+    /// previously-probed winner without re-running the full probe.
+    std::size_t subtable = 0;
   };
 
-  void insert(const std::array<std::uint64_t, kNumFields>& mask,
-              const FlowKey& key, const ExecResult& result,
-              std::span<const MatchedRule> contributors) {
+  /// Returns the inserted entry; the pointer stays valid until clear()
+  /// (entries live in deques, and container moves preserve references).
+  const Entry* insert(const std::array<std::uint64_t, kNumFields>& mask,
+                      const FlowKey& key, const ExecResult& result,
+                      std::span<const MatchedRule> contributors) {
     SubTable* sub = nullptr;
-    for (auto& candidate : subtables_) {
-      if (candidate.mask == mask) {
-        sub = &candidate;
+    std::size_t ordinal = 0;
+    for (std::size_t s = 0; s < subtables_.size(); ++s) {
+      if (subtables_[s].mask == mask) {
+        sub = &subtables_[s];
+        ordinal = s;
         break;
       }
     }
     if (sub == nullptr) {
       subtables_.push_back({mask, {}});
       sub = &subtables_.back();
+      ordinal = subtables_.size() - 1;
     }
     Entry entry;
     for (std::size_t f = 0; f < kNumFields; ++f) {
@@ -54,8 +64,11 @@ class MegaflowCache {
     }
     entry.result = result;
     entry.contributors.assign(contributors.begin(), contributors.end());
-    sub->entries[detail::hash_words(entry.values)].push_back(std::move(entry));
+    entry.subtable = ordinal;
+    auto& bucket = sub->entries[detail::hash_words(entry.values)];
+    bucket.push_back(std::move(entry));
     ++size_;
+    return &bucket.back();
   }
 
   [[nodiscard]] const Entry* lookup(const FlowKey& key) const {
@@ -100,6 +113,31 @@ class MegaflowCache {
     }
   }
 
+  /// Repairs a pre-computed probe after `inserted` joined the cache:
+  /// probed[j] is updated for every key the new entry both masked-matches
+  /// and out-ranks (an earlier subtable than the current winner, or any
+  /// subtable when the probe missed). Restores the invariant
+  /// probed[j] == lookup(keys[j]) without re-probing every subtable.
+  void reprobe_after_insert(const Entry* inserted,
+                            std::span<const FlowKey> keys,
+                            std::span<const Entry*> probed) const {
+    const auto& mask = subtables_[inserted->subtable].mask;
+    for (std::size_t j = 0; j < keys.size(); ++j) {
+      if (probed[j] != nullptr &&
+          probed[j]->subtable <= inserted->subtable) {
+        continue;  // current winner probes earlier; cannot be shadowed
+      }
+      bool match = true;
+      for (std::size_t f = 0; f < kNumFields; ++f) {
+        if ((keys[j].values[f] & mask[f]) != inserted->values[f]) {
+          match = false;
+          break;
+        }
+      }
+      if (match) probed[j] = inserted;
+    }
+  }
+
   void clear() {
     subtables_.clear();
     size_ = 0;
@@ -110,7 +148,9 @@ class MegaflowCache {
  private:
   struct SubTable {
     std::array<std::uint64_t, kNumFields> mask{};
-    std::unordered_map<std::uint64_t, std::vector<Entry>> entries;
+    /// Deque-backed buckets: growing a bucket must not move existing
+    /// entries — the batch path holds Entry pointers across inserts.
+    std::unordered_map<std::uint64_t, std::deque<Entry>> entries;
   };
   std::vector<SubTable> subtables_;
   std::size_t size_ = 0;
@@ -164,12 +204,14 @@ class OvsModel final : public OvsModelInterface {
 
   /// Batched execution: the megaflow cache is probed for a whole chunk up
   /// front (subtable-hoisted); packets the probe resolved take the hit
-  /// path directly. The first slow-path insert of a chunk makes the
-  /// pre-computed probe stale — a newer entry could shadow an older one —
-  /// so later packets of that chunk fall back to the scalar path
-  /// (probe + slow path), keeping results and stats bit-identical to
-  /// scalar processing. On a warm cache no chunk ever goes stale and the
-  /// whole batch runs through the hoisted probe.
+  /// path directly. A slow-path insert could make the pre-computed probe
+  /// stale — the fresh entry may shadow (or newly cover) later keys of
+  /// the chunk — so after every insert the probe is *repaired* for just
+  /// the chunk tail (one masked compare per remaining key) instead of
+  /// demoting the tail to scalar probing. This keeps the invariant
+  /// probed[j] == lookup(keys[j]) at all times, so results and stats stay
+  /// bit-identical to scalar processing while the chunk keeps the hoisted
+  /// fast path even across cold-start inserts.
   void process_batch(std::span<const FlowKey> keys,
                      std::span<ExecResult> results) override {
     expects(results.size() >= keys.size(),
@@ -181,10 +223,9 @@ class OvsModel final : public OvsModelInterface {
           std::min(detail::kBatchChunk, keys.size() - base);
       cache_.lookup_batch(keys.subspan(base, n), {probed.data(), n});
       chunk_size_->observe(static_cast<double>(n));
-      bool stale = false;
       std::uint64_t chunk_hits = 0;
       for (std::size_t i = 0; i < n; ++i) {
-        if (!stale && probed[i] != nullptr) {
+        if (probed[i] != nullptr) {
           ++stats_.cache_hits;
           ++chunk_hits;
           counters_.bump_all(probed[i]->contributors);
@@ -193,12 +234,26 @@ class OvsModel final : public OvsModelInterface {
           results[base + i] = r;
           continue;
         }
-        const std::uint64_t misses_before = stats_.cache_misses;
-        results[base + i] = process(keys[base + i]);
-        stale = stale || stats_.cache_misses != misses_before;
+        // Miss: the probe invariant says a scalar lookup would miss too,
+        // so go straight to the slow path.
+        ++stats_.cache_misses;
+        mf_misses_->add();
+        matched_scratch_.clear();
+        const auto [result, mask] = slow_path(keys[base + i],
+                                              &matched_scratch_);
+        counters_.bump_all(matched_scratch_.span());
+        results[base + i] = result;
+        if (!result.hit) continue;
+        const MegaflowCache::Entry* entry = cache_.insert(
+            mask, keys[base + i], result, matched_scratch_.span());
+        stats_.cache_entries = cache_.size();
+        mf_occupancy_->set(static_cast<double>(cache_.size()));
+        cache_.reprobe_after_insert(
+            entry, keys.subspan(base + i + 1, n - i - 1),
+            {probed.data() + i + 1, n - i - 1});
       }
-      // Fallback-path hits/misses were counted inside process(); only
-      // the hoisted fast path needs crediting here.
+      // Slow-path misses were counted inline; the hoisted fast path
+      // credits its hits once per chunk.
       if (chunk_hits != 0) mf_hits_->add(chunk_hits);
     }
   }
@@ -221,6 +276,37 @@ class OvsModel final : public OvsModelInterface {
     mf_flushes_->add();
     mf_occupancy_->set(0.0);
     return Status::ok();
+  }
+
+  /// Batched updates: rule mutation, counter carry-over, and the flush
+  /// *statistics* run per update (scalar semantics — each applied update
+  /// is one revalidation), but the cache teardown itself happens once for
+  /// the whole batch instead of once per update.
+  Status apply_updates(std::span<const RuleUpdate> updates) override {
+    Status result = Status::ok();
+    bool any_applied = false;
+    for (const RuleUpdate& update : updates) {
+      const std::vector<Rule> old_rules =
+          update.table < program_.tables.size()
+              ? program_.tables[update.table].rules
+              : std::vector<Rule>{};
+      if (Status s = apply_update_to_program(program_, update);
+          !s.is_ok()) {
+        result = s;
+        break;
+      }
+      counters_.carry_over(update.table, old_rules,
+                           program_.tables[update.table].rules, update);
+      ++stats_.cache_flushes;
+      mf_flushes_->add();
+      any_applied = true;
+    }
+    if (any_applied) {
+      cache_.clear();
+      stats_.cache_entries = 0;
+      mf_occupancy_->set(0.0);
+    }
+    return result;
   }
 
   [[nodiscard]] std::string_view name() const noexcept override {

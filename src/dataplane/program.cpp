@@ -57,8 +57,12 @@ class FieldAllocator {
     return id;
   }
 
+  [[nodiscard]] const FieldMap& assigned() const noexcept {
+    return assigned_;
+  }
+
  private:
-  std::map<std::string, FieldId> assigned_;
+  FieldMap assigned_;
   std::size_t next_meta_ = field_index(FieldId::kMeta0);
 };
 
@@ -81,6 +85,32 @@ FieldMatch lower_match(FieldId field, const core::Attribute& attr,
     m.value = v & m.mask;
   }
   return m;
+}
+
+/// One row → one Rule, given the pre-resolved column→field assignment.
+Rule lower_row_resolved(const core::Schema& schema, const core::Row& row,
+                        const std::vector<FieldId>& col_field,
+                        std::optional<std::size_t> goto_target) {
+  Rule rule;
+  std::uint32_t specificity = 0;
+  for (std::size_t c : schema.match_set()) {
+    const FieldMatch m = lower_match(col_field[c], schema.at(c), row[c]);
+    specificity += static_cast<std::uint32_t>(std::popcount(m.mask));
+    rule.matches.push_back(m);
+  }
+  // Longest-prefix-first semantics: more specific rules win.
+  rule.priority = specificity;
+
+  for (std::size_t c : schema.action_set()) {
+    const core::Attribute& attr = schema.at(c);
+    if (attr.name == "out") {
+      rule.actions.push_back({Action::Kind::kOutput, FieldId::kMeta0, row[c]});
+    } else {
+      rule.actions.push_back({Action::Kind::kSetField, col_field[c], row[c]});
+    }
+  }
+  rule.goto_table = goto_target;
+  return rule;
 }
 
 }  // namespace
@@ -122,7 +152,7 @@ std::size_t Program::total_rules() const noexcept {
   return n;
 }
 
-Result<Program> compile(const core::Pipeline& pipeline) {
+Result<Program> compile(const core::Pipeline& pipeline, FieldMap* field_map) {
   if (Status s = pipeline.validate(); !s.is_ok()) return s;
 
   Program program;
@@ -151,29 +181,10 @@ Result<Program> compile(const core::Pipeline& pipeline) {
     }
 
     for (std::size_t r = 0; r < stage.table.num_rows(); ++r) {
-      Rule rule;
-      std::uint32_t specificity = 0;
-      for (std::size_t c : schema.match_set()) {
-        const FieldMatch m =
-            lower_match(col_field[c], schema.at(c), stage.table.at(r, c));
-        specificity += static_cast<std::uint32_t>(std::popcount(m.mask));
-        rule.matches.push_back(m);
-      }
-      // Longest-prefix-first semantics: more specific rules win.
-      rule.priority = specificity;
-
-      for (std::size_t c : schema.action_set()) {
-        const core::Attribute& attr = schema.at(c);
-        const core::Value v = stage.table.at(r, c);
-        if (attr.name == "out") {
-          rule.actions.push_back({Action::Kind::kOutput, FieldId::kMeta0, v});
-        } else {
-          rule.actions.push_back(
-              {Action::Kind::kSetField, col_field[c], v});
-        }
-      }
-      if (stage.uses_goto()) rule.goto_table = stage.goto_targets[r];
-      spec.rules.push_back(std::move(rule));
+      spec.rules.push_back(lower_row_resolved(
+          schema, stage.table.row(r), col_field,
+          stage.uses_goto() ? std::optional{stage.goto_targets[r]}
+                            : std::nullopt));
     }
 
     // Priority order: most specific first; stable to keep insertion order
@@ -184,7 +195,31 @@ Result<Program> compile(const core::Pipeline& pipeline) {
                      });
     program.tables.push_back(std::move(spec));
   }
+  if (field_map != nullptr) *field_map = alloc.assigned();
   return program;
+}
+
+Result<Rule> lower_row(const core::Schema& schema, const core::Row& row,
+                       const FieldMap& field_map,
+                       std::optional<std::size_t> goto_target) {
+  if (row.size() != schema.size()) {
+    return invalid_argument("row width does not match schema width");
+  }
+  std::vector<FieldId> col_field(schema.size());
+  for (std::size_t c = 0; c < schema.size(); ++c) {
+    const std::string& name = schema.at(c).name;
+    if (const auto builtin = builtin_field(name)) {
+      col_field[c] = *builtin;
+      continue;
+    }
+    const auto it = field_map.find(name);
+    if (it == field_map.end()) {
+      return invalid_argument("attribute '" + name +
+                              "' not present in the field map");
+    }
+    col_field[c] = it->second;
+  }
+  return lower_row_resolved(schema, row, col_field, goto_target);
 }
 
 ExecResult execute_reference(const Program& program, const FlowKey& key,

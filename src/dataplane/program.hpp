@@ -13,6 +13,7 @@
 // unpacked into value/mask prefix matches.
 #pragma once
 
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -58,6 +59,7 @@ struct Rule {
     }
     return true;
   }
+  friend bool operator==(const Rule&, const Rule&) = default;
 };
 
 /// How a table's lookup should behave structurally (derived, not chosen).
@@ -77,6 +79,7 @@ struct TableSpec {
   std::optional<std::size_t> next;
 
   [[nodiscard]] MatchProfile profile() const;
+  friend bool operator==(const TableSpec&, const TableSpec&) = default;
 };
 
 struct Program {
@@ -84,12 +87,31 @@ struct Program {
   std::size_t entry = 0;
 
   [[nodiscard]] std::size_t total_rules() const noexcept;
+  friend bool operator==(const Program&, const Program&) = default;
 };
+
+/// Attribute-name → FieldId assignment a compilation settled on. Builtin
+/// header names resolve implicitly; the map records the metadata-register
+/// assignments (`meta.*` and other non-wire attributes). Re-lowering a
+/// single row against the map reproduces the compiler's output for that
+/// row, which is what the incremental intent compiler patches with.
+using FieldMap = std::map<std::string, FieldId, std::less<>>;
 
 /// Lowers a core pipeline into a data-plane program.
 /// Fails (kInvalidArgument) when an attribute name cannot be mapped and
-/// no metadata register is free.
-[[nodiscard]] Result<Program> compile(const core::Pipeline& pipeline);
+/// no metadata register is free. When `field_map` is non-null it receives
+/// the attribute→field assignment the compilation used.
+[[nodiscard]] Result<Program> compile(const core::Pipeline& pipeline,
+                                      FieldMap* field_map = nullptr);
+
+/// Lowers one row of `schema` into a Rule exactly as compile() would:
+/// masked matches in match-column order, specificity priority, actions in
+/// action-column order ("out" → output action), and the given goto
+/// target. Non-builtin attribute names must be present in `field_map`.
+[[nodiscard]] Result<Rule> lower_row(
+    const core::Schema& schema, const core::Row& row,
+    const FieldMap& field_map,
+    std::optional<std::size_t> goto_target = std::nullopt);
 
 /// Result of pushing one packet through a switch model.
 struct ExecResult {

@@ -54,6 +54,17 @@ class SwitchModel {
                              std::span<ExecResult> results);
 
   [[nodiscard]] virtual Status apply_update(const RuleUpdate& update) = 0;
+
+  /// Applies `updates` in order, equivalent to calling apply_update per
+  /// element (same final rule state, counters, and model stats). The base
+  /// implementation is the scalar loop; software models override it to
+  /// run the per-table index maintenance — classifier recompilation,
+  /// cache-flush bookkeeping — once per touched table instead of once per
+  /// update. Stops at the first failure; updates already applied stay
+  /// applied (the §2 non-atomicity the inconsistency window measures).
+  [[nodiscard]] virtual Status apply_updates(
+      std::span<const RuleUpdate> updates);
+
   [[nodiscard]] virtual std::string_view name() const noexcept = 0;
 
   /// Fixed per-packet framework cost (I/O, metadata bookkeeping) added to
@@ -137,7 +148,8 @@ class HwTcamModel final : public SwitchModel {
   Status load(Program program) override;
   ExecResult process(const FlowKey& key) override;
   /// Batched reference interpreter: packets advance through the table
-  /// graph in rounds, and each table runs a rules-outer first-match scan
+  /// graph via a worklist of occupied tables (no full-table re-scan per
+  /// round), and each table runs a rules-outer first-match scan
   /// with active-set compaction so one rule's match vector is fetched
   /// once per chunk instead of once per packet. Results, flow counters
   /// and cycle guards are bit-identical to the scalar path.
@@ -197,6 +209,8 @@ class HwTcamModel final : public SwitchModel {
   std::vector<std::uint32_t> moving_;
   std::vector<std::uint32_t> active_;
   std::vector<std::size_t> match_rule_;
+  std::vector<std::uint32_t> worklist_;  // FIFO of occupied buckets
+  std::vector<std::uint8_t> queued_;     // table ∈ worklist_[head..)
 
   // Telemetry handles (resolved once at construction).
   obs::Counter* batch_chunks_ = nullptr;

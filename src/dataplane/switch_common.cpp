@@ -16,6 +16,13 @@ void SwitchModel::process_batch(std::span<const FlowKey> keys,
   }
 }
 
+Status SwitchModel::apply_updates(std::span<const RuleUpdate> updates) {
+  for (const RuleUpdate& update : updates) {
+    if (Status s = apply_update(update); !s.is_ok()) return s;
+  }
+  return Status::ok();
+}
+
 Status apply_update_to_program(Program& program, const RuleUpdate& update) {
   if (update.table >= program.tables.size()) {
     return invalid_argument("update targets a non-existent table");
@@ -154,11 +161,18 @@ void HwTcamModel::process_batch(std::span<const FlowKey> keys,
     buckets_[program_.entry].push_back(static_cast<std::uint32_t>(i));
   }
 
-  bool any_live = true;
-  while (any_live) {
-    any_live = false;
-    for (std::size_t t = 0; t < num_tables; ++t) {
-      if (buckets_[t].empty()) continue;
+  worklist_.clear();
+  queued_.assign(num_tables, 0);
+  worklist_.push_back(static_cast<std::uint32_t>(program_.entry));
+  queued_[program_.entry] = 1;
+
+  // FIFO over occupied buckets: each pop visits a non-empty bucket
+  // exactly once instead of re-scanning every table per round. The
+  // table graph is acyclic, so the worklist drains.
+  for (std::size_t head = 0; head < worklist_.size(); ++head) {
+    const std::size_t t = worklist_[head];
+    queued_[t] = 0;
+    {
       moving_.swap(buckets_[t]);
       buckets_[t].clear();
       if constexpr (obs::kEnabled) {
@@ -214,7 +228,10 @@ void HwTcamModel::process_batch(std::span<const FlowKey> keys,
         if (next.has_value()) {
           expects(*next < num_tables, "jump out of range");
           buckets_[*next].push_back(p);
-          any_live = true;
+          if (queued_[*next] == 0) {
+            queued_[*next] = 1;
+            worklist_.push_back(static_cast<std::uint32_t>(*next));
+          }
         } else {
           result.hit = true;
         }

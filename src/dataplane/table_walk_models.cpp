@@ -76,18 +76,21 @@ class TableWalkSwitch : public SwitchModel {
   }
 
   /// Stage-hoisted batch execution: packets advance through the table
-  /// graph in rounds. Each round groups the live packets by their current
-  /// table and dispatches one lookup_batch per table, so per-packet
-  /// virtual dispatch disappears and the classifier kernels get whole
-  /// chunks to prefetch over. Counter bumps are the same multiset as the
-  /// scalar path (increments commute), and results are bit-identical.
+  /// graph grouped by their current table, one lookup_batch dispatch per
+  /// occupied table, so per-packet virtual dispatch disappears and the
+  /// classifier kernels get whole chunks to prefetch over. Occupied
+  /// tables are tracked on a FIFO worklist — a table is visited only when
+  /// packets actually sit in its bucket, so deep pipelines never pay an
+  /// every-round scan over all tables. Counter bumps are the same
+  /// multiset as the scalar path (increments commute), and results are
+  /// bit-identical.
   void process_batch(std::span<const FlowKey> keys,
                      std::span<ExecResult> results) override {
     expects(results.size() >= keys.size(),
             "process_batch result span too small");
     const std::size_t num_tables = program_.tables.size();
     for (std::size_t i = 0; i < keys.size(); ++i) results[i] = ExecResult{};
-    if (num_tables == 0) return;
+    if (num_tables == 0 || keys.empty()) return;
 
     expects(program_.entry < num_tables, "program entry out of range");
     // Programs without set-field actions never mutate packet state, so
@@ -100,15 +103,18 @@ class TableWalkSwitch : public SwitchModel {
     for (std::size_t i = 0; i < keys.size(); ++i) {
       buckets_[program_.entry].push_back(static_cast<std::uint32_t>(i));
     }
+    worklist_.clear();
+    queued_.assign(num_tables, 0);
+    worklist_.push_back(static_cast<std::uint32_t>(program_.entry));
+    queued_[program_.entry] = 1;
 
-    bool any_live = !keys.empty();
-    while (any_live) {
-      any_live = false;
-      // Snapshot this round's occupancy; packets forwarded to a later
-      // table land in its bucket for the next round, packets forwarded to
-      // an earlier one are picked up when the round reaches it again.
-      for (std::size_t t = 0; t < num_tables; ++t) {
-        if (buckets_[t].empty()) continue;
+    // FIFO over occupied buckets. The pipeline graph is acyclic, so a
+    // table re-enqueued while another drains terminates; each pop visits
+    // a non-empty bucket exactly once.
+    for (std::size_t head = 0; head < worklist_.size(); ++head) {
+      const std::size_t t = worklist_[head];
+      queued_[t] = 0;
+      {
         moving_.swap(buckets_[t]);
         buckets_[t].clear();
 
@@ -177,7 +183,10 @@ class TableWalkSwitch : public SwitchModel {
           if (next.has_value()) {
             expects(*next < num_tables, "jump out of range");
             buckets_[*next].push_back(p);
-            any_live = true;
+            if (queued_[*next] == 0) {
+              queued_[*next] = 1;
+              worklist_.push_back(static_cast<std::uint32_t>(*next));
+            }
           } else {
             result.hit = true;
           }
@@ -187,6 +196,43 @@ class TableWalkSwitch : public SwitchModel {
         moving_.clear();
       }
     }
+  }
+
+  /// Batched update application: structural mutation and counter
+  /// carry-over run per update in order (exact scalar semantics,
+  /// including mid-sequence failures); the per-table index maintenance —
+  /// classifier recompilation, the set-field scan, metric-handle
+  /// resolution — runs once per *touched table* instead of once per
+  /// update. An intent that modifies M rules of one table recompiles its
+  /// classifier once, not M times.
+  Status apply_updates(std::span<const RuleUpdate> updates) override {
+    Status result = Status::ok();
+    touched_.assign(program_.tables.size(), 0);
+    for (const RuleUpdate& update : updates) {
+      const std::vector<Rule> old_rules =
+          update.table < program_.tables.size()
+              ? program_.tables[update.table].rules
+              : std::vector<Rule>{};
+      if (Status s = apply_update_to_program(program_, update);
+          !s.is_ok()) {
+        result = s;
+        break;
+      }
+      counters_.carry_over(update.table, old_rules,
+                           program_.tables[update.table].rules, update);
+      touched_[update.table] = 1;
+    }
+    bool any_touched = false;
+    for (std::size_t t = 0; t < touched_.size(); ++t) {
+      if (touched_[t] == 0) continue;
+      classifiers_[t] = instantiate(program_.tables[t]);
+      any_touched = true;
+    }
+    if (any_touched) {
+      recompute_mutates();
+      resolve_metrics();
+    }
+    return result;
   }
 
   Status apply_update(const RuleUpdate& update) override {
@@ -280,6 +326,9 @@ class TableWalkSwitch : public SwitchModel {
   std::vector<std::uint32_t> moving_;
   std::vector<FlowKey> gather_;
   std::vector<std::size_t> rule_out_;
+  std::vector<std::uint32_t> worklist_;  // FIFO of occupied buckets
+  std::vector<std::uint8_t> queued_;     // table ∈ worklist_[head..)
+  std::vector<std::uint8_t> touched_;    // apply_updates scratch
 };
 
 class ESwitchModel final : public TableWalkSwitch {

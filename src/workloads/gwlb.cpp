@@ -10,21 +10,13 @@
 namespace maton::workloads {
 
 using core::AttrKind;
+using core::Row;
 using core::Schema;
 using core::Table;
 using core::Value;
 using core::ValueCodec;
 
 namespace {
-
-Schema universal_schema() {
-  Schema schema;
-  schema.add_match("ip_src", ValueCodec::kIpv4Prefix, 32);
-  schema.add_match("ip_dst", ValueCodec::kIpv4, 32);
-  schema.add_match("tcp_dst", ValueCodec::kPort, 16);
-  schema.add_action("out", ValueCodec::kPort, 16);
-  return schema;
-}
 
 /// Packs an IPv4 prefix into the exact-match token the core layer uses.
 constexpr Value prefix_token(std::uint32_t addr, unsigned len) {
@@ -34,11 +26,10 @@ constexpr Value prefix_token(std::uint32_t addr, unsigned len) {
 Gwlb assemble(std::vector<GwlbService> services) {
   Gwlb gwlb;
   gwlb.services = std::move(services);
-  gwlb.universal = Table("gwlb.universal", universal_schema());
+  gwlb.universal = Table("gwlb.universal", gwlb_universal_schema());
   for (const GwlbService& svc : gwlb.services) {
-    for (std::size_t b = 0; b < svc.src_prefixes.size(); ++b) {
-      gwlb.universal.add_row({svc.src_prefixes[b], svc.vip, svc.port,
-                              svc.backends[b]});
+    for (Row& row : gwlb_universal_rows(svc)) {
+      gwlb.universal.add_row(std::move(row));
     }
   }
   gwlb.model_fds.add(core::AttrSet::single(kGwlbIpDst),
@@ -47,6 +38,111 @@ Gwlb assemble(std::vector<GwlbService> services) {
 }
 
 }  // namespace
+
+Schema gwlb_universal_schema() {
+  Schema schema;
+  schema.add_match("ip_src", ValueCodec::kIpv4Prefix, 32);
+  schema.add_match("ip_dst", ValueCodec::kIpv4, 32);
+  schema.add_match("tcp_dst", ValueCodec::kPort, 16);
+  schema.add_action("out", ValueCodec::kPort, 16);
+  return schema;
+}
+
+Schema gwlb_goto_service_schema() {
+  Schema schema;
+  schema.add_match("ip_dst", ValueCodec::kIpv4, 32);
+  schema.add_match("tcp_dst", ValueCodec::kPort, 16);
+  return schema;
+}
+
+Schema gwlb_goto_lb_schema() {
+  Schema schema;
+  schema.add_match("ip_src", ValueCodec::kIpv4Prefix, 32);
+  schema.add_action("out", ValueCodec::kPort, 16);
+  return schema;
+}
+
+Schema gwlb_metadata_service_schema() {
+  Schema schema;
+  schema.add_match("ip_dst", ValueCodec::kIpv4, 32);
+  schema.add_match("tcp_dst", ValueCodec::kPort, 16);
+  schema.add_action("meta.tenant", ValueCodec::kPlain, 16);
+  return schema;
+}
+
+Schema gwlb_metadata_lb_schema() {
+  Schema schema;
+  schema.add_match("meta.tenant", ValueCodec::kPlain, 16);
+  schema.add_match("ip_src", ValueCodec::kIpv4Prefix, 32);
+  schema.add_action("out", ValueCodec::kPort, 16);
+  return schema;
+}
+
+Schema gwlb_rematch_service_schema() {
+  Schema schema;
+  schema.add_match("ip_dst", ValueCodec::kIpv4, 32);
+  schema.add_match("tcp_dst", ValueCodec::kPort, 16);
+  return schema;
+}
+
+Schema gwlb_rematch_lb_schema() {
+  Schema schema;
+  schema.add_match("ip_src", ValueCodec::kIpv4Prefix, 32);
+  schema.add_match("ip_dst", ValueCodec::kIpv4, 32);
+  schema.add_action("out", ValueCodec::kPort, 16);
+  return schema;
+}
+
+std::vector<Row> gwlb_universal_rows(const GwlbService& svc) {
+  std::vector<Row> rows;
+  rows.reserve(svc.src_prefixes.size());
+  for (std::size_t b = 0; b < svc.src_prefixes.size(); ++b) {
+    rows.push_back({svc.src_prefixes[b], svc.vip, svc.port,
+                    svc.backends[b]});
+  }
+  return rows;
+}
+
+Row gwlb_goto_service_row(const GwlbService& svc) {
+  return {svc.vip, svc.port};
+}
+
+std::vector<Row> gwlb_goto_lb_rows(const GwlbService& svc) {
+  std::vector<Row> rows;
+  rows.reserve(svc.src_prefixes.size());
+  for (std::size_t b = 0; b < svc.src_prefixes.size(); ++b) {
+    rows.push_back({svc.src_prefixes[b], svc.backends[b]});
+  }
+  return rows;
+}
+
+Row gwlb_metadata_service_row(const GwlbService& svc, std::size_t s) {
+  return {svc.vip, svc.port, static_cast<Value>(s)};
+}
+
+std::vector<Row> gwlb_metadata_lb_rows(const GwlbService& svc,
+                                       std::size_t s) {
+  std::vector<Row> rows;
+  rows.reserve(svc.src_prefixes.size());
+  for (std::size_t b = 0; b < svc.src_prefixes.size(); ++b) {
+    rows.push_back({static_cast<Value>(s), svc.src_prefixes[b],
+                    svc.backends[b]});
+  }
+  return rows;
+}
+
+Row gwlb_rematch_service_row(const GwlbService& svc) {
+  return {svc.vip, svc.port};
+}
+
+std::vector<Row> gwlb_rematch_lb_rows(const GwlbService& svc) {
+  std::vector<Row> rows;
+  rows.reserve(svc.src_prefixes.size());
+  for (std::size_t b = 0; b < svc.src_prefixes.size(); ++b) {
+    rows.push_back({svc.src_prefixes[b], svc.vip, svc.backends[b]});
+  }
+  return rows;
+}
 
 Gwlb make_gwlb(const GwlbConfig& config) {
   expects(config.num_services > 0, "gwlb needs at least one service");
@@ -114,10 +210,7 @@ Gwlb make_paper_example() {
 core::Pipeline gwlb_goto_pipeline(const Gwlb& gwlb) {
   core::Pipeline pipeline;
 
-  Schema service_schema;
-  service_schema.add_match("ip_dst", ValueCodec::kIpv4, 32);
-  service_schema.add_match("tcp_dst", ValueCodec::kPort, 16);
-  Table t0("gwlb.services", std::move(service_schema));
+  Table t0("gwlb.services", gwlb_goto_service_schema());
   const std::size_t first = pipeline.add_stage({std::move(t0), {}, {}});
 
   // Removed services (no backends) keep their (empty, unreachable) LB
@@ -126,16 +219,11 @@ core::Pipeline gwlb_goto_pipeline(const Gwlb& gwlb) {
   std::vector<std::size_t> targets;
   for (std::size_t s = 0; s < gwlb.services.size(); ++s) {
     const GwlbService& svc = gwlb.services[s];
-    Schema lb_schema;
-    lb_schema.add_match("ip_src", ValueCodec::kIpv4Prefix, 32);
-    lb_schema.add_action("out", ValueCodec::kPort, 16);
-    Table lb("gwlb.lb" + std::to_string(s), std::move(lb_schema));
-    for (std::size_t b = 0; b < svc.src_prefixes.size(); ++b) {
-      lb.add_row({svc.src_prefixes[b], svc.backends[b]});
-    }
+    Table lb("gwlb.lb" + std::to_string(s), gwlb_goto_lb_schema());
+    for (Row& row : gwlb_goto_lb_rows(svc)) lb.add_row(std::move(row));
     const std::size_t stage = pipeline.add_stage({std::move(lb), {}, {}});
     if (!svc.src_prefixes.empty()) {
-      pipeline.stage(first).table.add_row({svc.vip, svc.port});
+      pipeline.stage(first).table.add_row(gwlb_goto_service_row(svc));
       targets.push_back(stage);
     }
   }
@@ -147,27 +235,16 @@ core::Pipeline gwlb_goto_pipeline(const Gwlb& gwlb) {
 core::Pipeline gwlb_metadata_pipeline(const Gwlb& gwlb) {
   core::Pipeline pipeline;
 
-  Schema service_schema;
-  service_schema.add_match("ip_dst", ValueCodec::kIpv4, 32);
-  service_schema.add_match("tcp_dst", ValueCodec::kPort, 16);
-  service_schema.add_action("meta.tenant", ValueCodec::kPlain, 16);
-  Table t0("gwlb.services", std::move(service_schema));
+  Table t0("gwlb.services", gwlb_metadata_service_schema());
   for (std::size_t s = 0; s < gwlb.services.size(); ++s) {
     if (gwlb.services[s].src_prefixes.empty()) continue;  // removed
-    t0.add_row({gwlb.services[s].vip, gwlb.services[s].port,
-                static_cast<Value>(s)});
+    t0.add_row(gwlb_metadata_service_row(gwlb.services[s], s));
   }
 
-  Schema lb_schema;
-  lb_schema.add_match("meta.tenant", ValueCodec::kPlain, 16);
-  lb_schema.add_match("ip_src", ValueCodec::kIpv4Prefix, 32);
-  lb_schema.add_action("out", ValueCodec::kPort, 16);
-  Table t1("gwlb.lb", std::move(lb_schema));
+  Table t1("gwlb.lb", gwlb_metadata_lb_schema());
   for (std::size_t s = 0; s < gwlb.services.size(); ++s) {
-    const GwlbService& svc = gwlb.services[s];
-    for (std::size_t b = 0; b < svc.src_prefixes.size(); ++b) {
-      t1.add_row({static_cast<Value>(s), svc.src_prefixes[b],
-                  svc.backends[b]});
+    for (Row& row : gwlb_metadata_lb_rows(gwlb.services[s], s)) {
+      t1.add_row(std::move(row));
     }
   }
 
@@ -181,27 +258,15 @@ core::Pipeline gwlb_metadata_pipeline(const Gwlb& gwlb) {
 core::Pipeline gwlb_rematch_pipeline(const Gwlb& gwlb) {
   core::Pipeline pipeline;
 
-  Schema service_schema;
-  service_schema.add_match("ip_dst", ValueCodec::kIpv4, 32);
-  service_schema.add_match("tcp_dst", ValueCodec::kPort, 16);
-  Table t0("gwlb.services", std::move(service_schema));
+  Table t0("gwlb.services", gwlb_rematch_service_schema());
   for (const GwlbService& svc : gwlb.services) {
     if (svc.src_prefixes.empty()) continue;  // removed service
-    t0.add_row({svc.vip, svc.port});
+    t0.add_row(gwlb_rematch_service_row(svc));
   }
 
-  Schema lb_schema;
-  lb_schema.add_match("ip_src", ValueCodec::kIpv4Prefix, 32);
-  lb_schema.add_match("ip_dst", ValueCodec::kIpv4, 32);
-  Table t1("gwlb.lb", [&] {
-    Schema s = lb_schema;
-    s.add_action("out", ValueCodec::kPort, 16);
-    return s;
-  }());
+  Table t1("gwlb.lb", gwlb_rematch_lb_schema());
   for (const GwlbService& svc : gwlb.services) {
-    for (std::size_t b = 0; b < svc.src_prefixes.size(); ++b) {
-      t1.add_row({svc.src_prefixes[b], svc.vip, svc.backends[b]});
-    }
+    for (Row& row : gwlb_rematch_lb_rows(svc)) t1.add_row(std::move(row));
   }
 
   const std::size_t first = pipeline.add_stage({std::move(t0), {}, {}});

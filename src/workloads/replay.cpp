@@ -4,6 +4,7 @@
 #include <chrono>
 #include <vector>
 
+#include "dataplane/classifier_detail.hpp"
 #include "obs/metrics.hpp"
 #include "util/contract.hpp"
 #include "util/thread_pool.hpp"
@@ -89,12 +90,12 @@ ReplayStats replay_threaded(const ModelFactory& factory,
                             const dp::Program& program,
                             std::span<const dp::FlowKey> keys,
                             std::size_t rounds, std::size_t queues,
-                            std::size_t batch) {
+                            std::size_t batch, ShardMode mode) {
   expects(queues > 0, "replay needs at least one queue");
   expects(batch > 0, "replay batch size must be positive");
 
   // Build and load every queue's switch up front (outside the timed
-  // region): queue q replays the contiguous shard [q*per, ...).
+  // region).
   std::vector<std::unique_ptr<dp::SwitchModel>> switches;
   switches.reserve(queues);
   for (std::size_t q = 0; q < queues; ++q) {
@@ -104,18 +105,38 @@ ReplayStats replay_threaded(const ModelFactory& factory,
   }
   const std::size_t per = (keys.size() + queues - 1) / queues;
 
+  // Flow-hash sharding materializes per-queue key vectors up front (the
+  // software analogue of the NIC writing each flow's packets into one RX
+  // ring); the hash covers every parsed field, so all packets of a flow
+  // — and only they — share a queue. Done outside the timed region, as
+  // the NIC does it for free in hardware.
+  std::vector<std::vector<dp::FlowKey>> shards;
+  if (mode == ShardMode::kFlowHash) {
+    shards.resize(queues);
+    for (auto& shard : shards) shard.reserve(per);
+    for (const dp::FlowKey& key : keys) {
+      shards[dp::detail::hash_words(key.values) % queues].push_back(key);
+    }
+  }
+
   std::atomic<std::uint64_t> hits{0};
   std::vector<std::vector<dp::ExecResult>> results(queues);
   std::vector<LatencyRecorder> latencies(queues);
   const auto start = Clock::now();
   util::ThreadPool::shared().parallel_for(
       queues, queues, [&](std::size_t q, std::size_t /*worker*/) {
-        const std::size_t lo = std::min(q * per, keys.size());
-        const std::size_t hi = std::min(lo + per, keys.size());
-        if (lo == hi) return;
+        std::span<const dp::FlowKey> mine_keys;
+        if (mode == ShardMode::kFlowHash) {
+          mine_keys = shards[q];
+        } else {
+          const std::size_t lo = std::min(q * per, keys.size());
+          const std::size_t hi = std::min(lo + per, keys.size());
+          mine_keys = keys.subspan(lo, hi - lo);
+        }
+        if (mine_keys.empty()) return;
         const std::uint64_t mine = run_batches(
-            *switches[q], keys.subspan(lo, hi - lo), rounds, batch,
-            results[q], latencies[q]);
+            *switches[q], mine_keys, rounds, batch, results[q],
+            latencies[q]);
         hits.fetch_add(mine, std::memory_order_relaxed);
       });
 

@@ -31,6 +31,17 @@ struct ReplayStats {
 /// Builds one switch instance per replay queue.
 using ModelFactory = std::function<std::unique_ptr<dp::SwitchModel>()>;
 
+/// How replay_threaded distributes keys over queues.
+enum class ShardMode {
+  /// Queue q replays the contiguous slice [q·per, (q+1)·per).
+  kContiguous,
+  /// RSS-style: each key goes to queue hash(key) mod queues, so packets
+  /// of one flow always land on the same queue regardless of their
+  /// position in the trace (the hardware-NIC spreading model). Shard
+  /// sizes follow the flow distribution instead of being equal.
+  kFlowHash,
+};
+
 /// One packet at a time through SwitchModel::process, `rounds` passes
 /// over `keys`.
 [[nodiscard]] ReplayStats replay_scalar(dp::SwitchModel& sw,
@@ -44,18 +55,18 @@ using ModelFactory = std::function<std::unique_ptr<dp::SwitchModel>()>;
                                        std::size_t rounds,
                                        std::size_t batch);
 
-/// Multi-queue replay: `keys` is sharded contiguously across `queues`
-/// switch instances (each built by `factory` and loaded with `program`),
-/// which replay their shards concurrently on util::ThreadPool::shared()
-/// using the batch path. Per-queue state (model, counters, caches) is
-/// thread-private; only the final stats are merged. Wall-clock covers
-/// the parallel region, so packets_per_second reports aggregate
-/// multi-queue throughput.
-[[nodiscard]] ReplayStats replay_threaded(const ModelFactory& factory,
-                                          const dp::Program& program,
-                                          std::span<const dp::FlowKey> keys,
-                                          std::size_t rounds,
-                                          std::size_t queues,
-                                          std::size_t batch);
+/// Multi-queue replay: `keys` is sharded across `queues` switch
+/// instances (each built by `factory` and loaded with `program`), which
+/// replay their shards concurrently on util::ThreadPool::shared() using
+/// the batch path. Per-queue state (model, counters, caches) is
+/// thread-private; only the final stats are merged — the union of the
+/// per-queue replays covers every key exactly once per round in either
+/// shard mode. Wall-clock covers the parallel region, so
+/// packets_per_second reports aggregate multi-queue throughput.
+[[nodiscard]] ReplayStats replay_threaded(
+    const ModelFactory& factory, const dp::Program& program,
+    std::span<const dp::FlowKey> keys, std::size_t rounds,
+    std::size_t queues, std::size_t batch,
+    ShardMode mode = ShardMode::kContiguous);
 
 }  // namespace maton::workloads

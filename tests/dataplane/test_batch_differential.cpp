@@ -281,5 +281,56 @@ TEST(BatchProcessOvs, CacheStatsMatchScalar) {
   }
 }
 
+TEST(BatchProcessOvs, ColdStartDuplicateFlowChunkMatchesScalar) {
+  // A chunk full of repeats on a cold cache: the first occurrence of
+  // each flow misses and its slow-path result is inserted mid-chunk, so
+  // every repeat later in the same chunk must be served by re-probing
+  // against the freshly inserted entry — counted as a cache hit, exactly
+  // like the scalar loop. A batch path that re-ran the full classifier
+  // for the tail (or skipped the re-probe) would diverge in the
+  // hit/miss split below.
+  const Fixture fx;
+  for (const Program* program :
+       {&fx.universal, &fx.goto_program, &fx.metadata_program}) {
+    const auto distinct = workloads::make_gwlb_keys(
+        fx.gwlb, {.num_packets = 6, .hit_fraction = 0.7, .seed = 29});
+    std::vector<FlowKey> keys;
+    for (std::size_t i = 0; i < 64; ++i) {
+      keys.push_back(distinct[i % distinct.size()]);
+    }
+
+    auto scalar_sw = make_ovs_model();
+    auto batch_sw = make_ovs_model();
+    auto* scalar_ovs = dynamic_cast<OvsModelInterface*>(scalar_sw.get());
+    auto* batch_ovs = dynamic_cast<OvsModelInterface*>(batch_sw.get());
+    ASSERT_TRUE(scalar_sw->load(*program).is_ok());
+    ASSERT_TRUE(batch_sw->load(*program).is_ok());
+
+    std::vector<ExecResult> batched(keys.size());
+    batch_sw->process_batch(keys, batched);
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      const ExecResult want = scalar_sw->process(keys[i]);
+      ASSERT_EQ(want.hit, batched[i].hit) << "key " << i;
+      ASSERT_EQ(want.out_port, batched[i].out_port) << "key " << i;
+    }
+    const OvsStats a = scalar_ovs->stats();
+    const OvsStats b = batch_ovs->stats();
+    EXPECT_EQ(a.cache_hits, b.cache_hits);
+    EXPECT_EQ(a.cache_misses, b.cache_misses);
+    EXPECT_EQ(a.cache_entries, b.cache_entries);
+    // Cold cache: a program-hitting flow misses exactly once (repeats
+    // are served by the entry inserted mid-chunk); a program-missing
+    // flow never populates the cache, so every occurrence misses.
+    std::size_t expected_misses = 0;
+    for (std::size_t d = 0; d < distinct.size(); ++d) {
+      const std::size_t occurrences =
+          (keys.size() - d + distinct.size() - 1) / distinct.size();
+      expected_misses += batched[d].hit ? 1 : occurrences;
+    }
+    EXPECT_EQ(b.cache_misses, expected_misses);
+    expect_counters_equal(*program, *scalar_sw, *batch_sw);
+  }
+}
+
 }  // namespace
 }  // namespace maton::dp

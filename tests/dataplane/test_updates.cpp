@@ -123,6 +123,93 @@ INSTANTIATE_TEST_SUITE_P(Models, UpdateSemantics,
                          ::testing::Values("eswitch", "lagopus", "ovs",
                                            "hw"));
 
+// ---------------------------------------------------------------------
+// Batched apply_updates must be observationally identical to the scalar
+// apply_update loop: same forwarding behavior, same per-update failure
+// point, earlier updates still applied after a mid-sequence error.
+
+std::vector<RuleUpdate> churn_updates() {
+  std::vector<RuleUpdate> ups;
+  for (std::uint64_t dst = 3; dst <= 8; ++dst) {
+    RuleUpdate insert;
+    insert.kind = RuleUpdate::Kind::kInsert;
+    insert.table = 0;
+    insert.rule.priority = 16 + static_cast<std::uint32_t>(dst % 3) * 16;
+    insert.rule.matches = {{FieldId::kIpDst, dst, kFull32}};
+    insert.rule.actions = {
+        {Action::Kind::kOutput, FieldId::kMeta0, 100 + dst}};
+    ups.push_back(insert);
+  }
+  RuleUpdate modify;
+  modify.kind = RuleUpdate::Kind::kModify;
+  modify.target = {{FieldId::kIpDst, 1, kFull32}};
+  modify.rule.priority = 32;
+  modify.rule.matches = {{FieldId::kIpDst, 1, kFull32}};
+  modify.rule.actions = {{Action::Kind::kOutput, FieldId::kMeta0, 91}};
+  ups.push_back(modify);
+  RuleUpdate remove;
+  remove.kind = RuleUpdate::Kind::kRemove;
+  remove.target = {{FieldId::kIpDst, 4, kFull32}};
+  ups.push_back(remove);
+  RuleUpdate shadow;
+  shadow.kind = RuleUpdate::Kind::kInsert;
+  shadow.rule.priority = 64;  // beats the round-one insert for dst 6
+  shadow.rule.matches = {{FieldId::kIpDst, 6, kFull32}};
+  shadow.rule.actions = {{Action::Kind::kOutput, FieldId::kMeta0, 66}};
+  ups.push_back(shadow);
+  return ups;
+}
+
+TEST_P(UpdateSemantics, BatchedUpdatesMatchScalarLoop) {
+  auto batched = make();
+  auto scalar = make();
+  ASSERT_TRUE(batched->load(two_rule_program()).is_ok());
+  ASSERT_TRUE(scalar->load(two_rule_program()).is_ok());
+
+  const std::vector<RuleUpdate> ups = churn_updates();
+  ASSERT_TRUE(batched->apply_updates(ups).is_ok());
+  for (const RuleUpdate& up : ups) {
+    ASSERT_TRUE(scalar->apply_update(up).is_ok());
+  }
+
+  for (std::uint64_t dst = 0; dst <= 12; ++dst) {
+    const ExecResult got = batched->process(key(dst));
+    const ExecResult want = scalar->process(key(dst));
+    EXPECT_EQ(got.hit, want.hit) << "dst=" << dst;
+    EXPECT_EQ(got.out_port, want.out_port) << "dst=" << dst;
+  }
+}
+
+TEST_P(UpdateSemantics, BatchedUpdatesStopAtFirstFailure) {
+  auto sw = make();
+  ASSERT_TRUE(sw->load(two_rule_program()).is_ok());
+
+  std::vector<RuleUpdate> ups(3);
+  ups[0].kind = RuleUpdate::Kind::kInsert;
+  ups[0].rule.priority = 32;
+  ups[0].rule.matches = {{FieldId::kIpDst, 40, kFull32}};
+  ups[0].rule.actions = {{Action::Kind::kOutput, FieldId::kMeta0, 40}};
+  ups[1].kind = RuleUpdate::Kind::kRemove;
+  ups[1].target = {{FieldId::kIpDst, 999, kFull32}};  // no such rule
+  ups[2] = ups[0];
+  ups[2].rule.matches[0].value = 41;
+
+  const Status s = sw->apply_updates(ups);
+  ASSERT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  // Update 0 landed (non-atomic batch, like the scalar loop); update 2
+  // never ran.
+  EXPECT_TRUE(sw->process(key(40)).hit);
+  EXPECT_FALSE(sw->process(key(41)).hit);
+}
+
+TEST_P(UpdateSemantics, EmptyBatchIsANoOp) {
+  auto sw = make();
+  ASSERT_TRUE(sw->load(two_rule_program()).is_ok());
+  ASSERT_TRUE(sw->apply_updates({}).is_ok());
+  EXPECT_EQ(sw->process(key(1)).out_port, 10u);
+}
+
 TEST(UpdateProgram, StandaloneHelper) {
   Program program = two_rule_program();
   RuleUpdate remove;

@@ -101,6 +101,43 @@ TEST(ReplayThreadedModels, OvsQueuesKeepPrivateCaches) {
   EXPECT_EQ(got.hits, want.hits);
 }
 
+class ReplayFlowHash : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ReplayFlowHash, ShardUnionEqualsUnsharded) {
+  // RSS-style sharding permutes keys across queues by flow hash; the
+  // union of the per-queue replays must still cover every packet exactly
+  // once per round and produce the same aggregate hit count as the
+  // unsharded reference.
+  const Fixture fx;
+  auto reference = dp::make_eswitch_model();
+  ASSERT_TRUE(reference->load(fx.program).is_ok());
+  const ReplayStats want = replay_batch(*reference, fx.keys, 2, 128);
+
+  const ReplayStats got = replay_threaded(
+      [] { return dp::make_eswitch_model(); }, fx.program, fx.keys, 2,
+      GetParam(), 128, ShardMode::kFlowHash);
+  EXPECT_EQ(got.packets, want.packets);
+  EXPECT_EQ(got.hits, want.hits);
+}
+
+INSTANTIATE_TEST_SUITE_P(Queues, ReplayFlowHash,
+                         ::testing::Values(1, 2, 3, 8));
+
+TEST(ReplayFlowHashModels, FlowLocalityKeepsOvsCachesEquivalent) {
+  // Under flow-hash sharding all packets of a flow hit one queue's
+  // megaflow cache; aggregate hits still equal the scalar reference.
+  const Fixture fx;
+  auto reference = dp::make_ovs_model();
+  ASSERT_TRUE(reference->load(fx.program).is_ok());
+  const ReplayStats want = replay_scalar(*reference, fx.keys, 1);
+
+  const ReplayStats got =
+      replay_threaded([] { return dp::make_ovs_model(); }, fx.program,
+                      fx.keys, 1, 4, 64, ShardMode::kFlowHash);
+  EXPECT_EQ(got.packets, want.packets);
+  EXPECT_EQ(got.hits, want.hits);
+}
+
 TEST(Replay, MoreQueuesThanKeysIsSafe) {
   const Fixture fx;
   const std::vector<dp::FlowKey> two(fx.keys.begin(), fx.keys.begin() + 2);
