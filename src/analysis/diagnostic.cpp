@@ -1,0 +1,154 @@
+#include "analysis/diagnostic.hpp"
+
+#include <algorithm>
+
+namespace maton::analysis {
+
+std::string_view to_string(Severity severity) noexcept {
+  switch (severity) {
+    case Severity::kInfo: return "info";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "unknown";
+}
+
+std::size_t Report::count(Severity severity) const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(diagnostics.begin(), diagnostics.end(),
+                    [severity](const Diagnostic& d) {
+                      return d.severity == severity;
+                    }));
+}
+
+bool Report::clean(Severity at_least) const noexcept {
+  return std::none_of(diagnostics.begin(), diagnostics.end(),
+                      [at_least](const Diagnostic& d) {
+                        return d.severity >= at_least;
+                      });
+}
+
+namespace {
+
+void append_location(const Diagnostic& d, std::string& out) {
+  if (d.table.has_value()) {
+    out += " table ";
+    out += std::to_string(*d.table);
+    if (d.rule.has_value()) {
+      out += " rule#";
+      out += std::to_string(*d.rule);
+    }
+  }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+void append_json_string(std::string_view s, std::string& out) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static constexpr char kHex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[(c >> 4) & 0xf];
+          out += kHex[c & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+std::string render_text(const Report& report) {
+  std::string out;
+  for (const Diagnostic& d : report.diagnostics) {
+    out += to_string(d.severity);
+    out += "[";
+    out += d.code;
+    out += "]";
+    append_location(d, out);
+    out += ": ";
+    out += d.message;
+    out += "\n";
+    if (!d.witness.empty()) {
+      out += "    witness: ";
+      out += d.witness;
+      out += "\n";
+    }
+  }
+  out += "analysis: ";
+  out += std::to_string(report.count(Severity::kError));
+  out += " error(s), ";
+  out += std::to_string(report.count(Severity::kWarning));
+  out += " warning(s), ";
+  out += std::to_string(report.count(Severity::kInfo));
+  out += " info(s) from";
+  for (const PassStats& p : report.passes) {
+    if (!p.ran) continue;
+    out += " ";
+    out += p.name;
+    out += "(";
+    out += std::to_string(p.diagnostics);
+    out += ")";
+  }
+  out += "\n";
+  return out;
+}
+
+std::string render_json(const Report& report) {
+  std::string out = "{\"diagnostics\":[";
+  bool first = true;
+  for (const Diagnostic& d : report.diagnostics) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"severity\":";
+    append_json_string(to_string(d.severity), out);
+    out += ",\"code\":";
+    append_json_string(d.code, out);
+    out += ",\"pass\":";
+    append_json_string(d.pass, out);
+    if (d.table.has_value()) {
+      out += ",\"table\":";
+      out += std::to_string(*d.table);
+    }
+    if (d.rule.has_value()) {
+      out += ",\"rule\":";
+      out += std::to_string(*d.rule);
+    }
+    out += ",\"message\":";
+    append_json_string(d.message, out);
+    out += ",\"witness\":";
+    append_json_string(d.witness, out);
+    out += "}";
+  }
+  out += "],\"summary\":{\"error\":";
+  out += std::to_string(report.count(Severity::kError));
+  out += ",\"warning\":";
+  out += std::to_string(report.count(Severity::kWarning));
+  out += ",\"info\":";
+  out += std::to_string(report.count(Severity::kInfo));
+  out += "},\"passes\":[";
+  first = true;
+  for (const PassStats& p : report.passes) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":";
+    append_json_string(p.name, out);
+    out += ",\"ran\":";
+    out += p.ran ? "true" : "false";
+    out += ",\"diagnostics\":";
+    out += std::to_string(p.diagnostics);
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace maton::analysis

@@ -1,0 +1,76 @@
+// Diagnostics for the static program analyzer (maton-analyze).
+//
+// Every analysis pass reports findings as Diagnostic records carrying a
+// stable machine-readable code (MA###, see DESIGN.md §10), a severity, a
+// location (table / rule index when applicable), a human-readable message
+// and a witness string — concrete evidence (the shadowing rule, the
+// violating row pair, the missing dependency) that lets a reader verify
+// the finding without re-running the pass.
+//
+// Code ranges:  MA0xx framework   MA1xx shadowing      MA2xx reachability
+//               MA3xx dataflow    MA4xx schema/NF      MA5xx decomposition
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace maton::analysis {
+
+enum class Severity {
+  kInfo,     // stylistic / normal-form status, safe to ignore
+  kWarning,  // dead or ambiguous configuration, program still executes
+  kError,    // structural breakage: the program is wrong or unprovable
+};
+
+[[nodiscard]] std::string_view to_string(Severity severity) noexcept;
+
+/// One finding of one pass.
+struct Diagnostic {
+  Severity severity = Severity::kWarning;
+  /// Stable code, e.g. "MA101". Never renumbered once released.
+  std::string code;
+  /// Name of the pass that produced the finding.
+  std::string pass;
+  /// Program table / pipeline stage index, when the finding is localized.
+  std::optional<std::size_t> table;
+  /// Rule / row index within `table`, when applicable.
+  std::optional<std::size_t> rule;
+  std::string message;
+  /// Concrete evidence: the shadowing rule, violating row pair, ...
+  std::string witness;
+
+  friend bool operator==(const Diagnostic&, const Diagnostic&) = default;
+};
+
+/// Per-pass execution record (for the report footer and telemetry).
+struct PassStats {
+  std::string name;
+  std::size_t diagnostics = 0;
+  bool ran = false;
+};
+
+/// Outcome of one analyzer run over one program.
+struct Report {
+  std::vector<Diagnostic> diagnostics;
+  std::vector<PassStats> passes;
+
+  [[nodiscard]] std::size_t count(Severity severity) const noexcept;
+  /// True when no diagnostic at or above `at_least` was reported.
+  [[nodiscard]] bool clean(Severity at_least = Severity::kWarning) const
+      noexcept;
+};
+
+/// Human-readable multi-line rendering:
+///   error[MA201] table 3 'lb': goto target 9 out of range
+///       witness: rule#0 prio=48 ...
+/// followed by a per-pass summary line.
+[[nodiscard]] std::string render_text(const Report& report);
+
+/// Deterministic JSON rendering (stable key order, no timing data):
+///   {"diagnostics":[{...}],"summary":{"error":0,...},"passes":[...]}
+[[nodiscard]] std::string render_json(const Report& report);
+
+}  // namespace maton::analysis

@@ -1,0 +1,315 @@
+// Program-level passes: rule shadowing (MA1xx), pipeline reachability
+// (MA2xx) and read-before-write dataflow hazards (MA3xx). All operate on
+// the compiled dp::Program only — no core-model input required.
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "analysis/analysis.hpp"
+
+namespace maton::analysis {
+
+namespace {
+
+using detail::Sink;
+using detail::describe_rule;
+
+/// Effective single-field constraint of a rule: at most one FieldMatch
+/// per field is assumed (the compiler emits exactly one); extra matches
+/// on the same field are conjoined conservatively by the callers.
+[[nodiscard]] const dp::FieldMatch* find_match(const dp::Rule& rule,
+                                               dp::FieldId field) {
+  for (const dp::FieldMatch& m : rule.matches) {
+    if (m.field == field) return &m;
+  }
+  return nullptr;
+}
+
+/// True when every packet matching `specific` also matches `general`:
+/// each constraint of `general` must be implied by `specific`'s
+/// constraint on the same field (mask subsumption — exact, prefix and
+/// ternary masks all reduce to it).
+[[nodiscard]] bool subsumes(const dp::Rule& general,
+                            const dp::Rule& specific) {
+  for (const dp::FieldMatch& g : general.matches) {
+    const dp::FieldMatch* s = find_match(specific, g.field);
+    if (s == nullptr) {
+      // `specific` leaves the field free; only a no-op constraint is
+      // implied.
+      if (g.mask != 0) return false;
+      if (g.value != 0) return false;
+      continue;
+    }
+    if ((s->mask & g.mask) != g.mask) return false;
+    if ((s->value & g.mask) != g.value) return false;
+  }
+  return true;
+}
+
+/// True when some packet can match both rules: on every field both
+/// constrain, the fixed bits they share must agree.
+[[nodiscard]] bool overlaps(const dp::Rule& a, const dp::Rule& b) {
+  for (const dp::FieldMatch& ma : a.matches) {
+    const dp::FieldMatch* mb = find_match(b, ma.field);
+    if (mb == nullptr) continue;
+    if (((ma.value ^ mb->value) & (ma.mask & mb->mask)) != 0) return false;
+  }
+  return true;
+}
+
+/// True when the rule constrains some field twice with incompatible
+/// fixed bits (it can never match anything).
+[[nodiscard]] std::optional<dp::FieldId> contradictory_field(
+    const dp::Rule& rule) {
+  for (std::size_t i = 0; i < rule.matches.size(); ++i) {
+    for (std::size_t j = i + 1; j < rule.matches.size(); ++j) {
+      const dp::FieldMatch& a = rule.matches[i];
+      const dp::FieldMatch& b = rule.matches[j];
+      if (a.field != b.field) continue;
+      if (((a.value ^ b.value) & (a.mask & b.mask)) != 0) return a.field;
+    }
+  }
+  return std::nullopt;
+}
+
+[[nodiscard]] bool same_outcome(const dp::Rule& a, const dp::Rule& b) {
+  return a.actions == b.actions && a.goto_table == b.goto_table;
+}
+
+/// Successor tables a hit in `table` can transfer to.
+void append_successors(const dp::TableSpec& table,
+                       std::vector<std::size_t>& out) {
+  bool any_default = false;
+  for (const dp::Rule& rule : table.rules) {
+    if (rule.goto_table.has_value()) {
+      out.push_back(*rule.goto_table);
+    } else {
+      any_default = true;
+    }
+  }
+  if (any_default && table.next.has_value()) out.push_back(*table.next);
+}
+
+}  // namespace
+
+void run_shadowing_pass(const Input& input, const Options& options,
+                        Report& report) {
+  Sink sink("shadowing", options, report);
+  if (input.program == nullptr) return;
+  sink.mark_ran();
+
+  for (std::size_t t = 0; t < input.program->tables.size(); ++t) {
+    const dp::TableSpec& table = input.program->tables[t];
+    const std::vector<dp::Rule>& rules = table.rules;
+    for (std::size_t j = 0; j < rules.size(); ++j) {
+      if (const auto field = contradictory_field(rules[j])) {
+        sink.emit({Severity::kWarning, "MA103", "", t, j,
+                   "rule in table '" + table.name +
+                       "' can never match: contradictory constraints on " +
+                       std::string(to_string(*field)),
+                   describe_rule(rules[j])});
+        continue;
+      }
+      // Lookup is first-match in vector order (the compiler sorts by
+      // priority descending), so only earlier rules can shadow.
+      for (std::size_t i = 0; i < j; ++i) {
+        if (!subsumes(rules[i], rules[j])) continue;
+        sink.emit({Severity::kWarning, "MA101", "", t, j,
+                   "rule in table '" + table.name +
+                       "' is fully shadowed by rule#" + std::to_string(i),
+                   "shadowed: " + describe_rule(rules[j]) +
+                       "; shadowing rule#" + std::to_string(i) + ": " +
+                       describe_rule(rules[i])});
+        break;
+      }
+      // Ambiguous overlap: same priority, intersecting match sets,
+      // different outcome — lookup order decides, which breaks the
+      // paper's order-independence requirement at the data-plane level.
+      for (std::size_t i = 0; i < j; ++i) {
+        if (rules[i].priority != rules[j].priority) continue;
+        if (subsumes(rules[i], rules[j]) || subsumes(rules[j], rules[i])) {
+          continue;  // already reported as MA101 (or identical)
+        }
+        if (!overlaps(rules[i], rules[j])) continue;
+        if (same_outcome(rules[i], rules[j])) continue;
+        sink.emit({Severity::kWarning, "MA102", "", t, j,
+                   "rules #" + std::to_string(i) + " and #" +
+                       std::to_string(j) + " in table '" + table.name +
+                       "' overlap at equal priority with different "
+                       "actions (order-dependent lookup)",
+                   describe_rule(rules[i]) + " vs " +
+                       describe_rule(rules[j])});
+        break;
+      }
+    }
+  }
+}
+
+void run_reachability_pass(const Input& input, const Options& options,
+                           Report& report) {
+  Sink sink("reachability", options, report);
+  if (input.program == nullptr) return;
+  sink.mark_ran();
+
+  const dp::Program& program = *input.program;
+  const std::size_t n = program.tables.size();
+  if (n == 0) return;
+
+  // Malformed targets first (checked for every table, reachable or not):
+  // an out-of-range jump is a hard error wherever it sits.
+  bool malformed = false;
+  const auto check_target = [&](std::size_t t,
+                                std::optional<std::size_t> rule,
+                                std::size_t target) {
+    if (target < n) return;
+    malformed = true;
+    sink.emit({Severity::kError, "MA201", "", t, rule,
+               "jump target " + std::to_string(target) +
+                   " out of range (program has " + std::to_string(n) +
+                   " tables)",
+               rule.has_value()
+                   ? describe_rule(program.tables[t].rules[*rule])
+                   : "table default successor"});
+  };
+  if (program.entry >= n) {
+    sink.emit({Severity::kError, "MA201", "", std::nullopt, std::nullopt,
+               "program entry " + std::to_string(program.entry) +
+                   " out of range",
+               ""});
+    malformed = true;
+  }
+  for (std::size_t t = 0; t < n; ++t) {
+    const dp::TableSpec& table = program.tables[t];
+    if (table.next.has_value()) check_target(t, std::nullopt, *table.next);
+    for (std::size_t r = 0; r < table.rules.size(); ++r) {
+      if (table.rules[r].goto_table.has_value()) {
+        check_target(t, r, *table.rules[r].goto_table);
+      }
+    }
+  }
+  if (malformed) return;  // graph traversal below assumes valid indices
+
+  // DFS from the entry: reachability plus back-edge (cycle) detection.
+  enum class Color : std::uint8_t { kWhite, kGrey, kBlack };
+  std::vector<Color> color(n, Color::kWhite);
+  std::vector<std::size_t> path;  // grey chain for the cycle witness
+  // Iterative DFS with an explicit post-visit marker per node.
+  std::vector<std::pair<std::size_t, bool>> work;
+  work.emplace_back(program.entry, false);
+  bool cycle_reported = false;
+  while (!work.empty()) {
+    const auto [t, post] = work.back();
+    work.pop_back();
+    if (post) {
+      color[t] = Color::kBlack;
+      path.pop_back();
+      continue;
+    }
+    if (color[t] != Color::kWhite) continue;
+    color[t] = Color::kGrey;
+    path.push_back(t);
+    work.emplace_back(t, true);
+    std::vector<std::size_t> succ;
+    append_successors(program.tables[t], succ);
+    for (const std::size_t s : succ) {
+      if (color[s] == Color::kGrey && !cycle_reported) {
+        cycle_reported = true;
+        std::string witness = "cycle:";
+        const auto it = std::find(path.begin(), path.end(), s);
+        for (auto p = it; p != path.end(); ++p) {
+          witness.append(" ").append(std::to_string(*p)).append(" ->");
+        }
+        witness.append(" ").append(std::to_string(s));
+        sink.emit({Severity::kError, "MA202", "", t, std::nullopt,
+                   "table graph contains a cycle through table '" +
+                       program.tables[s].name + "'",
+                   witness});
+      } else if (color[s] == Color::kWhite) {
+        work.emplace_back(s, false);
+      }
+    }
+  }
+
+  for (std::size_t t = 0; t < n; ++t) {
+    if (color[t] != Color::kWhite) continue;
+    if (program.tables[t].rules.empty()) {
+      sink.emit({Severity::kInfo, "MA204", "", t, std::nullopt,
+                 "empty table '" + program.tables[t].name +
+                     "' is unreachable from the entry",
+                 ""});
+    } else {
+      sink.emit({Severity::kWarning, "MA203", "", t, std::nullopt,
+                 "table '" + program.tables[t].name + "' holds " +
+                     std::to_string(program.tables[t].rules.size()) +
+                     " rule(s) but is unreachable from the entry",
+                 "entry=" + std::to_string(program.entry)});
+    }
+  }
+}
+
+void run_dataflow_pass(const Input& input, const Options& options,
+                       Report& report) {
+  Sink sink("dataflow", options, report);
+  if (input.program == nullptr) return;
+  sink.mark_ran();
+
+  const dp::Program& program = *input.program;
+  const std::size_t n = program.tables.size();
+  if (n == 0 || program.entry >= n) return;
+
+  const auto is_meta = [](dp::FieldId f) {
+    return f >= dp::FieldId::kMeta0 && f <= dp::FieldId::kMeta3;
+  };
+  const auto bit = [](dp::FieldId f) {
+    return std::uint32_t{1} << dp::field_index(f);
+  };
+
+  // May-set dataflow: in_set[t] = union over predecessors p of
+  // (in_set[p] | fields set by the rule taken in p). Monotone, so the
+  // worklist terminates even on (already-reported) cyclic graphs. A
+  // table is only included once reachable.
+  std::vector<std::uint32_t> in_set(n, 0);
+  std::vector<bool> reachable(n, false);
+  std::vector<std::size_t> work = {program.entry};
+  reachable[program.entry] = true;
+  while (!work.empty()) {
+    const std::size_t t = work.back();
+    work.pop_back();
+    const dp::TableSpec& table = program.tables[t];
+    for (const dp::Rule& rule : table.rules) {
+      std::uint32_t out = in_set[t];
+      for (const dp::Action& a : rule.actions) {
+        if (a.kind == dp::Action::Kind::kSetField) out |= bit(a.field);
+      }
+      std::optional<std::size_t> succ =
+          rule.goto_table.has_value() ? rule.goto_table : table.next;
+      if (!succ.has_value() || *succ >= n) continue;
+      const std::uint32_t merged = in_set[*succ] | out;
+      if (!reachable[*succ] || merged != in_set[*succ]) {
+        in_set[*succ] = merged;
+        reachable[*succ] = true;
+        work.push_back(*succ);
+      }
+    }
+  }
+
+  for (std::size_t t = 0; t < n; ++t) {
+    if (!reachable[t]) continue;  // dead tables are MA203/MA204 territory
+    const dp::TableSpec& table = program.tables[t];
+    for (std::size_t r = 0; r < table.rules.size(); ++r) {
+      for (const dp::FieldMatch& m : table.rules[r].matches) {
+        if (!is_meta(m.field) || m.mask == 0) continue;
+        if ((in_set[t] & bit(m.field)) != 0) continue;
+        sink.emit({Severity::kWarning, "MA301", "", t, r,
+                   "rule in table '" + table.name + "' matches metadata " +
+                       std::string(to_string(m.field)) +
+                       " which no upstream action can have set "
+                       "(read-before-write; unset metadata reads as 0)",
+                   describe_rule(table.rules[r])});
+        break;  // one hazard per rule is enough
+      }
+    }
+  }
+}
+
+}  // namespace maton::analysis

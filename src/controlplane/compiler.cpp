@@ -168,9 +168,71 @@ std::vector<RuleUpdate> diff_programs(const Program& before,
   return updates;
 }
 
-GwlbBinding::GwlbBinding(Gwlb gwlb, Representation repr, CompileMode mode)
-    : gwlb_(std::move(gwlb)), repr_(repr), mode_(mode) {
+GwlbBinding::GwlbBinding(Gwlb gwlb, Representation repr, CompileMode mode,
+                         AnalyzeMode analyze)
+    : gwlb_(std::move(gwlb)), repr_(repr), mode_(mode), analyze_(analyze) {
   rebuild_program();
+  if (analyze_ == AnalyzeMode::kPostCompile) run_post_compile_analysis();
+}
+
+std::vector<core::AttrSet> decomposition_components(
+    Representation repr, const core::Schema& universal_schema) {
+  const core::AttrSet all = universal_schema.all();
+  const core::AttrSet selector =
+      core::AttrSet::single(workloads::kGwlbIpDst) |
+      core::AttrSet::single(workloads::kGwlbTcpDst);
+  switch (repr) {
+    case Representation::kUniversal:
+      return {all};
+    case Representation::kGoto:
+    case Representation::kMetadata:
+      // The second stage is entered with the full selector context (the
+      // goto target resp. the metadata tag are functions of ip_dst and
+      // tcp_dst), so its effective attribute set is the whole schema.
+      return {selector, all};
+    case Representation::kRematch:
+      // The second stage re-matches ip_dst but not tcp_dst: the join is
+      // lossless only because ip_dst → tcp_dst (Theorem 1 applied).
+      return {selector, all - core::AttrSet::single(workloads::kGwlbTcpDst)};
+  }
+  return {all};
+}
+
+void GwlbBinding::run_post_compile_analysis() {
+  analysis::Input input;
+  input.program = &program_;
+  // Declared dependencies the instance must honor: the service model's
+  // FDs (ip_dst → tcp_dst for gwlb).
+  input.tables.push_back({&gwlb_.universal, &gwlb_.model_fds});
+
+  const core::Schema& schema = gwlb_.universal.schema();
+  // The lossless-join proof may additionally use the key dependency the
+  // match columns carry by construction (order independence).
+  core::FdSet join_fds = gwlb_.model_fds;
+  join_fds.add(schema.match_set(), schema.all());
+  analysis::Input::DecompositionCheck decomposition;
+  decomposition.schema = &schema;
+  decomposition.fds = &join_fds;
+  decomposition.components = decomposition_components(repr_, schema);
+  decomposition.name = "gwlb." + std::string(to_string(repr_));
+  input.decomposition = std::move(decomposition);
+
+  analysis::Options options;
+  // Warning severity keeps the post-compile hook cheap: the info-only
+  // NF-status lints (which would re-mine instance FDs on every intent)
+  // are skipped, and a healthy compile yields an empty report.
+  options.min_severity = analysis::Severity::kWarning;
+  last_analysis_ = analysis::run(input, options);
+
+  static obs::Counter& clean = obs::MetricRegistry::global().counter(
+      "maton_cp_analysis_clean_total");
+  static obs::Counter& findings = obs::MetricRegistry::global().counter(
+      "maton_cp_analysis_findings_total");
+  if (last_analysis_.clean(analysis::Severity::kWarning)) {
+    clean.add();
+  } else {
+    findings.add();
+  }
 }
 
 const core::FdSet& GwlbBinding::mined_fds() {
@@ -505,17 +567,23 @@ Result<std::vector<RuleUpdate>> GwlbBinding::compile_intent(
     if (auto updates = try_compile_incremental(service, old_svc)) {
       ++inc_stats_.hits;
       hits.add();
+      if (analyze_ == AnalyzeMode::kPostCompile) run_post_compile_analysis();
       return std::move(*updates);
     }
     ++inc_stats_.fallbacks;
     fallbacks.add();
   }
 
-  const obs::TraceSpan span("compile");
-  const Program before = std::move(program_);
-  rebuild_program();
-  const obs::TraceSpan diff_span("rule_diff");
-  return diff_programs(before, program_);
+  std::vector<RuleUpdate> updates;
+  {
+    const obs::TraceSpan span("compile");
+    const Program before = std::move(program_);
+    rebuild_program();
+    const obs::TraceSpan diff_span("rule_diff");
+    updates = diff_programs(before, program_);
+  }
+  if (analyze_ == AnalyzeMode::kPostCompile) run_post_compile_analysis();
+  return updates;
 }
 
 MonitorPlan GwlbBinding::monitor_plan(std::size_t service) const {

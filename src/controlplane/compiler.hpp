@@ -18,6 +18,7 @@
 #include <optional>
 #include <vector>
 
+#include "analysis/analysis.hpp"
 #include "controlplane/intent.hpp"
 #include "core/fd_mine.hpp"
 #include "dataplane/switch.hpp"
@@ -46,6 +47,17 @@ struct IncrementalStats {
   std::size_t fallbacks = 0;  ///< intents demoted to a full rebuild
 };
 
+/// Whether a binding re-runs the static analyzer over the freshly
+/// compiled program after every compile (initial build and each applied
+/// intent). Reports land in last_analysis(); outcomes are tallied on the
+/// maton_cp_analysis_{clean,findings}_total counters.
+enum class AnalyzeMode {
+  kOff,
+  /// Run analysis::run (at warning severity) after every successful
+  /// compile, on both the incremental and the full-rebuild path.
+  kPostCompile,
+};
+
 /// Plan for observing one service's aggregate traffic (§2
 /// "Monitorability": 3 counters + controller-side aggregation on the
 /// universal table vs a single counter on the normalized pipeline).
@@ -61,12 +73,23 @@ struct MonitorPlan {
 class GwlbBinding {
  public:
   GwlbBinding(workloads::Gwlb gwlb, Representation repr,
-              CompileMode mode = CompileMode::kIncremental);
+              CompileMode mode = CompileMode::kIncremental,
+              AnalyzeMode analyze = AnalyzeMode::kOff);
 
   [[nodiscard]] Representation representation() const noexcept {
     return repr_;
   }
   [[nodiscard]] CompileMode mode() const noexcept { return mode_; }
+  [[nodiscard]] AnalyzeMode analyze_mode() const noexcept {
+    return analyze_;
+  }
+  /// Takes effect from the next compile; does not analyze retroactively.
+  void set_analyze_mode(AnalyzeMode analyze) noexcept { analyze_ = analyze; }
+  /// Report of the most recent post-compile analysis (empty when
+  /// AnalyzeMode is kOff or nothing has compiled since it was enabled).
+  [[nodiscard]] const analysis::Report& last_analysis() const noexcept {
+    return last_analysis_;
+  }
   [[nodiscard]] IncrementalStats incremental_stats() const noexcept {
     return inc_stats_;
   }
@@ -110,6 +133,9 @@ class GwlbBinding {
  private:
   void rebuild_program();
   void rebuild_provenance();
+  /// Runs the analyzer suite over program_ + the universal table and
+  /// stores the report; bumps the clean/findings counters.
+  void run_post_compile_analysis();
 
   /// Lowered, slice-sorted rules service `s` (in state `svc`) contributes
   /// to program table `table`; empty when it contributes none.
@@ -142,12 +168,22 @@ class GwlbBinding {
   IncrementalStats inc_stats_;
   core::tane::PartitionCache mine_cache_;
   std::optional<core::FdSet> mined_;  // invalidated when universal changes
+  AnalyzeMode analyze_ = AnalyzeMode::kOff;
+  analysis::Report last_analysis_;
 };
 
 /// Builds the core pipeline for a representation (universal = single
 /// stage).
 [[nodiscard]] core::Pipeline pipeline_for(const workloads::Gwlb& gwlb,
                                           Representation repr);
+
+/// Attribute-set components (over the universal schema) that each
+/// representation decomposes the universal table into, for the
+/// decomposition-safety analysis. Metadata registers are expanded to the
+/// attributes they are derived from, so every component is a subset of
+/// the universal schema (Theorem 1 reasons over the original relation).
+[[nodiscard]] std::vector<core::AttrSet> decomposition_components(
+    Representation repr, const core::Schema& universal_schema);
 
 /// Minimal update set turning `before` into `after`: per table, each old
 /// rule consumes the first unmatched equal new rule (hash-multiset, O(n)

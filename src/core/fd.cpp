@@ -71,6 +71,40 @@ bool fd_holds(const Table& table, const Fd& fd) {
   return true;
 }
 
+std::optional<std::pair<std::size_t, std::size_t>> fd_violation_witness(
+    const Table& table, const Fd& fd) {
+  // Witness search is O(n) with a hash map from LHS projection to the
+  // first row carrying it; diagnostics only need the first offending
+  // pair, so the partition-refinement machinery above is overkill here.
+  if (fd.trivial()) return std::nullopt;
+
+  struct ProjHash {
+    std::size_t operator()(const std::vector<Value>& vals) const noexcept {
+      std::uint64_t h = 1469598103934665603ULL;
+      for (Value v : vals) {
+        h ^= v;
+        h *= 1099511628211ULL;
+      }
+      return static_cast<std::size_t>(h);
+    }
+  };
+  std::unordered_map<std::vector<Value>, std::size_t, ProjHash> first;
+  const std::vector<Row>& rows = table.rows();
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    std::vector<Value> proj;
+    proj.reserve(fd.lhs.size());
+    for (std::size_t c : fd.lhs) proj.push_back(rows[r][c]);
+    const auto [it, inserted] = first.emplace(std::move(proj), r);
+    if (inserted) continue;
+    for (std::size_t c : fd.rhs) {
+      if (rows[r][c] != rows[it->second][c]) {
+        return std::pair{it->second, r};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
 AttrSet FdSet::closure(AttrSet attrs) const {
   AttrSet result = attrs;
   bool changed = true;

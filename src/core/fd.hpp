@@ -7,7 +7,9 @@
 // the drivers of normalization (§4, Heath's theorem).
 #pragma once
 
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/attr.hpp"
@@ -33,6 +35,11 @@ struct Fd {
 /// Tests whether `fd` holds in the table instance: no two rows agree on
 /// fd.lhs but differ on fd.rhs.
 [[nodiscard]] bool fd_holds(const Table& table, const Fd& fd);
+
+/// First pair of row indices violating `fd` (agreeing on fd.lhs but
+/// differing on fd.rhs), or nullopt when the dependency holds.
+[[nodiscard]] std::optional<std::pair<std::size_t, std::size_t>>
+fd_violation_witness(const Table& table, const Fd& fd);
 
 /// A set of functional dependencies with the classic closure algorithms.
 class FdSet {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <set>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "util/contract.hpp"
@@ -81,14 +82,20 @@ Table Table::select_eq(std::size_t col, Value v, std::string name) const {
 }
 
 bool Table::unique_on(const AttrSet& cols) const {
-  std::unordered_set<std::vector<Value>, ProjectedRowHash> seen;
-  for (const Row& r : rows_) {
+  return !duplicate_on(cols).has_value();
+}
+
+std::optional<std::pair<std::size_t, std::size_t>> Table::duplicate_on(
+    const AttrSet& cols) const {
+  std::unordered_map<std::vector<Value>, std::size_t, ProjectedRowHash> seen;
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
     std::vector<Value> proj;
     proj.reserve(cols.size());
-    for (std::size_t c : cols) proj.push_back(r[c]);
-    if (!seen.insert(std::move(proj)).second) return false;
+    for (std::size_t c : cols) proj.push_back(rows_[i][c]);
+    const auto [it, inserted] = seen.emplace(std::move(proj), i);
+    if (!inserted) return std::pair{it->second, i};
   }
-  return true;
+  return std::nullopt;
 }
 
 std::optional<std::size_t> Table::find_row(const AttrSet& cols,

@@ -3,8 +3,10 @@
 // action values (Eq. 1 of the paper).
 #pragma once
 
+#include <optional>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/attr.hpp"
@@ -59,6 +61,11 @@ class Table {
   /// unique_on(match_set()) is the paper's order-independence requirement
   /// for 1NF.
   [[nodiscard]] bool unique_on(const AttrSet& cols) const;
+
+  /// First pair of row indices that agree on every column of `cols`
+  /// (a witness against unique_on), or nullopt when none exists.
+  [[nodiscard]] std::optional<std::pair<std::size_t, std::size_t>>
+  duplicate_on(const AttrSet& cols) const;
 
   /// Order independence: the match columns uniquely identify every entry.
   [[nodiscard]] bool is_order_independent() const {

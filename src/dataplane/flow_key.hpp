@@ -69,6 +69,12 @@ inline constexpr std::size_t kNumFields =
   return 0;
 }
 
+/// All-ones match mask covering the field's wire width.
+[[nodiscard]] constexpr std::uint64_t field_full_mask(FieldId id) noexcept {
+  const unsigned w = field_width(id);
+  return w >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << w) - 1);
+}
+
 struct FlowKey {
   std::array<std::uint64_t, kNumFields> values{};
   /// Bit i set ⇔ field i carries a parsed/assigned value.

@@ -11,8 +11,7 @@ namespace maton::dp {
 namespace {
 
 [[nodiscard]] constexpr std::uint64_t full_mask(FieldId field) noexcept {
-  const unsigned w = field_width(field);
-  return w >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << w) - 1);
+  return field_full_mask(field);
 }
 
 /// True when `mask` is a prefix mask within the field's width
@@ -155,16 +154,64 @@ std::size_t Program::total_rules() const noexcept {
 Result<Program> compile(const core::Pipeline& pipeline, FieldMap* field_map) {
   if (Status s = pipeline.validate(); !s.is_ok()) return s;
 
+  // Husk elision: Pipeline::splice leaves behind zero-column forwarding
+  // shells that nothing references once redirection is complete. Follow
+  // the goto/next edges from the entry (conservatively, next counts
+  // even for empty tables) and drop the *schemaless* stages that are
+  // unreachable, so splice shells never reach the switch. Unreachable
+  // stages with real schemas are kept as-is — that is an authoring
+  // defect for the analyzer (MA203) to report, not for the compiler to
+  // silently discard.
+  std::vector<bool> keep(pipeline.num_stages(), false);
+  {
+    std::vector<std::size_t> work{pipeline.entry()};
+    while (!work.empty()) {
+      const std::size_t i = work.back();
+      work.pop_back();
+      if (keep[i]) continue;
+      keep[i] = true;
+      const core::Stage& st = pipeline.stage(i);
+      for (const std::size_t t : st.goto_targets) {
+        if (!keep[t]) work.push_back(t);
+      }
+      if (st.next.has_value() && !keep[*st.next]) work.push_back(*st.next);
+    }
+    for (std::size_t i = 0; i < pipeline.num_stages(); ++i) {
+      if (pipeline.stage(i).table.num_cols() > 0) keep[i] = true;
+    }
+    // Kept stages must never reference a dropped one: close over the
+    // edges of everything kept so no remapped index dangles.
+    for (bool changed = true; changed;) {
+      changed = false;
+      for (std::size_t i = 0; i < pipeline.num_stages(); ++i) {
+        if (!keep[i]) continue;
+        const core::Stage& st = pipeline.stage(i);
+        for (const std::size_t t : st.goto_targets) {
+          if (!keep[t]) keep[t] = changed = true;
+        }
+        if (st.next.has_value() && !keep[*st.next]) {
+          keep[*st.next] = changed = true;
+        }
+      }
+    }
+  }
+  std::vector<std::size_t> remap(pipeline.num_stages(), 0);
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < pipeline.num_stages(); ++i) {
+    if (keep[i]) remap[i] = kept++;
+  }
+
   Program program;
-  program.entry = pipeline.entry();
+  program.entry = remap[pipeline.entry()];
   FieldAllocator alloc;
 
   for (std::size_t si = 0; si < pipeline.num_stages(); ++si) {
+    if (!keep[si]) continue;
     const core::Stage& stage = pipeline.stage(si);
     const core::Schema& schema = stage.table.schema();
     TableSpec spec;
     spec.name = stage.table.name();
-    spec.next = stage.next;
+    if (stage.next.has_value()) spec.next = remap[*stage.next];
 
     // Resolve every attribute once.
     std::vector<FieldId> col_field(schema.size());
@@ -183,7 +230,7 @@ Result<Program> compile(const core::Pipeline& pipeline, FieldMap* field_map) {
     for (std::size_t r = 0; r < stage.table.num_rows(); ++r) {
       spec.rules.push_back(lower_row_resolved(
           schema, stage.table.row(r), col_field,
-          stage.uses_goto() ? std::optional{stage.goto_targets[r]}
+          stage.uses_goto() ? std::optional{remap[stage.goto_targets[r]]}
                             : std::nullopt));
     }
 

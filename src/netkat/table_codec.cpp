@@ -121,7 +121,7 @@ VerifyReport verify_against_netkat(const Table& table,
       seen.insert(table.at(r, match_cols[k]));
     }
     Value fresh = 0;
-    while (seen.count(fresh) != 0) ++fresh;
+    while (seen.contains(fresh)) ++fresh;
     domain[k].assign(seen.begin(), seen.end());
     domain[k].push_back(fresh);
   }

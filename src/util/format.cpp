@@ -66,4 +66,11 @@ std::string format_double(double v, int precision) {
   return std::string(buf.data(), static_cast<std::size_t>(n));
 }
 
+std::string format_hex(std::uint64_t v) {
+  std::array<char, 20> buf{};
+  const int n = std::snprintf(buf.data(), buf.size(), "0x%llx",
+                              static_cast<unsigned long long>(v));
+  return std::string(buf.data(), static_cast<std::size_t>(n));
+}
+
 }  // namespace maton

@@ -32,4 +32,7 @@ namespace maton {
 /// Fixed-precision decimal rendering (e.g. format_double(1.5, 2) == "1.50").
 [[nodiscard]] std::string format_double(double v, int precision);
 
+/// Minimal "0x1f" rendering (no leading zeros; "0x0" for zero).
+[[nodiscard]] std::string format_hex(std::uint64_t v);
+
 }  // namespace maton

@@ -1,0 +1,111 @@
+// Diagnostic engine: report accounting, both renderers, severity
+// filtering and per-pass truncation (MA001).
+#include <gtest/gtest.h>
+
+#include "analysis/analysis.hpp"
+
+namespace maton::analysis {
+namespace {
+
+Diagnostic make(Severity severity, std::string code,
+                std::optional<std::size_t> table = std::nullopt,
+                std::optional<std::size_t> rule = std::nullopt) {
+  Diagnostic d;
+  d.severity = severity;
+  d.code = std::move(code);
+  d.pass = "test";
+  d.table = table;
+  d.rule = rule;
+  d.message = "message for " + d.code;
+  d.witness = "witness";
+  return d;
+}
+
+TEST(Diagnostics, CountAndClean) {
+  Report report;
+  report.diagnostics.push_back(make(Severity::kInfo, "MA204"));
+  report.diagnostics.push_back(make(Severity::kWarning, "MA101"));
+  EXPECT_EQ(report.count(Severity::kInfo), 1u);
+  EXPECT_EQ(report.count(Severity::kWarning), 1u);
+  EXPECT_EQ(report.count(Severity::kError), 0u);
+  EXPECT_TRUE(report.clean(Severity::kError));
+  EXPECT_FALSE(report.clean(Severity::kWarning));
+
+  report.diagnostics.push_back(make(Severity::kError, "MA201"));
+  EXPECT_FALSE(report.clean(Severity::kError));
+}
+
+TEST(Diagnostics, TextRendering) {
+  Report report;
+  report.diagnostics.push_back(make(Severity::kError, "MA201", 3, 0));
+  report.passes.push_back({"reachability", 1, true});
+  const std::string text = render_text(report);
+  EXPECT_NE(text.find("error[MA201] table 3 rule#0"), std::string::npos);
+  EXPECT_NE(text.find("witness: witness"), std::string::npos);
+  EXPECT_NE(text.find("1 error(s)"), std::string::npos);
+  EXPECT_NE(text.find("reachability(1)"), std::string::npos);
+}
+
+TEST(Diagnostics, JsonRenderingIsWellFormedAndEscaped) {
+  Report report;
+  Diagnostic d = make(Severity::kWarning, "MA101", 0, 2);
+  d.message = "quote \" backslash \\ newline \n tab \t";
+  report.diagnostics.push_back(std::move(d));
+  report.passes.push_back({"shadowing", 1, true});
+  const std::string json = render_json(report);
+  EXPECT_NE(json.find("\"code\":\"MA101\""), std::string::npos);
+  EXPECT_NE(json.find("\"table\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"rule\":2"), std::string::npos);
+  EXPECT_NE(json.find("quote \\\" backslash \\\\ newline \\n tab \\t"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"summary\":{\"error\":0,\"warning\":1,\"info\":0}"),
+            std::string::npos);
+  EXPECT_NE(json.find("{\"name\":\"shadowing\",\"ran\":true,"
+                      "\"diagnostics\":1}"),
+            std::string::npos);
+}
+
+TEST(Diagnostics, JsonOmitsAbsentTableAndRule) {
+  Report report;
+  report.diagnostics.push_back(make(Severity::kInfo, "MA001"));
+  const std::string json = render_json(report);
+  EXPECT_EQ(json.find("\"table\""), std::string::npos);
+  EXPECT_EQ(json.find("\"rule\""), std::string::npos);
+}
+
+TEST(Diagnostics, SinkFiltersBySeverityAndTruncates) {
+  Options options;
+  options.min_severity = Severity::kWarning;
+  options.max_diagnostics_per_pass = 2;
+  Report report;
+  {
+    detail::Sink sink("test", options, report);
+    sink.mark_ran();
+    EXPECT_FALSE(sink.wants(Severity::kInfo));
+    EXPECT_TRUE(sink.wants(Severity::kError));
+    sink.emit(make(Severity::kInfo, "MA204"));  // filtered
+    for (int i = 0; i < 5; ++i) {
+      sink.emit(make(Severity::kWarning, "MA101"));
+    }
+  }
+  // 2 kept + 1 truncation notice.
+  ASSERT_EQ(report.diagnostics.size(), 3u);
+  EXPECT_EQ(report.diagnostics[2].code, "MA001");
+  EXPECT_EQ(report.diagnostics[2].severity, Severity::kInfo);
+  ASSERT_EQ(report.passes.size(), 1u);
+  EXPECT_EQ(report.passes[0].diagnostics, 2u);
+  EXPECT_TRUE(report.passes[0].ran);
+}
+
+TEST(Diagnostics, SkippedPassIsRecordedAsNotRan) {
+  // No program, no tables, no decomposition: every pass lacks input.
+  const Report report = run(Input{});
+  EXPECT_TRUE(report.diagnostics.empty());
+  ASSERT_EQ(report.passes.size(), 5u);
+  for (const PassStats& pass : report.passes) {
+    EXPECT_FALSE(pass.ran) << pass.name;
+  }
+}
+
+}  // namespace
+}  // namespace maton::analysis

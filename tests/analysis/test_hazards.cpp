@@ -1,0 +1,141 @@
+// Dataflow pass: MA301 — a rule matches a metadata register that no
+// action on any path from the entry can have set (unset metadata reads
+// as 0, so such matches are silently wrong rather than loudly failing).
+#include <gtest/gtest.h>
+
+#include "analysis/analysis.hpp"
+
+namespace maton::analysis {
+namespace {
+
+using dp::FieldId;
+
+dp::Rule rule_matching(FieldId field, std::uint64_t value,
+                       std::optional<std::size_t> goto_table = std::nullopt) {
+  dp::Rule r;
+  r.matches.push_back({field, value, 0xffff});
+  r.actions.push_back({dp::Action::Kind::kOutput, FieldId::kMeta0, 1});
+  r.goto_table = goto_table;
+  return r;
+}
+
+dp::Rule rule_setting(FieldId field, std::uint64_t value) {
+  dp::Rule r;
+  r.actions.push_back({dp::Action::Kind::kSetField, field, value});
+  return r;
+}
+
+Report run_dataflow(const dp::Program& program) {
+  Input input;
+  input.program = &program;
+  Options options;
+  options.shadowing = false;
+  options.reachability = false;
+  options.schema_nf = false;
+  options.decomposition = false;
+  return run(input, options);
+}
+
+TEST(Hazards, MetaMatchWithUpstreamSetterIsClean) {
+  dp::Program program;
+  dp::TableSpec tagger;
+  tagger.name = "tagger";
+  tagger.rules.push_back(rule_setting(FieldId::kMeta0, 7));
+  tagger.next = 1;
+  dp::TableSpec reader;
+  reader.name = "reader";
+  reader.rules.push_back(rule_matching(FieldId::kMeta0, 7));
+  program.tables.push_back(std::move(tagger));
+  program.tables.push_back(std::move(reader));
+  EXPECT_TRUE(run_dataflow(program).diagnostics.empty());
+}
+
+TEST(Hazards, MetaMatchWithoutSetterIsWarning) {
+  dp::Program program;
+  dp::TableSpec entry;
+  entry.name = "entry";
+  entry.rules.push_back(rule_matching(FieldId::kTcpDst, 80));
+  entry.rules.back().goto_table = 1;
+  dp::TableSpec reader;
+  reader.name = "reader";
+  reader.rules.push_back(rule_matching(FieldId::kMeta1, 7));
+  program.tables.push_back(std::move(entry));
+  program.tables.push_back(std::move(reader));
+
+  const Report report = run_dataflow(program);
+  ASSERT_EQ(report.diagnostics.size(), 1u);
+  EXPECT_EQ(report.diagnostics[0].code, "MA301");
+  EXPECT_EQ(report.diagnostics[0].severity, Severity::kWarning);
+  EXPECT_EQ(report.diagnostics[0].table, 1u);
+  EXPECT_NE(report.diagnostics[0].message.find("meta1"),
+            std::string::npos);
+}
+
+TEST(Hazards, MetaMatchInEntryTableIsWarning) {
+  // Nothing can run before the entry table, so any meta match there is
+  // read-before-write by construction.
+  dp::Program program;
+  dp::TableSpec entry;
+  entry.name = "entry";
+  entry.rules.push_back(rule_matching(FieldId::kMeta0, 1));
+  program.tables.push_back(std::move(entry));
+  const Report report = run_dataflow(program);
+  ASSERT_EQ(report.diagnostics.size(), 1u);
+  EXPECT_EQ(report.diagnostics[0].code, "MA301");
+}
+
+TEST(Hazards, SetterOnOnlyOneBranchStillCounts) {
+  // May-set analysis: one path through the tagger sets meta0, so the
+  // downstream match is not flagged (it is not *definitely* unset).
+  dp::Program program;
+  dp::TableSpec tagger;
+  tagger.name = "tagger";
+  tagger.rules.push_back(rule_setting(FieldId::kMeta0, 7));
+  tagger.rules.push_back(rule_matching(FieldId::kTcpDst, 22));
+  tagger.next = 1;
+  dp::TableSpec reader;
+  reader.name = "reader";
+  reader.rules.push_back(rule_matching(FieldId::kMeta0, 7));
+  program.tables.push_back(std::move(tagger));
+  program.tables.push_back(std::move(reader));
+  EXPECT_TRUE(run_dataflow(program).diagnostics.empty());
+}
+
+TEST(Hazards, WildcardMetaMatchIsNotAHazard) {
+  dp::Program program;
+  dp::TableSpec entry;
+  entry.name = "entry";
+  dp::Rule r;
+  r.matches.push_back({FieldId::kMeta0, 0, 0});  // mask 0: matches all
+  r.actions.push_back({dp::Action::Kind::kOutput, FieldId::kMeta0, 1});
+  entry.rules.push_back(std::move(r));
+  program.tables.push_back(std::move(entry));
+  EXPECT_TRUE(run_dataflow(program).diagnostics.empty());
+}
+
+TEST(Hazards, UnreachableTableIsNotAnalyzed) {
+  // The orphan's meta match is dead code — reachability owns that
+  // finding (MA203), not the dataflow pass.
+  dp::Program program;
+  dp::TableSpec entry;
+  entry.name = "entry";
+  entry.rules.push_back(rule_matching(FieldId::kTcpDst, 80));
+  dp::TableSpec orphan;
+  orphan.name = "orphan";
+  orphan.rules.push_back(rule_matching(FieldId::kMeta2, 1));
+  program.tables.push_back(std::move(entry));
+  program.tables.push_back(std::move(orphan));
+  EXPECT_TRUE(run_dataflow(program).diagnostics.empty());
+}
+
+TEST(Hazards, HeaderFieldMatchesAreNeverFlagged) {
+  dp::Program program;
+  dp::TableSpec entry;
+  entry.name = "entry";
+  entry.rules.push_back(rule_matching(FieldId::kIpDst, 0x0a000001));
+  program.tables.push_back(std::move(entry));
+  EXPECT_TRUE(run_dataflow(program).diagnostics.empty());
+}
+
+}  // namespace
+}  // namespace maton::analysis

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "core/decompose.hpp"
+#include "core/synthesis.hpp"
 #include "util/format.hpp"
 #include "workloads/gwlb.hpp"
 #include "workloads/l3fwd.hpp"
@@ -117,6 +118,49 @@ TEST(Compile, GotoPipelineProgram) {
   miss.set(FieldId::kIpDst, 12345);
   miss.set(FieldId::kTcpDst, 80);
   EXPECT_FALSE(execute_reference(program.value(), miss).hit);
+}
+
+TEST(Compile, SplicedHusksAreElided) {
+  // normalize() splices decomposed sub-pipelines in place, leaving
+  // unreferenced "(spliced)" forwarding husks behind for index
+  // stability. Those must not be lowered into the switch program.
+  const auto gwlb = workloads::make_paper_example();
+  const auto normalized = core::normalize(
+      gwlb.universal, {.target = core::NormalForm::kBoyceCodd,
+                       .join = core::JoinKind::kRematch,
+                       .model_fds = gwlb.model_fds});
+  ASSERT_TRUE(normalized.is_ok()) << normalized.status().to_string();
+  const core::Pipeline& pipeline = normalized.value().pipeline;
+  ASSERT_GT(pipeline.num_stages(), 1u);
+
+  const auto program = compile(pipeline);
+  ASSERT_TRUE(program.is_ok()) << program.status().to_string();
+  std::size_t live_stages = 0;
+  for (std::size_t i = 0; i < pipeline.num_stages(); ++i) {
+    if (pipeline.stage(i).table.name() != "(spliced)") ++live_stages;
+  }
+  EXPECT_LT(live_stages, pipeline.num_stages());  // a husk existed
+  ASSERT_EQ(program.value().tables.size(), live_stages);
+  for (const TableSpec& table : program.value().tables) {
+    EXPECT_NE(table.name, "(spliced)");
+    if (table.next.has_value()) {
+      EXPECT_LT(*table.next, program.value().tables.size());
+    }
+    for (const Rule& rule : table.rules) {
+      if (rule.goto_table.has_value()) {
+        EXPECT_LT(*rule.goto_table, program.value().tables.size());
+      }
+    }
+  }
+  EXPECT_LT(program.value().entry, program.value().tables.size());
+
+  // Behavior is unchanged: every universal row still routes correctly.
+  for (std::size_t r = 0; r < gwlb.universal.num_rows(); ++r) {
+    const ExecResult result =
+        execute_reference(program.value(), key_for_gwlb_row(gwlb.universal, r));
+    EXPECT_TRUE(result.hit);
+    EXPECT_EQ(result.out_port, gwlb.universal.at(r, workloads::kGwlbOut));
+  }
 }
 
 TEST(Compile, L3ActionsBecomeRewrites) {

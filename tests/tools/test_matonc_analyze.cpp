@@ -1,0 +1,95 @@
+// Golden-output test for `matonc --analyze`: shells out to the real
+// binary (path injected via MATONC_BIN) and checks the JSON report
+// byte-for-byte for a fixed built-in program, plus renderer selection
+// and the exit-code contract (non-zero iff error-severity diagnostics).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+#ifndef MATONC_BIN
+#error "MATONC_BIN must point at the matonc executable"
+#endif
+
+namespace {
+
+struct RunResult {
+  int exit_code = -1;
+  std::string out;
+};
+
+/// Runs matonc with the given arguments, capturing stdout (stderr is
+/// folded in so a crash message shows up in test failures).
+RunResult run_matonc(const std::string& args) {
+  const std::string command = std::string(MATONC_BIN) + " " + args + " 2>&1";
+  RunResult result;
+  FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) return result;
+  std::array<char, 4096> buffer;
+  std::size_t n = 0;
+  while ((n = fread(buffer.data(), 1, buffer.size(), pipe)) > 0) {
+    result.out.append(buffer.data(), n);
+  }
+  const int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+TEST(MatoncAnalyze, GoldenJsonForPaperRematchExample) {
+  // The paper example is fully deterministic, so the whole report is.
+  const RunResult result =
+      run_matonc("analyze gwlb:rematch --analyze=json");
+  ASSERT_EQ(result.exit_code, 0) << result.out;
+  const std::string expected =
+      "{\"diagnostics\":["
+      "{\"severity\":\"info\",\"code\":\"MA403\",\"pass\":\"schema_nf\","
+      "\"table\":0,"
+      "\"message\":\"table 'gwlb.universal' match key "
+      "{ip_src, ip_dst, tcp_dst} is non-minimal: {ip_src, ip_dst} "
+      "already identifies every entry\","
+      "\"witness\":\"candidate key: {ip_src, ip_dst}\"},"
+      "{\"severity\":\"info\",\"code\":\"MA406\",\"pass\":\"schema_nf\","
+      "\"table\":0,"
+      "\"message\":\"table 'gwlb.universal' is below BCNF: "
+      "ip_dst -> tcp_dst has a non-superkey determinant\","
+      "\"witness\":\"BCNF violations: 2\"}"
+      "],\"summary\":{\"error\":0,\"warning\":0,\"info\":2},"
+      "\"passes\":["
+      "{\"name\":\"shadowing\",\"ran\":true,\"diagnostics\":0},"
+      "{\"name\":\"reachability\",\"ran\":true,\"diagnostics\":0},"
+      "{\"name\":\"dataflow\",\"ran\":true,\"diagnostics\":0},"
+      "{\"name\":\"schema_nf\",\"ran\":true,\"diagnostics\":2},"
+      "{\"name\":\"decomposition\",\"ran\":true,\"diagnostics\":0}"
+      "]}";
+  EXPECT_EQ(result.out, expected);
+}
+
+TEST(MatoncAnalyze, TextRendererSummarizesPasses) {
+  const RunResult result = run_matonc("analyze gwlb:goto --analyze");
+  ASSERT_EQ(result.exit_code, 0) << result.out;
+  EXPECT_NE(result.out.find("analysis: 0 error(s), 0 warning(s)"),
+            std::string::npos)
+      << result.out;
+  EXPECT_NE(result.out.find("shadowing(0)"), std::string::npos);
+  EXPECT_NE(result.out.find("decomposition(0)"), std::string::npos);
+}
+
+TEST(MatoncAnalyze, SeedShapeIsCleanInAllRepresentations) {
+  for (const char* repr :
+       {"universal", "goto", "metadata", "rematch"}) {
+    const RunResult result = run_matonc(
+        "analyze gwlb:" + std::string(repr) + "@20x8 --analyze=json");
+    EXPECT_EQ(result.exit_code, 0) << repr << ": " << result.out;
+    EXPECT_NE(result.out.find("\"error\":0,\"warning\":0"),
+              std::string::npos)
+        << repr << ": " << result.out;
+  }
+}
+
+TEST(MatoncAnalyze, BadSpecFailsWithUsage) {
+  const RunResult result = run_matonc("analyze gwlb:bogus --analyze");
+  EXPECT_NE(result.exit_code, 0);
+}
+
+}  // namespace

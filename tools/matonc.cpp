@@ -1,6 +1,7 @@
 // matonc — the maton command-line normalizer.
 //
 //   matonc analyze   <table.maton>                 dependency & NF report
+//   matonc analyze   gwlb:<repr>[@NxM[@seed]]      built-in gwlb program
 //   matonc normalize <table.maton> [options]       print the pipeline
 //   matonc export    <table.maton> [options]       emit a data plane
 //
@@ -9,14 +10,24 @@
 //   --target 2nf|3nf|bcnf            normalization goal (default 3nf)
 //   --format openflow|p4             export backend     (default openflow)
 //   --no-constants                   keep constant columns inline
+//   --analyze[=text|json]            run the static analyzer; with json,
+//                                    print only the machine-readable report
 //   --metrics[=prom|json]            dump telemetry to stderr (default prom)
 //   --trace=FILE                     write Chrome trace_event JSON to FILE
+//
+// Built-in specs (analyze only): gwlb:universal, gwlb:goto@20x8,
+// gwlb:metadata@20x8@7, ... — the paper example, or a randomized NxM
+// instance, compiled for the named representation and handed to the
+// analyzer. Exit status is 1 when any error-severity diagnostic is found.
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "analysis/analysis.hpp"
+#include "controlplane/compiler.hpp"
 #include "core/equivalence.hpp"
 #include "core/fd_mine.hpp"
 #include "core/mvd.hpp"
@@ -27,16 +38,19 @@
 #include "export/p4.hpp"
 #include "obs/expose.hpp"
 #include "obs/trace.hpp"
+#include "workloads/gwlb.hpp"
 
 namespace {
 
 using namespace maton;
 
 int usage(std::ostream& os) {
-  os << "usage: matonc <analyze|normalize|export> <table.maton>\n"
+  os << "usage: matonc <analyze|normalize|export> <table.maton|gwlb:SPEC>\n"
         "  [--join goto|metadata|rematch] [--target 2nf|3nf|bcnf]\n"
-        "  [--format openflow|p4] [--no-constants]\n"
-        "  [--metrics[=prom|json]] [--trace=FILE]\n";
+        "  [--format openflow|p4] [--no-constants] [--analyze[=text|json]]\n"
+        "  [--metrics[=prom|json]] [--trace=FILE]\n"
+        "gwlb:SPEC (analyze only): <repr>[@NxM[@seed]] with repr one of\n"
+        "  universal|goto|metadata|rematch\n";
   return 2;
 }
 
@@ -47,8 +61,9 @@ struct CliOptions {
   core::NormalForm target = core::NormalForm::kThird;
   std::string format = "openflow";
   bool factor_constants = true;
-  std::string metrics;     // empty = off, else "prom" or "json"
-  std::string trace_path;  // empty = off
+  std::string analyze_report;  // empty = off, else "text" or "json"
+  std::string metrics;         // empty = off, else "prom" or "json"
+  std::string trace_path;      // empty = off
 };
 
 bool parse_args(const std::vector<std::string>& args, CliOptions& opts,
@@ -93,7 +108,15 @@ bool parse_args(const std::vector<std::string>& args, CliOptions& opts,
       opts.format = *v;
     } else if (arg == "--no-constants") {
       opts.factor_constants = false;
-    } else if (arg == "--metrics" || arg.rfind("--metrics=", 0) == 0) {
+    } else if (arg == "--analyze" || arg.starts_with("--analyze=")) {
+      const std::string v =
+          arg == "--analyze" ? "text" : arg.substr(sizeof("--analyze=") - 1);
+      if (v != "text" && v != "json") {
+        err << "unknown analyze report format '" << v << "'\n";
+        return false;
+      }
+      opts.analyze_report = v;
+    } else if (arg == "--metrics" || arg.starts_with("--metrics=")) {
       const std::string v =
           arg == "--metrics" ? "prom" : arg.substr(sizeof("--metrics=") - 1);
       if (v != "prom" && v != "json") {
@@ -101,7 +124,7 @@ bool parse_args(const std::vector<std::string>& args, CliOptions& opts,
         return false;
       }
       opts.metrics = v;
-    } else if (arg.rfind("--trace=", 0) == 0) {
+    } else if (arg.starts_with("--trace=")) {
       opts.trace_path = arg.substr(sizeof("--trace=") - 1);
       if (opts.trace_path.empty()) {
         err << "--trace requires a file path\n";
@@ -172,6 +195,84 @@ Result<core::Pipeline> run_normalize(const core::ParsedSpec& spec,
   return std::move(out).value().pipeline;
 }
 
+/// Renders the report in the requested format and maps error-severity
+/// findings onto exit status 1.
+int emit_report(const analysis::Report& report, const CliOptions& opts,
+                std::ostream& os) {
+  os << (opts.analyze_report == "json" ? analysis::render_json(report)
+                                       : analysis::render_text(report));
+  return report.count(analysis::Severity::kError) > 0 ? 1 : 0;
+}
+
+/// Parses and analyzes a built-in program spec of the form
+/// gwlb:<repr>[@NxM[@seed]]: the paper's Fig. 1 example (no shape) or a
+/// randomized make_gwlb instance, compiled for the named representation.
+int run_builtin_analyze(const CliOptions& opts, std::ostream& os,
+                        std::ostream& err) {
+  if (opts.command != "analyze") {
+    err << "built-in specs support only the analyze command\n";
+    return 2;
+  }
+  std::string rest = opts.path.substr(sizeof("gwlb:") - 1);
+  std::string shape;
+  if (const auto at = rest.find('@'); at != std::string::npos) {
+    shape = rest.substr(at + 1);
+    rest.resize(at);
+  }
+
+  cp::Representation repr;
+  if (rest == "universal") {
+    repr = cp::Representation::kUniversal;
+  } else if (rest == "goto") {
+    repr = cp::Representation::kGoto;
+  } else if (rest == "metadata") {
+    repr = cp::Representation::kMetadata;
+  } else if (rest == "rematch") {
+    repr = cp::Representation::kRematch;
+  } else {
+    err << "unknown representation '" << rest << "'\n";
+    return 2;
+  }
+
+  workloads::Gwlb gwlb;
+  if (shape.empty()) {
+    gwlb = workloads::make_paper_example();
+  } else {
+    workloads::GwlbConfig config;
+    std::size_t services = 0;
+    std::size_t backends = 0;
+    std::size_t seed = config.seed;
+    const int fields = std::sscanf(shape.c_str(), "%zux%zu@%zu",
+                                   &services, &backends, &seed);
+    if (fields < 2 || services == 0 || backends == 0) {
+      err << "malformed shape '" << shape << "' (want NxM[@seed])\n";
+      return 2;
+    }
+    config.num_services = services;
+    config.num_backends = backends;
+    config.seed = seed;
+    gwlb = workloads::make_gwlb(config);
+  }
+
+  const cp::GwlbBinding binding(std::move(gwlb), repr);
+  const workloads::Gwlb& model = binding.gwlb();
+  const core::Schema& schema = model.universal.schema();
+
+  analysis::Input input;
+  input.program = &binding.program();
+  input.tables.push_back({&model.universal, &model.model_fds});
+  core::FdSet join_fds = model.model_fds;
+  join_fds.add(schema.match_set(), schema.all());
+  analysis::Input::DecompositionCheck decomposition;
+  decomposition.schema = &schema;
+  decomposition.fds = &join_fds;
+  decomposition.components = cp::decomposition_components(repr, schema);
+  decomposition.name = "gwlb." + std::string(cp::to_string(repr));
+  input.decomposition = std::move(decomposition);
+
+  return emit_report(analysis::run(input), opts, os);
+}
+
 /// Dumps `--metrics` to stderr and `--trace` to its file, after the
 /// command has executed. A failed trace write degrades the exit code.
 int dump_telemetry(const CliOptions& opts, std::ostream& err) {
@@ -190,8 +291,34 @@ int dump_telemetry(const CliOptions& opts, std::ostream& err) {
   return 0;
 }
 
+/// Compiles `pipeline` and runs the full analyzer suite over it; the
+/// declared dependencies (when given) are checked against the first
+/// stage's table instance.
+int analyze_pipeline(const core::Pipeline& pipeline,
+                     const core::FdSet* declared_first,
+                     const CliOptions& opts, std::ostream& os,
+                     std::ostream& err) {
+  const auto program = dp::compile(pipeline);
+  if (!program.is_ok()) {
+    err << "analysis compile failed: " << program.status().to_string()
+        << "\n";
+    return 1;
+  }
+  analysis::Input input;
+  input.program = &program.value();
+  for (std::size_t i = 0; i < pipeline.num_stages(); ++i) {
+    input.tables.push_back(
+        {&pipeline.stage(i).table, i == 0 ? declared_first : nullptr});
+  }
+  return emit_report(analysis::run(input), opts, os);
+}
+
 int run_command(const CliOptions& opts, std::ostream& os,
                 std::ostream& err) {
+  if (opts.path.starts_with("gwlb:")) {
+    return run_builtin_analyze(opts, os, err);
+  }
+
   std::ifstream file(opts.path);
   if (!file) {
     err << "cannot open " << opts.path << "\n";
@@ -205,20 +332,29 @@ int run_command(const CliOptions& opts, std::ostream& os,
     return 1;
   }
 
+  // Under --analyze=json only the report reaches stdout; the normal
+  // command output is discarded to keep the stream machine-readable.
+  std::ostringstream discarded;
+  std::ostream& body = opts.analyze_report == "json" ? discarded : os;
+
   if (opts.command == "analyze") {
-    return analyze(spec.value(), os);
+    const int rc = analyze(spec.value(), body);
+    if (rc != 0 || opts.analyze_report.empty()) return rc;
+    return analyze_pipeline(core::Pipeline::single(spec.value().table),
+                            &spec.value().model_fds, opts, os, err);
   }
   if (opts.command == "normalize") {
-    const auto pipeline = run_normalize(spec.value(), opts, os);
+    const auto pipeline = run_normalize(spec.value(), opts, body);
     if (!pipeline.is_ok()) {
       err << pipeline.status().to_string() << "\n";
       return 1;
     }
-    os << pipeline.value().to_string();
-    return 0;
+    body << pipeline.value().to_string();
+    if (opts.analyze_report.empty()) return 0;
+    return analyze_pipeline(pipeline.value(), nullptr, opts, os, err);
   }
   if (opts.command == "export") {
-    const auto pipeline = run_normalize(spec.value(), opts, os);
+    const auto pipeline = run_normalize(spec.value(), opts, body);
     if (!pipeline.is_ok()) {
       err << pipeline.status().to_string() << "\n";
       return 1;
@@ -229,10 +365,8 @@ int run_command(const CliOptions& opts, std::ostream& os,
         err << p4.status().to_string() << "\n";
         return 1;
       }
-      os << p4.value();
-      return 0;
-    }
-    if (opts.format == "openflow") {
+      body << p4.value();
+    } else if (opts.format == "openflow") {
       const auto program = dp::compile(pipeline.value());
       if (!program.is_ok()) {
         err << program.status().to_string() << "\n";
@@ -243,11 +377,13 @@ int run_command(const CliOptions& opts, std::ostream& os,
         err << flows.status().to_string() << "\n";
         return 1;
       }
-      os << flows.value();
-      return 0;
+      body << flows.value();
+    } else {
+      err << "unknown format '" << opts.format << "'\n";
+      return 2;
     }
-    err << "unknown format '" << opts.format << "'\n";
-    return 2;
+    if (opts.analyze_report.empty()) return 0;
+    return analyze_pipeline(pipeline.value(), nullptr, opts, os, err);
   }
   return usage(err);
 }
