@@ -11,6 +11,8 @@
 
 #include <cstdio>
 #include <memory>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "controlplane/compiler.hpp"
@@ -157,7 +159,14 @@ BENCHMARK_CAPTURE(BM_BatchThreads, eswitch_universal, "eswitch",
 // Expanded BENCHMARK_MAIN so the run's accumulated telemetry can be
 // exported afterwards (MATON_METRICS_OUT / MATON_TRACE_OUT, see
 // obs/expose.hpp). A failed export fails the bench run loudly.
+#ifndef MATON_BUILD_TYPE
+#define MATON_BUILD_TYPE "unknown"
+#endif
+
 int main(int argc, char** argv) {
+  benchmark::AddCustomContext("build_type", MATON_BUILD_TYPE);
+  benchmark::AddCustomContext(
+      "host_cores", std::to_string(std::thread::hardware_concurrency()));
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -6,6 +6,9 @@
 // full normalize() on generated workloads.
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <thread>
+
 #include "core/fd_mine.hpp"
 #include "core/keys.hpp"
 #include "core/synthesis.hpp"
@@ -194,4 +197,20 @@ BENCHMARK(BM_NormalizeL3)->Arg(64)->Arg(256);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+#ifndef MATON_BUILD_TYPE
+#define MATON_BUILD_TYPE "unknown"
+#endif
+
+// Expanded BENCHMARK_MAIN so every emitted JSON carries the build type
+// and host core count in its context block (recorded numbers from a
+// 1-core debug host are not comparable to release hardware).
+int main(int argc, char** argv) {
+  benchmark::AddCustomContext("build_type", MATON_BUILD_TYPE);
+  benchmark::AddCustomContext(
+      "host_cores", std::to_string(std::thread::hardware_concurrency()));
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -11,6 +11,11 @@
 #include <chrono>
 #include <fstream>
 #include <iostream>
+#include <thread>
+
+#ifndef MATON_BUILD_TYPE
+#define MATON_BUILD_TYPE "unknown"
+#endif
 
 #include "controlplane/churn.hpp"
 #include "controlplane/compiler.hpp"
@@ -262,6 +267,9 @@ int main() {
   std::ofstream json("BENCH_fig4.json");
   json << "{\n"
        << "  \"benchmark\": \"fig4_reactiveness\",\n"
+       << "  \"env\": {\"build_type\": \"" << MATON_BUILD_TYPE
+       << "\", \"host_cores\": " << std::thread::hardware_concurrency()
+       << "},\n"
        << "  \"workload\": {\"backends\": " << kBackends
        << ", \"intents_per_cell\": " << kIntents
        << ", \"intent_kinds\": [\"MoveServicePort\", \"ChangeServiceIp\", "

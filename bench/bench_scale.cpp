@@ -1,0 +1,231 @@
+// E6 — fleet scale: the columnar table substrate at 100k+ services.
+//
+// Measures, per fleet size N x 8 backends for N in {1k, 10k, 100k}:
+//   * bytes/rule of the columnar universal table vs a row-of-vectors
+//     reference model built from the same data in the same run;
+//   * universal-table build time;
+//   * one full TANE FD mine over the universal table;
+//   * per-intent incremental compile latency (universal representation,
+//     the cell-wise patch path) over a mixed churn trace.
+// Writes BENCH_scale.json; `--sizes=1000,10000` restricts the sweep.
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "controlplane/compiler.hpp"
+#include "core/fd_mine.hpp"
+#include "util/contract.hpp"
+#include "util/format.hpp"
+#include "util/quantile.hpp"
+#include "util/report.hpp"
+#include "util/rng.hpp"
+
+#ifndef MATON_BUILD_TYPE
+#define MATON_BUILD_TYPE "unknown"
+#endif
+
+namespace {
+
+using namespace maton;
+using BenchClock = std::chrono::steady_clock;
+
+double ms_since(BenchClock::time_point start) {
+  return std::chrono::duration<double, std::milli>(BenchClock::now() - start)
+      .count();
+}
+
+/// Heap footprint of the former row-of-vectors store holding the same
+/// relation: one std::vector<Value> per row (header in the outer vector,
+/// payload on the heap) — measured here so the bytes/rule comparison is
+/// against the same data in the same run, not a remembered number.
+std::size_t rowstore_bytes(const core::Table& table) {
+  std::vector<core::Row> rows;
+  rows.reserve(table.num_rows());
+  core::Row scratch;
+  for (std::size_t r = 0; r < table.num_rows(); ++r) {
+    table.copy_row_into(r, scratch);
+    rows.push_back(scratch);
+  }
+  std::size_t bytes = rows.capacity() * sizeof(core::Row);
+  for (const core::Row& row : rows) {
+    bytes += row.capacity() * sizeof(core::Value);
+  }
+  return bytes;
+}
+
+/// Mixed churn trace; fresh VIPs come from 172.16.0.0/12 so they collide
+/// neither with the small-fleet 198.18/16 draw nor with the dense
+/// 10/8 allocation of large fleets.
+std::vector<cp::Intent> make_trace(std::size_t services,
+                                   std::size_t backends, std::size_t count,
+                                   std::uint64_t seed) {
+  Rng rng(seed);
+  std::uint32_t next_vip = 0;
+  std::vector<cp::Intent> trace;
+  trace.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t svc = rng.index(services);
+    switch (rng.index(3)) {
+      case 0:
+        trace.push_back(cp::MoveServicePort{
+            .service = svc,
+            .new_port = static_cast<std::uint16_t>(
+                10000 + rng.uniform(0, 40000))});
+        break;
+      case 1:
+        trace.push_back(cp::ChangeServiceIp{
+            .service = svc,
+            .new_vip = ipv4(172, 16 + static_cast<unsigned>(next_vip >> 16),
+                            static_cast<unsigned>((next_vip >> 8) & 0xff),
+                            static_cast<unsigned>(next_vip & 0xff))});
+        ++next_vip;
+        break;
+      default:
+        trace.push_back(cp::ChangeBackend{
+            .service = svc,
+            .backend = rng.index(backends),
+            .new_out = 5000 + rng.uniform(0, 1000)});
+        break;
+    }
+  }
+  return trace;
+}
+
+struct SizePoint {
+  std::size_t services = 0;
+  std::size_t rules = 0;
+  std::size_t bytes_per_rule_columnar = 0;
+  std::size_t bytes_per_rule_rowstore = 0;
+  double build_ms = 0.0;
+  double mine_ms = 0.0;
+  std::size_t intents = 0;
+  double inc_median_us = 0.0;
+  double inc_p90_us = 0.0;
+  double inc_mean_us = 0.0;
+  std::size_t inc_hits = 0;
+  std::size_t inc_fallbacks = 0;
+};
+
+SizePoint run_size(std::size_t services, std::size_t backends,
+                   std::size_t intents) {
+  SizePoint pt;
+  pt.services = services;
+  pt.intents = intents;
+
+  auto start = BenchClock::now();
+  auto gwlb = workloads::make_gwlb(
+      {.num_services = services, .num_backends = backends});
+  pt.build_ms = ms_since(start);
+  pt.rules = gwlb.universal.num_rows();
+  pt.bytes_per_rule_columnar = gwlb.universal.memory_bytes() / pt.rules;
+  pt.bytes_per_rule_rowstore = rowstore_bytes(gwlb.universal) / pt.rules;
+
+  start = BenchClock::now();
+  const core::FdSet mined = core::mine_fds_tane(gwlb.universal);
+  pt.mine_ms = ms_since(start);
+  expects(!mined.fds().empty(), "scale mine found no dependencies");
+
+  cp::GwlbBinding binding(std::move(gwlb), cp::Representation::kUniversal,
+                          cp::CompileMode::kIncremental);
+  const auto trace = make_trace(services, backends, intents, 67);
+  ExactQuantile samples;
+  for (const cp::Intent& intent : trace) {
+    start = BenchClock::now();
+    const auto updates = binding.compile_intent(intent);
+    const double us =
+        std::chrono::duration<double, std::micro>(BenchClock::now() - start)
+            .count();
+    expects(updates.is_ok(), "scale intent failed to compile");
+    samples.add(us);
+  }
+  pt.inc_median_us = samples.quantile(0.5);
+  pt.inc_p90_us = samples.quantile(0.9);
+  pt.inc_mean_us = samples.mean();
+  pt.inc_hits = binding.incremental_stats().hits;
+  pt.inc_fallbacks = binding.incremental_stats().fallbacks;
+  return pt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  constexpr std::size_t kBackends = 8;
+  std::vector<std::size_t> sizes = {1000, 10000, 100000};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--sizes=", 8) == 0) {
+      sizes.clear();
+      std::string spec(argv[i] + 8);
+      std::size_t pos = 0;
+      while (pos < spec.size()) {
+        const std::size_t comma = spec.find(',', pos);
+        sizes.push_back(std::stoull(spec.substr(pos, comma - pos)));
+        if (comma == std::string::npos) break;
+        pos = comma + 1;
+      }
+    }
+  }
+
+  std::cout << "=== E6: fleet scale (columnar table substrate) ===\n"
+            << "workload: N services x " << kBackends
+            << " backends, universal representation\n\n";
+
+  ReportTable table("fleet-scale metrics per size");
+  table.set_header({"services", "rules", "B/rule col", "B/rule rows",
+                    "build ms", "mine ms", "inc p50 us", "inc p90 us",
+                    "fallbacks"});
+
+  std::vector<SizePoint> points;
+  for (const std::size_t services : sizes) {
+    // Fewer intent samples at the large sizes: each fallback there pays
+    // a full-rebuild compile over hundreds of thousands of rules.
+    const std::size_t intents =
+        services >= 100000 ? 20 : (services >= 10000 ? 50 : 100);
+    points.push_back(run_size(services, kBackends, intents));
+    const SizePoint& pt = points.back();
+    table.add_row({std::to_string(pt.services), std::to_string(pt.rules),
+                   std::to_string(pt.bytes_per_rule_columnar),
+                   std::to_string(pt.bytes_per_rule_rowstore),
+                   format_double(pt.build_ms, 1),
+                   format_double(pt.mine_ms, 1),
+                   format_double(pt.inc_median_us, 1),
+                   format_double(pt.inc_p90_us, 1),
+                   std::to_string(pt.inc_fallbacks)});
+  }
+  table.print(std::cout);
+
+  std::ofstream json("BENCH_scale.json");
+  json << "{\n"
+       << "  \"benchmark\": \"scale\",\n"
+       << "  \"env\": {\"build_type\": \"" << MATON_BUILD_TYPE
+       << "\", \"host_cores\": " << std::thread::hardware_concurrency()
+       << "},\n"
+       << "  \"workload\": {\"backends\": " << kBackends
+       << ", \"representation\": \"universal\", \"intent_kinds\": "
+          "[\"MoveServicePort\", \"ChangeServiceIp\", \"ChangeBackend\"]},\n"
+       << "  \"sizes\": [\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const SizePoint& pt = points[i];
+    json << "    {\"services\": " << pt.services << ", \"rules\": "
+         << pt.rules << ",\n"
+         << "     \"bytes_per_rule_columnar\": " << pt.bytes_per_rule_columnar
+         << ", \"bytes_per_rule_rowstore\": " << pt.bytes_per_rule_rowstore
+         << ",\n"
+         << "     \"universal_build_ms\": " << pt.build_ms
+         << ", \"full_mine_ms\": " << pt.mine_ms << ",\n"
+         << "     \"incremental\": {\"intents\": " << pt.intents
+         << ", \"median_us\": " << pt.inc_median_us
+         << ", \"p90_us\": " << pt.inc_p90_us
+         << ", \"mean_us\": " << pt.inc_mean_us
+         << ", \"hits\": " << pt.inc_hits
+         << ", \"fallbacks\": " << pt.inc_fallbacks << "}}"
+         << (i + 1 < points.size() ? ",\n" : "\n");
+  }
+  json << "  ]\n}\n";
+  json.close();
+  std::cout << "wrote BENCH_scale.json\n";
+  return 0;
+}

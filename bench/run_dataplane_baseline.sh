@@ -72,6 +72,11 @@ for name, rate in sorted(pps.items()):
             "vs_1_queue": round(rate / base, 2) if base else None,
         }
 
+ctx = raw.get("context", {})
+raw["env"] = {
+    "build_type": ctx.get("build_type", "unknown"),
+    "host_cores": int(ctx.get("host_cores", ctx.get("num_cpus", 0))),
+}
 raw["speedups"] = speedups
 if raw["context"]["num_cpus"] <= 1:
     raw["speedups"]["thread_scaling_note"] = (

@@ -46,6 +46,11 @@ seed = {
     "repeated_mine_10x_4096x8_ms": 289.229,
     "note": "pre-engine sequential miner, same table generator, -O2",
 }
+ctx = raw.get("context", {})
+raw["env"] = {
+    "build_type": ctx.get("build_type", "unknown"),
+    "host_cores": int(ctx.get("host_cores", ctx.get("num_cpus", 0))),
+}
 raw["seed_baseline"] = seed
 raw["speedups"] = {
     "one_shot_vs_seed": round(seed["mine_tane_4096x8_ms"] / one_shot, 2)

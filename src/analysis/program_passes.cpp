@@ -2,10 +2,12 @@
 // (MA2xx) and read-before-write dataflow hazards (MA3xx). All operate on
 // the compiled dp::Program only — no core-model input required.
 #include <algorithm>
+#include <array>
 #include <optional>
 #include <vector>
 
 #include "analysis/analysis.hpp"
+#include "util/format.hpp"
 
 namespace maton::analysis {
 
@@ -260,15 +262,23 @@ void run_dataflow_pass(const Input& input, const Options& options,
   const auto is_meta = [](dp::FieldId f) {
     return f >= dp::FieldId::kMeta0 && f <= dp::FieldId::kMeta3;
   };
-  const auto bit = [](dp::FieldId f) {
-    return std::uint32_t{1} << dp::field_index(f);
+  constexpr std::size_t kNumMeta = 4;
+  const auto meta_index = [](dp::FieldId f) {
+    return dp::field_index(f) - dp::field_index(dp::FieldId::kMeta0);
+  };
+  const auto width_mask = [](std::uint8_t width) -> std::uint64_t {
+    return width >= 64 ? ~std::uint64_t{0}
+                       : (std::uint64_t{1} << width) - 1;
   };
 
-  // May-set dataflow: in_set[t] = union over predecessors p of
-  // (in_set[p] | fields set by the rule taken in p). Monotone, so the
-  // worklist terminates even on (already-reported) cyclic graphs. A
-  // table is only included once reachable.
-  std::vector<std::uint32_t> in_set(n, 0);
+  // Bit-granular may-define dataflow over the metadata fields:
+  // in_def[t][f] holds the bits of meta field f that SOME path into t
+  // has written (a kSetField of declared width w defines the low w
+  // bits). The transfer is a monotone union, so the worklist terminates
+  // even on (already-reported) cyclic graphs. A table is only included
+  // once reachable.
+  using DefBits = std::array<std::uint64_t, kNumMeta>;
+  std::vector<DefBits> in_def(n, DefBits{});
   std::vector<bool> reachable(n, false);
   std::vector<std::size_t> work = {program.entry};
   reachable[program.entry] = true;
@@ -277,16 +287,20 @@ void run_dataflow_pass(const Input& input, const Options& options,
     work.pop_back();
     const dp::TableSpec& table = program.tables[t];
     for (const dp::Rule& rule : table.rules) {
-      std::uint32_t out = in_set[t];
+      DefBits out = in_def[t];
       for (const dp::Action& a : rule.actions) {
-        if (a.kind == dp::Action::Kind::kSetField) out |= bit(a.field);
+        if (a.kind == dp::Action::Kind::kSetField && is_meta(a.field)) {
+          out[meta_index(a.field)] |=
+              width_mask(a.width_bits) & dp::field_full_mask(a.field);
+        }
       }
       std::optional<std::size_t> succ =
           rule.goto_table.has_value() ? rule.goto_table : table.next;
       if (!succ.has_value() || *succ >= n) continue;
-      const std::uint32_t merged = in_set[*succ] | out;
-      if (!reachable[*succ] || merged != in_set[*succ]) {
-        in_set[*succ] = merged;
+      DefBits merged = in_def[*succ];
+      for (std::size_t f = 0; f < kNumMeta; ++f) merged[f] |= out[f];
+      if (!reachable[*succ] || merged != in_def[*succ]) {
+        in_def[*succ] = merged;
         reachable[*succ] = true;
         work.push_back(*succ);
       }
@@ -299,14 +313,33 @@ void run_dataflow_pass(const Input& input, const Options& options,
     for (std::size_t r = 0; r < table.rules.size(); ++r) {
       for (const dp::FieldMatch& m : table.rules[r].matches) {
         if (!is_meta(m.field) || m.mask == 0) continue;
-        if ((in_set[t] & bit(m.field)) != 0) continue;
-        sink.emit({Severity::kWarning, "MA301", "", t, r,
-                   "rule in table '" + table.name + "' matches metadata " +
-                       std::string(to_string(m.field)) +
-                       " which no upstream action can have set "
-                       "(read-before-write; unset metadata reads as 0)",
-                   describe_rule(table.rules[r])});
-        break;  // one hazard per rule is enough
+        const std::uint64_t defined = in_def[t][meta_index(m.field)];
+        if (defined == 0) {
+          sink.emit({Severity::kWarning, "MA301", "", t, r,
+                     "rule in table '" + table.name + "' matches metadata " +
+                         std::string(to_string(m.field)) +
+                         " which no upstream action can have set "
+                         "(read-before-write; unset metadata reads as 0)",
+                     describe_rule(table.rules[r])});
+          break;  // one hazard per rule is enough
+        }
+        // Partially-initialized read: the match mask covers bits no
+        // upstream write defines (e.g. a 4-bit tag matched under an
+        // 8-bit mask) — those bits always read as 0, silently shrinking
+        // the match.
+        const std::uint64_t undefined_read = m.mask & ~defined;
+        if (undefined_read != 0) {
+          sink.emit({Severity::kWarning, "MA302", "", t, r,
+                     "rule in table '" + table.name + "' matches metadata " +
+                         std::string(to_string(m.field)) + " under mask " +
+                         format_hex(m.mask) +
+                         " but upstream actions only define bits " +
+                         format_hex(defined) +
+                         " (partially-initialized read; undefined bits " +
+                         format_hex(undefined_read) + " always read as 0)",
+                     describe_rule(table.rules[r])});
+          break;  // one hazard per rule is enough
+        }
       }
     }
   }

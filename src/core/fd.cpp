@@ -1,6 +1,7 @@
 #include "core/fd.hpp"
 
 #include <algorithm>
+#include <span>
 #include <unordered_map>
 
 #include "util/contract.hpp"
@@ -41,13 +42,13 @@ bool fd_holds(const Table& table, const Fd& fd) {
   };
   std::unordered_map<SplitKey, std::uint32_t, SplitKeyHash> splitter;
   splitter.reserve(n);
-  const std::vector<Row>& rows = table.rows();
   for (std::size_t c : fd.lhs) {
+    const std::span<const Value> col = table.column(c);
     splitter.clear();
     std::uint32_t next_id = 0;
     for (std::size_t r = 0; r < n; ++r) {
       const auto [it, inserted] =
-          splitter.try_emplace({group[r], rows[r][c]}, next_id);
+          splitter.try_emplace({group[r], col[r]}, next_id);
       if (inserted) ++next_id;
       group[r] = it->second;
     }
@@ -56,6 +57,9 @@ bool fd_holds(const Table& table, const Fd& fd) {
   }
 
   // Representative (first) row per group; compare later rows in place.
+  std::vector<std::span<const Value>> rhs_cols;
+  rhs_cols.reserve(fd.rhs.size());
+  for (std::size_t c : fd.rhs) rhs_cols.push_back(table.column(c));
   constexpr std::uint32_t kNone = ~std::uint32_t{0};
   std::vector<std::uint32_t> rep(num_groups, kNone);
   for (std::size_t r = 0; r < n; ++r) {
@@ -64,8 +68,8 @@ bool fd_holds(const Table& table, const Fd& fd) {
       leader = static_cast<std::uint32_t>(r);
       continue;
     }
-    for (std::size_t c : fd.rhs) {
-      if (rows[r][c] != rows[leader][c]) return false;
+    for (const auto& col : rhs_cols) {
+      if (col[r] != col[leader]) return false;
     }
   }
   return true;
@@ -89,15 +93,14 @@ std::optional<std::pair<std::size_t, std::size_t>> fd_violation_witness(
     }
   };
   std::unordered_map<std::vector<Value>, std::size_t, ProjHash> first;
-  const std::vector<Row>& rows = table.rows();
-  for (std::size_t r = 0; r < rows.size(); ++r) {
+  for (std::size_t r = 0; r < table.num_rows(); ++r) {
     std::vector<Value> proj;
     proj.reserve(fd.lhs.size());
-    for (std::size_t c : fd.lhs) proj.push_back(rows[r][c]);
+    for (std::size_t c : fd.lhs) proj.push_back(table.at(r, c));
     const auto [it, inserted] = first.emplace(std::move(proj), r);
     if (inserted) continue;
     for (std::size_t c : fd.rhs) {
-      if (rows[r][c] != rows[it->second][c]) {
+      if (table.at(r, c) != table.at(it->second, c)) {
         return std::pair{it->second, r};
       }
     }

@@ -95,8 +95,9 @@ std::size_t Partition::error() const noexcept {
 Partition partition_by_column(const Table& table, std::size_t col) {
   std::unordered_map<Value, std::vector<std::uint32_t>> groups;
   groups.reserve(table.num_rows());
-  for (std::size_t i = 0; i < table.num_rows(); ++i) {
-    groups[table.at(i, col)].push_back(static_cast<std::uint32_t>(i));
+  const std::span<const Value> column = table.column(col);
+  for (std::size_t i = 0; i < column.size(); ++i) {
+    groups[column[i]].push_back(static_cast<std::uint32_t>(i));
   }
   Partition out;
   for (auto& [value, rows] : groups) {
@@ -168,16 +169,12 @@ Partition product(const Partition& a, const Partition& b,
 
 std::vector<std::uint64_t> column_fingerprints(const Table& table) {
   const std::size_t k = table.num_cols();
-  // FNV-1a per column, folded row-major so the table is scanned once.
-  std::vector<std::uint64_t> fps(k, 1469598103934665603ULL);
-  for (const Row& r : table.rows()) {
-    for (std::size_t c = 0; c < k; ++c) {
-      std::uint64_t h = fps[c];
-      h ^= r[c];
-      h *= 1099511628211ULL;
-      fps[c] = h;
-    }
-  }
+  // The table caches these per column with dirty-tracking, so a mine
+  // after a cell-wise patch only rehashes the touched columns. Calling
+  // this before the parallel lattice walk also warms the cache on the
+  // calling thread (Table caches are unsynchronized).
+  std::vector<std::uint64_t> fps(k);
+  for (std::size_t c = 0; c < k; ++c) fps[c] = table.column_fingerprint(c);
   return fps;
 }
 

@@ -83,9 +83,14 @@ bool same_relation(const Table& a, const Table& b) {
   if (a.schema() != b.schema()) return false;
   if (a.num_rows() != b.num_rows()) return false;
   std::unordered_map<std::vector<Value>, int, VecHash> counts;
-  for (const Row& r : a.rows()) ++counts[r];
-  for (const Row& r : b.rows()) {
-    const auto it = counts.find(r);
+  Row scratch;
+  for (std::size_t r = 0; r < a.num_rows(); ++r) {
+    a.copy_row_into(r, scratch);
+    ++counts[scratch];
+  }
+  for (std::size_t r = 0; r < b.num_rows(); ++r) {
+    b.copy_row_into(r, scratch);
+    const auto it = counts.find(scratch);
     if (it == counts.end() || it->second == 0) return false;
     --it->second;
   }
@@ -111,7 +116,7 @@ bool jd_holds(const Table& table, std::span<const AttrSet> components) {
     order.push_back(joined.schema().index_of(attr.name));
   }
   std::unordered_map<std::vector<Value>, bool, VecHash> seen;
-  for (const Row& r : joined.rows()) {
+  for (const RowView r : joined.rows()) {
     Row row;
     row.reserve(order.size());
     for (std::size_t c : order) row.push_back(r[c]);
@@ -119,8 +124,10 @@ bool jd_holds(const Table& table, std::span<const AttrSet> components) {
   }
   Table original_set(table.name(), table.schema());
   std::unordered_map<std::vector<Value>, bool, VecHash> seen2;
-  for (const Row& r : table.rows()) {
-    if (seen2.emplace(r, true).second) original_set.add_row(r);
+  Row scratch;
+  for (std::size_t r = 0; r < table.num_rows(); ++r) {
+    table.copy_row_into(r, scratch);
+    if (seen2.emplace(scratch, true).second) original_set.add_row(scratch);
   }
   return same_relation(original_set, reordered);
 }
@@ -137,25 +144,28 @@ bool is_lossless_split(const Table& table, const Fd& fd) {
     cols.insert(order[c]);
   }
   Table reordered(table.name(), table.schema());
-  for (const Row& r : joined.rows()) {
+  for (const RowView r : joined.rows()) {
     Row row;
     row.reserve(order.size());
     for (std::size_t c : order) row.push_back(r[c]);
     reordered.add_row(std::move(row));
   }
   // Projection dedup may have merged duplicates; compare as sets.
+  Row scratch;
   Table original_set(table.name(), table.schema());
   {
     std::unordered_map<std::vector<Value>, bool, VecHash> seen;
-    for (const Row& r : table.rows()) {
-      if (seen.emplace(r, true).second) original_set.add_row(r);
+    for (std::size_t r = 0; r < table.num_rows(); ++r) {
+      table.copy_row_into(r, scratch);
+      if (seen.emplace(scratch, true).second) original_set.add_row(scratch);
     }
   }
   Table joined_set(table.name(), table.schema());
   {
     std::unordered_map<std::vector<Value>, bool, VecHash> seen;
-    for (const Row& r : reordered.rows()) {
-      if (seen.emplace(r, true).second) joined_set.add_row(r);
+    for (std::size_t r = 0; r < reordered.num_rows(); ++r) {
+      reordered.copy_row_into(r, scratch);
+      if (seen.emplace(scratch, true).second) joined_set.add_row(scratch);
     }
   }
   return same_relation(original_set, joined_set);

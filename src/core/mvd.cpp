@@ -26,7 +26,7 @@ struct VecHash {
   }
 };
 
-std::vector<Value> slice(const Row& row, const AttrSet& cols) {
+std::vector<Value> slice(const RowView& row, const AttrSet& cols) {
   std::vector<Value> out;
   out.reserve(cols.size());
   for (std::size_t c : cols) out.push_back(row[c]);
@@ -51,7 +51,7 @@ bool mvd_holds(const Table& table, const Mvd& mvd) {
     std::set<std::pair<std::vector<Value>, std::vector<Value>>> pairs;
   };
   std::unordered_map<std::vector<Value>, Group, VecHash> groups;
-  for (const Row& row : table.rows()) {
+  for (const RowView row : table.rows()) {
     Group& g = groups[slice(row, mvd.lhs)];
     auto ypart = slice(row, y);
     auto zpart = slice(row, z);

@@ -1,8 +1,6 @@
 #include "core/table.hpp"
 
 #include <algorithm>
-#include <set>
-#include <unordered_map>
 #include <unordered_set>
 
 #include "util/contract.hpp"
@@ -12,13 +10,16 @@ namespace maton::core {
 
 namespace {
 
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
 /// FNV-1a over the selected columns of a row, for dedup sets.
 struct ProjectedRowHash {
   std::size_t operator()(const std::vector<Value>& vals) const noexcept {
-    std::uint64_t h = 1469598103934665603ULL;
+    std::uint64_t h = kFnvOffset;
     for (Value v : vals) {
       h ^= v;
-      h *= 1099511628211ULL;
+      h *= kFnvPrime;
     }
     return static_cast<std::size_t>(h);
   }
@@ -26,33 +27,108 @@ struct ProjectedRowHash {
 
 }  // namespace
 
-void Table::add_row(Row row) {
+Table::Table(const Table& other)
+    : name_(other.name_),
+      schema_(other.schema_),
+      num_rows_(other.num_rows_),
+      cols_(other.cols_) {
+  // Caches and key indexes are rebuilt on demand; copying a table (e.g.
+  // into a pipeline stage) must not drag an index sized like the table.
+}
+
+Table& Table::operator=(const Table& other) {
+  if (this == &other) return *this;
+  name_ = other.name_;
+  schema_ = other.schema_;
+  num_rows_ = other.num_rows_;
+  cols_ = other.cols_;
+  invalidate_all_caches();
+  return *this;
+}
+
+void Table::invalidate_all_caches() noexcept {
+  col_fp_.clear();
+  col_fp_valid_.clear();
+  table_fp_.reset();
+  key_indexes_.clear();
+}
+
+void Table::add_row(const Row& row) {
   expects(row.size() == schema_.size(),
           "row width does not match schema width in table " + name_);
-  rows_.push_back(std::move(row));
+  for (std::size_t c = 0; c < cols_.size(); ++c) {
+    cols_[c].push_back(row[c]);
+    // A valid column fingerprint folds the appended value in place
+    // (FNV-1a is a left fold over the sequence), so appends keep warm
+    // fingerprints warm.
+    if (c < col_fp_valid_.size() && col_fp_valid_[c] != 0) {
+      col_fp_[c] = (col_fp_[c] ^ row[c]) * kFnvPrime;
+    }
+  }
+  ++num_rows_;
+  // The whole-table fingerprint mixes the row count before the cells.
+  table_fp_.reset();
+  // Key indexes extend lazily on the next probe (rows_indexed lags).
+}
+
+void Table::reserve_rows(std::size_t n) {
+  for (auto& col : cols_) col.reserve(n);
 }
 
 void Table::set_value(std::size_t row_idx, std::size_t col, Value v) {
-  expects(row_idx < rows_.size(), "row index out of range");
+  expects(row_idx < num_rows_, "row index out of range");
   expects(col < schema_.size(), "column index out of range");
-  rows_[row_idx][col] = v;
+  Value& cell = cols_[col][row_idx];
+  if (cell == v) return;  // no content change; every cache stays valid
+  cell = v;
+  if (col < col_fp_valid_.size()) col_fp_valid_[col] = 0;
+  table_fp_.reset();
+  // Only indexes that cover the touched column see a different key.
+  for (auto it = key_indexes_.begin(); it != key_indexes_.end();) {
+    it = ((it->first >> col) & 1) != 0 ? key_indexes_.erase(it)
+                                       : std::next(it);
+  }
 }
 
 void Table::erase_rows(std::size_t first, std::size_t count) {
-  expects(first + count <= rows_.size(), "row range out of range");
-  rows_.erase(rows_.begin() + static_cast<std::ptrdiff_t>(first),
-              rows_.begin() + static_cast<std::ptrdiff_t>(first + count));
+  expects(first + count <= num_rows_, "row range out of range");
+  if (count == 0) return;
+  for (auto& col : cols_) {
+    col.erase(col.begin() + static_cast<std::ptrdiff_t>(first),
+              col.begin() + static_cast<std::ptrdiff_t>(first + count));
+  }
+  num_rows_ -= count;
+  invalidate_all_caches();
 }
 
-const Row& Table::row(std::size_t i) const {
-  expects(i < rows_.size(), "row index out of range");
-  return rows_[i];
+Row Table::row(std::size_t i) const {
+  expects(i < num_rows_, "row index out of range");
+  Row out;
+  out.reserve(cols_.size());
+  for (const auto& col : cols_) out.push_back(col[i]);
+  return out;
+}
+
+void Table::copy_row_into(std::size_t i, Row& out) const {
+  expects(i < num_rows_, "row index out of range");
+  out.resize(cols_.size());
+  for (std::size_t c = 0; c < cols_.size(); ++c) out[c] = cols_[c][i];
+}
+
+RowView Table::row_view(std::size_t i) const {
+  expects(i < num_rows_, "row index out of range");
+  return RowView(*this, i);
+}
+
+std::span<const Value> Table::column(std::size_t col) const {
+  expects(col < schema_.size(), "column index out of range");
+  return cols_[col];
 }
 
 Value Table::at(std::size_t row_idx, std::size_t col) const {
-  expects(row_idx < rows_.size(), "row index out of range");
+  expects(row_idx < num_rows_, "row index out of range");
   expects(col < schema_.size(), "column index out of range");
-  return rows_[row_idx][col];
+  return cols_[col][row_idx];
 }
 
 Table Table::project(const AttrSet& cols, std::string name) const {
@@ -62,11 +138,17 @@ Table Table::project(const AttrSet& cols, std::string name) const {
                          : std::move(name),
             std::move(sub));
 
+  // Hoist the source columns once; the scan is then k contiguous reads
+  // per row instead of a pointer chase through per-row vectors.
+  std::vector<const Value*> src;
+  src.reserve(old_cols.size());
+  for (std::size_t c : old_cols) src.push_back(cols_[c].data());
+
   std::unordered_set<std::vector<Value>, ProjectedRowHash> seen;
-  for (const Row& r : rows_) {
-    std::vector<Value> proj;
-    proj.reserve(old_cols.size());
-    for (std::size_t c : old_cols) proj.push_back(r[c]);
+  seen.reserve(num_rows_);
+  std::vector<Value> proj(old_cols.size());
+  for (std::size_t r = 0; r < num_rows_; ++r) {
+    for (std::size_t k = 0; k < src.size(); ++k) proj[k] = src[k][r];
     if (seen.insert(proj).second) out.add_row(proj);
   }
   return out;
@@ -75,8 +157,12 @@ Table Table::project(const AttrSet& cols, std::string name) const {
 Table Table::select_eq(std::size_t col, Value v, std::string name) const {
   expects(col < schema_.size(), "column index out of range");
   Table out(name.empty() ? name_ : std::move(name), schema_);
-  for (const Row& r : rows_) {
-    if (r[col] == v) out.add_row(r);
+  const std::span<const Value> probe = cols_[col];
+  Row scratch;
+  for (std::size_t r = 0; r < num_rows_; ++r) {
+    if (probe[r] != v) continue;
+    copy_row_into(r, scratch);
+    out.add_row(scratch);
   }
   return out;
 }
@@ -87,68 +173,142 @@ bool Table::unique_on(const AttrSet& cols) const {
 
 std::optional<std::pair<std::size_t, std::size_t>> Table::duplicate_on(
     const AttrSet& cols) const {
+  std::vector<const Value*> src;
+  src.reserve(cols.size());
+  for (std::size_t c : cols) {
+    expects(c < schema_.size(), "column index out of range");
+    src.push_back(cols_[c].data());
+  }
   std::unordered_map<std::vector<Value>, std::size_t, ProjectedRowHash> seen;
-  for (std::size_t i = 0; i < rows_.size(); ++i) {
-    std::vector<Value> proj;
-    proj.reserve(cols.size());
-    for (std::size_t c : cols) proj.push_back(rows_[i][c]);
-    const auto [it, inserted] = seen.emplace(std::move(proj), i);
+  seen.reserve(num_rows_);
+  std::vector<Value> proj(src.size());
+  for (std::size_t i = 0; i < num_rows_; ++i) {
+    for (std::size_t k = 0; k < src.size(); ++k) proj[k] = src[k][i];
+    const auto [it, inserted] = seen.emplace(proj, i);
     if (!inserted) return std::pair{it->second, i};
   }
   return std::nullopt;
 }
 
+std::uint64_t Table::hash_row_key(std::size_t row, const AttrSet& cols) const {
+  std::uint64_t h = kFnvOffset;
+  for (std::size_t c : cols) {
+    h ^= cols_[c][row];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
 std::optional<std::size_t> Table::find_row(const AttrSet& cols,
                                            std::span<const Value> key) const {
   expects(key.size() == cols.size(), "key width differs from column count");
-  for (std::size_t i = 0; i < rows_.size(); ++i) {
+  for (std::size_t c : cols) {
+    expects(c < schema_.size(), "column index out of range");
+  }
+
+  KeyIndex& index = key_indexes_[cols.raw()];
+  if (index.rows_indexed < num_rows_) {
+    // Extend over rows appended since the last probe (or build fresh).
+    for (std::size_t r = index.rows_indexed; r < num_rows_; ++r) {
+      index.buckets[hash_row_key(r, cols)].push_back(
+          static_cast<std::uint32_t>(r));
+    }
+    index.rows_indexed = num_rows_;
+  }
+
+  std::uint64_t h = kFnvOffset;
+  for (Value v : key) {
+    h ^= v;
+    h *= kFnvPrime;
+  }
+  const auto bucket = index.buckets.find(h);
+  if (bucket == index.buckets.end()) return std::nullopt;
+  // Bucket rows are ascending by construction, so the first verified
+  // candidate is the first matching row — identical to the linear scan.
+  for (const std::uint32_t r : bucket->second) {
     std::size_t k = 0;
     bool match = true;
     for (std::size_t c : cols) {
-      if (rows_[i][c] != key[k]) {
+      if (cols_[c][r] != key[k]) {
         match = false;
         break;
       }
       ++k;
     }
-    if (match) return i;
+    if (match) return r;
   }
   return std::nullopt;
 }
 
 std::size_t Table::distinct_count(const AttrSet& cols) const {
+  std::vector<const Value*> src;
+  src.reserve(cols.size());
+  for (std::size_t c : cols) {
+    expects(c < schema_.size(), "column index out of range");
+    src.push_back(cols_[c].data());
+  }
   std::unordered_set<std::vector<Value>, ProjectedRowHash> seen;
-  for (const Row& r : rows_) {
-    std::vector<Value> proj;
-    proj.reserve(cols.size());
-    for (std::size_t c : cols) proj.push_back(r[c]);
-    seen.insert(std::move(proj));
+  seen.reserve(num_rows_);
+  std::vector<Value> proj(src.size());
+  for (std::size_t r = 0; r < num_rows_; ++r) {
+    for (std::size_t k = 0; k < src.size(); ++k) proj[k] = src[k][r];
+    seen.insert(proj);
   }
   return seen.size();
 }
 
 std::uint64_t Table::column_fingerprint(std::size_t col) const {
   expects(col < schema_.size(), "column index out of range");
-  std::uint64_t h = 1469598103934665603ULL;
-  for (const Row& r : rows_) {
-    h ^= r[col];
-    h *= 1099511628211ULL;
+  if (col_fp_valid_.size() != schema_.size()) {
+    col_fp_.assign(schema_.size(), 0);
+    col_fp_valid_.assign(schema_.size(), 0);
   }
-  return h;
+  if (col_fp_valid_[col] == 0) {
+    std::uint64_t h = kFnvOffset;
+    for (const Value v : cols_[col]) {
+      h ^= v;
+      h *= kFnvPrime;
+    }
+    col_fp_[col] = h;
+    col_fp_valid_[col] = 1;
+  }
+  return col_fp_[col];
 }
 
 std::uint64_t Table::fingerprint() const noexcept {
-  std::uint64_t h = 1469598103934665603ULL;
+  if (table_fp_.has_value()) return *table_fp_;
+  std::uint64_t h = kFnvOffset;
   const auto mix = [&h](std::uint64_t v) {
     h ^= v;
-    h *= 1099511628211ULL;
+    h *= kFnvPrime;
   };
   mix(schema_.size());
-  mix(rows_.size());
-  for (const Row& r : rows_) {
-    for (Value v : r) mix(v);
+  mix(num_rows_);
+  // Row-major cell order, matching the former row-of-vectors store.
+  for (std::size_t r = 0; r < num_rows_; ++r) {
+    for (const auto& col : cols_) mix(col[r]);
   }
+  table_fp_ = h;
   return h;
+}
+
+std::size_t Table::memory_bytes() const noexcept {
+  std::size_t bytes = 0;
+  for (const auto& col : cols_) bytes += col.capacity() * sizeof(Value);
+  bytes += cols_.capacity() * sizeof(std::vector<Value>);
+  bytes += col_fp_.capacity() * sizeof(std::uint64_t);
+  bytes += col_fp_valid_.capacity();
+  // Hash maps: estimate nodes (entry + next pointer) plus bucket array.
+  for (const auto& [raw, index] : key_indexes_) {
+    (void)raw;
+    for (const auto& [h, rows] : index.buckets) {
+      (void)h;
+      bytes += sizeof(std::uint64_t) + sizeof(std::vector<std::uint32_t>) +
+               rows.capacity() * sizeof(std::uint32_t) + sizeof(void*);
+    }
+    bytes += index.buckets.bucket_count() * sizeof(void*);
+  }
+  return bytes;
 }
 
 std::string format_value(const Attribute& attr, Value v) {
@@ -169,19 +329,29 @@ std::string format_value(const Attribute& attr, Value v) {
 }
 
 std::string Table::to_string() const {
-  // Compute column widths over header and rendered cells.
   std::vector<std::string> header;
   header.reserve(schema_.size());
   for (const Attribute& a : schema_.attributes()) {
     header.push_back(a.kind == AttrKind::kAction ? a.name + "!" : a.name);
   }
+
+  // Head/tail elision: rendering cost (and column-width computation) is
+  // bounded by kRenderHead + kRenderTail regardless of the row count.
+  const bool elide = num_rows_ > kRenderHead + kRenderTail;
+  const std::size_t head = elide ? kRenderHead : num_rows_;
+  const std::size_t tail_first = elide ? num_rows_ - kRenderTail : num_rows_;
+  std::vector<std::size_t> rendered;
+  rendered.reserve(head + (num_rows_ - tail_first));
+  for (std::size_t r = 0; r < head; ++r) rendered.push_back(r);
+  for (std::size_t r = tail_first; r < num_rows_; ++r) rendered.push_back(r);
+
   std::vector<std::vector<std::string>> cells;
-  cells.reserve(rows_.size());
-  for (const Row& r : rows_) {
+  cells.reserve(rendered.size());
+  for (const std::size_t r : rendered) {
     std::vector<std::string> line;
-    line.reserve(r.size());
-    for (std::size_t c = 0; c < r.size(); ++c) {
-      line.push_back(format_value(schema_.at(c), r[c]));
+    line.reserve(schema_.size());
+    for (std::size_t c = 0; c < schema_.size(); ++c) {
+      line.push_back(format_value(schema_.at(c), cols_[c][r]));
     }
     cells.push_back(std::move(line));
   }
@@ -191,7 +361,7 @@ std::string Table::to_string() const {
     for (const auto& line : cells) width[c] = std::max(width[c], line[c].size());
   }
 
-  std::string out = "table " + name_ + " (" + std::to_string(rows_.size()) +
+  std::string out = "table " + name_ + " (" + std::to_string(num_rows_) +
                     " entries)\n";
   auto emit = [&](const std::vector<std::string>& line) {
     out += "  ";
@@ -202,7 +372,12 @@ std::string Table::to_string() const {
     out += '\n';
   };
   emit(header);
-  for (const auto& line : cells) emit(line);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (elide && i == head) {
+      out += "  … (" + std::to_string(tail_first - head) + " more rows)\n";
+    }
+    emit(cells[i]);
+  }
   return out;
 }
 

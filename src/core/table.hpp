@@ -1,11 +1,40 @@
 // Table: a match-action table in (or aspiring to) first normal form —
 // a finite relation over a Schema whose rows pair exact-match values with
 // action values (Eq. 1 of the paper).
+//
+// Storage is columnar (struct-of-arrays): one contiguous
+// std::vector<Value> per column. Every relational operation the pipeline
+// is built from — projection, selection, fingerprinting, FD mining's
+// partition construction — is a column scan or a key probe, so the
+// column-major layout turns the hot loops into contiguous sweeps and
+// drops the per-row heap allocation of the former row-of-vectors store
+// (≈3× fewer bytes per rule at fleet scale; see BENCH_scale.json).
+//
+// Two lazy, mutation-tracked acceleration structures ride on top:
+//
+//  * per-column content fingerprints (column_fingerprint): computed on
+//    demand, kept per column and invalidated only when that column's
+//    value sequence changes, so the FD-mining partition cache stays warm
+//    across cell-wise control-plane patches without rehashing clean
+//    columns;
+//  * match-key hash indexes (find_row): one per queried column set,
+//    built on first probe and extended incrementally on append, making
+//    find_row O(1) amortized instead of an O(rows) scan.
+//
+// Both are internal caches: they never change observable results, and
+// equality/fingerprints depend only on (name, schema, cell contents).
+// They are NOT synchronized — concurrent access to one Table must be
+// confined to the pure readers (at, column, row_view, num_rows); the
+// parallel FD miner warms fingerprints on the calling thread for this
+// reason.
 #pragma once
 
+#include <cstdint>
+#include <iterator>
 #include <optional>
 #include <span>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -15,25 +44,98 @@
 namespace maton::core {
 
 /// One entry of a match-action table: a full assignment of values to the
-/// schema's columns.
+/// schema's columns (materialized, row-major).
 using Row = std::vector<Value>;
+
+class Table;
+
+/// Lightweight non-owning view of one table entry. Indexing reads
+/// straight out of the column store; materialize() produces a Row copy.
+/// Invalidated by any mutation of the underlying table.
+class RowView {
+ public:
+  RowView(const Table& table, std::size_t row) noexcept
+      : table_(&table), row_(row) {}
+
+  [[nodiscard]] inline Value operator[](std::size_t col) const;
+  [[nodiscard]] inline std::size_t size() const noexcept;
+  /// Index of this entry within its table.
+  [[nodiscard]] std::size_t index() const noexcept { return row_; }
+  [[nodiscard]] inline Row materialize() const;
+
+ private:
+  const Table* table_;
+  std::size_t row_;
+};
+
+/// Forward range over a table's entries yielding RowView (the migration
+/// target for the former `for (const Row& r : table.rows())` loops).
+class RowRange {
+ public:
+  class iterator {
+   public:
+    using value_type = RowView;
+    using difference_type = std::ptrdiff_t;
+    using iterator_category = std::forward_iterator_tag;
+
+    iterator() noexcept : table_(nullptr), row_(0) {}
+    iterator(const Table* table, std::size_t row) noexcept
+        : table_(table), row_(row) {}
+    RowView operator*() const noexcept { return RowView(*table_, row_); }
+    iterator& operator++() noexcept {
+      ++row_;
+      return *this;
+    }
+    iterator operator++(int) noexcept {
+      iterator out = *this;
+      ++row_;
+      return out;
+    }
+    friend bool operator==(const iterator&, const iterator&) = default;
+
+   private:
+    const Table* table_;
+    std::size_t row_;
+  };
+
+  RowRange(const Table& table, std::size_t n) noexcept
+      : table_(&table), n_(n) {}
+  [[nodiscard]] iterator begin() const noexcept { return {table_, 0}; }
+  [[nodiscard]] iterator end() const noexcept { return {table_, n_}; }
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+
+ private:
+  const Table* table_;
+  std::size_t n_;
+};
 
 class Table {
  public:
   Table() = default;
   Table(std::string name, Schema schema)
-      : name_(std::move(name)), schema_(std::move(schema)) {}
+      : name_(std::move(name)),
+        schema_(std::move(schema)),
+        cols_(schema_.size()) {}
+
+  Table(const Table& other);
+  Table(Table&& other) noexcept = default;
+  Table& operator=(const Table& other);
+  Table& operator=(Table&& other) noexcept = default;
+  ~Table() = default;
 
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
   void set_name(std::string name) { name_ = std::move(name); }
 
   [[nodiscard]] const Schema& schema() const noexcept { return schema_; }
-  [[nodiscard]] std::size_t num_rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t num_rows() const noexcept { return num_rows_; }
   [[nodiscard]] std::size_t num_cols() const noexcept { return schema_.size(); }
-  [[nodiscard]] bool empty() const noexcept { return rows_.empty(); }
+  [[nodiscard]] bool empty() const noexcept { return num_rows_ == 0; }
 
   /// Appends an entry; the row width must equal the schema width.
-  void add_row(Row row);
+  void add_row(const Row& row);
+
+  /// Pre-extends every column's capacity for `n` total entries.
+  void reserve_rows(std::size_t n);
 
   /// Overwrites one cell in place. This is the control-plane patching
   /// primitive: an intent that rewrites a few cells of one column leaves
@@ -44,8 +146,25 @@ class Table {
   /// Erases `count` consecutive rows starting at `first`.
   void erase_rows(std::size_t first, std::size_t count);
 
-  [[nodiscard]] const Row& row(std::size_t i) const;
-  [[nodiscard]] const std::vector<Row>& rows() const noexcept { return rows_; }
+  /// Materialized copy of entry `i` (row-major).
+  [[nodiscard]] Row row(std::size_t i) const;
+
+  /// Copies entry `i` into `out` (resized to the schema width) without
+  /// allocating when `out` already has capacity — the per-row primitive
+  /// of bulk lowering loops.
+  void copy_row_into(std::size_t i, Row& out) const;
+
+  /// Zero-copy view of entry `i`.
+  [[nodiscard]] RowView row_view(std::size_t i) const;
+
+  /// Iteration over all entries as RowViews, in row order.
+  [[nodiscard]] RowRange rows() const noexcept {
+    return RowRange(*this, num_rows_);
+  }
+
+  /// Contiguous value sequence of one column, in row order. The natural
+  /// access path for column scans (fingerprints, partitions, FD checks).
+  [[nodiscard]] std::span<const Value> column(std::size_t col) const;
 
   [[nodiscard]] Value at(std::size_t row, std::size_t col) const;
 
@@ -73,14 +192,17 @@ class Table {
   }
 
   /// Index of the first row whose `cols` columns equal `key` (which is
-  /// given in ascending-column order), or nullopt.
+  /// given in ascending-column order), or nullopt. O(1) amortized: the
+  /// first probe for a given `cols` builds a hash index over the live
+  /// rows; later probes reuse it (appends extend it incrementally,
+  /// set_value drops only the indexes covering the touched column).
   [[nodiscard]] std::optional<std::size_t> find_row(
       const AttrSet& cols, std::span<const Value> key) const;
 
   /// Number of populated match-action fields, the size measure of §2
   /// ("the universal table in Fig. 1a contains 24 match-action fields").
   [[nodiscard]] std::size_t field_count() const noexcept {
-    return rows_.size() * schema_.size();
+    return num_rows_ * schema_.size();
   }
 
   /// Number of distinct value combinations over `cols`.
@@ -89,23 +211,79 @@ class Table {
   /// Content fingerprint of one column: a hash of its value sequence in
   /// row order. Equal fingerprints ⇒ (whp) equal column contents, which
   /// is the FD-mining partition-cache reuse criterion — π(X) depends
-  /// only on the value sequences of X's columns.
+  /// only on the value sequences of X's columns. Cached per column and
+  /// recomputed only after that column's sequence changed (set_value
+  /// dirties one column; appends fold into valid fingerprints in place).
   [[nodiscard]] std::uint64_t column_fingerprint(std::size_t col) const;
 
   /// Whole-table content fingerprint: schema width, row count, and every
-  /// cell, in order. Mutating the table (add_row) changes it.
+  /// cell, in row-major order. Mutating the table changes it. Cached
+  /// until the next mutation.
   [[nodiscard]] std::uint64_t fingerprint() const noexcept;
 
+  /// Heap bytes held by the value store plus the lazy caches/indexes
+  /// currently materialized (hash-map footprints are estimated from
+  /// entry and bucket counts). The BENCH_scale.json bytes/rule metric.
+  [[nodiscard]] std::size_t memory_bytes() const noexcept;
+
   /// Pretty-printed table (attribute header + typed value rendering).
+  /// Large tables are elided: the first kRenderHead and last kRenderTail
+  /// entries frame an "… (N more rows)" marker, so printing a
+  /// fleet-scale universal table stays O(1) in the row count.
   [[nodiscard]] std::string to_string() const;
 
-  friend bool operator==(const Table&, const Table&) = default;
+  static constexpr std::size_t kRenderHead = 48;
+  static constexpr std::size_t kRenderTail = 8;
+
+  /// Equality is relation-level: name, schema and cell contents. The
+  /// lazy caches and key indexes never participate.
+  friend bool operator==(const Table& a, const Table& b) {
+    return a.name_ == b.name_ && a.schema_ == b.schema_ &&
+           a.num_rows_ == b.num_rows_ && a.cols_ == b.cols_;
+  }
 
  private:
+  friend class RowView;
+
+  /// Hash index over one column set: FNV-1a of the key values (ascending
+  /// column order) → row indices carrying that hash, ascending. Probes
+  /// verify the actual cells, so hash collisions only cost comparisons.
+  struct KeyIndex {
+    std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> buckets;
+    std::size_t rows_indexed = 0;
+  };
+
+  void invalidate_all_caches() noexcept;
+  [[nodiscard]] std::uint64_t hash_row_key(std::size_t row,
+                                           const AttrSet& cols) const;
+
   std::string name_;
   Schema schema_;
-  std::vector<Row> rows_;
+  std::size_t num_rows_ = 0;
+  /// cols_[c][r] = cell (r, c); every inner vector has num_rows_ entries.
+  std::vector<std::vector<Value>> cols_;
+
+  // --- lazy caches (content-derived; dropped by copy, never compared) --
+  mutable std::vector<std::uint64_t> col_fp_;        // per-column FNV-1a
+  mutable std::vector<std::uint8_t> col_fp_valid_;   // parallel validity
+  mutable std::optional<std::uint64_t> table_fp_;
+  mutable std::unordered_map<std::uint64_t, KeyIndex> key_indexes_;
 };
+
+inline Value RowView::operator[](std::size_t col) const {
+  return table_->cols_[col][row_];
+}
+
+inline std::size_t RowView::size() const noexcept {
+  return table_->num_cols();
+}
+
+inline Row RowView::materialize() const {
+  Row out;
+  out.reserve(size());
+  for (std::size_t c = 0; c < size(); ++c) out.push_back((*this)[c]);
+  return out;
+}
 
 /// Renders one cell according to the attribute's codec.
 [[nodiscard]] std::string format_value(const Attribute& attr, Value v);

@@ -357,7 +357,7 @@ std::string to_text(const Table& table) {
     out += ";\n";
   }
   out += "\n";
-  for (const Row& row : table.rows()) {
+  for (const RowView row : table.rows()) {
     out += "  ";
     bool first = true;
     for (const std::size_t c : schema.match_set()) {

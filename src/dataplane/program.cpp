@@ -105,7 +105,12 @@ Rule lower_row_resolved(const core::Schema& schema, const core::Row& row,
     if (attr.name == "out") {
       rule.actions.push_back({Action::Kind::kOutput, FieldId::kMeta0, row[c]});
     } else {
-      rule.actions.push_back({Action::Kind::kSetField, col_field[c], row[c]});
+      Action set{Action::Kind::kSetField, col_field[c], row[c]};
+      // Only the attribute's declared bits are defined by this write;
+      // the dataflow pass flags wider reads (MA302).
+      set.width_bits = static_cast<std::uint8_t>(std::min<unsigned>(
+          attr.width_bits, field_width(col_field[c])));
+      rule.actions.push_back(set);
     }
   }
   rule.goto_table = goto_target;
@@ -227,9 +232,12 @@ Result<Program> compile(const core::Pipeline& pipeline, FieldMap* field_map) {
       }
     }
 
+    spec.rules.reserve(stage.table.num_rows());
+    core::Row scratch;
     for (std::size_t r = 0; r < stage.table.num_rows(); ++r) {
+      stage.table.copy_row_into(r, scratch);
       spec.rules.push_back(lower_row_resolved(
-          schema, stage.table.row(r), col_field,
+          schema, scratch, col_field,
           stage.uses_goto() ? std::optional{remap[stage.goto_targets[r]]}
                             : std::nullopt));
     }

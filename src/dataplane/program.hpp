@@ -42,6 +42,12 @@ struct Action {
   Kind kind = Kind::kOutput;
   FieldId field = FieldId::kMeta0;  // for kSetField
   std::uint64_t value = 0;          // port for kOutput, new value otherwise
+  /// Declared width of a kSetField write in bits: only the low
+  /// `width_bits` bits of `field` are defined after the write. Lowering
+  /// sets it from the source attribute; the dataflow pass uses it to
+  /// catch reads of partially-initialized metadata (MA302). 64 means
+  /// "whole field" and is the conservative default.
+  std::uint8_t width_bits = 64;
 
   friend bool operator==(const Action&, const Action&) = default;
 };

@@ -27,6 +27,11 @@ Gwlb assemble(std::vector<GwlbService> services) {
   Gwlb gwlb;
   gwlb.services = std::move(services);
   gwlb.universal = Table("gwlb.universal", gwlb_universal_schema());
+  std::size_t total_rows = 0;
+  for (const GwlbService& svc : gwlb.services) {
+    total_rows += svc.src_prefixes.size();
+  }
+  gwlb.universal.reserve_rows(total_rows);
   for (const GwlbService& svc : gwlb.services) {
     for (Row& row : gwlb_universal_rows(svc)) {
       gwlb.universal.add_row(std::move(row));
@@ -154,17 +159,29 @@ Gwlb make_gwlb(const GwlbConfig& config) {
   const unsigned split_len =
       static_cast<unsigned>(std::countr_zero(config.num_backends));
 
+  // The randomized 198.18.0.0/16 draw below has only 256*254 = 65024
+  // distinct VIPs; rejection sampling degenerates (and then livelocks)
+  // as the fleet approaches that. Past half the space, switch to a
+  // dense deterministic allocation over 10.0.0.0/8 instead. Small
+  // fleets keep the exact historical draw sequence, so every seeded
+  // instance used by tests and recorded benchmarks is unchanged.
+  const bool dense_vips = config.num_services > 32000;
+
   std::set<std::uint32_t> used_vips;
   std::vector<GwlbService> services;
   services.reserve(config.num_services);
   std::uint64_t next_vm = 1;
   for (std::size_t s = 0; s < config.num_services; ++s) {
     GwlbService svc;
-    // Unique public VIP in 198.18.0.0/15 (benchmark address space).
-    do {
-      svc.vip = ipv4(198, 18, static_cast<unsigned>(rng.uniform(0, 255)),
-                     static_cast<unsigned>(rng.uniform(1, 254)));
-    } while (!used_vips.insert(svc.vip).second);
+    if (dense_vips) {
+      svc.vip = ipv4(10, 0, 0, 0) + static_cast<std::uint32_t>(s) + 1;
+    } else {
+      // Unique public VIP in 198.18.0.0/15 (benchmark address space).
+      do {
+        svc.vip = ipv4(198, 18, static_cast<unsigned>(rng.uniform(0, 255)),
+                       static_cast<unsigned>(rng.uniform(1, 254)));
+      } while (!used_vips.insert(svc.vip).second);
+    }
     svc.port = static_cast<std::uint16_t>(rng.uniform(1, 65535));
 
     for (std::size_t b = 0; b < config.num_backends; ++b) {

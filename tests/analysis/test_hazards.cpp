@@ -137,5 +137,93 @@ TEST(Hazards, HeaderFieldMatchesAreNeverFlagged) {
   EXPECT_TRUE(run_dataflow(program).diagnostics.empty());
 }
 
+// --- MA302: bit-granular partially-initialized reads -----------------
+
+dp::Rule rule_setting_width(FieldId field, std::uint64_t value,
+                            std::uint8_t width_bits) {
+  dp::Rule r = rule_setting(field, value);
+  r.actions.back().width_bits = width_bits;
+  return r;
+}
+
+TEST(Hazards, NarrowTagReadUnderWideMaskIsPartialInitWarning) {
+  // A 4-bit tag write followed by an 8-bit-mask read: bits 4..7 are
+  // never written and always read as 0, silently shrinking the match.
+  dp::Program program;
+  dp::TableSpec tagger;
+  tagger.name = "tagger";
+  tagger.rules.push_back(rule_setting_width(FieldId::kMeta0, 7, 4));
+  tagger.next = 1;
+  dp::TableSpec reader;
+  reader.name = "reader";
+  dp::Rule read;
+  read.matches.push_back({FieldId::kMeta0, 0x17, 0xff});
+  read.actions.push_back({dp::Action::Kind::kOutput, FieldId::kMeta0, 1});
+  reader.rules.push_back(std::move(read));
+  program.tables.push_back(std::move(tagger));
+  program.tables.push_back(std::move(reader));
+
+  const Report report = run_dataflow(program);
+  ASSERT_EQ(report.diagnostics.size(), 1u);
+  EXPECT_EQ(report.diagnostics[0].code, "MA302");
+  EXPECT_EQ(report.diagnostics[0].severity, Severity::kWarning);
+  EXPECT_EQ(report.diagnostics[0].table, 1u);
+  EXPECT_NE(report.diagnostics[0].message.find("0xf0"), std::string::npos)
+      << report.diagnostics[0].message;
+}
+
+TEST(Hazards, MatchMaskWithinWrittenBitsIsClean) {
+  dp::Program program;
+  dp::TableSpec tagger;
+  tagger.name = "tagger";
+  tagger.rules.push_back(rule_setting_width(FieldId::kMeta0, 7, 4));
+  tagger.next = 1;
+  dp::TableSpec reader;
+  reader.name = "reader";
+  dp::Rule read;
+  read.matches.push_back({FieldId::kMeta0, 0x7, 0xf});  // mask ⊆ defined
+  read.actions.push_back({dp::Action::Kind::kOutput, FieldId::kMeta0, 1});
+  reader.rules.push_back(std::move(read));
+  program.tables.push_back(std::move(tagger));
+  program.tables.push_back(std::move(reader));
+  EXPECT_TRUE(run_dataflow(program).diagnostics.empty());
+}
+
+TEST(Hazards, WidthsUnionAcrossBranches) {
+  // One branch writes 4 bits, another 8: may-define is the union, so an
+  // 8-bit-mask read downstream is not flagged.
+  dp::Program program;
+  dp::TableSpec tagger;
+  tagger.name = "tagger";
+  tagger.rules.push_back(rule_setting_width(FieldId::kMeta0, 7, 4));
+  tagger.rules.push_back(rule_setting_width(FieldId::kMeta0, 0x80, 8));
+  tagger.next = 1;
+  dp::TableSpec reader;
+  reader.name = "reader";
+  dp::Rule read;
+  read.matches.push_back({FieldId::kMeta0, 0x17, 0xff});
+  read.actions.push_back({dp::Action::Kind::kOutput, FieldId::kMeta0, 1});
+  reader.rules.push_back(std::move(read));
+  program.tables.push_back(std::move(tagger));
+  program.tables.push_back(std::move(reader));
+  EXPECT_TRUE(run_dataflow(program).diagnostics.empty());
+}
+
+TEST(Hazards, DefaultWidthSetterDefinesWholeField) {
+  // A setter with the default (whole-field) width keeps full-mask reads
+  // clean — the pre-bit-granular behavior.
+  dp::Program program;
+  dp::TableSpec tagger;
+  tagger.name = "tagger";
+  tagger.rules.push_back(rule_setting(FieldId::kMeta3, 0xabcd));
+  tagger.next = 1;
+  dp::TableSpec reader;
+  reader.name = "reader";
+  reader.rules.push_back(rule_matching(FieldId::kMeta3, 0xabcd));
+  program.tables.push_back(std::move(tagger));
+  program.tables.push_back(std::move(reader));
+  EXPECT_TRUE(run_dataflow(program).diagnostics.empty());
+}
+
 }  // namespace
 }  // namespace maton::analysis

@@ -28,7 +28,7 @@ void expect_same_function(const Table& a, const Table& b) {
     reordered_schema.add(a.schema().at(order.size() - 1));
   }
   Table reordered(b.name(), a.schema());
-  for (const Row& r : b.rows()) {
+  for (const RowView r : b.rows()) {
     Row row;
     for (std::size_t c : order) row.push_back(r[c]);
     reordered.add_row(std::move(row));

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "util/format.hpp"
 
 namespace maton::core {
@@ -151,6 +153,63 @@ TEST(Table, ToStringMarksActions) {
   const std::string s = t.to_string();
   EXPECT_NE(s.find("demo"), std::string::npos);
   EXPECT_NE(s.find("c!"), std::string::npos);  // actions are marked with !
+}
+
+TEST(Table, ToStringElidesLargeTables) {
+  Table t("big", make_schema());
+  const std::size_t n = Table::kRenderHead + Table::kRenderTail + 10;
+  for (std::size_t r = 0; r < n; ++r) {
+    t.add_row({r, r + 1, r + 2});
+  }
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("(" + std::to_string(n) + " entries)"), std::string::npos);
+  EXPECT_NE(s.find("(10 more rows)"), std::string::npos);
+  // Head rows and tail rows render; the elided middle does not.
+  EXPECT_NE(s.find(std::to_string(Table::kRenderHead - 1)),
+            std::string::npos);
+  EXPECT_NE(s.find(std::to_string(n - 1)), std::string::npos);
+  // Rendered line count is bounded: header + head + marker + tail.
+  const std::size_t lines =
+      static_cast<std::size_t>(std::count(s.begin(), s.end(), '\n'));
+  EXPECT_EQ(lines, 1 + 1 + Table::kRenderHead + 1 + Table::kRenderTail);
+}
+
+TEST(Table, ToStringDoesNotElideAtThreshold) {
+  Table t("edge", make_schema());
+  for (std::size_t r = 0; r < Table::kRenderHead + Table::kRenderTail; ++r) {
+    t.add_row({r, r, r});
+  }
+  EXPECT_EQ(t.to_string().find("more rows"), std::string::npos);
+}
+
+TEST(Table, CachedFingerprintTracksMutation) {
+  Table t("fp", make_schema());
+  t.add_row({1, 2, 3});
+  t.add_row({4, 5, 6});
+  const std::uint64_t base_c0 = t.column_fingerprint(0);
+  const std::uint64_t base_c1 = t.column_fingerprint(1);
+  const std::uint64_t base_tab = t.fingerprint();
+
+  t.set_value(0, 0, 9);
+  EXPECT_NE(t.column_fingerprint(0), base_c0);
+  EXPECT_EQ(t.column_fingerprint(1), base_c1);  // untouched column stays
+  EXPECT_NE(t.fingerprint(), base_tab);
+
+  t.set_value(0, 0, 1);  // restore: fingerprints must round-trip
+  EXPECT_EQ(t.column_fingerprint(0), base_c0);
+  EXPECT_EQ(t.fingerprint(), base_tab);
+
+  // Appending folds into warm column fingerprints; the result must equal
+  // a cold recompute on an identical table.
+  t.add_row({7, 8, 9});
+  Table fresh("fp", make_schema());
+  fresh.add_row({1, 2, 3});
+  fresh.add_row({4, 5, 6});
+  fresh.add_row({7, 8, 9});
+  for (std::size_t c = 0; c < 3; ++c) {
+    EXPECT_EQ(t.column_fingerprint(c), fresh.column_fingerprint(c));
+  }
+  EXPECT_EQ(t.fingerprint(), fresh.fingerprint());
 }
 
 }  // namespace

@@ -1,0 +1,251 @@
+// Differential test of the columnar Table against a naive
+// row-of-vectors reference model: both are driven through identical
+// randomized op sequences and must agree on every observable —
+// contents, projections, selections, find_row, duplicate_on and both
+// fingerprint families. The reference recomputes everything from
+// scratch, so any dirty-tracking bug in the columnar caches (stale
+// column fingerprint after set_value, key index surviving erase_rows,
+// ...) shows up as a divergence.
+#include "core/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace maton::core {
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+/// The pre-columnar store: a vector of materialized rows, no caches.
+struct RefModel {
+  Schema schema;
+  std::vector<Row> rows;
+
+  std::uint64_t column_fingerprint(std::size_t col) const {
+    std::uint64_t h = kFnvOffset;
+    for (const Row& r : rows) {
+      h ^= r[col];
+      h *= kFnvPrime;
+    }
+    return h;
+  }
+
+  std::uint64_t fingerprint() const {
+    std::uint64_t h = kFnvOffset;
+    const auto mix = [&h](std::uint64_t v) {
+      h ^= v;
+      h *= kFnvPrime;
+    };
+    mix(schema.size());
+    mix(rows.size());
+    for (const Row& r : rows) {
+      for (Value v : r) mix(v);
+    }
+    return h;
+  }
+
+  std::optional<std::size_t> find_row(const AttrSet& cols,
+                                      std::span<const Value> key) const {
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      std::size_t k = 0;
+      bool match = true;
+      for (std::size_t c : cols) {
+        if (rows[r][c] != key[k++]) {
+          match = false;
+          break;
+        }
+      }
+      if (match) return r;
+    }
+    return std::nullopt;
+  }
+
+  std::optional<std::pair<std::size_t, std::size_t>> duplicate_on(
+      const AttrSet& cols) const {
+    for (std::size_t j = 1; j < rows.size(); ++j) {
+      for (std::size_t i = 0; i < j; ++i) {
+        bool agree = true;
+        for (std::size_t c : cols) {
+          if (rows[i][c] != rows[j][c]) {
+            agree = false;
+            break;
+          }
+        }
+        if (agree) return std::pair{i, j};
+      }
+    }
+    return std::nullopt;
+  }
+
+  std::vector<Row> project(const AttrSet& cols) const {
+    std::vector<Row> out;
+    for (const Row& r : rows) {
+      Row proj;
+      for (std::size_t c : cols) proj.push_back(r[c]);
+      if (std::find(out.begin(), out.end(), proj) == out.end()) {
+        out.push_back(std::move(proj));
+      }
+    }
+    return out;
+  }
+
+  std::vector<Row> select_eq(std::size_t col, Value v) const {
+    std::vector<Row> out;
+    for (const Row& r : rows) {
+      if (r[col] == v) out.push_back(r);
+    }
+    return out;
+  }
+};
+
+Schema make_schema(std::size_t cols) {
+  Schema s;
+  for (std::size_t c = 0; c + 1 < cols; ++c) {
+    s.add_match("m" + std::to_string(c));
+  }
+  s.add_action("a");
+  return s;
+}
+
+AttrSet random_subset(Rng& rng, std::size_t cols) {
+  AttrSet set;
+  do {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (rng.index(2) == 0) set.insert(c);
+    }
+  } while (set.empty());
+  return set;
+}
+
+void check_observables(const Table& table, const RefModel& ref, Rng& rng) {
+  ASSERT_EQ(table.num_rows(), ref.rows.size());
+  ASSERT_EQ(table.fingerprint(), ref.fingerprint());
+  const std::size_t cols = ref.schema.size();
+  for (std::size_t c = 0; c < cols; ++c) {
+    ASSERT_EQ(table.column_fingerprint(c), ref.column_fingerprint(c));
+  }
+  for (std::size_t r = 0; r < ref.rows.size(); ++r) {
+    ASSERT_EQ(table.row(r), ref.rows[r]);
+  }
+
+  const AttrSet probe_cols = random_subset(rng, cols);
+  ASSERT_EQ(table.duplicate_on(probe_cols), ref.duplicate_on(probe_cols));
+
+  // find_row: an existing key and a (likely) missing one.
+  if (!ref.rows.empty()) {
+    const Row& target = ref.rows[rng.index(ref.rows.size())];
+    std::vector<Value> key;
+    for (std::size_t c : probe_cols) key.push_back(target[c]);
+    ASSERT_EQ(table.find_row(probe_cols, key),
+              ref.find_row(probe_cols, key));
+    key.back() ^= 0x1000;
+    ASSERT_EQ(table.find_row(probe_cols, key),
+              ref.find_row(probe_cols, key));
+  }
+
+  const Table proj = table.project(probe_cols);
+  const std::vector<Row> ref_proj = ref.project(probe_cols);
+  ASSERT_EQ(proj.num_rows(), ref_proj.size());
+  for (std::size_t r = 0; r < ref_proj.size(); ++r) {
+    ASSERT_EQ(proj.row(r), ref_proj[r]);
+  }
+
+  if (!ref.rows.empty()) {
+    const std::size_t sel_col = rng.index(cols);
+    const Value sel_val = ref.rows[rng.index(ref.rows.size())][sel_col];
+    const Table sel = table.select_eq(sel_col, sel_val);
+    const std::vector<Row> ref_sel = ref.select_eq(sel_col, sel_val);
+    ASSERT_EQ(sel.num_rows(), ref_sel.size());
+    for (std::size_t r = 0; r < ref_sel.size(); ++r) {
+      ASSERT_EQ(sel.row(r), ref_sel[r]);
+    }
+  }
+}
+
+void run_differential(std::uint64_t seed) {
+  Rng rng(seed);
+  const std::size_t cols = 2 + rng.index(4);  // 2..5 columns
+  Table table("diff", make_schema(cols));
+  RefModel ref{make_schema(cols), {}};
+
+  for (std::size_t step = 0; step < 400; ++step) {
+    // Small value domain so duplicates, projections merges and probe
+    // hits actually occur.
+    const auto value = [&] { return static_cast<Value>(rng.index(7)); };
+    switch (ref.rows.empty() ? 0 : rng.index(4)) {
+      case 0: {  // add_row
+        Row row;
+        for (std::size_t c = 0; c < cols; ++c) row.push_back(value());
+        table.add_row(row);
+        ref.rows.push_back(std::move(row));
+        break;
+      }
+      case 1: {  // set_value
+        const std::size_t r = rng.index(ref.rows.size());
+        const std::size_t c = rng.index(cols);
+        const Value v = value();
+        table.set_value(r, c, v);
+        ref.rows[r][c] = v;
+        break;
+      }
+      case 2: {  // erase_rows
+        const std::size_t first = rng.index(ref.rows.size());
+        const std::size_t count =
+            1 + rng.index(std::min<std::size_t>(3, ref.rows.size() - first));
+        table.erase_rows(first, count);
+        ref.rows.erase(
+            ref.rows.begin() + static_cast<std::ptrdiff_t>(first),
+            ref.rows.begin() + static_cast<std::ptrdiff_t>(first + count));
+        break;
+      }
+      default: {  // read-only probe step (warms caches between writes)
+        const AttrSet probe = random_subset(rng, cols);
+        const Row& target = ref.rows[rng.index(ref.rows.size())];
+        std::vector<Value> key;
+        for (std::size_t c : probe) key.push_back(target[c]);
+        ASSERT_EQ(table.find_row(probe, key), ref.find_row(probe, key));
+        break;
+      }
+    }
+    if (step % 16 == 0 || step + 1 == 400) {
+      check_observables(table, ref, rng);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+  check_observables(table, ref, rng);
+}
+
+TEST(TableDifferential, Seed1) { run_differential(1); }
+TEST(TableDifferential, Seed2) { run_differential(0xbeef); }
+TEST(TableDifferential, Seed3) { run_differential(0x5ca1e); }
+TEST(TableDifferential, Seed4) { run_differential(42424242); }
+
+// Copies must carry content but not caches; mutating the copy must not
+// disturb the original's caches (and vice versa).
+TEST(TableDifferential, CopyDropsCachesButKeepsContent) {
+  Schema s = make_schema(3);
+  Table a("a", s);
+  a.add_row({1, 2, 3});
+  a.add_row({4, 5, 6});
+  const std::uint64_t fp = a.fingerprint();
+  const Value key[] = {4, 5};
+  ASSERT_EQ(a.find_row(AttrSet{0, 1}, key), std::optional<std::size_t>{1});
+
+  Table b = a;  // copy with warm caches on a
+  EXPECT_EQ(b.fingerprint(), fp);
+  b.set_value(1, 0, 7);
+  EXPECT_NE(b.fingerprint(), fp);
+  EXPECT_EQ(a.fingerprint(), fp);  // original untouched
+  const Value new_key[] = {7, 5};
+  EXPECT_EQ(b.find_row(AttrSet{0, 1}, new_key),
+            std::optional<std::size_t>{1});
+  EXPECT_EQ(a.find_row(AttrSet{0, 1}, key), std::optional<std::size_t>{1});
+}
+
+}  // namespace
+}  // namespace maton::core
