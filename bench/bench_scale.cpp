@@ -1,23 +1,34 @@
-// E6 — fleet scale: the columnar table substrate at 100k+ services.
+// E6 — fleet scale: the columnar table substrate and flattened program
+// storage at 100k–1M services.
 //
-// Measures, per fleet size N x 8 backends for N in {1k, 10k, 100k}:
+// Measures, per fleet size N x 8 backends for N in {1k, 10k, 100k, 1M}:
 //   * bytes/rule of the columnar universal table vs a row-of-vectors
 //     reference model built from the same data in the same run;
+//   * bytes/rule of the flattened dp::Program vs the legacy
+//     vector-of-Rule layout, also measured same-run;
 //   * universal-table build time;
-//   * one full TANE FD mine over the universal table;
-//   * per-intent incremental compile latency (universal representation,
-//     the cell-wise patch path) over a mixed churn trace.
+//   * one full TANE FD mine plus the sharded mine (sharded by the
+//     service-identity column), checked bit-identical;
+//   * per-intent incremental compile latency (universal representation)
+//     over a mixed churn trace, split into rule_diff / slice_merge /
+//     switch_apply phases via the trace ring, with the updates applied
+//     to a live hw-tcam model;
+//   * peak RSS after the tier, and a drift check: the patched program
+//     (compiler and switch copies) must equal a fresh full rebuild.
 // Writes BENCH_scale.json; `--sizes=1000,10000` restricts the sweep.
 #include <chrono>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
 #include "controlplane/compiler.hpp"
 #include "core/fd_mine.hpp"
+#include "dataplane/switch.hpp"
+#include "obs/trace.hpp"
 #include "util/contract.hpp"
 #include "util/format.hpp"
 #include "util/quantile.hpp"
@@ -36,6 +47,20 @@ using BenchClock = std::chrono::steady_clock;
 double ms_since(BenchClock::time_point start) {
   return std::chrono::duration<double, std::milli>(BenchClock::now() - start)
       .count();
+}
+
+/// Peak resident set (VmHWM) in MB; 0 where /proc is unavailable. The
+/// high-water mark is process-lifetime monotone, so per-tier readings
+/// record "peak so far" — the largest tier's value is the honest one.
+std::size_t peak_rss_mb() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      return static_cast<std::size_t>(std::stoull(line.substr(6))) / 1024;
+    }
+  }
+  return 0;
 }
 
 /// Heap footprint of the former row-of-vectors store holding the same
@@ -100,14 +125,22 @@ struct SizePoint {
   std::size_t rules = 0;
   std::size_t bytes_per_rule_columnar = 0;
   std::size_t bytes_per_rule_rowstore = 0;
+  std::size_t dp_bytes_per_rule_flat = 0;
+  std::size_t dp_bytes_per_rule_legacy = 0;
   double build_ms = 0.0;
   double mine_ms = 0.0;
+  double sharded_mine_ms = 0.0;
   std::size_t intents = 0;
   double inc_median_us = 0.0;
   double inc_p90_us = 0.0;
   double inc_mean_us = 0.0;
+  double rule_diff_p50_us = 0.0;
+  double slice_merge_p50_us = 0.0;
+  double switch_apply_p50_us = 0.0;
   std::size_t inc_hits = 0;
   std::size_t inc_fallbacks = 0;
+  std::size_t drift = 0;
+  std::size_t peak_rss_mb = 0;
 };
 
 SizePoint run_size(std::size_t services, std::size_t backends,
@@ -120,18 +153,41 @@ SizePoint run_size(std::size_t services, std::size_t backends,
   auto gwlb = workloads::make_gwlb(
       {.num_services = services, .num_backends = backends});
   pt.build_ms = ms_since(start);
-  pt.rules = gwlb.universal.num_rows();
-  pt.bytes_per_rule_columnar = gwlb.universal.memory_bytes() / pt.rules;
-  pt.bytes_per_rule_rowstore = rowstore_bytes(gwlb.universal) / pt.rules;
+  const std::size_t rows = gwlb.universal.num_rows();
+  pt.bytes_per_rule_columnar = gwlb.universal.memory_bytes() / rows;
+  pt.bytes_per_rule_rowstore = rowstore_bytes(gwlb.universal) / rows;
 
   start = BenchClock::now();
   const core::FdSet mined = core::mine_fds_tane(gwlb.universal);
   pt.mine_ms = ms_since(start);
   expects(!mined.fds().empty(), "scale mine found no dependencies");
 
+  // The sharded rung: shard by the service-identity column, per-shard
+  // TANE, deterministic merge — and it must reproduce the full mine
+  // bit-for-bit, at every size.
+  start = BenchClock::now();
+  const core::FdSet sharded = core::mine_fds_sharded(
+      gwlb.universal,
+      {.shards = 8, .shard_col = workloads::kGwlbIpDst, .mine = {}});
+  pt.sharded_mine_ms = ms_since(start);
+  expects(sharded.fds() == mined.fds(),
+          "sharded mine diverged from the full TANE mine");
+
   cp::GwlbBinding binding(std::move(gwlb), cp::Representation::kUniversal,
                           cp::CompileMode::kIncremental);
+  pt.rules = binding.program().total_rules();
+  pt.dp_bytes_per_rule_flat =
+      binding.program().rule_memory_bytes() / pt.rules;
+  pt.dp_bytes_per_rule_legacy =
+      dp::legacy_rule_bytes(binding.program()) / pt.rules;
+
+  // A live switch consumes every update batch; its copy of the program
+  // must track the compiler's exactly (checked in the drift gate below).
+  dp::HwTcamModel sw;
+  expects(sw.load(binding.program()).is_ok(), "scale switch load failed");
+
   const auto trace = make_trace(services, backends, intents, 67);
+  obs::Tracer::global().clear();
   ExactQuantile samples;
   for (const cp::Intent& intent : trace) {
     start = BenchClock::now();
@@ -141,12 +197,47 @@ SizePoint run_size(std::size_t services, std::size_t backends,
             .count();
     expects(updates.is_ok(), "scale intent failed to compile");
     samples.add(us);
+    {
+      const obs::TraceSpan span("switch_apply");
+      expects(sw.apply_updates(updates.value()).is_ok(),
+              "scale switch update failed");
+    }
   }
   pt.inc_median_us = samples.quantile(0.5);
   pt.inc_p90_us = samples.quantile(0.9);
   pt.inc_mean_us = samples.mean();
   pt.inc_hits = binding.incremental_stats().hits;
   pt.inc_fallbacks = binding.incremental_stats().fallbacks;
+
+  // Split the churn into phases from the trace ring. The ring holds 16k
+  // spans and is cleared per tier, so nothing has wrapped out at these
+  // intent counts.
+  ExactQuantile rule_diff;
+  ExactQuantile slice_merge;
+  ExactQuantile switch_apply;
+  for (const obs::TraceEvent& e : obs::Tracer::global().contents().events) {
+    const std::string_view name = e.name_view();
+    const double us = static_cast<double>(e.dur_ns) / 1000.0;
+    if (name == "rule_diff") rule_diff.add(us);
+    if (name == "slice_merge") slice_merge.add(us);
+    if (name == "switch_apply") switch_apply.add(us);
+  }
+  pt.rule_diff_p50_us = rule_diff.count() > 0 ? rule_diff.quantile(0.5) : 0;
+  pt.slice_merge_p50_us =
+      slice_merge.count() > 0 ? slice_merge.quantile(0.5) : 0;
+  pt.switch_apply_p50_us =
+      switch_apply.count() > 0 ? switch_apply.quantile(0.5) : 0;
+
+  // Drift gate: after the whole trace, the O(Δ)-patched program and the
+  // switch's update-fed copy must both equal a fresh full rebuild of the
+  // final control-plane state.
+  cp::GwlbBinding rebuilt(binding.gwlb(), cp::Representation::kUniversal,
+                          cp::CompileMode::kFullRebuild);
+  if (!(rebuilt.program() == binding.program())) ++pt.drift;
+  if (!(sw.program() == binding.program())) ++pt.drift;
+  expects(pt.drift == 0, "patched program drifted from full rebuild");
+
+  pt.peak_rss_mb = peak_rss_mb();
   return pt;
 }
 
@@ -154,7 +245,7 @@ SizePoint run_size(std::size_t services, std::size_t backends,
 
 int main(int argc, char** argv) {
   constexpr std::size_t kBackends = 8;
-  std::vector<std::size_t> sizes = {1000, 10000, 100000};
+  std::vector<std::size_t> sizes = {1000, 10000, 100000, 1000000};
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--sizes=", 8) == 0) {
       sizes.clear();
@@ -169,14 +260,15 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::cout << "=== E6: fleet scale (columnar table substrate) ===\n"
+  std::cout << "=== E6: fleet scale (columnar tables + flattened programs) "
+               "===\n"
             << "workload: N services x " << kBackends
             << " backends, universal representation\n\n";
 
   ReportTable table("fleet-scale metrics per size");
   table.set_header({"services", "rules", "B/rule col", "B/rule rows",
-                    "build ms", "mine ms", "inc p50 us", "inc p90 us",
-                    "fallbacks"});
+                    "B/rule dp", "B/rule legacy", "build ms", "mine ms",
+                    "shard ms", "inc p50 us", "apply p50 us", "RSS MB"});
 
   std::vector<SizePoint> points;
   for (const std::size_t services : sizes) {
@@ -189,11 +281,14 @@ int main(int argc, char** argv) {
     table.add_row({std::to_string(pt.services), std::to_string(pt.rules),
                    std::to_string(pt.bytes_per_rule_columnar),
                    std::to_string(pt.bytes_per_rule_rowstore),
+                   std::to_string(pt.dp_bytes_per_rule_flat),
+                   std::to_string(pt.dp_bytes_per_rule_legacy),
                    format_double(pt.build_ms, 1),
                    format_double(pt.mine_ms, 1),
+                   format_double(pt.sharded_mine_ms, 1),
                    format_double(pt.inc_median_us, 1),
-                   format_double(pt.inc_p90_us, 1),
-                   std::to_string(pt.inc_fallbacks)});
+                   format_double(pt.switch_apply_p50_us, 1),
+                   std::to_string(pt.peak_rss_mb)});
   }
   table.print(std::cout);
 
@@ -202,7 +297,8 @@ int main(int argc, char** argv) {
        << "  \"benchmark\": \"scale\",\n"
        << "  \"env\": {\"build_type\": \"" << MATON_BUILD_TYPE
        << "\", \"host_cores\": " << std::thread::hardware_concurrency()
-       << "},\n"
+       << ", \"trace_enabled\": "
+       << (obs::kTraceEnabled ? "true" : "false") << "},\n"
        << "  \"workload\": {\"backends\": " << kBackends
        << ", \"representation\": \"universal\", \"intent_kinds\": "
           "[\"MoveServicePort\", \"ChangeServiceIp\", \"ChangeBackend\"]},\n"
@@ -214,8 +310,18 @@ int main(int argc, char** argv) {
          << "     \"bytes_per_rule_columnar\": " << pt.bytes_per_rule_columnar
          << ", \"bytes_per_rule_rowstore\": " << pt.bytes_per_rule_rowstore
          << ",\n"
+         << "     \"dp_bytes_per_rule_flat\": " << pt.dp_bytes_per_rule_flat
+         << ", \"dp_bytes_per_rule_legacy\": " << pt.dp_bytes_per_rule_legacy
+         << ",\n"
          << "     \"universal_build_ms\": " << pt.build_ms
-         << ", \"full_mine_ms\": " << pt.mine_ms << ",\n"
+         << ", \"full_mine_ms\": " << pt.mine_ms
+         << ", \"sharded_mine_ms\": " << pt.sharded_mine_ms << ",\n"
+         << "     \"peak_rss_mb\": " << pt.peak_rss_mb
+         << ", \"drift\": " << pt.drift << ",\n"
+         << "     \"phases\": {\"rule_diff_p50_us\": " << pt.rule_diff_p50_us
+         << ", \"slice_merge_p50_us\": " << pt.slice_merge_p50_us
+         << ", \"switch_apply_p50_us\": " << pt.switch_apply_p50_us
+         << "},\n"
          << "     \"incremental\": {\"intents\": " << pt.intents
          << ", \"median_us\": " << pt.inc_median_us
          << ", \"p90_us\": " << pt.inc_p90_us

@@ -82,7 +82,7 @@ using detail::describe_rule;
 void append_successors(const dp::TableSpec& table,
                        std::vector<std::size_t>& out) {
   bool any_default = false;
-  for (const dp::Rule& rule : table.rules) {
+  for (const auto rule : table.rules) {
     if (rule.goto_table.has_value()) {
       out.push_back(*rule.goto_table);
     } else {
@@ -102,7 +102,9 @@ void run_shadowing_pass(const Input& input, const Options& options,
 
   for (std::size_t t = 0; t < input.program->tables.size(); ++t) {
     const dp::TableSpec& table = input.program->tables[t];
-    const std::vector<dp::Rule>& rules = table.rules;
+    // The pair-wise helpers below take boundary Rules; one materialization
+    // per table keeps them simple (analysis is not the fleet hot path).
+    const std::vector<dp::Rule> rules = table.rules.to_rules();
     for (std::size_t j = 0; j < rules.size(); ++j) {
       if (const auto field = contradictory_field(rules[j])) {
         sink.emit({Severity::kWarning, "MA103", "", t, j,
@@ -286,9 +288,9 @@ void run_dataflow_pass(const Input& input, const Options& options,
     const std::size_t t = work.back();
     work.pop_back();
     const dp::TableSpec& table = program.tables[t];
-    for (const dp::Rule& rule : table.rules) {
+    for (const auto rule : table.rules) {
       DefBits out = in_def[t];
-      for (const dp::Action& a : rule.actions) {
+      for (const dp::Action a : rule.actions) {
         if (a.kind == dp::Action::Kind::kSetField && is_meta(a.field)) {
           out[meta_index(a.field)] |=
               width_mask(a.width_bits) & dp::field_full_mask(a.field);

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <span>
 #include <unordered_map>
-#include <unordered_set>
 #include <utility>
 
 #include "obs/metrics.hpp"
@@ -65,19 +64,22 @@ core::Pipeline pipeline_for(const Gwlb& gwlb, Representation repr) {
 
 namespace {
 
-[[nodiscard]] std::uint64_t hash_rule(const Rule& r) noexcept {
+/// Hashes a rule's full content; `RuleT` is dp::Rule or dp::RuleView, so
+/// flattened tables hash without materializing boundary Rules.
+template <typename RuleT>
+[[nodiscard]] std::uint64_t hash_rule(const RuleT& r) noexcept {
   std::uint64_t h = 0x9e3779b97f4a7c15ULL;
   const auto mix = [&h](std::uint64_t v) {
     h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
   };
   mix(r.priority);
   mix(r.goto_table.value_or(~std::uint64_t{0}));
-  for (const dp::FieldMatch& m : r.matches) {
+  for (const dp::FieldMatch m : r.matches) {
     mix(dp::field_index(m.field));
     mix(m.value);
     mix(m.mask);
   }
-  for (const dp::Action& a : r.actions) {
+  for (const dp::Action a : r.actions) {
     mix(a.kind == dp::Action::Kind::kOutput ? 1 : 2);
     mix(dp::field_index(a.field));
     mix(a.value);
@@ -90,9 +92,12 @@ namespace {
 /// unmatched equal new rule (hash buckets keep new-index order, so the
 /// pairing is the one the original quadratic scan defined); unmatched
 /// leftovers pair up as modifies in order, the remainder becomes removes
-/// then inserts. O(old + new) expected.
-void diff_rules(std::size_t table, std::span<const Rule> old_rules,
-                std::span<const Rule> new_rules,
+/// then inserts. O(old + new) expected. The sequences are any types
+/// indexable to rules comparable across each other (dp::FlatRules,
+/// std::vector<dp::Rule>).
+template <typename OldSeq, typename NewSeq>
+void diff_rules(std::size_t table, const OldSeq& old_rules,
+                const NewSeq& new_rules,
                 std::vector<RuleUpdate>& out) {
   std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> buckets;
   buckets.reserve(new_rules.size());
@@ -263,6 +268,7 @@ void GwlbBinding::rebuild_program() {
           "gwlb program failed to compile: " + compiled.status().message());
   program_ = std::move(compiled).value();
   rebuild_provenance();
+  rebuild_indexes();
 }
 
 void GwlbBinding::rebuild_provenance() {
@@ -286,7 +292,7 @@ void GwlbBinding::rebuild_provenance() {
                      [](const auto& a, const auto& b) {
                        return a.first.priority > b.first.priority;
                      });
-    const std::vector<Rule>& rules = program_.tables[t].rules;
+    const dp::FlatRules& rules = program_.tables[t].rules;
     expects(emitted.size() == rules.size(),
             "provenance drift: emitters disagree with compiled program");
     provenance_[t].reserve(emitted.size());
@@ -296,6 +302,44 @@ void GwlbBinding::rebuild_provenance() {
       provenance_[t].push_back(emitted[i].second);
     }
   }
+}
+
+void GwlbBinding::rebuild_indexes() {
+  slice_index_.assign(program_.tables.size(), {});
+  for (std::size_t t = 0; t < program_.tables.size(); ++t) {
+    rebuild_slice_index(t);
+  }
+  row_offsets_.assign(gwlb_.services.size(), 0);
+  std::size_t offset = 0;
+  for (std::size_t s = 0; s < gwlb_.services.size(); ++s) {
+    row_offsets_[s] = offset;
+    offset += gwlb_.services[s].src_prefixes.size();
+  }
+  vip_count_.clear();
+  vip_dups_ = 0;
+  for (const GwlbService& svc : gwlb_.services) {
+    if (!svc.src_prefixes.empty()) vip_add(svc.vip);
+  }
+}
+
+void GwlbBinding::rebuild_slice_index(std::size_t table) {
+  auto& index = slice_index_[table];
+  index.clear();
+  const std::vector<std::uint32_t>& prov = provenance_[table];
+  for (std::size_t i = 0; i < prov.size(); ++i) {
+    index[prov[i]].push_back(static_cast<std::uint32_t>(i));
+  }
+}
+
+void GwlbBinding::vip_add(std::uint32_t vip) {
+  if (++vip_count_[vip] == 2) ++vip_dups_;
+}
+
+void GwlbBinding::vip_remove(std::uint32_t vip) {
+  const auto it = vip_count_.find(vip);
+  if (it == vip_count_.end()) return;
+  if (it->second == 2) --vip_dups_;
+  if (--it->second == 0) vip_count_.erase(it);
 }
 
 Result<std::vector<Rule>> GwlbBinding::service_slice(
@@ -422,33 +466,43 @@ std::optional<std::vector<RuleUpdate>> GwlbBinding::try_compile_incremental(
   // rule of one service can alias another's; with a duplicate VIP the
   // reference diff could pair rules across services, so such states are
   // demoted to the full rebuild. Both the pre- and post-intent states
-  // must be collision-free: the diff spans both programs.
+  // must be collision-free: the diff spans both programs. The maintained
+  // live-VIP multiset answers both questions in O(1): vip_count_ still
+  // reflects the pre-intent state (old_svc is its entry for `service`),
+  // and zero duplicates there means the only possible collision left is
+  // the *new* VIP against the others.
   const GwlbService& svc = gwlb_.services[service];
-  std::unordered_set<std::uint32_t> vips;
-  for (std::size_t s = 0; s < gwlb_.services.size(); ++s) {
-    if (s == service) continue;
-    const GwlbService& other = gwlb_.services[s];
-    if (other.src_prefixes.empty()) continue;
-    if (!vips.insert(other.vip).second) return std::nullopt;
-  }
-  if (!old_svc.src_prefixes.empty() && vips.contains(old_svc.vip)) {
-    return std::nullopt;
-  }
-  if (!svc.src_prefixes.empty() && !vips.insert(svc.vip).second) {
-    return std::nullopt;
+  const bool old_live = !old_svc.src_prefixes.empty();
+  const bool new_live = !svc.src_prefixes.empty();
+  if (vip_dups_ > 0) return std::nullopt;
+  if (new_live) {
+    std::uint32_t others = 0;
+    if (const auto it = vip_count_.find(svc.vip); it != vip_count_.end()) {
+      others = it->second;
+    }
+    if (old_live && svc.vip == old_svc.vip) --others;  // exclude self
+    if (others > 0) return std::nullopt;
   }
   struct Patch {
     std::size_t table = 0;
+    std::vector<std::uint32_t> positions;  // ascending, pre-patch
     std::vector<Rule> before;
     std::vector<Rule> after;
+    bool same_shape = false;
   };
   std::vector<Patch> patches;
   for (const std::size_t t : affected_tables(service)) {
     Patch patch;
     patch.table = t;
-    const std::vector<Rule>& rules = program_.tables[t].rules;
-    for (std::size_t i = 0; i < rules.size(); ++i) {
-      if (provenance_[t][i] == service) patch.before.push_back(rules[i]);
+    const dp::FlatRules& rules = program_.tables[t].rules;
+    if (const auto it =
+            slice_index_[t].find(static_cast<std::uint32_t>(service));
+        it != slice_index_[t].end()) {
+      patch.positions = it->second;
+      patch.before.reserve(patch.positions.size());
+      for (const std::uint32_t pos : patch.positions) {
+        patch.before.push_back(rules[pos]);
+      }
     }
     // Validation: the slice extracted from the live program must equal
     // what the emitters produce for the pre-intent service state. A
@@ -460,15 +514,32 @@ std::optional<std::vector<RuleUpdate>> GwlbBinding::try_compile_incremental(
     auto after = service_slice(t, svc, service);
     if (!after.is_ok()) return std::nullopt;
     patch.after = std::move(after).value();
+    // Same shape = same size and per-index priorities: the global stable
+    // order then keeps every slice rule at its old position, so the
+    // patch can rewrite those rows in place.
+    patch.same_shape = patch.after.size() == patch.before.size();
+    for (std::size_t k = 0; patch.same_shape && k < patch.after.size();
+         ++k) {
+      if (patch.after[k].priority != patch.before[k].priority) {
+        patch.same_shape = false;
+      }
+    }
     patches.push_back(std::move(patch));
   }
 
   // Validation passed — mutate. First the universal table, cell-wise, so
   // untouched columns keep their partition-cache fingerprints across the
-  // FD re-mine.
-  std::size_t offset = 0;
-  for (std::size_t i = 0; i < service; ++i) {
-    offset += gwlb_.services[i].src_prefixes.size();
+  // FD re-mine. The cached row offset replaces the O(service) prefix
+  // scan; offsets stay valid while slice shapes do.
+  const std::size_t offset = row_offsets_[service];
+  if (old_live) vip_remove(old_svc.vip);
+  if (new_live) vip_add(svc.vip);
+  if (svc.src_prefixes.size() != old_svc.src_prefixes.size()) {
+    std::size_t off = offset + svc.src_prefixes.size();
+    for (std::size_t s = service + 1; s < gwlb_.services.size(); ++s) {
+      row_offsets_[s] = off;
+      off += gwlb_.services[s].src_prefixes.size();
+    }
   }
   if (svc.src_prefixes.empty()) {
     gwlb_.universal.erase_rows(offset, old_svc.src_prefixes.size());
@@ -491,41 +562,61 @@ std::optional<std::vector<RuleUpdate>> GwlbBinding::try_compile_incremental(
   mined_.reset();
 
   // Then the program: per touched table (ascending), diff the slice and
-  // splice the new one in at its sorted positions. The merge reproduces
-  // the full compiler's order — priority descending, (service, ordinal)
-  // ascending among equals — so the patched program stays bit-identical
-  // to a rebuild.
+  // patch the new one in at its sorted positions. The same-shape fast
+  // path rewrites the slice's rows in place — O(slice) with provenance,
+  // the slice index, and every other row untouched. A shape-changing
+  // slice (RemoveService, or an emitter changing priorities) takes the
+  // merge splice, which reproduces the full compiler's order — priority
+  // descending, (service, ordinal) ascending among equals — so the
+  // patched program stays bit-identical to a rebuild either way.
   std::vector<RuleUpdate> updates;
   for (Patch& patch : patches) {
-    diff_rules(patch.table, patch.before, patch.after, updates);
+    {
+      const obs::TraceSpan diff_span("rule_diff");
+      diff_rules(patch.table, patch.before, patch.after, updates);
+    }
     if (patch.before == patch.after) continue;  // untouched slice
 
+    const obs::TraceSpan merge_span("slice_merge");
     TableSpec& spec = program_.tables[patch.table];
+    if (patch.same_shape) {
+      for (std::size_t k = 0; k < patch.positions.size(); ++k) {
+        spec.rules.replace(patch.positions[k], patch.after[k]);
+      }
+      continue;
+    }
+
     const std::vector<std::uint32_t>& old_prov = provenance_[patch.table];
+    // `before` was extracted from this table, so it cannot outnumber it;
+    // the guard keeps the reserve arithmetic from wrapping if that
+    // invariant ever breaks.
+    expects(patch.before.size() <= spec.rules.size(),
+            "slice larger than its table");
     std::vector<Rule> merged;
     std::vector<std::uint32_t> prov;
-    merged.reserve(spec.rules.size() - patch.before.size() +
-                   patch.after.size());
+    merged.reserve(spec.rules.size() + patch.after.size() -
+                   patch.before.size());
     prov.reserve(merged.capacity());
     std::size_t ai = 0;
     for (std::size_t i = 0; i < spec.rules.size(); ++i) {
       if (old_prov[i] == service) continue;
       while (ai < patch.after.size() &&
-             (patch.after[ai].priority > spec.rules[i].priority ||
-              (patch.after[ai].priority == spec.rules[i].priority &&
+             (patch.after[ai].priority > spec.rules.priority_of(i) ||
+              (patch.after[ai].priority == spec.rules.priority_of(i) &&
                service < old_prov[i]))) {
         merged.push_back(std::move(patch.after[ai++]));
         prov.push_back(static_cast<std::uint32_t>(service));
       }
-      merged.push_back(std::move(spec.rules[i]));
+      merged.push_back(spec.rules[i]);
       prov.push_back(old_prov[i]);
     }
     for (; ai < patch.after.size(); ++ai) {
       merged.push_back(std::move(patch.after[ai]));
       prov.push_back(static_cast<std::uint32_t>(service));
     }
-    spec.rules = std::move(merged);
+    spec.rules = dp::FlatRules(merged);
     provenance_[patch.table] = std::move(prov);
+    rebuild_slice_index(patch.table);
   }
   return updates;
 }

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "analysis/analysis.hpp"
@@ -133,6 +134,13 @@ class GwlbBinding {
  private:
   void rebuild_program();
   void rebuild_provenance();
+  /// Rebuilds the O(Δ) lookup structures (slice index, row offsets, VIP
+  /// multiset) from provenance_ and the service model. Full-compile only;
+  /// the delta path maintains them in place.
+  void rebuild_indexes();
+  void rebuild_slice_index(std::size_t table);
+  void vip_add(std::uint32_t vip);
+  void vip_remove(std::uint32_t vip);
   /// Runs the analyzer suite over program_ + the universal table and
   /// stores the report; bumps the clean/findings counters.
   void run_post_compile_analysis();
@@ -165,6 +173,22 @@ class GwlbBinding {
   /// Rebuilt (and validated against the emitters) on every full compile,
   /// maintained in place by the incremental patcher.
   std::vector<std::vector<std::uint32_t>> provenance_;
+  /// Inverse of provenance_: slice_index_[t][service] = ascending
+  /// positions of the service's rules in program_.tables[t]. Lets the
+  /// delta path extract a slice in O(slice) instead of scanning the
+  /// table; untouched by same-shape patches (positions are stable),
+  /// rebuilt per table after a shape-changing merge.
+  std::vector<std::unordered_map<std::uint32_t, std::vector<std::uint32_t>>>
+      slice_index_;
+  /// row_offsets_[s] = first universal-table row of service s. Valid
+  /// while slice shapes are stable; suffix-recomputed when a slice
+  /// grows or shrinks.
+  std::vector<std::size_t> row_offsets_;
+  /// Live-VIP multiset (value → count) plus the number of duplicated
+  /// values: the delta path's collision precheck in O(1) instead of an
+  /// O(services) set build per intent.
+  std::unordered_map<std::uint32_t, std::uint32_t> vip_count_;
+  std::size_t vip_dups_ = 0;
   IncrementalStats inc_stats_;
   core::tane::PartitionCache mine_cache_;
   std::optional<core::FdSet> mined_;  // invalidated when universal changes

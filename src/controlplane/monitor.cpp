@@ -22,17 +22,17 @@ Result<ServiceTraffic> TrafficMonitor::read_service(
   // representation, a single service rule on the normalized ones.
   const dp::TableSpec& entry_table =
       binding_.program().tables[binding_.program().entry];
-  std::vector<const dp::Rule*> rules;
-  for (const dp::Rule& rule : entry_table.rules) {
+  std::vector<std::vector<dp::FieldMatch>> rules;
+  for (const auto rule : entry_table.rules) {
     bool vip = false;
     bool port = false;
-    for (const dp::FieldMatch& m : rule.matches) {
+    for (const dp::FieldMatch m : rule.matches) {
       if (m.field == dp::FieldId::kIpDst && m.value == svc.vip) vip = true;
       if (m.field == dp::FieldId::kTcpDst && m.value == svc.port) {
         port = true;
       }
     }
-    if (vip && port) rules.push_back(&rule);
+    if (vip && port) rules.push_back(rule.matches);
   }
   if (rules.empty()) {
     return internal_error("no entry-table rules carry the service's "
@@ -47,9 +47,9 @@ Result<ServiceTraffic> TrafficMonitor::read_service(
 
   const obs::TraceSpan span("monitor_read");
   ServiceTraffic traffic;
-  for (const dp::Rule* rule : rules) {
-    const auto count = target_.read_rule_counter(binding_.program().entry,
-                                                 rule->matches);
+  for (const std::vector<dp::FieldMatch>& matches : rules) {
+    const auto count =
+        target_.read_rule_counter(binding_.program().entry, matches);
     if (!count.is_ok()) return count.status();
     traffic.packets += count.value();
     ++traffic.counters_read;

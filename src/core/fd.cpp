@@ -43,23 +43,33 @@ bool fd_holds(const Table& table, const Fd& fd) {
   std::unordered_map<SplitKey, std::uint32_t, SplitKeyHash> splitter;
   splitter.reserve(n);
   for (std::size_t c : fd.lhs) {
-    const std::span<const Value> col = table.column(c);
+    // Interned columns split on ids: equality-preserving and narrower
+    // hash keys than the raw 64-bit values.
+    const Column& col = table.column(c);
     splitter.clear();
     std::uint32_t next_id = 0;
-    for (std::size_t r = 0; r < n; ++r) {
-      const auto [it, inserted] =
-          splitter.try_emplace({group[r], col[r]}, next_id);
-      if (inserted) ++next_id;
-      group[r] = it->second;
+    const auto split_on = [&](auto cell_at) {
+      for (std::size_t r = 0; r < n; ++r) {
+        const auto [it, inserted] =
+            splitter.try_emplace({group[r], cell_at(r)}, next_id);
+        if (inserted) ++next_id;
+        group[r] = it->second;
+      }
+    };
+    if (col.interned()) {
+      const std::span<const std::uint32_t> ids = col.ids();
+      split_on([ids](std::size_t r) { return Value{ids[r]}; });
+    } else {
+      split_on([&col](std::size_t r) { return col[r]; });
     }
     num_groups = next_id;
     if (num_groups == n) return true;  // all rows distinct on the LHS
   }
 
   // Representative (first) row per group; compare later rows in place.
-  std::vector<std::span<const Value>> rhs_cols;
+  std::vector<const Column*> rhs_cols;
   rhs_cols.reserve(fd.rhs.size());
-  for (std::size_t c : fd.rhs) rhs_cols.push_back(table.column(c));
+  for (std::size_t c : fd.rhs) rhs_cols.push_back(&table.column(c));
   constexpr std::uint32_t kNone = ~std::uint32_t{0};
   std::vector<std::uint32_t> rep(num_groups, kNone);
   for (std::size_t r = 0; r < n; ++r) {
@@ -68,8 +78,8 @@ bool fd_holds(const Table& table, const Fd& fd) {
       leader = static_cast<std::uint32_t>(r);
       continue;
     }
-    for (const auto& col : rhs_cols) {
-      if (col[r] != col[leader]) return false;
+    for (const Column* col : rhs_cols) {
+      if ((*col)[r] != (*col)[leader]) return false;
     }
   }
   return true;

@@ -10,8 +10,8 @@ namespace maton::core {
 
 namespace {
 
-constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
-constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+using detail::kFnvOffset;
+using detail::kFnvPrime;
 
 /// FNV-1a over the selected columns of a row, for dedup sets.
 struct ProjectedRowHash {
@@ -27,13 +27,138 @@ struct ProjectedRowHash {
 
 }  // namespace
 
+void Column::reserve(std::size_t n) {
+  if (interned_) {
+    ids_.reserve(n);
+  } else {
+    raw_.reserve(n);
+  }
+}
+
+void Column::push_back(Value v) {
+  if (interned_) {
+    std::uint32_t id = 0;
+    if (const auto it = lookup_.find(v); it != lookup_.end()) {
+      id = it->second;
+    } else if (pool_.size() + 1 > spill_threshold(ids_.size() + 1)) {
+      spill();
+      raw_.push_back(v);
+      return;
+    } else {
+      id = static_cast<std::uint32_t>(pool_.size());
+      pool_.push_back(v);
+      lookup_.emplace(v, id);
+    }
+    ids_.push_back(id);
+    if (fp_valid_) fp_ = (fp_ ^ v) * kFnvPrime;
+    return;
+  }
+  raw_.push_back(v);
+  if (fp_valid_) fp_ = (fp_ ^ v) * kFnvPrime;
+}
+
+bool Column::set(std::size_t r, Value v) {
+  if ((*this)[r] == v) return false;
+  if (interned_) {
+    if (const auto it = lookup_.find(v); it != lookup_.end()) {
+      ids_[r] = it->second;
+    } else if (pool_.size() + 1 > spill_threshold(size())) {
+      spill();
+      raw_[r] = v;
+    } else {
+      const auto id = static_cast<std::uint32_t>(pool_.size());
+      pool_.push_back(v);
+      lookup_.emplace(v, id);
+      ids_[r] = id;
+    }
+  } else {
+    raw_[r] = v;
+  }
+  fp_valid_ = false;
+  return true;
+}
+
+void Column::erase(std::size_t first, std::size_t count) {
+  if (interned_) {
+    ids_.erase(ids_.begin() + static_cast<std::ptrdiff_t>(first),
+               ids_.begin() + static_cast<std::ptrdiff_t>(first + count));
+    // Erased rows may leave dead pool entries behind; the pool is
+    // append-only and bounded by the distinct values ever seen.
+  } else {
+    raw_.erase(raw_.begin() + static_cast<std::ptrdiff_t>(first),
+               raw_.begin() + static_cast<std::ptrdiff_t>(first + count));
+  }
+  fp_valid_ = false;
+}
+
+void Column::spill() {
+  raw_.reserve(ids_.size() + 1);
+  for (const std::uint32_t id : ids_) raw_.push_back(pool_[id]);
+  ids_.clear();
+  ids_.shrink_to_fit();
+  pool_.clear();
+  pool_.shrink_to_fit();
+  lookup_.clear();
+  interned_ = false;
+  // The fingerprint folds values in either representation, so a warm
+  // fold stays valid across the spill.
+}
+
+std::uint64_t Column::content_fingerprint() const {
+  if (!fp_valid_) {
+    std::uint64_t h = kFnvOffset;
+    if (interned_) {
+      // 4-byte scan; the pool resolves ids to values from cache.
+      for (const std::uint32_t id : ids_) {
+        h ^= pool_[id];
+        h *= kFnvPrime;
+      }
+    } else {
+      for (const Value v : raw_) {
+        h ^= v;
+        h *= kFnvPrime;
+      }
+    }
+    fp_ = h;
+    fp_valid_ = true;
+  }
+  return fp_;
+}
+
+bool Column::content_equals(const Column& other) const {
+  const std::size_t n = size();
+  if (n != other.size()) return false;
+  if (interned_ && other.interned_ && pool_ == other.pool_) {
+    return ids_ == other.ids_;
+  }
+  if (!interned_ && !other.interned_) return raw_ == other.raw_;
+  for (std::size_t r = 0; r < n; ++r) {
+    if ((*this)[r] != other[r]) return false;
+  }
+  return true;
+}
+
+std::size_t Column::memory_bytes() const noexcept {
+  std::size_t bytes = ids_.capacity() * sizeof(std::uint32_t) +
+                      pool_.capacity() * sizeof(Value) +
+                      raw_.capacity() * sizeof(Value);
+  // unordered_map estimate: node (key + mapped + next pointer) per entry
+  // plus the bucket array.
+  bytes += lookup_.size() *
+           (sizeof(Value) + sizeof(std::uint32_t) + sizeof(void*));
+  bytes += lookup_.bucket_count() * sizeof(void*);
+  return bytes;
+}
+
 Table::Table(const Table& other)
     : name_(other.name_),
       schema_(other.schema_),
       num_rows_(other.num_rows_),
       cols_(other.cols_) {
-  // Caches and key indexes are rebuilt on demand; copying a table (e.g.
-  // into a pipeline stage) must not drag an index sized like the table.
+  // Key indexes are rebuilt on demand; copying a table (e.g. into a
+  // pipeline stage) must not drag an index sized like the table. The
+  // columns' own fingerprint caches are content-derived and travel with
+  // them.
 }
 
 Table& Table::operator=(const Table& other) {
@@ -47,8 +172,6 @@ Table& Table::operator=(const Table& other) {
 }
 
 void Table::invalidate_all_caches() noexcept {
-  col_fp_.clear();
-  col_fp_valid_.clear();
   table_fp_.reset();
   key_indexes_.clear();
 }
@@ -57,13 +180,10 @@ void Table::add_row(const Row& row) {
   expects(row.size() == schema_.size(),
           "row width does not match schema width in table " + name_);
   for (std::size_t c = 0; c < cols_.size(); ++c) {
-    cols_[c].push_back(row[c]);
-    // A valid column fingerprint folds the appended value in place
+    // Columns fold appended cells into their fingerprints in place
     // (FNV-1a is a left fold over the sequence), so appends keep warm
     // fingerprints warm.
-    if (c < col_fp_valid_.size() && col_fp_valid_[c] != 0) {
-      col_fp_[c] = (col_fp_[c] ^ row[c]) * kFnvPrime;
-    }
+    cols_[c].push_back(row[c]);
   }
   ++num_rows_;
   // The whole-table fingerprint mixes the row count before the cells.
@@ -78,10 +198,9 @@ void Table::reserve_rows(std::size_t n) {
 void Table::set_value(std::size_t row_idx, std::size_t col, Value v) {
   expects(row_idx < num_rows_, "row index out of range");
   expects(col < schema_.size(), "column index out of range");
-  Value& cell = cols_[col][row_idx];
-  if (cell == v) return;  // no content change; every cache stays valid
-  cell = v;
-  if (col < col_fp_valid_.size()) col_fp_valid_[col] = 0;
+  if (!cols_[col].set(row_idx, v)) {
+    return;  // no content change; every cache stays valid
+  }
   table_fp_.reset();
   // Only indexes that cover the touched column see a different key.
   for (auto it = key_indexes_.begin(); it != key_indexes_.end();) {
@@ -93,10 +212,7 @@ void Table::set_value(std::size_t row_idx, std::size_t col, Value v) {
 void Table::erase_rows(std::size_t first, std::size_t count) {
   expects(first + count <= num_rows_, "row range out of range");
   if (count == 0) return;
-  for (auto& col : cols_) {
-    col.erase(col.begin() + static_cast<std::ptrdiff_t>(first),
-              col.begin() + static_cast<std::ptrdiff_t>(first + count));
-  }
+  for (auto& col : cols_) col.erase(first, count);
   num_rows_ -= count;
   invalidate_all_caches();
 }
@@ -120,7 +236,7 @@ RowView Table::row_view(std::size_t i) const {
   return RowView(*this, i);
 }
 
-std::span<const Value> Table::column(std::size_t col) const {
+const Column& Table::column(std::size_t col) const {
   expects(col < schema_.size(), "column index out of range");
   return cols_[col];
 }
@@ -138,17 +254,15 @@ Table Table::project(const AttrSet& cols, std::string name) const {
                          : std::move(name),
             std::move(sub));
 
-  // Hoist the source columns once; the scan is then k contiguous reads
-  // per row instead of a pointer chase through per-row vectors.
-  std::vector<const Value*> src;
+  std::vector<const Column*> src;
   src.reserve(old_cols.size());
-  for (std::size_t c : old_cols) src.push_back(cols_[c].data());
+  for (std::size_t c : old_cols) src.push_back(&cols_[c]);
 
   std::unordered_set<std::vector<Value>, ProjectedRowHash> seen;
   seen.reserve(num_rows_);
   std::vector<Value> proj(old_cols.size());
   for (std::size_t r = 0; r < num_rows_; ++r) {
-    for (std::size_t k = 0; k < src.size(); ++k) proj[k] = src[k][r];
+    for (std::size_t k = 0; k < src.size(); ++k) proj[k] = (*src[k])[r];
     if (seen.insert(proj).second) out.add_row(proj);
   }
   return out;
@@ -157,7 +271,7 @@ Table Table::project(const AttrSet& cols, std::string name) const {
 Table Table::select_eq(std::size_t col, Value v, std::string name) const {
   expects(col < schema_.size(), "column index out of range");
   Table out(name.empty() ? name_ : std::move(name), schema_);
-  const std::span<const Value> probe = cols_[col];
+  const Column& probe = cols_[col];
   Row scratch;
   for (std::size_t r = 0; r < num_rows_; ++r) {
     if (probe[r] != v) continue;
@@ -173,17 +287,17 @@ bool Table::unique_on(const AttrSet& cols) const {
 
 std::optional<std::pair<std::size_t, std::size_t>> Table::duplicate_on(
     const AttrSet& cols) const {
-  std::vector<const Value*> src;
+  std::vector<const Column*> src;
   src.reserve(cols.size());
   for (std::size_t c : cols) {
     expects(c < schema_.size(), "column index out of range");
-    src.push_back(cols_[c].data());
+    src.push_back(&cols_[c]);
   }
   std::unordered_map<std::vector<Value>, std::size_t, ProjectedRowHash> seen;
   seen.reserve(num_rows_);
   std::vector<Value> proj(src.size());
   for (std::size_t i = 0; i < num_rows_; ++i) {
-    for (std::size_t k = 0; k < src.size(); ++k) proj[k] = src[k][i];
+    for (std::size_t k = 0; k < src.size(); ++k) proj[k] = (*src[k])[i];
     const auto [it, inserted] = seen.emplace(proj, i);
     if (!inserted) return std::pair{it->second, i};
   }
@@ -241,17 +355,17 @@ std::optional<std::size_t> Table::find_row(const AttrSet& cols,
 }
 
 std::size_t Table::distinct_count(const AttrSet& cols) const {
-  std::vector<const Value*> src;
+  std::vector<const Column*> src;
   src.reserve(cols.size());
   for (std::size_t c : cols) {
     expects(c < schema_.size(), "column index out of range");
-    src.push_back(cols_[c].data());
+    src.push_back(&cols_[c]);
   }
   std::unordered_set<std::vector<Value>, ProjectedRowHash> seen;
   seen.reserve(num_rows_);
   std::vector<Value> proj(src.size());
   for (std::size_t r = 0; r < num_rows_; ++r) {
-    for (std::size_t k = 0; k < src.size(); ++k) proj[k] = src[k][r];
+    for (std::size_t k = 0; k < src.size(); ++k) proj[k] = (*src[k])[r];
     seen.insert(proj);
   }
   return seen.size();
@@ -259,20 +373,7 @@ std::size_t Table::distinct_count(const AttrSet& cols) const {
 
 std::uint64_t Table::column_fingerprint(std::size_t col) const {
   expects(col < schema_.size(), "column index out of range");
-  if (col_fp_valid_.size() != schema_.size()) {
-    col_fp_.assign(schema_.size(), 0);
-    col_fp_valid_.assign(schema_.size(), 0);
-  }
-  if (col_fp_valid_[col] == 0) {
-    std::uint64_t h = kFnvOffset;
-    for (const Value v : cols_[col]) {
-      h ^= v;
-      h *= kFnvPrime;
-    }
-    col_fp_[col] = h;
-    col_fp_valid_[col] = 1;
-  }
-  return col_fp_[col];
+  return cols_[col].content_fingerprint();
 }
 
 std::uint64_t Table::fingerprint() const noexcept {
@@ -294,10 +395,8 @@ std::uint64_t Table::fingerprint() const noexcept {
 
 std::size_t Table::memory_bytes() const noexcept {
   std::size_t bytes = 0;
-  for (const auto& col : cols_) bytes += col.capacity() * sizeof(Value);
-  bytes += cols_.capacity() * sizeof(std::vector<Value>);
-  bytes += col_fp_.capacity() * sizeof(std::uint64_t);
-  bytes += col_fp_valid_.capacity();
+  for (const auto& col : cols_) bytes += col.memory_bytes();
+  bytes += cols_.capacity() * sizeof(Column);
   // Hash maps: estimate nodes (entry + next pointer) plus bucket array.
   for (const auto& [raw, index] : key_indexes_) {
     (void)raw;

@@ -2,13 +2,16 @@
 // a finite relation over a Schema whose rows pair exact-match values with
 // action values (Eq. 1 of the paper).
 //
-// Storage is columnar (struct-of-arrays): one contiguous
-// std::vector<Value> per column. Every relational operation the pipeline
-// is built from — projection, selection, fingerprinting, FD mining's
-// partition construction — is a column scan or a key probe, so the
-// column-major layout turns the hot loops into contiguous sweeps and
-// drops the per-row heap allocation of the former row-of-vectors store
-// (≈3× fewer bytes per rule at fleet scale; see BENCH_scale.json).
+// Storage is columnar (struct-of-arrays): one Column per attribute.
+// Every relational operation the pipeline is built from — projection,
+// selection, fingerprinting, FD mining's partition construction — is a
+// column scan or a key probe, so the column-major layout turns the hot
+// loops into contiguous sweeps and drops the per-row heap allocation of
+// the former row-of-vectors store (≈3× fewer bytes per rule at fleet
+// scale; see BENCH_scale.json). Columns adapt their representation:
+// narrow-domain columns intern their values (32-bit ids into an
+// append-only pool of distinct values), wide-domain columns spill to
+// raw 64-bit storage — see Column.
 //
 // Two lazy, mutation-tracked acceleration structures ride on top:
 //
@@ -46,6 +49,72 @@ namespace maton::core {
 /// One entry of a match-action table: a full assignment of values to the
 /// schema's columns (materialized, row-major).
 using Row = std::vector<Value>;
+
+namespace detail {
+inline constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+inline constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+}  // namespace detail
+
+/// Adaptive column store. A column starts *interned*: each cell is a
+/// 32-bit id into an append-only pool of the distinct values seen, so a
+/// narrow-domain column (ports, VIP tags, metadata) costs 4 bytes per
+/// cell instead of 8 and its fingerprint folds over the compact ids.
+/// Ids preserve equality — two cells carry the same id iff they hold the
+/// same value — so partitioning and FD checks can work on ids directly.
+/// When the domain turns out wide (distinct values exceed
+/// max(4096, rows/2), e.g. a globally-unique output column) the column
+/// spills to raw 64-bit storage once and stays raw: ids would not pay
+/// for the pool.
+///
+/// The content fingerprint is a pure fold over the VALUE sequence —
+/// identical for interned and raw representations — so equal contents
+/// always fingerprint equal (the partition cache's cross-rebuild reuse
+/// criterion). It is cached, folds appends in place, and recomputes
+/// after point writes/erases by scanning the 4-byte ids against the
+/// resident pool instead of 8 bytes per cell.
+class Column {
+ public:
+  [[nodiscard]] std::size_t size() const noexcept {
+    return interned_ ? ids_.size() : raw_.size();
+  }
+  [[nodiscard]] Value operator[](std::size_t r) const noexcept {
+    return interned_ ? pool_[ids_[r]] : raw_[r];
+  }
+  [[nodiscard]] bool interned() const noexcept { return interned_; }
+  /// Interned representation (valid only while interned()).
+  [[nodiscard]] std::span<const std::uint32_t> ids() const noexcept {
+    return ids_;
+  }
+  [[nodiscard]] std::span<const Value> pool() const noexcept {
+    return pool_;
+  }
+
+  void reserve(std::size_t n);
+  void push_back(Value v);
+  /// Overwrites cell `r`; returns false when the value was already there
+  /// (every cache stays valid in that case).
+  bool set(std::size_t r, Value v);
+  void erase(std::size_t first, std::size_t count);
+
+  [[nodiscard]] std::uint64_t content_fingerprint() const;
+  [[nodiscard]] bool content_equals(const Column& other) const;
+  [[nodiscard]] std::size_t memory_bytes() const noexcept;
+
+ private:
+  [[nodiscard]] static std::size_t spill_threshold(
+      std::size_t rows) noexcept {
+    return rows / 2 > 4096 ? rows / 2 : 4096;
+  }
+  void spill();
+
+  bool interned_ = true;
+  std::vector<std::uint32_t> ids_;  // interned cells: pool indices
+  std::vector<Value> pool_;         // id → value, append-only
+  std::unordered_map<Value, std::uint32_t> lookup_;  // value → id
+  std::vector<Value> raw_;          // wide-domain cells, post-spill
+  mutable std::uint64_t fp_ = detail::kFnvOffset;  // fold of the values
+  mutable bool fp_valid_ = true;  // empty sequence: offset is correct
+};
 
 class Table;
 
@@ -162,9 +231,11 @@ class Table {
     return RowRange(*this, num_rows_);
   }
 
-  /// Contiguous value sequence of one column, in row order. The natural
-  /// access path for column scans (fingerprints, partitions, FD checks).
-  [[nodiscard]] std::span<const Value> column(std::size_t col) const;
+  /// One column's value sequence, in row order. The natural access path
+  /// for column scans (fingerprints, partitions, FD checks); interned
+  /// columns additionally expose their id sequence for scans that only
+  /// need equality structure.
+  [[nodiscard]] const Column& column(std::size_t col) const;
 
   [[nodiscard]] Value at(std::size_t row, std::size_t col) const;
 
@@ -236,10 +307,17 @@ class Table {
   static constexpr std::size_t kRenderTail = 8;
 
   /// Equality is relation-level: name, schema and cell contents. The
-  /// lazy caches and key indexes never participate.
+  /// lazy caches, key indexes, and each column's representation (interned
+  /// vs raw, pool order) never participate.
   friend bool operator==(const Table& a, const Table& b) {
-    return a.name_ == b.name_ && a.schema_ == b.schema_ &&
-           a.num_rows_ == b.num_rows_ && a.cols_ == b.cols_;
+    if (a.name_ != b.name_ || a.schema_ != b.schema_ ||
+        a.num_rows_ != b.num_rows_) {
+      return false;
+    }
+    for (std::size_t c = 0; c < a.cols_.size(); ++c) {
+      if (!a.cols_[c].content_equals(b.cols_[c])) return false;
+    }
+    return true;
   }
 
  private:
@@ -260,12 +338,11 @@ class Table {
   std::string name_;
   Schema schema_;
   std::size_t num_rows_ = 0;
-  /// cols_[c][r] = cell (r, c); every inner vector has num_rows_ entries.
-  std::vector<std::vector<Value>> cols_;
+  /// cols_[c][r] = cell (r, c); every column has num_rows_ entries.
+  /// Per-column fingerprints live inside Column.
+  std::vector<Column> cols_;
 
   // --- lazy caches (content-derived; dropped by copy, never compared) --
-  mutable std::vector<std::uint64_t> col_fp_;        // per-column FNV-1a
-  mutable std::vector<std::uint8_t> col_fp_valid_;   // parallel validity
   mutable std::optional<std::uint64_t> table_fp_;
   mutable std::unordered_map<std::uint64_t, KeyIndex> key_indexes_;
 };

@@ -47,6 +47,22 @@ class Classifier {
 
   [[nodiscard]] virtual std::string_view name() const noexcept = 0;
 
+  /// Delta maintenance for an in-place rule modification: the rule at
+  /// `index` of `table` was replaced without changing position or
+  /// priority; `old_matches` is the match vector it had before. Returns
+  /// true when the classifier's index now reflects the table again;
+  /// false when this template cannot patch the change incrementally, in
+  /// which case the caller must rebuild the classifier. The base
+  /// implementation always declines.
+  [[nodiscard]] virtual bool apply_modify(
+      const TableSpec& table, std::size_t index,
+      const std::vector<FieldMatch>& old_matches) {
+    (void)table;
+    (void)index;
+    (void)old_matches;
+    return false;
+  }
+
  protected:
   Classifier() = default;
 };

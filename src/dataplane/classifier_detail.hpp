@@ -69,6 +69,10 @@ struct MaskedGroup {
   std::uint32_t best_priority = 0;
   /// Smallest rule index in the group (first-match early-exit bound).
   std::size_t min_rule = kNone;
+  /// Whether any insertion was dropped as a complete-overlap duplicate.
+  /// When set, point updates must decline: the shadowed rule would have
+  /// to surface, which only a rebuild can decide.
+  bool dropped_duplicate = false;
 
   /// Inserts a masked value vector. Two rules with identical masked
   /// values overlap completely, so the first insertion — rule order =
@@ -81,7 +85,10 @@ struct MaskedGroup {
     if (!inserted) {
       Entry* e = &it->second;
       while (true) {
-        if (e->values == values) break;  // duplicate key: first wins
+        if (e->values == values) {  // duplicate key: first wins
+          dropped_duplicate = true;
+          break;
+        }
         if (e->overflow == kNone) {
           e->overflow = spill.size();
           spill.push_back(Entry{values, rule, priority, kNone});
@@ -92,6 +99,43 @@ struct MaskedGroup {
     }
     best_priority = std::max(best_priority, priority);
     min_rule = std::min(min_rule, rule);
+  }
+
+  /// Point update for an in-place rule modification (same rule index,
+  /// same priority): moves `rule`'s entry from `old_values` to
+  /// `new_values`. Returns false — caller must rebuild — when the group
+  /// ever dropped a duplicate, the old entry is missing or owned by a
+  /// different rule, or the new key already exists. The unlinked spill
+  /// slot (if any) leaks until the next rebuild; bounded by the number
+  /// of point updates applied.
+  [[nodiscard]] bool replace_values(
+      const std::vector<std::uint64_t>& old_values,
+      const std::vector<std::uint64_t>& new_values, std::size_t rule,
+      std::uint32_t priority) {
+    if (old_values == new_values) return true;  // action-only modify
+    if (dropped_duplicate) return false;
+    if (find(new_values) != nullptr) return false;
+    const auto it = entries.find(hash_words(old_values));
+    if (it == entries.end()) return false;
+    Entry* prev = nullptr;
+    Entry* e = &it->second;
+    while (e != nullptr && e->values != old_values) {
+      prev = e;
+      e = e->overflow == kNone ? nullptr : &spill[e->overflow];
+    }
+    if (e == nullptr || e->rule != rule) return false;
+    if (prev == nullptr) {
+      const std::size_t next = e->overflow;
+      if (next == kNone) {
+        entries.erase(it);
+      } else {
+        it->second = spill[next];  // chain entries share the hash key
+      }
+    } else {
+      prev->overflow = e->overflow;
+    }
+    insert(new_values, rule, priority);
+    return true;
   }
 
   /// Exact probe with the pre-masked key words; nullptr on miss.

@@ -25,11 +25,7 @@ class ExactMatchClassifier final : public Classifier {
     for (std::size_t r = 0; r < table.rules.size(); ++r) {
       // Pack the rule's values in declared field order.
       std::vector<std::uint64_t> packed(fields_.size(), 0);
-      for (const FieldMatch& m : table.rules[r].matches) {
-        for (std::size_t f = 0; f < fields_.size(); ++f) {
-          if (fields_[f] == m.field) packed[f] = m.value;
-        }
-      }
+      pack_matches(table.rules[r].matches, packed);
       insert(packed, r);
     }
   }
@@ -44,10 +40,70 @@ class ExactMatchClassifier final : public Classifier {
     std::size_t slot = detail::hash_words(view) & (capacity_ - 1);
     while (slots_[slot] != kEmpty) {
       const std::size_t entry = slots_[slot];
-      if (equals(entry, view)) return rule_of_[entry];
+      if (entry != kTombstone && equals(entry, view)) return rule_of_[entry];
       slot = (slot + 1) & (capacity_ - 1);
     }
     return std::nullopt;
+  }
+
+  /// Delta maintenance: an all-exact modify re-packs the rule's key and
+  /// moves its hash entry — the old slot is tombstoned, the key payload
+  /// is overwritten in place, and the entry re-probes to a fresh slot.
+  /// Declines when duplicates were dropped at build (a shadowed rule
+  /// could surface), when the new rule is no longer all-exact (template
+  /// change), or when accumulated tombstones warrant a rebuild.
+  [[nodiscard]] bool apply_modify(
+      const TableSpec& table, std::size_t index,
+      const std::vector<FieldMatch>& old_matches) override {
+    if (dups_ || tombstones_ * 4 > capacity_) return false;
+    const RuleView rule = table.rules[index];
+    for (const FieldMatch m : rule.matches) {
+      if (m.mask != field_full_mask(m.field)) return false;
+      if (std::find(fields_.begin(), fields_.end(), m.field) ==
+          fields_.end()) {
+        return false;
+      }
+    }
+    std::vector<std::uint64_t> old_key(fields_.size(), 0);
+    std::vector<std::uint64_t> new_key(fields_.size(), 0);
+    pack_matches(old_matches, old_key);
+    pack_matches(rule.matches, new_key);
+    if (old_key == new_key) return true;  // action-only modify
+    // Locate the old entry (unique: no dropped duplicates).
+    std::size_t old_slot = detail::hash_words(old_key) & (capacity_ - 1);
+    std::size_t entry = kEmpty;
+    while (slots_[old_slot] != kEmpty) {
+      const std::size_t e = slots_[old_slot];
+      if (e != kTombstone && equals(e, old_key)) {
+        entry = e;
+        break;
+      }
+      old_slot = (old_slot + 1) & (capacity_ - 1);
+    }
+    if (entry == kEmpty || rule_of_[entry] != index) return false;
+    // Walk the new key's chain: any live equal entry means a collision
+    // (rebuild decides the winner); remember the first reusable slot.
+    std::size_t ins = kEmpty;
+    std::size_t slot = detail::hash_words(new_key) & (capacity_ - 1);
+    while (slots_[slot] != kEmpty) {
+      const std::size_t e = slots_[slot];
+      if (e == kTombstone) {
+        if (ins == kEmpty) ins = slot;
+      } else if (equals(e, new_key)) {
+        return false;
+      }
+      slot = (slot + 1) & (capacity_ - 1);
+    }
+    const bool reused_tombstone = ins != kEmpty;
+    if (ins == kEmpty) ins = slot;
+    slots_[old_slot] = kTombstone;
+    ++tombstones_;
+    std::copy(new_key.begin(), new_key.end(),
+              keys_.begin() +
+                  static_cast<std::ptrdiff_t>(entry * fields_.size()));
+    slots_[ins] = entry;
+    if (reused_tombstone) --tombstones_;
+    return true;
   }
 
   /// Two-pass chunked probe: pass 1 packs and hashes every key and issues
@@ -78,7 +134,7 @@ class ExactMatchClassifier final : public Classifier {
         std::size_t found = kNoRule;
         while (slots_[slot] != kEmpty) {
           const std::size_t entry = slots_[slot];
-          if (equals(entry, view)) {
+          if (entry != kTombstone && equals(entry, view)) {
             found = rule_of_[entry];
             break;
           }
@@ -95,6 +151,7 @@ class ExactMatchClassifier final : public Classifier {
 
  private:
   static constexpr std::size_t kEmpty = ~std::size_t{0};
+  static constexpr std::size_t kTombstone = kEmpty - 1;
 
   [[nodiscard]] bool equals(std::size_t entry,
                             std::span<const std::uint64_t> key) const {
@@ -105,10 +162,23 @@ class ExactMatchClassifier final : public Classifier {
     return true;
   }
 
+  template <typename MatchSeq>
+  void pack_matches(const MatchSeq& matches,
+                    std::vector<std::uint64_t>& packed) const {
+    for (const FieldMatch m : matches) {
+      for (std::size_t f = 0; f < fields_.size(); ++f) {
+        if (fields_[f] == m.field) packed[f] = m.value;
+      }
+    }
+  }
+
   void insert(const std::vector<std::uint64_t>& packed, std::size_t rule) {
     std::size_t slot = detail::hash_words(packed) & (capacity_ - 1);
     while (slots_[slot] != kEmpty) {
-      if (equals(slots_[slot], packed)) return;  // keep higher priority
+      if (equals(slots_[slot], packed)) {  // keep higher priority
+        dups_ = true;
+        return;
+      }
       slot = (slot + 1) & (capacity_ - 1);
     }
     const std::size_t entry = rule_of_.size();
@@ -122,6 +192,8 @@ class ExactMatchClassifier final : public Classifier {
   std::vector<std::size_t> slots_;     // slot → entry index or kEmpty
   std::vector<std::uint64_t> keys_;    // entry-major packed keys
   std::vector<std::size_t> rule_of_;   // entry → rule index
+  bool dups_ = false;                  // build dropped a duplicate key
+  std::size_t tombstones_ = 0;         // dead slots left by apply_modify
 };
 
 }  // namespace

@@ -86,8 +86,8 @@ class LpmClassifier final : public Classifier {
 
     // Identify the prefix field: the one with any non-full mask.
     prefix_field_ = table.fields.front();
-    for (const Rule& rule : table.rules) {
-      for (const FieldMatch& m : rule.matches) {
+    for (const auto rule : table.rules) {
+      for (const FieldMatch m : rule.matches) {
         const unsigned w = field_width(m.field);
         const std::uint64_t full =
             w >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << w) - 1);

@@ -259,15 +259,12 @@ class OvsModel final : public OvsModelInterface {
   }
 
   Status apply_update(const RuleUpdate& update) override {
-    const std::vector<Rule> old_rules =
-        update.table < program_.tables.size()
-            ? program_.tables[update.table].rules
-            : std::vector<Rule>{};
-    if (Status s = apply_update_to_program(program_, update); !s.is_ok()) {
+    ApplyOutcome outcome;
+    if (Status s = apply_update_to_program(program_, update, &outcome);
+        !s.is_ok()) {
       return s;
     }
-    counters_.carry_over(update.table, old_rules,
-                         program_.tables[update.table].rules, update);
+    carry_counters(update.table, outcome);
     // Revalidation model: any OpenFlow change invalidates the datapath
     // cache wholesale.
     cache_.clear();
@@ -286,17 +283,13 @@ class OvsModel final : public OvsModelInterface {
     Status result = Status::ok();
     bool any_applied = false;
     for (const RuleUpdate& update : updates) {
-      const std::vector<Rule> old_rules =
-          update.table < program_.tables.size()
-              ? program_.tables[update.table].rules
-              : std::vector<Rule>{};
-      if (Status s = apply_update_to_program(program_, update);
+      ApplyOutcome outcome;
+      if (Status s = apply_update_to_program(program_, update, &outcome);
           !s.is_ok()) {
         result = s;
         break;
       }
-      counters_.carry_over(update.table, old_rules,
-                           program_.tables[update.table].rules, update);
+      carry_counters(update.table, outcome);
       ++stats_.cache_flushes;
       mf_flushes_->add();
       any_applied = true;
@@ -324,6 +317,22 @@ class OvsModel final : public OvsModelInterface {
   }
 
  private:
+  void carry_counters(std::size_t table, const ApplyOutcome& outcome) {
+    switch (outcome.kind) {
+      case ApplyOutcome::Kind::kInserted:
+        counters_.on_insert(table, outcome.index);
+        break;
+      case ApplyOutcome::Kind::kRemoved:
+        counters_.on_remove(table, outcome.index);
+        break;
+      case ApplyOutcome::Kind::kModifiedInPlace:
+        break;  // position unchanged; the rule inherits its count
+      case ApplyOutcome::Kind::kModifiedMoved:
+        counters_.on_move(table, outcome.index, outcome.moved_to);
+        break;
+    }
+  }
+
   /// Full pipeline traversal tracking the megaflow mask: bits of the
   /// *original* packet the decision depended on. Matches on fields
   /// rewritten earlier in the pipeline (metadata tags) do not widen the
@@ -347,25 +356,25 @@ class OvsModel final : public OvsModelInterface {
       ++result.tables_visited;
       const TableSpec& table = program_.tables[idx];
 
-      const Rule* hit = nullptr;
+      std::optional<RuleView> hit;
       for (std::size_t r = 0; r < table.rules.size(); ++r) {
         if (table.rules[r].matches_key(state)) {
-          hit = &table.rules[r];
+          hit = table.rules[r];
           if (matched != nullptr) matched->push_back({idx, r});
           break;
         }
       }
-      if (hit == nullptr) {
+      if (!hit.has_value()) {
         result.hit = false;
         result.out_port = 0;
         return {result, mask};
       }
-      for (const FieldMatch& m : hit->matches) {
+      for (const FieldMatch m : hit->matches) {
         if (((written >> field_index(m.field)) & 1u) == 0) {
           mask[field_index(m.field)] |= m.mask;
         }
       }
-      for (const Action& action : hit->actions) {
+      for (const Action action : hit->actions) {
         if (action.kind == Action::Kind::kOutput) {
           result.out_port = action.value;
         } else {

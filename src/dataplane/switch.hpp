@@ -86,7 +86,10 @@ class SwitchModel {
 
 /// Per-rule packet counters parallel to a program's tables, with the
 /// OpenFlow preservation semantics across rule updates. Shared by the
-/// switch model implementations.
+/// switch model implementations. Counts are positional; the
+/// ApplyOutcome of apply_update_to_program says how positions moved, so
+/// carrying counters across an update is O(Δ) (or O(shift) for
+/// structural edits) instead of a match-vector join.
 class RuleCounters {
  public:
   /// Re-sizes to match `program`, zeroing everything.
@@ -95,12 +98,13 @@ class RuleCounters {
   void bump(std::size_t table, std::size_t rule);
   void bump_all(std::span<const MatchedRule> matched);
 
-  /// Call with the table's rules as they were *before* an update and as
-  /// they are after: counts carry over by match vector; a kModify target
-  /// donates its count to the update's new rule.
-  void carry_over(std::size_t table, const std::vector<Rule>& old_rules,
-                  const std::vector<Rule>& new_rules,
-                  const RuleUpdate& update);
+  /// A rule was inserted at `pos` (fresh count of zero).
+  void on_insert(std::size_t table, std::size_t pos);
+  /// The rule at `pos` was removed.
+  void on_remove(std::size_t table, std::size_t pos);
+  /// The rule at `from` moved to `to` (kModify with a priority change);
+  /// it keeps its count — OpenFlow modify inherits the old stats.
+  void on_move(std::size_t table, std::size_t from, std::size_t to);
 
   [[nodiscard]] Result<std::uint64_t> read(
       const Program& program, std::size_t table,
@@ -217,9 +221,31 @@ class HwTcamModel final : public SwitchModel {
   obs::Histogram* chunk_size_ = nullptr;
 };
 
+/// How apply_update_to_program changed the table — what index
+/// maintenance (counters, classifiers) the caller still owes.
+struct ApplyOutcome {
+  enum class Kind {
+    kInserted,         // new rule at `index`; later rules shifted up
+    kRemoved,          // rule at `index` removed; later rules shifted down
+    kModifiedInPlace,  // rule at `index` replaced, position unchanged
+    kModifiedMoved,    // rule replaced and re-positioned `index` → `moved_to`
+  };
+  Kind kind = Kind::kModifiedInPlace;
+  std::size_t index = 0;
+  std::size_t moved_to = 0;  // kModifiedMoved only
+};
+
 /// Applies `update` to a program's table in place (shared by the software
 /// models). Returns kNotFound when the target rule does not exist.
-[[nodiscard]] Status apply_update_to_program(Program& program,
-                                             const RuleUpdate& update);
+/// Delta-scoped: the target is found through the table's lazy match
+/// index, a same-priority modify replaces in place, and a priority
+/// change repositions one 20-byte ref — no full re-sort. Tables are kept
+/// in the compiled order (priority descending, stable), matching what a
+/// full `stable_sort` of the legacy path produced. When `outcome` is
+/// non-null it receives what happened, so callers can delta-scope their
+/// own bookkeeping.
+[[nodiscard]] Status apply_update_to_program(
+    Program& program, const RuleUpdate& update,
+    ApplyOutcome* outcome = nullptr);
 
 }  // namespace maton::dp

@@ -23,46 +23,51 @@ Status SwitchModel::apply_updates(std::span<const RuleUpdate> updates) {
   return Status::ok();
 }
 
-Status apply_update_to_program(Program& program, const RuleUpdate& update) {
+Status apply_update_to_program(Program& program, const RuleUpdate& update,
+                               ApplyOutcome* outcome) {
   if (update.table >= program.tables.size()) {
     return invalid_argument("update targets a non-existent table");
   }
   TableSpec& table = program.tables[update.table];
-
-  auto find_target = [&]() {
-    return std::find_if(table.rules.begin(), table.rules.end(),
-                        [&](const Rule& r) {
-                          return r.matches == update.target;
-                        });
-  };
+  ApplyOutcome result;
 
   switch (update.kind) {
     case RuleUpdate::Kind::kInsert: {
-      table.rules.push_back(update.rule);
+      result.kind = ApplyOutcome::Kind::kInserted;
+      result.index = table.rules.insert_sorted(update.rule);
       break;
     }
     case RuleUpdate::Kind::kRemove: {
-      const auto it = find_target();
-      if (it == table.rules.end()) {
+      const std::size_t pos = table.rules.find_by_match(update.target);
+      if (pos == FlatRules::kNpos) {
         return not_found("rule to remove not present in table " +
                          table.name);
       }
-      table.rules.erase(it);
-      return Status::ok();  // no re-sort needed
+      table.rules.erase(pos);
+      result.kind = ApplyOutcome::Kind::kRemoved;
+      result.index = pos;
+      break;
     }
     case RuleUpdate::Kind::kModify: {
-      const auto it = find_target();
-      if (it == table.rules.end()) {
+      const std::size_t pos = table.rules.find_by_match(update.target);
+      if (pos == FlatRules::kNpos) {
         return not_found("rule to modify not present in table " +
                          table.name);
       }
-      *it = update.rule;
+      const std::uint32_t old_priority = table.rules.priority_of(pos);
+      table.rules.replace(pos, update.rule);
+      if (update.rule.priority == old_priority) {
+        result.kind = ApplyOutcome::Kind::kModifiedInPlace;
+        result.index = pos;
+      } else {
+        result.kind = ApplyOutcome::Kind::kModifiedMoved;
+        result.index = pos;
+        result.moved_to = table.rules.reposition(pos);
+      }
       break;
     }
   }
-  std::stable_sort(
-      table.rules.begin(), table.rules.end(),
-      [](const Rule& a, const Rule& b) { return a.priority > b.priority; });
+  if (outcome != nullptr) *outcome = result;
   return Status::ok();
 }
 
@@ -84,27 +89,30 @@ void RuleCounters::bump_all(std::span<const MatchedRule> matched) {
   for (const MatchedRule& m : matched) bump(m.table, m.rule);
 }
 
-void RuleCounters::carry_over(std::size_t table,
-                              const std::vector<Rule>& old_rules,
-                              const std::vector<Rule>& new_rules,
-                              const RuleUpdate& update) {
-  expects(table < counts_.size(), "counter table out of range");
-  std::vector<std::uint64_t> next(new_rules.size(), 0);
-  for (std::size_t n = 0; n < new_rules.size(); ++n) {
-    // A modified rule inherits the count of the rule it replaced.
-    const std::vector<FieldMatch>& lookup =
-        (update.kind == RuleUpdate::Kind::kModify &&
-         new_rules[n].matches == update.rule.matches)
-            ? update.target
-            : new_rules[n].matches;
-    for (std::size_t o = 0; o < old_rules.size(); ++o) {
-      if (old_rules[o].matches == lookup) {
-        next[n] = counts_[table][o];
-        break;
-      }
-    }
-  }
-  counts_[table] = std::move(next);
+void RuleCounters::on_insert(std::size_t table, std::size_t pos) {
+  expects(table < counts_.size() && pos <= counts_[table].size(),
+          "counter insert out of range");
+  counts_[table].insert(
+      counts_[table].begin() + static_cast<std::ptrdiff_t>(pos), 0);
+}
+
+void RuleCounters::on_remove(std::size_t table, std::size_t pos) {
+  expects(table < counts_.size() && pos < counts_[table].size(),
+          "counter remove out of range");
+  counts_[table].erase(counts_[table].begin() +
+                       static_cast<std::ptrdiff_t>(pos));
+}
+
+void RuleCounters::on_move(std::size_t table, std::size_t from,
+                           std::size_t to) {
+  expects(table < counts_.size() && from < counts_[table].size() &&
+              to < counts_[table].size(),
+          "counter move out of range");
+  if (from == to) return;
+  std::vector<std::uint64_t>& c = counts_[table];
+  const std::uint64_t moved = c[from];
+  c.erase(c.begin() + static_cast<std::ptrdiff_t>(from));
+  c.insert(c.begin() + static_cast<std::ptrdiff_t>(to), moved);
 }
 
 Result<std::uint64_t> RuleCounters::read(
@@ -113,12 +121,12 @@ Result<std::uint64_t> RuleCounters::read(
   if (table >= program.tables.size()) {
     return invalid_argument("counter read targets a non-existent table");
   }
-  const auto& rules = program.tables[table].rules;
-  for (std::size_t r = 0; r < rules.size(); ++r) {
-    if (rules[r].matches == target) return counts_[table][r];
+  const std::size_t pos = program.tables[table].rules.find_by_match(target);
+  if (pos == FlatRules::kNpos) {
+    return not_found("no rule with the given match vector in table " +
+                     program.tables[table].name);
   }
-  return not_found("no rule with the given match vector in table " +
-                   program.tables[table].name);
+  return counts_[table][pos];
 }
 
 HwTcamModel::HwTcamModel() {
@@ -190,7 +198,7 @@ void HwTcamModel::process_batch(std::span<const FlowKey> keys,
       std::iota(active_.begin(), active_.end(), std::uint32_t{0});
       std::size_t live = active_.size();
       for (std::size_t r = 0; r < table.rules.size() && live > 0; ++r) {
-        const Rule& rule = table.rules[r];
+        const RuleView rule = table.rules[r];
         std::size_t w = 0;
         for (std::size_t a = 0; a < live; ++a) {
           const std::uint32_t m = active_[a];
@@ -215,8 +223,8 @@ void HwTcamModel::process_batch(std::span<const FlowKey> keys,
           continue;  // miss: packet leaves the pipeline
         }
         counters_.bump(t, match_rule_[m]);
-        const Rule& rule = table.rules[match_rule_[m]];
-        for (const Action& action : rule.actions) {
+        const RuleView rule = table.rules[match_rule_[m]];
+        for (const Action action : rule.actions) {
           if (action.kind == Action::Kind::kOutput) {
             result.out_port = action.value;
           } else {
@@ -242,15 +250,24 @@ void HwTcamModel::process_batch(std::span<const FlowKey> keys,
 }
 
 Status HwTcamModel::apply_update(const RuleUpdate& update) {
-  const std::vector<Rule> old_rules =
-      update.table < program_.tables.size()
-          ? program_.tables[update.table].rules
-          : std::vector<Rule>{};
-  if (Status s = apply_update_to_program(program_, update); !s.is_ok()) {
+  ApplyOutcome outcome;
+  if (Status s = apply_update_to_program(program_, update, &outcome);
+      !s.is_ok()) {
     return s;
   }
-  counters_.carry_over(update.table, old_rules,
-                       program_.tables[update.table].rules, update);
+  switch (outcome.kind) {
+    case ApplyOutcome::Kind::kInserted:
+      counters_.on_insert(update.table, outcome.index);
+      break;
+    case ApplyOutcome::Kind::kRemoved:
+      counters_.on_remove(update.table, outcome.index);
+      break;
+    case ApplyOutcome::Kind::kModifiedInPlace:
+      break;  // position unchanged; the rule inherits its count
+    case ApplyOutcome::Kind::kModifiedMoved:
+      counters_.on_move(update.table, outcome.index, outcome.moved_to);
+      break;
+  }
   return Status::ok();
 }
 
@@ -269,7 +286,7 @@ std::size_t HwTcamModel::pipeline_depth() const noexcept {
     const TableSpec& t = program_.tables[i];
     std::size_t best = 0;
     if (t.next.has_value()) best = self(self, *t.next);
-    for (const Rule& r : t.rules) {
+    for (const auto r : t.rules) {
       if (r.goto_table.has_value()) {
         best = std::max(best, self(self, *r.goto_table));
       }

@@ -61,8 +61,8 @@ class TableWalkSwitch : public SwitchModel {
       stage_metrics_[idx].hits->add();
       counters_.bump(idx, *rule_idx);
       const TableSpec& table = program_.tables[idx];
-      const Rule& rule = table.rules[*rule_idx];
-      for (const Action& action : rule.actions) {
+      const RuleView rule = table.rules[*rule_idx];
+      for (const Action action : rule.actions) {
         if (action.kind == Action::Kind::kOutput) {
           result.out_port = action.value;
         } else {
@@ -170,8 +170,8 @@ class TableWalkSwitch : public SwitchModel {
           }
           ++stage_hits;
           counters_.bump(t, rule_out_[m]);
-          const Rule& rule = table.rules[rule_out_[m]];
-          for (const Action& action : rule.actions) {
+          const RuleView rule = table.rules[rule_out_[m]];
+          for (const Action action : rule.actions) {
             if (action.kind == Action::Kind::kOutput) {
               result.out_port = action.value;
             } else {
@@ -200,57 +200,70 @@ class TableWalkSwitch : public SwitchModel {
 
   /// Batched update application: structural mutation and counter
   /// carry-over run per update in order (exact scalar semantics,
-  /// including mid-sequence failures); the per-table index maintenance —
-  /// classifier recompilation, the set-field scan, metric-handle
-  /// resolution — runs once per *touched table* instead of once per
-  /// update. An intent that modifies M rules of one table recompiles its
-  /// classifier once, not M times.
+  /// including mid-sequence failures); the per-table index maintenance
+  /// is delta-scoped. A same-priority modify first offers the change to
+  /// the table's classifier via apply_modify — when the template can
+  /// patch its index in place (value rewrite, point re-hash) no rebuild
+  /// happens at all. Tables whose classifier declines, or that saw
+  /// structural edits (insert/remove/re-position), are recompiled once
+  /// per *touched table* instead of once per update.
   Status apply_updates(std::span<const RuleUpdate> updates) override {
     Status result = Status::ok();
     touched_.assign(program_.tables.size(), 0);
+    bool delta_maintained = false;
     for (const RuleUpdate& update : updates) {
-      const std::vector<Rule> old_rules =
-          update.table < program_.tables.size()
-              ? program_.tables[update.table].rules
-              : std::vector<Rule>{};
-      if (Status s = apply_update_to_program(program_, update);
+      ApplyOutcome outcome;
+      if (Status s = apply_update_to_program(program_, update, &outcome);
           !s.is_ok()) {
         result = s;
         break;
       }
-      counters_.carry_over(update.table, old_rules,
-                           program_.tables[update.table].rules, update);
-      touched_[update.table] = 1;
+      apply_counters(update.table, outcome);
+      if (touched_[update.table] == 1) continue;  // rebuild already owed
+      if (outcome.kind == ApplyOutcome::Kind::kModifiedInPlace &&
+          classifiers_[update.table]->apply_modify(
+              program_.tables[update.table], outcome.index, update.target)) {
+        touched_[update.table] = 2;  // index patched in place
+        delta_maintained = true;
+      } else {
+        touched_[update.table] = 1;
+      }
     }
-    bool any_touched = false;
+    bool rebuilt = false;
     for (std::size_t t = 0; t < touched_.size(); ++t) {
-      if (touched_[t] == 0) continue;
+      if (touched_[t] != 1) continue;
       classifiers_[t] = instantiate(program_.tables[t]);
-      any_touched = true;
+      rebuilt = true;
     }
-    if (any_touched) {
+    if (rebuilt) {
       recompute_mutates();
+      // Recompiling can change the chosen classifier template, which is
+      // a metric label; re-resolve the handles.
       resolve_metrics();
+    } else if (delta_maintained) {
+      for (const RuleUpdate& update : updates) widen_mutates(update.rule);
     }
     return result;
   }
 
   Status apply_update(const RuleUpdate& update) override {
-    const std::vector<Rule> old_rules =
-        update.table < program_.tables.size()
-            ? program_.tables[update.table].rules
-            : std::vector<Rule>{};
-    if (Status s = apply_update_to_program(program_, update); !s.is_ok()) {
+    ApplyOutcome outcome;
+    if (Status s = apply_update_to_program(program_, update, &outcome);
+        !s.is_ok()) {
       return s;
     }
-    // Recompile the affected table's datapath classifier; flow stats
-    // carry over per OpenFlow semantics.
+    // Flow stats carry over per OpenFlow semantics (modify inherits).
+    apply_counters(update.table, outcome);
+    if (outcome.kind == ApplyOutcome::Kind::kModifiedInPlace &&
+        classifiers_[update.table]->apply_modify(
+            program_.tables[update.table], outcome.index, update.target)) {
+      widen_mutates(update.rule);
+      return Status::ok();
+    }
+    // Recompile the affected table's datapath classifier; the chosen
+    // template is a metric label, so re-resolve the handles.
     classifiers_[update.table] = instantiate(program_.tables[update.table]);
-    counters_.carry_over(update.table, old_rules,
-                         program_.tables[update.table].rules, update);
     recompute_mutates();
-    // Recompiling can change the chosen classifier template, which is a
-    // metric label; re-resolve the handles.
     resolve_metrics();
     return Status::ok();
   }
@@ -299,14 +312,40 @@ class TableWalkSwitch : public SwitchModel {
         &registry.histogram("maton_dp_batch_chunk_size", {{"model", model}});
   }
 
+  void apply_counters(std::size_t table, const ApplyOutcome& outcome) {
+    switch (outcome.kind) {
+      case ApplyOutcome::Kind::kInserted:
+        counters_.on_insert(table, outcome.index);
+        break;
+      case ApplyOutcome::Kind::kRemoved:
+        counters_.on_remove(table, outcome.index);
+        break;
+      case ApplyOutcome::Kind::kModifiedInPlace:
+        break;  // position unchanged; the rule inherits its count
+      case ApplyOutcome::Kind::kModifiedMoved:
+        counters_.on_move(table, outcome.index, outcome.moved_to);
+        break;
+    }
+  }
+
   void recompute_mutates() {
     mutates_ = false;
     for (const TableSpec& table : program_.tables) {
-      for (const Rule& rule : table.rules) {
-        for (const Action& action : rule.actions) {
+      for (const auto rule : table.rules) {
+        for (const Action action : rule.actions) {
           mutates_ = mutates_ || action.kind == Action::Kind::kSetField;
         }
       }
+    }
+  }
+
+  /// Delta-scoped mutates_ maintenance: a patched-in-place rule can only
+  /// *add* set-field work. Widening is always safe (it merely re-enables
+  /// the key copy in process_batch); narrowing would need a full scan,
+  /// which the next rebuild performs anyway.
+  void widen_mutates(const Rule& rule) {
+    for (const Action& action : rule.actions) {
+      mutates_ = mutates_ || action.kind == Action::Kind::kSetField;
     }
   }
 

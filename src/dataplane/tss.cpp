@@ -23,21 +23,38 @@ class TssClassifier final : public Classifier {
     for (std::size_t r = 0; r < table.rules.size(); ++r) {
       std::vector<std::uint64_t> mask_vec(fields_.size(), 0);
       std::vector<std::uint64_t> value_vec(fields_.size(), 0);
-      for (const FieldMatch& m : table.rules[r].matches) {
-        for (std::size_t f = 0; f < fields_.size(); ++f) {
-          if (fields_[f] == m.field) {
-            mask_vec[f] = m.mask;
-            value_vec[f] = m.value;
-          }
-        }
-      }
+      pack(table.rules[r].matches, mask_vec, value_vec);
       detail::find_or_add_group(subtables_, mask_vec)
-          .insert(value_vec, r, table.rules[r].priority);
+          .insert(value_vec, r, table.rules.priority_of(r));
     }
     std::sort(subtables_.begin(), subtables_.end(),
               [](const detail::MaskedGroup& a, const detail::MaskedGroup& b) {
                 return a.best_priority > b.best_priority;
               });
+  }
+
+  /// Delta maintenance: a value-only modify (mask vector unchanged) is a
+  /// point re-hash inside the rule's subtable — no group rebuild, no
+  /// re-sort (the priority is unchanged by contract, so the probe order
+  /// bounds stay valid). A mask change moves the rule across subtables
+  /// and declines.
+  [[nodiscard]] bool apply_modify(
+      const TableSpec& table, std::size_t index,
+      const std::vector<FieldMatch>& old_matches) override {
+    std::vector<std::uint64_t> old_mask(fields_.size(), 0);
+    std::vector<std::uint64_t> old_val(fields_.size(), 0);
+    pack(old_matches, old_mask, old_val);
+    std::vector<std::uint64_t> new_mask(fields_.size(), 0);
+    std::vector<std::uint64_t> new_val(fields_.size(), 0);
+    const RuleView rule = table.rules[index];
+    pack(rule.matches, new_mask, new_val);
+    if (old_mask != new_mask) return false;
+    for (detail::MaskedGroup& sub : subtables_) {
+      if (sub.masks == old_mask) {
+        return sub.replace_values(old_val, new_val, index, rule.priority);
+      }
+    }
+    return false;
   }
 
   [[nodiscard]] std::optional<std::size_t> lookup(
@@ -123,23 +140,88 @@ class TssClassifier final : public Classifier {
   }
 
  private:
+  template <typename MatchSeq>
+  void pack(const MatchSeq& matches, std::vector<std::uint64_t>& mask_vec,
+            std::vector<std::uint64_t>& value_vec) const {
+    for (const FieldMatch m : matches) {
+      for (std::size_t f = 0; f < fields_.size(); ++f) {
+        if (fields_[f] == m.field) {
+          mask_vec[f] = m.mask;
+          value_vec[f] = m.value;
+        }
+      }
+    }
+  }
+
   std::vector<FieldId> fields_;
   std::vector<detail::MaskedGroup> subtables_;
 };
 
 class LinearClassifier final : public Classifier {
  public:
-  explicit LinearClassifier(const TableSpec& table) : rules_(table.rules) {
-    build_flat();
-    build_groups();
+  explicit LinearClassifier(const TableSpec& table)
+      : nrules_(table.rules.size()) {
+    build_flat(table.rules);
+    build_groups(table.rules);
   }
 
   [[nodiscard]] std::optional<std::size_t> lookup(
       const FlowKey& key) const override {
-    for (std::size_t r = 0; r < rules_.size(); ++r) {  // priority-sorted
-      if (rules_[r].matches_key(key)) return r;
+    for (std::size_t r = 0; r < nrules_; ++r) {  // priority-sorted
+      const FlatMatch* fm = flat_.data() + flat_begin_[r];
+      const std::size_t nm = flat_begin_[r + 1] - flat_begin_[r];
+      bool ok = true;
+      for (std::size_t m = 0; m < nm; ++m) {
+        if ((key.values[fm[m].index] & fm[m].mask) != fm[m].value) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) return r;
     }
     return std::nullopt;
+  }
+
+  /// Delta maintenance: a modify that keeps the rule's match count and
+  /// group mask vector rewrites the flat predicate span in place and
+  /// point-updates the masked-group index. Anything structural (new
+  /// fields, mask changes, satisfiability flips) declines.
+  [[nodiscard]] bool apply_modify(
+      const TableSpec& table, std::size_t index,
+      const std::vector<FieldMatch>& old_matches) override {
+    const RuleView rule = table.rules[index];
+    const std::size_t off = flat_begin_[index];
+    const std::size_t old_n = flat_begin_[index + 1] - off;
+    if (rule.matches.size() != old_n) return false;  // span widths fixed
+    for (const FieldMatch m : rule.matches) {
+      if (std::find(fields_.begin(), fields_.end(), m.field) ==
+          fields_.end()) {
+        return false;  // new field: the group index would have to regrow
+      }
+    }
+    std::vector<std::uint64_t> old_mask(fields_.size(), 0);
+    std::vector<std::uint64_t> old_val(fields_.size(), 0);
+    std::vector<std::uint64_t> new_mask(fields_.size(), 0);
+    std::vector<std::uint64_t> new_val(fields_.size(), 0);
+    if (!pack_group(old_matches, old_mask, old_val) ||
+        !pack_group(rule.matches, new_mask, new_val)) {
+      return false;  // (un)satisfiable rules are absent from the index
+    }
+    if (old_mask != new_mask) return false;
+    for (detail::MaskedGroup& group : groups_) {
+      if (group.masks != old_mask) continue;
+      if (!group.replace_values(old_val, new_val, index,
+                                table.rules.priority_of(index))) {
+        return false;
+      }
+      for (std::size_t m = 0; m < old_n; ++m) {
+        const FieldMatch fm = rule.matches[m];
+        flat_[off + m] = {fm.mask, fm.value,
+                          static_cast<std::uint32_t>(field_index(fm.field))};
+      }
+      return true;
+    }
+    return false;
   }
 
   /// Batch kernel. The scalar path above is the paper-faithful linear
@@ -154,7 +236,7 @@ class LinearClassifier final : public Classifier {
   /// array instead.
   void lookup_batch(std::span<const FlowKey> keys,
                     std::span<std::size_t> out) const override {
-    if (rules_.size() <= kScanThreshold) {
+    if (nrules_ <= kScanThreshold) {
       scan_batch(keys, out);
     } else {
       group_batch(keys, out);
@@ -176,13 +258,13 @@ class LinearClassifier final : public Classifier {
   };
 
   /// Flattens every rule's predicates into one contiguous array so the
-  /// small-table scan streams through memory instead of chasing each
-  /// rule's std::vector<FieldMatch> allocation.
-  void build_flat() {
-    flat_begin_.reserve(rules_.size() + 1);
+  /// small-table scan streams through memory instead of chasing per-rule
+  /// indirection.
+  void build_flat(const FlatRules& rules) {
+    flat_begin_.reserve(rules.size() + 1);
     flat_begin_.push_back(0);
-    for (const Rule& rule : rules_) {
-      for (const FieldMatch& m : rule.matches) {
+    for (const auto rule : rules) {
+      for (const FieldMatch m : rule.matches) {
         flat_.push_back({m.mask, m.value,
                          static_cast<std::uint32_t>(field_index(m.field))});
       }
@@ -190,46 +272,51 @@ class LinearClassifier final : public Classifier {
     }
   }
 
+  /// Packs a rule's matches into (mask, value) vectors over fields_,
+  /// folding repeated matches on one field. Returns false when the rule
+  /// is unsatisfiable (it can never match and is left out of the index).
+  template <typename MatchSeq>
+  [[nodiscard]] bool pack_group(const MatchSeq& matches,
+                                std::vector<std::uint64_t>& mask_vec,
+                                std::vector<std::uint64_t>& value_vec) const {
+    for (const FieldMatch m : matches) {
+      if ((m.value & ~m.mask) != 0) {
+        return false;  // requires bits the mask clears
+      }
+      const std::size_t f = static_cast<std::size_t>(
+          std::find(fields_.begin(), fields_.end(), m.field) -
+          fields_.begin());
+      // Conjunction of two masked equalities on one field: consistent
+      // on the shared mask bits ⇒ union of masks/values, else the rule
+      // can never match.
+      const std::uint64_t overlap = mask_vec[f] & m.mask;
+      if ((value_vec[f] & overlap) != (m.value & overlap)) return false;
+      mask_vec[f] |= m.mask;
+      value_vec[f] |= m.value;
+    }
+    return true;
+  }
+
   /// Groups rules by their mask vector over the union of matched fields.
   /// Within a group two rules overlap only if their masked values are
   /// identical, so keeping the first (insertion order = rule order)
   /// preserves first-match semantics; across groups the probe takes the
   /// minimum matching rule index.
-  void build_groups() {
-    for (const Rule& rule : rules_) {
-      for (const FieldMatch& m : rule.matches) {
+  void build_groups(const FlatRules& rules) {
+    for (const auto rule : rules) {
+      for (const FieldMatch m : rule.matches) {
         if (std::find(fields_.begin(), fields_.end(), m.field) ==
             fields_.end()) {
           fields_.push_back(m.field);
         }
       }
     }
-    for (std::size_t r = 0; r < rules_.size(); ++r) {
+    for (std::size_t r = 0; r < rules.size(); ++r) {
       std::vector<std::uint64_t> mask_vec(fields_.size(), 0);
       std::vector<std::uint64_t> value_vec(fields_.size(), 0);
-      bool satisfiable = true;
-      for (const FieldMatch& m : rules_[r].matches) {
-        if ((m.value & ~m.mask) != 0) {
-          satisfiable = false;  // requires bits the mask clears
-          break;
-        }
-        const std::size_t f = static_cast<std::size_t>(
-            std::find(fields_.begin(), fields_.end(), m.field) -
-            fields_.begin());
-        // Conjunction of two masked equalities on one field: consistent
-        // on the shared mask bits ⇒ union of masks/values, else the rule
-        // can never match and is left out of the index.
-        const std::uint64_t overlap = mask_vec[f] & m.mask;
-        if ((value_vec[f] & overlap) != (m.value & overlap)) {
-          satisfiable = false;
-          break;
-        }
-        mask_vec[f] |= m.mask;
-        value_vec[f] |= m.value;
-      }
-      if (!satisfiable) continue;
+      if (!pack_group(rules[r].matches, mask_vec, value_vec)) continue;
       detail::find_or_add_group(groups_, mask_vec)
-          .insert(value_vec, r, rules_[r].priority);
+          .insert(value_vec, r, rules.priority_of(r));
     }
     // Ascending min_rule lets the probe stop as soon as the current best
     // match precedes every remaining group.
@@ -253,7 +340,7 @@ class LinearClassifier final : public Classifier {
         active[i] = static_cast<std::uint32_t>(i);
       }
       std::size_t live = n;
-      for (std::size_t r = 0; r < rules_.size() && live > 0; ++r) {
+      for (std::size_t r = 0; r < nrules_ && live > 0; ++r) {
         const FlatMatch* fm = flat_.data() + flat_begin_[r];
         const std::size_t nm = flat_begin_[r + 1] - flat_begin_[r];
         std::size_t still = 0;
@@ -327,7 +414,7 @@ class LinearClassifier final : public Classifier {
     }
   }
 
-  std::vector<Rule> rules_;
+  std::size_t nrules_ = 0;
   std::vector<FlatMatch> flat_;
   std::vector<std::uint32_t> flat_begin_;
   std::vector<FieldId> fields_;  // union of matched fields, batch index

@@ -54,8 +54,9 @@ TEST(Hazards, MetaMatchWithoutSetterIsWarning) {
   dp::Program program;
   dp::TableSpec entry;
   entry.name = "entry";
-  entry.rules.push_back(rule_matching(FieldId::kTcpDst, 80));
-  entry.rules.back().goto_table = 1;
+  dp::Rule entry_rule = rule_matching(FieldId::kTcpDst, 80);
+  entry_rule.goto_table = 1;
+  entry.rules.push_back(std::move(entry_rule));
   dp::TableSpec reader;
   reader.name = "reader";
   reader.rules.push_back(rule_matching(FieldId::kMeta1, 7));

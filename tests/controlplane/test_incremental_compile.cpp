@@ -284,6 +284,46 @@ TEST(IncrementalCompile, PinnedUpdateCountsMatchFullRebuild) {
   }
 }
 
+TEST(IncrementalCompile, ShrinkingSliceRemovalMatchesReference) {
+  // Regression for the slow-path merge's buffer pre-sizing: it reserves
+  // size() + |after| − |before|, which must be evaluated in that order
+  // (and guarded by |before| ≤ size()) because a shrinking slice —
+  // service removal is the maximal case, |after| = 0 — underflows the
+  // naive size() − |before| + |after| whenever an invariant breach makes
+  // the slice larger than its table. Removals must stay on the delta
+  // path and splice out exactly the service's slice in every table.
+  for (const Representation repr : kAllReprs) {
+    const Gwlb gwlb = make_gwlb({.num_services = 6, .num_backends = 8});
+    GwlbBinding inc(gwlb, repr, CompileMode::kIncremental);
+    GwlbBinding ref(gwlb, repr, CompileMode::kFullRebuild);
+
+    const std::size_t total_before = inc.program().total_rules();
+    // Largest shrink first, then edges of the service array, then a
+    // retarget of a survivor to prove the rebuilt slice index is sound.
+    for (const std::size_t victim : {5, 0, 3}) {
+      const auto got = inc.compile_intent(RemoveService{.service = victim});
+      const auto want = ref.compile_intent(RemoveService{.service = victim});
+      ASSERT_TRUE(got.is_ok() && want.is_ok())
+          << to_string(repr) << " removing " << victim;
+      ASSERT_TRUE(updates_equal(got.value(), want.value()))
+          << to_string(repr) << " removing " << victim;
+      ASSERT_TRUE(inc.program() == ref.program())
+          << to_string(repr) << " removing " << victim;
+    }
+    EXPECT_LT(inc.program().total_rules(), total_before) << to_string(repr);
+
+    ASSERT_TRUE(inc.compile_intent(
+                       MoveServicePort{.service = 1, .new_port = 50777})
+                    .is_ok());
+    ASSERT_TRUE(ref.compile_intent(
+                       MoveServicePort{.service = 1, .new_port = 50777})
+                    .is_ok());
+    ASSERT_TRUE(inc.program() == ref.program()) << to_string(repr);
+    EXPECT_EQ(inc.incremental_stats().fallbacks, 0u) << to_string(repr);
+    EXPECT_EQ(inc.incremental_stats().hits, 4u) << to_string(repr);
+  }
+}
+
 TEST(DiffPrograms, ModifyPairingSemantics) {
   // The O(n) hash-multiset diff must reproduce the pairing the original
   // quadratic scan defined: per table, each old rule consumes the first

@@ -1,0 +1,143 @@
+// Differential tests for the sharded FD miner: mine_fds_sharded must be
+// bit-identical to mine_fds_tane — same dependencies, same order — for
+// every shard count, shard column, thread count, and cache attachment,
+// on randomized tables and on the gwlb universal workload. The parallel
+// cases double as the TSan coverage for the shard fan-out over the
+// shared PartitionCache.
+#include <gtest/gtest.h>
+
+#include "core/fd_mine.hpp"
+#include "util/rng.hpp"
+#include "workloads/gwlb.hpp"
+
+namespace maton::core {
+namespace {
+
+Schema schema_of_width(std::size_t k) {
+  Schema s;
+  for (std::size_t i = 0; i < k; ++i) {
+    s.add_match("f" + std::to_string(i));
+  }
+  return s;
+}
+
+Table random_table(std::size_t rows, std::size_t cols, std::uint64_t domain,
+                   std::uint64_t seed) {
+  Table t("rand", schema_of_width(cols));
+  Rng rng(seed);
+  for (std::size_t r = 0; r < rows; ++r) {
+    Row row;
+    for (std::size_t c = 0; c < cols; ++c) {
+      row.push_back(rng.uniform(0, domain));
+    }
+    t.add_row(std::move(row));
+  }
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// Differential fuzz: sharded ≡ tane across shard/thread/cache settings.
+
+struct FuzzCase {
+  std::size_t rows;
+  std::size_t cols;
+  std::uint64_t seed;
+};
+
+class ShardedMinerDifferential : public ::testing::TestWithParam<FuzzCase> {};
+
+TEST_P(ShardedMinerDifferential, BitIdenticalToTane) {
+  const FuzzCase& fc = GetParam();
+  Rng rng(fc.seed);
+  const std::uint64_t domain = 1 + rng.index(5);
+  const Table t = random_table(fc.rows, fc.cols, domain, fc.seed * 131 + 7);
+  const FdSet reference = mine_fds_tane(t);
+
+  for (const std::size_t shards : {2, 3, 8}) {
+    for (std::size_t shard_col = 0; shard_col < t.num_cols(); ++shard_col) {
+      const FdSet sharded = mine_fds_sharded(
+          t, {.shards = shards, .shard_col = shard_col, .mine = {}});
+      EXPECT_EQ(reference.fds(), sharded.fds())
+          << "shards=" << shards << " shard_col=" << shard_col << "\n"
+          << t.to_string();
+    }
+  }
+}
+
+std::vector<FuzzCase> fuzz_cases() {
+  std::vector<FuzzCase> cases;
+  std::uint64_t seed = 1;
+  for (const std::size_t rows : {0, 1, 7, 64, 256}) {
+    for (const std::size_t cols : {1, 4, 6}) {
+      for (int rep = 0; rep < 3; ++rep) {
+        cases.push_back({rows, cols, seed++});
+      }
+    }
+  }
+  return cases;  // 5 × 3 × 3 = 45 cases
+}
+
+INSTANTIATE_TEST_SUITE_P(Fuzz, ShardedMinerDifferential,
+                         ::testing::ValuesIn(fuzz_cases()));
+
+TEST(ShardedMiner, ParallelShardsOverSharedCacheAreDeterministic) {
+  // The TSan target: shard passes fan out over the pool while sharing
+  // one PartitionCache; the merge must stay bit-identical to the
+  // sequential run, warm or cold.
+  const Table t = random_table(256, 6, 3, 99);
+  const FdSet reference = mine_fds_tane(t, {.threads = 0});
+  tane::PartitionCache cache;
+  const ShardedMineOptions seq{
+      .shards = 8, .shard_col = 1, .mine = {.threads = 0, .cache = &cache}};
+  ShardedMineOptions par = seq;
+  par.mine.threads = 8;
+  const FdSet cold_seq = mine_fds_sharded(t, seq);
+  const FdSet cold_par = mine_fds_sharded(t, par);
+  const FdSet warm_par = mine_fds_sharded(t, par);
+  EXPECT_EQ(reference.fds(), cold_seq.fds());
+  EXPECT_EQ(reference.fds(), cold_par.fds());
+  EXPECT_EQ(reference.fds(), warm_par.fds());
+  EXPECT_GT(cache.stats().hits, 0u);  // the warm pass actually reused
+}
+
+TEST(ShardedMiner, MaxLhsBoundsEscalation) {
+  const Table t = random_table(128, 6, 2, 17);
+  const FdSet reference = mine_fds_tane(t, {.max_lhs = 2});
+  const FdSet sharded =
+      mine_fds_sharded(t, {.shards = 4, .shard_col = 0, .mine = {.max_lhs = 2}});
+  EXPECT_EQ(reference.fds(), sharded.fds());
+}
+
+TEST(ShardedMiner, DegenerateShapesFallBackToTane) {
+  const Table t = random_table(32, 4, 2, 5);
+  // shards ≤ 1 and tables smaller than 2·shards take the plain path.
+  EXPECT_EQ(mine_fds_tane(t).fds(),
+            mine_fds_sharded(t, {.shards = 0}).fds());
+  EXPECT_EQ(mine_fds_tane(t).fds(),
+            mine_fds_sharded(t, {.shards = 1}).fds());
+  const Table tiny = random_table(3, 4, 2, 6);
+  EXPECT_EQ(mine_fds_tane(tiny).fds(),
+            mine_fds_sharded(tiny, {.shards = 8}).fds());
+  const Table empty = random_table(0, 0, 1, 7);
+  EXPECT_TRUE(mine_fds_sharded(empty, {.shards = 8}).empty());
+}
+
+TEST(ShardedMiner, GwlbUniversalShardedByServiceIdentity) {
+  // The production use: the universal gwlb table sharded by VIP, so each
+  // service's rows colocate and per-shard FDs mirror per-service
+  // structure. The mined set must carry the model dependency
+  // ip_dst → tcp_dst and match the unsharded miner exactly.
+  const workloads::Gwlb gwlb =
+      workloads::make_gwlb({.num_services = 40, .num_backends = 8});
+  const FdSet reference = mine_fds_tane(gwlb.universal);
+  const FdSet sharded = mine_fds_sharded(
+      gwlb.universal,
+      {.shards = 8, .shard_col = workloads::kGwlbIpDst, .mine = {}});
+  EXPECT_EQ(reference.fds(), sharded.fds());
+  for (const Fd& fd : gwlb.model_fds.fds()) {
+    EXPECT_TRUE(FdSet(sharded.fds()).implies(fd));
+  }
+}
+
+}  // namespace
+}  // namespace maton::core

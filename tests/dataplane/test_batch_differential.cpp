@@ -72,9 +72,7 @@ enum class TableShape { kAllExact, kSinglePrefix, kTernary };
                             rng.uniform(1, 8)});
     spec.rules.push_back(rule);
   }
-  std::stable_sort(
-      spec.rules.begin(), spec.rules.end(),
-      [](const Rule& a, const Rule& b) { return a.priority > b.priority; });
+  spec.rules.stable_sort_by_priority();
   return spec;
 }
 

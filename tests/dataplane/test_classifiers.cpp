@@ -89,10 +89,7 @@ TableSpec lpm_table() {
   add(0, 0, 80);  // default route in group :80
   add(ipv4(10, 1, 0, 0), 16, 443);
   // Sort by priority as compile() would.
-  std::stable_sort(t.rules.begin(), t.rules.end(),
-                   [](const Rule& a, const Rule& b) {
-                     return a.priority > b.priority;
-                   });
+  t.rules.stable_sort_by_priority();
   return t;
 }
 
@@ -133,10 +130,7 @@ TEST(Tss, MixedMasksAndPriorities) {
   narrow.matches = {{FieldId::kIpDst, 5, kFull32},
                     {FieldId::kIpSrc, 9, kFull32}};
   t.rules.push_back(narrow);
-  std::stable_sort(t.rules.begin(), t.rules.end(),
-                   [](const Rule& a, const Rule& b) {
-                     return a.priority > b.priority;
-                   });
+  t.rules.stable_sort_by_priority();
 
   const auto c = make_tss(t);
   EXPECT_EQ(c->name(), "tss");
@@ -201,10 +195,7 @@ TEST_P(ClassifierAgreement, TemplatesAgreeWithLinear) {
     r.priority += 16;
     t.rules.push_back(std::move(r));
   }
-  std::stable_sort(t.rules.begin(), t.rules.end(),
-                   [](const Rule& a, const Rule& b) {
-                     return a.priority > b.priority;
-                   });
+  t.rules.stable_sort_by_priority();
 
   const auto reference = make_linear(t);
   const auto specialized = select_classifier(t);

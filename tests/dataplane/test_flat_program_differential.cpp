@@ -1,0 +1,296 @@
+// Differential harness gating the flattened dp::Program storage: under a
+// long randomized intent churn the FlatRules-backed switch models must
+// stay bit-identical to a plain vector-of-Rule reference model — same
+// rule sequences after every update batch, same per-rule counters under
+// interleaved traffic, same OVS megaflow statistics — across all four
+// switch models.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "controlplane/compiler.hpp"
+#include "dataplane/switch.hpp"
+#include "util/format.hpp"
+#include "util/rng.hpp"
+#include "workloads/gwlb.hpp"
+#include "workloads/traffic.hpp"
+
+namespace maton::dp {
+namespace {
+
+using cp::GwlbBinding;
+
+/// The reference: tables as plain vectors of heap Rules with a counter
+/// bolted to each, maintained by the legacy semantics the flattened
+/// store must reproduce — find-by-match, splice, full stable_sort by
+/// descending priority after every structural edit.
+class VectorOfRuleModel {
+ public:
+  explicit VectorOfRuleModel(const Program& program) : program_(&program) {
+    tables_.resize(program.tables.size());
+    for (std::size_t t = 0; t < program.tables.size(); ++t) {
+      for (const auto rule : program.tables[t].rules) {
+        tables_[t].push_back({rule, 0});
+      }
+    }
+  }
+
+  void apply(const RuleUpdate& update) {
+    ASSERT_LT(update.table, tables_.size());
+    std::vector<Entry>& rules = tables_[update.table];
+    const auto find_target = [&] {
+      return std::find_if(rules.begin(), rules.end(), [&](const Entry& e) {
+        return e.rule.matches == update.target;
+      });
+    };
+    switch (update.kind) {
+      case RuleUpdate::Kind::kInsert:
+        rules.push_back({update.rule, 0});
+        break;
+      case RuleUpdate::Kind::kRemove: {
+        const auto it = find_target();
+        ASSERT_NE(it, rules.end());
+        rules.erase(it);
+        return;  // removal never needs a re-sort
+      }
+      case RuleUpdate::Kind::kModify: {
+        const auto it = find_target();
+        ASSERT_NE(it, rules.end());
+        it->rule = update.rule;  // counter survives the modify
+        break;
+      }
+    }
+    std::stable_sort(rules.begin(), rules.end(),
+                     [](const Entry& a, const Entry& b) {
+                       return a.rule.priority > b.rule.priority;
+                     });
+  }
+
+  /// Reference walker mirroring execute_reference, bumping the counter
+  /// of the first matching rule in every visited table.
+  ExecResult process(const FlowKey& key) {
+    ExecResult result;
+    if (tables_.empty()) return result;
+    FlowKey state = key;
+    std::optional<std::size_t> current = program_->entry;
+    while (current.has_value()) {
+      ++result.tables_visited;
+      std::vector<Entry>& rules = tables_[*current];
+      Entry* hit = nullptr;
+      for (Entry& e : rules) {
+        if (e.rule.matches_key(state)) {
+          hit = &e;
+          break;
+        }
+      }
+      if (hit == nullptr) return result;
+      ++hit->count;
+      for (const Action& action : hit->rule.actions) {
+        if (action.kind == Action::Kind::kOutput) {
+          result.out_port = action.value;
+        } else {
+          state.set(action.field, action.value);
+        }
+      }
+      current = hit->rule.goto_table.has_value()
+                    ? hit->rule.goto_table
+                    : program_->tables[*current].next;
+    }
+    result.hit = true;
+    return result;
+  }
+
+  struct Entry {
+    Rule rule;
+    std::uint64_t count = 0;
+  };
+
+  [[nodiscard]] const std::vector<std::vector<Entry>>& tables() const {
+    return tables_;
+  }
+
+ private:
+  const Program* program_;  // table graph metadata (entry, next)
+  std::vector<std::vector<Entry>> tables_;
+};
+
+[[nodiscard]] std::unique_ptr<SwitchModel> make_model(
+    std::string_view which) {
+  if (which == "eswitch") return make_eswitch_model();
+  if (which == "lagopus") return make_lagopus_model();
+  if (which == "ovs") return make_ovs_model();
+  return std::make_unique<HwTcamModel>();
+}
+
+/// Flattened table contents == reference vectors, element by element
+/// (priority, matches, actions, goto — RuleView against heap Rule).
+void expect_rules_match(const Program& program,
+                        const VectorOfRuleModel& ref,
+                        std::string_view what, std::size_t step) {
+  ASSERT_EQ(program.tables.size(), ref.tables().size());
+  for (std::size_t t = 0; t < program.tables.size(); ++t) {
+    const FlatRules& flat = program.tables[t].rules;
+    const auto& want = ref.tables()[t];
+    ASSERT_EQ(flat.size(), want.size())
+        << what << " table " << t << " step " << step;
+    for (std::size_t r = 0; r < flat.size(); ++r) {
+      ASSERT_TRUE(want[r].rule == flat[r])
+          << what << " table " << t << " rule " << r << " step " << step;
+    }
+  }
+}
+
+void expect_counters_match(const SwitchModel& sw,
+                           const VectorOfRuleModel& ref, std::size_t step) {
+  for (std::size_t t = 0; t < ref.tables().size(); ++t) {
+    for (const auto& entry : ref.tables()[t]) {
+      const auto got = sw.read_rule_counter(t, entry.rule.matches);
+      ASSERT_TRUE(got.is_ok()) << sw.name() << " step " << step;
+      ASSERT_EQ(got.value(), entry.count)
+          << sw.name() << " table " << t << " step " << step;
+    }
+  }
+}
+
+/// Random retargeting intents against disjoint VIP/port/backend ranges,
+/// as in the incremental-compile churn harness.
+class IntentSource {
+ public:
+  IntentSource(std::uint64_t seed, std::size_t services,
+               std::size_t backends)
+      : rng_(seed), services_(services), backends_(backends) {}
+
+  cp::Intent next() {
+    const std::size_t service = rng_.index(services_);
+    switch (rng_.uniform(0, 5)) {
+      case 0:
+      case 1:
+        return cp::ChangeServiceIp{.service = service,
+                                   .new_vip = next_unique_vip()};
+      case 2:
+      case 3:
+        return cp::ChangeBackend{
+            .service = service,
+            .backend = rng_.index(backends_),
+            .new_out = 100000 + vip_counter_ + rng_.uniform(0, 7)};
+      default:
+        return cp::MoveServicePort{
+            .service = service,
+            .new_port = static_cast<std::uint16_t>(
+                49152 + rng_.uniform(0, 16382))};
+    }
+  }
+
+ private:
+  std::uint32_t next_unique_vip() {
+    ++vip_counter_;
+    return ipv4(198, 19, (vip_counter_ >> 8) & 0xff, vip_counter_ & 0xff);
+  }
+
+  Rng rng_;
+  std::size_t services_;
+  std::size_t backends_;
+  std::uint64_t vip_counter_ = 0;
+};
+
+struct ChurnCase {
+  const char* model;
+  cp::Representation repr;
+};
+
+class FlatProgramChurn : public ::testing::TestWithParam<ChurnCase> {};
+
+TEST_P(FlatProgramChurn, FiveHundredIntentChurnMatchesVectorOfRuleModel) {
+  const auto [model_name, repr] = GetParam();
+  const workloads::Gwlb gwlb = workloads::make_gwlb(
+      {.num_services = 8, .num_backends = 4, .seed = 13});
+  GwlbBinding binding(gwlb, repr, cp::CompileMode::kIncremental);
+
+  auto batched = make_model(model_name);
+  auto scalar = make_model(model_name);
+  ASSERT_TRUE(batched->load(binding.program()).is_ok());
+  ASSERT_TRUE(scalar->load(binding.program()).is_ok());
+  VectorOfRuleModel ref(binding.program());
+  expect_rules_match(binding.program(), ref, "load", 0);
+
+  auto* batched_ovs = dynamic_cast<OvsModelInterface*>(batched.get());
+  auto* scalar_ovs = dynamic_cast<OvsModelInterface*>(scalar.get());
+
+  IntentSource source(/*seed=*/4242, gwlb.services.size(),
+                      /*backends=*/4);
+  Rng traffic_rng(97);
+  std::vector<ExecResult> results(32);
+  for (std::size_t step = 0; step < 500; ++step) {
+    const auto updates = binding.compile_intent(source.next());
+    ASSERT_TRUE(updates.is_ok()) << "step " << step;
+
+    // One batched application, one scalar twin, one reference splice.
+    ASSERT_TRUE(batched->apply_updates(updates.value()).is_ok());
+    for (const RuleUpdate& u : updates.value()) {
+      ASSERT_TRUE(scalar->apply_update(u).is_ok());
+      ref.apply(u);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+
+    // The flattened store (compiler output and both switch copies) must
+    // agree with the vector-of-Rule splice after every intent.
+    expect_rules_match(binding.program(), ref, "binding", step);
+    if (auto* hw = dynamic_cast<HwTcamModel*>(batched.get())) {
+      expect_rules_match(hw->program(), ref, "switch", step);
+    }
+
+    if (step % 10 != 0) continue;
+    // Interleaved traffic through both twins and the reference walker:
+    // results and per-rule counters must stay identical.
+    const auto keys = workloads::make_gwlb_keys(
+        binding.gwlb(), {.num_packets = 32, .hit_fraction = 0.8,
+                         .seed = traffic_rng.uniform(1, 1 << 20)});
+    batched->process_batch(keys, results);
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      const ExecResult want = ref.process(keys[i]);
+      const ExecResult scalar_got = scalar->process(keys[i]);
+      ASSERT_EQ(want.hit, results[i].hit) << "step " << step;
+      ASSERT_EQ(want.out_port, results[i].out_port) << "step " << step;
+      ASSERT_EQ(want.hit, scalar_got.hit) << "step " << step;
+      ASSERT_EQ(want.out_port, scalar_got.out_port) << "step " << step;
+    }
+    expect_counters_match(*batched, ref, step);
+    if (::testing::Test::HasFatalFailure()) return;
+    expect_counters_match(*scalar, ref, step);
+    if (::testing::Test::HasFatalFailure()) return;
+
+    if (batched_ovs != nullptr) {
+      const OvsStats a = batched_ovs->stats();
+      const OvsStats b = scalar_ovs->stats();
+      EXPECT_EQ(a.cache_hits, b.cache_hits) << "step " << step;
+      EXPECT_EQ(a.cache_misses, b.cache_misses) << "step " << step;
+      EXPECT_EQ(a.cache_entries, b.cache_entries) << "step " << step;
+      EXPECT_EQ(a.cache_flushes, b.cache_flushes) << "step " << step;
+    }
+  }
+}
+
+std::vector<ChurnCase> churn_cases() {
+  std::vector<ChurnCase> cases;
+  for (const char* model : {"eswitch", "lagopus", "ovs", "hw"}) {
+    for (const cp::Representation repr :
+         {cp::Representation::kUniversal, cp::Representation::kGoto,
+          cp::Representation::kMetadata}) {
+      cases.push_back({model, repr});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Models, FlatProgramChurn, ::testing::ValuesIn(churn_cases()),
+    [](const auto& info) {
+      return std::string(info.param.model) + "_" +
+             std::string(cp::to_string(info.param.repr));
+    });
+
+}  // namespace
+}  // namespace maton::dp
