@@ -187,7 +187,7 @@ SizePoint run_size(std::size_t services, std::size_t backends,
   expects(sw.load(binding.program()).is_ok(), "scale switch load failed");
 
   const auto trace = make_trace(services, backends, intents, 67);
-  obs::Tracer::global().clear();
+  obs::TracerRegistry::global().clear();
   ExactQuantile samples;
   for (const cp::Intent& intent : trace) {
     start = BenchClock::now();
@@ -209,13 +209,14 @@ SizePoint run_size(std::size_t services, std::size_t backends,
   pt.inc_hits = binding.incremental_stats().hits;
   pt.inc_fallbacks = binding.incremental_stats().fallbacks;
 
-  // Split the churn into phases from the trace ring. The ring holds 16k
-  // spans and is cleared per tier, so nothing has wrapped out at these
-  // intent counts.
+  // Split the churn into phases from the merged trace rings. Each ring
+  // holds 16k spans and all are cleared per tier, so nothing has wrapped
+  // out at these intent counts.
   ExactQuantile rule_diff;
   ExactQuantile slice_merge;
   ExactQuantile switch_apply;
-  for (const obs::TraceEvent& e : obs::Tracer::global().contents().events) {
+  for (const obs::TraceEvent& e :
+       obs::TracerRegistry::global().merged().events) {
     const std::string_view name = e.name_view();
     const double us = static_cast<double>(e.dur_ns) / 1000.0;
     if (name == "rule_diff") rule_diff.add(us);

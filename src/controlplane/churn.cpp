@@ -29,4 +29,42 @@ std::vector<TimedIntent> make_port_churn(const ChurnConfig& config) {
   return schedule;
 }
 
+Intent draw_mixed_intent(Rng& rng, const workloads::Gwlb& model,
+                         const MixedChurnConfig& mix) {
+  expects(!model.services.empty(), "mixed churn needs at least one service");
+  const std::size_t service = rng.index(model.services.size());
+  const workloads::GwlbService& svc = model.services[service];
+
+  const double total = mix.move_port_weight + mix.change_backend_weight +
+                       mix.change_ip_weight;
+  expects(total > 0.0, "mixed churn needs a positive weight");
+  const double draw = rng.real() * total;
+
+  if (draw < mix.move_port_weight) {
+    // Dodge the current port so the intent never no-ops.
+    auto port = static_cast<std::uint16_t>(rng.uniform(1, 65534));
+    if (port >= svc.port) ++port;
+    return MoveServicePort{.service = service, .new_port = port};
+  }
+  if (draw < mix.move_port_weight + mix.change_backend_weight &&
+      !svc.backends.empty()) {
+    return ChangeBackend{
+        .service = service,
+        .backend = rng.index(svc.backends.size()),
+        .new_out = rng.uniform(1, 65535)};
+  }
+  std::uint32_t vip = 0;
+  if (model.services.size() > 1 && rng.chance(mix.vip_collision_probability)) {
+    std::size_t other = rng.index(model.services.size() - 1);
+    if (other >= service) ++other;
+    vip = model.services[other].vip;
+  } else {
+    // Fresh draw from make_gwlb's 198.18.0.0/15 benchmark space.
+    vip = (198u << 24) | (18u << 16) |
+          (static_cast<std::uint32_t>(rng.uniform(0, 255)) << 8) |
+          static_cast<std::uint32_t>(rng.uniform(1, 254));
+  }
+  return ChangeServiceIp{.service = service, .new_vip = vip};
+}
+
 }  // namespace maton::cp

@@ -1,11 +1,13 @@
-// Control-plane churn generation for the Fig. 4 reactiveness experiment:
-// "atomically updating a random service port 100 times per second".
+// Control-plane churn generation: the Fig. 4 reactiveness schedule
+// ("atomically updating a random service port 100 times per second") and
+// the mixed-intent draw the soak harness hammers a binding with.
 #pragma once
 
 #include <vector>
 
 #include "controlplane/intent.hpp"
 #include "util/rng.hpp"
+#include "workloads/gwlb.hpp"
 
 namespace maton::cp {
 
@@ -29,5 +31,25 @@ struct TimedIntent {
 /// workload): each picks a random service and a fresh random port.
 [[nodiscard]] std::vector<TimedIntent> make_port_churn(
     const ChurnConfig& config);
+
+/// Mix weights for draw_mixed_intent (normalized internally).
+struct MixedChurnConfig {
+  double move_port_weight = 0.5;
+  double change_backend_weight = 0.3;
+  double change_ip_weight = 0.2;
+  /// Probability that a ChangeServiceIp deliberately re-uses another
+  /// live service's VIP: the draw that forces the incremental compiler
+  /// into its duplicate-VIP full-rebuild fallback (and back out again
+  /// when either VIP later moves), so a soak exercises both paths.
+  double vip_collision_probability = 0.05;
+};
+
+/// One random intent against the *current* service model: move a port,
+/// swap a backend VM, or re-address a VIP (fresh 198.18.0.0/15 draw, or
+/// a deliberate collision per the config). Values are drawn from the
+/// same spaces make_gwlb populates.
+[[nodiscard]] Intent draw_mixed_intent(Rng& rng,
+                                       const workloads::Gwlb& model,
+                                       const MixedChurnConfig& mix = {});
 
 }  // namespace maton::cp

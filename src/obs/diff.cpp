@@ -1,0 +1,138 @@
+#include "obs/diff.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#include "obs/trace.hpp"
+
+#ifndef MATON_BUILD_TYPE
+#define MATON_BUILD_TYPE "unknown"
+#endif
+
+namespace maton::obs {
+
+namespace {
+
+/// Parses a "Vm...:  12345 kB" line from /proc/self/status.
+std::uint64_t proc_status_kb(std::string_view field) {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind(field, 0) == 0) {
+      return std::strtoull(line.c_str() + field.size(), nullptr, 10);
+    }
+  }
+  return 0;
+}
+
+bool snapshot_key_before(const MetricSnapshot& a, const MetricSnapshot& b) {
+  if (a.name != b.name) return a.name < b.name;
+  return a.labels < b.labels;
+}
+
+MetricSnapshot derived_gauge(std::string name, Labels labels, double value) {
+  MetricSnapshot m;
+  m.name = std::move(name);
+  m.labels = std::move(labels);
+  m.kind = MetricKind::kGauge;
+  m.value = value;
+  return m;
+}
+
+}  // namespace
+
+BuildInfo build_info() {
+  BuildInfo info;
+  info.build_type = MATON_BUILD_TYPE;
+  info.host_cores = std::thread::hardware_concurrency();
+  info.obs_enabled = kEnabled;
+  return info;
+}
+
+std::uint64_t read_rss_bytes() { return proc_status_kb("VmRSS:") * 1024; }
+
+std::uint64_t read_peak_rss_bytes() {
+  return proc_status_kb("VmHWM:") * 1024;
+}
+
+void update_derived_gauges() {
+  MetricRegistry& reg = MetricRegistry::global();
+  // Registered once, refreshed cheaply through the cached handles.
+  static const BuildInfo info = build_info();
+  static Gauge& build = reg.gauge(
+      "maton_build_info",
+      {{"build_type", info.build_type},
+       {"cores", std::to_string(info.host_cores)},
+       {"obs", info.obs_enabled ? "on" : "off"}});
+  static Gauge& rss = reg.gauge("maton_rss_bytes");
+  static Gauge& rss_peak = reg.gauge("maton_rss_peak_bytes");
+  static Gauge& rings = reg.gauge("maton_trace_rings");
+  static Gauge& ring_events = reg.gauge("maton_trace_ring_events");
+  static Gauge& ring_capacity = reg.gauge("maton_trace_ring_capacity");
+  static Gauge& spans_recorded =
+      reg.gauge("maton_trace_spans_recorded_total");
+
+  build.set(1.0);
+  rss.set(static_cast<double>(read_rss_bytes()));
+  rss_peak.set(static_cast<double>(read_peak_rss_bytes()));
+  const TracerRegistry::Occupancy occ = TracerRegistry::global().occupancy();
+  rings.set(static_cast<double>(occ.rings));
+  ring_events.set(static_cast<double>(occ.events));
+  ring_capacity.set(static_cast<double>(occ.capacity));
+  spans_recorded.set(static_cast<double>(occ.total_recorded));
+}
+
+Snapshot ScrapeDiff::augment(Snapshot snapshot, double now_seconds) {
+  std::vector<MetricSnapshot> derived;
+  const double dt = now_seconds - last_time_seconds_;
+
+  double inc_hits = 0.0;
+  double inc_fallbacks = 0.0;
+  std::map<Key, double> counters_now;
+  for (const MetricSnapshot& m : snapshot.metrics) {
+    if (m.kind == MetricKind::kCounter) {
+      counters_now.emplace(Key{m.name, m.labels}, m.value);
+      if (m.name == "maton_cp_incremental_hits_total") {
+        inc_hits += m.value;
+      } else if (m.name == "maton_cp_incremental_fallbacks_total") {
+        inc_fallbacks += m.value;
+      }
+      if (has_last_ && dt > 0.0) {
+        const auto prev = last_counters_.find(Key{m.name, m.labels});
+        // A decrease means the counter was reset (tests, reset_values);
+        // re-baseline silently instead of reporting a negative rate.
+        if (prev != last_counters_.end() && m.value >= prev->second) {
+          derived.push_back(derived_gauge(m.name + "_per_sec", m.labels,
+                                          (m.value - prev->second) / dt));
+        }
+      }
+    } else if (m.kind == MetricKind::kGauge &&
+               m.name != "maton_build_info") {
+      double& hwm = gauge_hwm_[Key{m.name, m.labels}];
+      hwm = std::max(hwm, m.value);
+      derived.push_back(derived_gauge(m.name + "_hwm", m.labels, hwm));
+    }
+  }
+  derived.push_back(derived_gauge(
+      "maton_cp_incremental_fallback_ratio", {},
+      inc_hits + inc_fallbacks > 0.0
+          ? inc_fallbacks / (inc_hits + inc_fallbacks)
+          : 0.0));
+
+  last_counters_ = std::move(counters_now);
+  last_time_seconds_ = now_seconds;
+  has_last_ = true;
+
+  snapshot.metrics.insert(snapshot.metrics.end(),
+                          std::make_move_iterator(derived.begin()),
+                          std::make_move_iterator(derived.end()));
+  // Restore the scrape invariant (sorted by name, then labels) so the
+  // Prometheus renderer keeps families contiguous.
+  std::sort(snapshot.metrics.begin(), snapshot.metrics.end(),
+            snapshot_key_before);
+  return snapshot;
+}
+
+}  // namespace maton::obs

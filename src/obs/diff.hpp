@@ -1,0 +1,80 @@
+// Rate/delta layer over MetricRegistry scrapes, plus the process-level
+// derived gauges the live scrape endpoints serve.
+//
+// A raw scrape is a pile of monotone totals; watching a soak live needs
+// per-interval rates and peaks. ScrapeDiff keeps the previous scrape and
+// augments the current one with:
+//
+//   <counter>_per_sec   gauge: (cur − prev) / dt for every counter seen
+//                       in both scrapes (omitted on the first scrape and
+//                       re-baselined without emitting after a reset)
+//   <gauge>_hwm         gauge: the highest value this ScrapeDiff has
+//                       observed for each gauge (RSS, ring occupancy,
+//                       fallback ratio, ... — whatever is registered)
+//   maton_cp_incremental_fallback_ratio
+//                       gauge: fallbacks / (hits + fallbacks) over the
+//                       incremental-compile counters, 0 until any intent
+//                       compiled
+//
+// update_derived_gauges() refreshes the point-in-time process gauges the
+// ratios and watermarks are computed over: RSS from /proc/self/status,
+// trace-ring occupancy from the TracerRegistry, and the constant
+// maton_build_info gauge carrying the same provenance fields the
+// BENCH_*.json `env` blocks record.
+//
+// Under MATON_OBS_OFF every registry write is a no-op (gauges read 0)
+// and augment() passes snapshots through with nothing to derive; the
+// layer compiles either way so call sites never branch on the switch.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace maton::obs {
+
+/// Build provenance, identical in source to the BENCH_*.json env blocks:
+/// build type from the MATON_BUILD_TYPE compile definition, core count
+/// from the host, obs on/off from the compile switch.
+struct BuildInfo {
+  std::string build_type;
+  unsigned host_cores = 0;
+  bool obs_enabled = false;
+};
+[[nodiscard]] BuildInfo build_info();
+
+/// Current resident set size in bytes (VmRSS) and its process-lifetime
+/// peak (VmHWM), from /proc/self/status; 0 where /proc is unavailable.
+[[nodiscard]] std::uint64_t read_rss_bytes();
+[[nodiscard]] std::uint64_t read_peak_rss_bytes();
+
+/// Refreshes the derived point-in-time gauges in the global registry:
+///   maton_build_info{build_type,cores,obs} = 1
+///   maton_rss_bytes, maton_rss_peak_bytes
+///   maton_trace_rings, maton_trace_ring_events,
+///   maton_trace_ring_capacity, maton_trace_spans_recorded_total (gauge:
+///   spans ever recorded, incl. wrapped-out ones)
+/// Called by the scrape server before every scrape; cheap enough to call
+/// from any exporter.
+void update_derived_gauges();
+
+/// Stateful scrape differ. Not thread-safe: the scrape server serializes
+/// requests, and independent consumers should own independent instances.
+class ScrapeDiff {
+ public:
+  /// Folds `snapshot` (taken at `now_seconds`, any monotone clock) into
+  /// the diff state and returns it augmented with the derived metrics
+  /// described above, re-sorted to the registry's (name, labels) order.
+  [[nodiscard]] Snapshot augment(Snapshot snapshot, double now_seconds);
+
+ private:
+  using Key = std::pair<std::string, Labels>;
+  std::map<Key, double> last_counters_;
+  std::map<Key, double> gauge_hwm_;
+  double last_time_seconds_ = 0.0;
+  bool has_last_ = false;
+};
+
+}  // namespace maton::obs

@@ -4,21 +4,12 @@
 #include <atomic>
 #include <cstdio>
 #include <cstring>
-#include <mutex>
 
 namespace maton::obs {
 
 namespace {
 
-/// Sequential thread ids (steady, small) instead of opaque
-/// std::thread::id values, so the Chrome trace shows "thread 0/1/2".
-std::uint32_t this_thread_tid() noexcept {
-  static std::atomic<std::uint32_t> next{0};
-  thread_local const std::uint32_t tid =
-      next.fetch_add(1, std::memory_order_relaxed);
-  return tid;
-}
-
+#if !defined(MATON_OBS_OFF)
 thread_local std::uint32_t t_depth = 0;
 
 std::uint64_t now_ns() noexcept {
@@ -27,6 +18,7 @@ std::uint64_t now_ns() noexcept {
           std::chrono::steady_clock::now().time_since_epoch())
           .count());
 }
+#endif
 
 void copy_name(std::array<char, 48>& dst, std::string_view src) noexcept {
   const std::size_t n = std::min(src.size(), dst.size() - 1);
@@ -55,76 +47,137 @@ void append_json_escaped(std::string& out, std::string_view s) {
   }
 }
 
+/// Deterministic merge order: nondecreasing start time; ties broken by
+/// thread, then nesting depth (a parent that shares its child's coarse
+/// start timestamp renders first), then name.
+bool event_before(const TraceEvent& a, const TraceEvent& b) noexcept {
+  if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+  if (a.tid != b.tid) return a.tid < b.tid;
+  if (a.depth != b.depth) return a.depth < b.depth;
+  return a.name_view() < b.name_view();
+}
+
 }  // namespace
 
-struct Tracer::State {
-  mutable std::mutex mutex;
-  std::vector<TraceEvent> ring;
-  std::size_t next = 0;           // write cursor
-  std::uint64_t total = 0;        // spans ever recorded
-};
-
-Tracer::State& Tracer::state() const {
-  // Leaked for the same reason as MetricRegistry::global(): spans may be
-  // recorded from destructors of static-lifetime objects.
-  static State* instance = new State();
-  return *instance;
-}
-
-Tracer& Tracer::global() {
-  static Tracer* instance = new Tracer();
-  return *instance;
-}
-
-void Tracer::record(std::string_view name, std::uint32_t tid,
-                    std::uint32_t depth, std::uint64_t start_ns,
-                    std::uint64_t dur_ns) {
-  State& s = state();
-  std::lock_guard<std::mutex> lock(s.mutex);
-  if (s.ring.size() < kCapacity) {
-    s.ring.emplace_back();
-    TraceEvent& e = s.ring.back();
-    copy_name(e.name, name);
-    e.tid = tid;
-    e.depth = depth;
-    e.start_ns = start_ns;
-    e.dur_ns = dur_ns;
-  } else {
-    TraceEvent& e = s.ring[s.next % kCapacity];
-    copy_name(e.name, name);
-    e.tid = tid;
-    e.depth = depth;
-    e.start_ns = start_ns;
-    e.dur_ns = dur_ns;
+void TraceRing::record(std::string_view name, std::uint32_t tid,
+                       std::uint32_t depth, std::uint64_t start_ns,
+                       std::uint64_t dur_ns) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (ring_.size() < kCapacity) {
+    ring_.emplace_back();
   }
-  ++s.next;
-  ++s.total;
+  TraceEvent& e = ring_[next_ % kCapacity];
+  copy_name(e.name, name);
+  e.tid = tid;
+  e.depth = depth;
+  e.start_ns = start_ns;
+  e.dur_ns = dur_ns;
+  ++next_;
+  ++total_;
 }
 
-Tracer::Contents Tracer::contents() const {
-  const State& s = state();
-  std::lock_guard<std::mutex> lock(s.mutex);
+TraceRing::Contents TraceRing::contents() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   Contents out;
-  out.total_recorded = s.total;
-  if (s.ring.size() < kCapacity) {
-    out.events = s.ring;
+  out.total_recorded = total_;
+  if (ring_.size() < kCapacity) {
+    out.events = ring_;
   } else {
     // The slot at `next % kCapacity` is the oldest surviving span.
     out.events.reserve(kCapacity);
-    const std::size_t head = s.next % kCapacity;
-    out.events.insert(out.events.end(), s.ring.begin() + head, s.ring.end());
-    out.events.insert(out.events.end(), s.ring.begin(),
-                      s.ring.begin() + head);
+    const std::size_t head = next_ % kCapacity;
+    out.events.insert(out.events.end(), ring_.begin() + head, ring_.end());
+    out.events.insert(out.events.end(), ring_.begin(), ring_.begin() + head);
   }
   return out;
 }
 
-void Tracer::clear() {
-  State& s = state();
-  std::lock_guard<std::mutex> lock(s.mutex);
-  s.ring.clear();
-  s.next = 0;
-  s.total = 0;
+TraceRing::Stats TraceRing::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {ring_.size(), total_};
+}
+
+void TraceRing::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_.clear();
+  next_ = 0;
+  total_ = 0;
+}
+
+TracerRegistry& TracerRegistry::global() {
+  // Leaked for the same reason as MetricRegistry::global(): spans may be
+  // recorded from destructors of static-lifetime objects.
+  static TracerRegistry* instance = new TracerRegistry();
+  return *instance;
+}
+
+std::uint32_t TracerRegistry::this_thread_tid() noexcept {
+  // Sequential thread ids (steady, small) instead of opaque
+  // std::thread::id values, so the Chrome trace shows "thread 0/1/2".
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t tid =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+TraceRing& TracerRegistry::this_thread_ring() {
+  // The cache is sound because the only TracerRegistry is the leaked
+  // global(): the ring it hands out lives forever.
+  thread_local TraceRing* ring = nullptr;
+  if (ring == nullptr) {
+    auto owned = std::make_unique<TraceRing>();
+    ring = owned.get();
+    std::lock_guard<std::mutex> lock(mutex_);
+    rings_.push_back(std::move(owned));
+  }
+  return *ring;
+}
+
+TraceRing::Contents TracerRegistry::merged() const {
+  // Snapshot the ring list first (registration only appends; the
+  // unique_ptrs are stable), then copy each ring out under its own lock.
+  std::vector<TraceRing*> rings;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    rings.reserve(rings_.size());
+    for (const auto& r : rings_) rings.push_back(r.get());
+  }
+  TraceRing::Contents out;
+  for (const TraceRing* ring : rings) {
+    TraceRing::Contents c = ring->contents();
+    out.total_recorded += c.total_recorded;
+    out.events.insert(out.events.end(), c.events.begin(), c.events.end());
+  }
+  std::sort(out.events.begin(), out.events.end(), event_before);
+  return out;
+}
+
+TracerRegistry::Occupancy TracerRegistry::occupancy() const {
+  std::vector<TraceRing*> rings;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    rings.reserve(rings_.size());
+    for (const auto& r : rings_) rings.push_back(r.get());
+  }
+  Occupancy out;
+  out.rings = rings.size();
+  out.capacity = rings.size() * TraceRing::kCapacity;
+  for (const TraceRing* ring : rings) {
+    const TraceRing::Stats s = ring->stats();
+    out.events += s.occupied;
+    out.total_recorded += s.total_recorded;
+  }
+  return out;
+}
+
+void TracerRegistry::clear() {
+  std::vector<TraceRing*> rings;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    rings.reserve(rings_.size());
+    for (const auto& r : rings_) rings.push_back(r.get());
+  }
+  for (TraceRing* ring : rings) ring->clear();
 }
 
 TraceSpan::TraceSpan(std::string_view name) noexcept {
@@ -145,12 +198,13 @@ TraceSpan::~TraceSpan() {
           start_.time_since_epoch())
           .count());
   --t_depth;
-  Tracer::global().record(std::string_view(name_.data()), this_thread_tid(),
-                          t_depth, start, end > start ? end - start : 0);
+  TracerRegistry::global().record(std::string_view(name_.data()),
+                                  TracerRegistry::this_thread_tid(), t_depth,
+                                  start, end > start ? end - start : 0);
 #endif
 }
 
-std::string render_chrome_trace(const Tracer::Contents& c) {
+std::string render_chrome_trace(const TraceRing::Contents& c) {
   std::string out;
   out.reserve(128 + c.events.size() * 120);
   out += "{\"traceEvents\":[";
@@ -181,7 +235,7 @@ std::string render_chrome_trace(const Tracer::Contents& c) {
 }
 
 std::string render_chrome_trace() {
-  return render_chrome_trace(Tracer::global().contents());
+  return render_chrome_trace(TracerRegistry::global().merged());
 }
 
 }  // namespace maton::obs

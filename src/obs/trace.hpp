@@ -1,14 +1,26 @@
 // Phase tracing: TraceSpan is an RAII scope timer that records one
-// completed span (name, thread, start, duration, nesting depth) into a
-// process-wide fixed-capacity ring buffer on destruction. Spans are
-// meant for phase-frequency events — a churn intent, a TANE lattice
-// level, a batch round — not per-packet work, so the ring is guarded by
-// a plain mutex and the hot cost is two steady_clock reads per span.
+// completed span (name, thread, start, duration, nesting depth) into the
+// calling thread's TraceRing on destruction. Spans are meant for
+// phase-frequency events — a churn intent, a TANE lattice level, a batch
+// round, a replay queue pass — not per-packet work.
 //
-// The ring keeps the most recent kCapacity spans; older ones are
-// overwritten. render_chrome_trace() exports the buffer as Chrome
-// trace_event JSON ("X" complete events, microsecond timestamps) that
-// loads directly in chrome://tracing or Perfetto.
+// Rings are strictly per-thread: each thread lazily creates one ring and
+// registers it with the process-wide TracerRegistry on its first span.
+// The record path therefore only ever takes its own ring's mutex, which
+// is uncontended unless a scrape is copying that specific ring out — the
+// multi-queue replay workers never serialize against each other the way
+// they did on the old single shared ring. Rings outlive their threads
+// (the registry owns them), so spans from joined workers still export.
+//
+// Each ring keeps its most recent kCapacity spans; older ones are
+// overwritten. TracerRegistry::merged() snapshots every ring and merges
+// them into one deterministically ordered event list — sorted by
+// (start_ns, tid, depth) — so the export is in nondecreasing timestamp
+// order even when individual rings have wrapped or hold out-of-start-
+// order events (nested spans complete innermost-first).
+// render_chrome_trace() exports the merge as Chrome trace_event JSON
+// ("X" complete events, microsecond timestamps) that loads directly in
+// chrome://tracing or Perfetto.
 //
 // With MATON_OBS_OFF, TraceSpan is an empty object: no clock reads, no
 // recording; the exporter renders an empty event list.
@@ -17,6 +29,8 @@
 #include <array>
 #include <chrono>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -29,7 +43,7 @@ inline constexpr bool kTraceEnabled = false;
 inline constexpr bool kTraceEnabled = true;
 #endif
 
-/// One completed span, as stored in the ring.
+/// One completed span, as stored in a ring.
 struct TraceEvent {
   /// Span name, truncated to fit (no allocation on the record path).
   std::array<char, 48> name{};
@@ -43,12 +57,13 @@ struct TraceEvent {
   }
 };
 
-/// Process-wide span ring buffer.
-class Tracer {
+/// Fixed-capacity span ring with a single producer (the owning thread).
+/// The mutex exists only so a concurrent scrape can copy the ring out
+/// without tearing events; the producer never contends with other
+/// producers.
+class TraceRing {
  public:
   static constexpr std::size_t kCapacity = std::size_t{1} << 14;
-
-  [[nodiscard]] static Tracer& global();
 
   /// Appends a completed span, overwriting the oldest if full.
   void record(std::string_view name, std::uint32_t tid, std::uint32_t depth,
@@ -63,12 +78,67 @@ class Tracer {
   };
   [[nodiscard]] Contents contents() const;
 
+  /// Spans currently held (≤ kCapacity) and ever recorded.
+  struct Stats {
+    std::size_t occupied = 0;
+    std::uint64_t total_recorded = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+
   void clear();
 
  private:
-  Tracer() = default;
-  struct State;
-  State& state() const;
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> ring_;
+  std::size_t next_ = 0;     // write cursor
+  std::uint64_t total_ = 0;  // spans ever recorded
+};
+
+/// Process-wide registry of per-thread rings: hands each thread its own
+/// ring on first use, and merges all rings into one deterministically
+/// ordered export.
+class TracerRegistry {
+ public:
+  [[nodiscard]] static TracerRegistry& global();
+
+  /// The calling thread's ring, created and registered on first use.
+  /// Rings are owned by the registry and never deallocated, so cached
+  /// references stay valid past thread exit.
+  [[nodiscard]] TraceRing& this_thread_ring();
+
+  /// Stable sequential id of the calling thread (0, 1, 2, ... in first-
+  /// span order), used as the Chrome trace tid.
+  [[nodiscard]] static std::uint32_t this_thread_tid() noexcept;
+
+  /// Records into the calling thread's ring (TraceSpan's path; also the
+  /// tests' hook for synthesizing spans with explicit timestamps).
+  void record(std::string_view name, std::uint32_t tid, std::uint32_t depth,
+              std::uint64_t start_ns, std::uint64_t dur_ns) {
+    this_thread_ring().record(name, tid, depth, start_ns, dur_ns);
+  }
+
+  /// Snapshot of every ring merged into one event list, sorted by
+  /// (start_ns, tid, depth, name): nondecreasing timestamps regardless
+  /// of per-ring wrap state, and deterministic for a given set of
+  /// events. total_recorded sums over rings.
+  [[nodiscard]] TraceRing::Contents merged() const;
+
+  /// Ring-occupancy roll-up for the derived gauges.
+  struct Occupancy {
+    std::size_t rings = 0;
+    std::size_t events = 0;    ///< spans currently held across rings
+    std::size_t capacity = 0;  ///< rings × kCapacity
+    std::uint64_t total_recorded = 0;
+  };
+  [[nodiscard]] Occupancy occupancy() const;
+
+  /// Clears every registered ring (rings stay registered).
+  void clear();
+
+ private:
+  TracerRegistry() = default;
+  mutable std::mutex mutex_;  // guards rings_ (registration + iteration)
+  std::vector<std::unique_ptr<TraceRing>> rings_;
 };
 
 /// RAII phase timer. Construct at scope entry; the span is recorded
@@ -87,9 +157,9 @@ class TraceSpan {
 #endif
 };
 
-/// Renders the ring (or `contents` if given) as a Chrome trace_event
-/// JSON document: {"traceEvents": [{"ph":"X", ...}, ...]}.
+/// Renders the merged registry (or `contents` if given) as a Chrome
+/// trace_event JSON document: {"traceEvents": [{"ph":"X", ...}, ...]}.
 [[nodiscard]] std::string render_chrome_trace();
-[[nodiscard]] std::string render_chrome_trace(const Tracer::Contents& c);
+[[nodiscard]] std::string render_chrome_trace(const TraceRing::Contents& c);
 
 }  // namespace maton::obs

@@ -6,6 +6,7 @@
 
 #include "dataplane/classifier_detail.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/contract.hpp"
 #include "util/thread_pool.hpp"
 
@@ -90,7 +91,8 @@ ReplayStats replay_threaded(const ModelFactory& factory,
                             const dp::Program& program,
                             std::span<const dp::FlowKey> keys,
                             std::size_t rounds, std::size_t queues,
-                            std::size_t batch, ShardMode mode) {
+                            std::size_t batch, ShardMode mode,
+                            util::ThreadPool* pool) {
   expects(queues > 0, "replay needs at least one queue");
   expects(batch > 0, "replay batch size must be positive");
 
@@ -123,8 +125,13 @@ ReplayStats replay_threaded(const ModelFactory& factory,
   std::vector<std::vector<dp::ExecResult>> results(queues);
   std::vector<LatencyRecorder> latencies(queues);
   const auto start = Clock::now();
-  util::ThreadPool::shared().parallel_for(
+  util::ThreadPool& workers =
+      pool != nullptr ? *pool : util::ThreadPool::shared();
+  workers.parallel_for(
       queues, queues, [&](std::size_t q, std::size_t /*worker*/) {
+        // One span per queue pass, recorded into the worker thread's own
+        // trace ring — the merged export shows the per-queue lanes.
+        const obs::TraceSpan span("replay_queue");
         std::span<const dp::FlowKey> mine_keys;
         if (mode == ShardMode::kFlowHash) {
           mine_keys = shards[q];

@@ -11,6 +11,10 @@
 #include "dataplane/switch.hpp"
 #include "util/quantile.hpp"
 
+namespace maton::util {
+class ThreadPool;
+}
+
 namespace maton::workloads {
 
 struct ReplayStats {
@@ -57,16 +61,23 @@ enum class ShardMode {
 
 /// Multi-queue replay: `keys` is sharded across `queues` switch
 /// instances (each built by `factory` and loaded with `program`), which
-/// replay their shards concurrently on util::ThreadPool::shared() using
-/// the batch path. Per-queue state (model, counters, caches) is
-/// thread-private; only the final stats are merged — the union of the
-/// per-queue replays covers every key exactly once per round in either
-/// shard mode. Wall-clock covers the parallel region, so
-/// packets_per_second reports aggregate multi-queue throughput.
+/// replay their shards concurrently on `pool` (util::ThreadPool::shared()
+/// when null) using the batch path. Per-queue state (model, counters,
+/// caches) is thread-private; only the final stats are merged — the
+/// union of the per-queue replays covers every key exactly once per
+/// round in either shard mode. Wall-clock covers the parallel region, so
+/// packets_per_second reports aggregate multi-queue throughput. Each
+/// queue's pass records one "replay_queue" span on its worker thread.
+///
+/// Pass a dedicated pool when replay runs concurrently with other
+/// parallel work (the shared pool rejects concurrent parallel_for
+/// submissions — the soak harness replays while the churn thread's FD
+/// re-mines fan out on the shared pool).
 [[nodiscard]] ReplayStats replay_threaded(
     const ModelFactory& factory, const dp::Program& program,
     std::span<const dp::FlowKey> keys, std::size_t rounds,
     std::size_t queues, std::size_t batch,
-    ShardMode mode = ShardMode::kContiguous);
+    ShardMode mode = ShardMode::kContiguous,
+    util::ThreadPool* pool = nullptr);
 
 }  // namespace maton::workloads

@@ -123,6 +123,58 @@ TEST(Histogram, BucketBoundaries) {
   }
 }
 
+// Golden bucket map at the power-of-two edges: the exact index and
+// [lower, upper) bounds for each probe, pinned so any change to the
+// log-linear layout (kSubBits, octave arithmetic) shows up as a diff
+// here, not as silently re-shaped latency histograms.
+TEST(Histogram, GoldenBucketEdges) {
+  struct Golden {
+    std::uint64_t value;
+    std::size_t bucket;
+    std::uint64_t lower;
+    double upper;
+  };
+  const Golden golden[] = {
+      // Exact small buckets end at 7; the first octave starts at 8.
+      {0, 0, 0, 1.0},
+      {7, 7, 7, 8.0},
+      {8, 8, 8, 9.0},
+      {9, 9, 9, 10.0},
+      {15, 15, 15, 16.0},
+      // Octave [16, 32): 8 sub-buckets of width 2 — 16 and 17 coalesce.
+      {16, 16, 16, 18.0},
+      {17, 16, 16, 18.0},
+      {31, 23, 30, 32.0},
+      {32, 24, 32, 36.0},
+      // Octave [128, 256): width-16 sub-buckets.
+      {255, 47, 240, 256.0},
+      {256, 48, 256, 288.0},
+      {1023, 63, 960, 1024.0},
+      {1024, 64, 1024, 1152.0},
+      {std::uint64_t{1} << 20, 144, std::uint64_t{1} << 20,
+       static_cast<double>((std::uint64_t{8} << 17) + (std::uint64_t{1} << 17))},
+  };
+  for (const Golden& g : golden) {
+    EXPECT_EQ(Histogram::bucket_of(g.value), g.bucket) << g.value;
+    EXPECT_EQ(Histogram::bucket_lower(g.bucket), g.lower) << g.value;
+    EXPECT_DOUBLE_EQ(Histogram::bucket_upper(g.bucket), g.upper) << g.value;
+  }
+  // The top bucket holds the largest representable value and is open.
+  const std::size_t top =
+      Histogram::bucket_of(std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(top, Histogram::kNumBuckets - 1);
+  EXPECT_EQ(top, 495u);
+  EXPECT_EQ(Histogram::bucket_upper(top),
+            std::numeric_limits<double>::infinity());
+  // Relative sub-bucket width stays within the documented 12.5% bound.
+  for (std::size_t b = Histogram::kSub; b + 1 < Histogram::kNumBuckets;
+       ++b) {
+    const double lower = static_cast<double>(Histogram::bucket_lower(b));
+    EXPECT_LE(Histogram::bucket_upper(b) - lower, lower * 0.125 + 1e-9)
+        << b;
+  }
+}
+
 TEST(Histogram, ObserveClampsAndCounts) {
   MetricRegistry registry;
   Histogram& h = registry.histogram("maton_test_lat");

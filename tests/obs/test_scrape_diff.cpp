@@ -1,0 +1,212 @@
+#include "obs/diff.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <tuple>
+
+#include "obs/trace.hpp"
+
+namespace maton::obs {
+namespace {
+
+MetricSnapshot make_counter(std::string name, double value,
+                            Labels labels = {}) {
+  MetricSnapshot m;
+  m.name = std::move(name);
+  m.labels = std::move(labels);
+  m.kind = MetricKind::kCounter;
+  m.value = value;
+  return m;
+}
+
+MetricSnapshot make_gauge(std::string name, double value,
+                          Labels labels = {}) {
+  MetricSnapshot m;
+  m.name = std::move(name);
+  m.labels = std::move(labels);
+  m.kind = MetricKind::kGauge;
+  m.value = value;
+  return m;
+}
+
+const MetricSnapshot* find(const Snapshot& s, std::string_view name) {
+  for (const MetricSnapshot& m : s.metrics) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+TEST(ScrapeDiff, FirstScrapeEmitsNoRates) {
+  ScrapeDiff diff;
+  Snapshot in;
+  in.metrics.push_back(make_counter("maton_x_total", 100));
+  const Snapshot out = diff.augment(std::move(in), 5.0);
+  EXPECT_NE(find(out, "maton_x_total"), nullptr);
+  EXPECT_EQ(find(out, "maton_x_total_per_sec"), nullptr);
+}
+
+TEST(ScrapeDiff, SecondScrapeEmitsPerIntervalRate) {
+  ScrapeDiff diff;
+  Snapshot first;
+  first.metrics.push_back(make_counter("maton_x_total", 100));
+  (void)diff.augment(std::move(first), 5.0);
+
+  Snapshot second;
+  second.metrics.push_back(make_counter("maton_x_total", 600));
+  const Snapshot out = diff.augment(std::move(second), 15.0);
+  const MetricSnapshot* rate = find(out, "maton_x_total_per_sec");
+  ASSERT_NE(rate, nullptr);
+  EXPECT_EQ(rate->kind, MetricKind::kGauge);
+  EXPECT_DOUBLE_EQ(rate->value, 50.0);  // (600-100)/10s
+}
+
+TEST(ScrapeDiff, RatesAreLabelScoped) {
+  ScrapeDiff diff;
+  Snapshot first;
+  first.metrics.push_back(make_counter("maton_x_total", 10, {{"q", "0"}}));
+  first.metrics.push_back(make_counter("maton_x_total", 20, {{"q", "1"}}));
+  (void)diff.augment(std::move(first), 0.0);
+
+  Snapshot second;
+  second.metrics.push_back(make_counter("maton_x_total", 11, {{"q", "0"}}));
+  second.metrics.push_back(make_counter("maton_x_total", 40, {{"q", "1"}}));
+  const Snapshot out = diff.augment(std::move(second), 1.0);
+  double q0 = -1.0;
+  double q1 = -1.0;
+  for (const MetricSnapshot& m : out.metrics) {
+    if (m.name != "maton_x_total_per_sec") continue;
+    if (m.labels == Labels{{"q", "0"}}) q0 = m.value;
+    if (m.labels == Labels{{"q", "1"}}) q1 = m.value;
+  }
+  EXPECT_DOUBLE_EQ(q0, 1.0);
+  EXPECT_DOUBLE_EQ(q1, 20.0);
+}
+
+TEST(ScrapeDiff, CounterResetRebaselinesSilently) {
+  ScrapeDiff diff;
+  Snapshot first;
+  first.metrics.push_back(make_counter("maton_x_total", 500));
+  (void)diff.augment(std::move(first), 0.0);
+
+  // The counter went backwards (reset_values between scrapes): no
+  // negative rate, no rate at all for this interval.
+  Snapshot second;
+  second.metrics.push_back(make_counter("maton_x_total", 10));
+  const Snapshot out2 = diff.augment(std::move(second), 10.0);
+  EXPECT_EQ(find(out2, "maton_x_total_per_sec"), nullptr);
+
+  // The next interval diffs against the re-baselined value.
+  Snapshot third;
+  third.metrics.push_back(make_counter("maton_x_total", 110));
+  const Snapshot out3 = diff.augment(std::move(third), 20.0);
+  const MetricSnapshot* rate = find(out3, "maton_x_total_per_sec");
+  ASSERT_NE(rate, nullptr);
+  EXPECT_DOUBLE_EQ(rate->value, 10.0);
+}
+
+TEST(ScrapeDiff, GaugesTrackHighWatermarks) {
+  ScrapeDiff diff;
+  Snapshot a;
+  a.metrics.push_back(make_gauge("maton_rss_bytes", 5.0));
+  const Snapshot out_a = diff.augment(std::move(a), 0.0);
+  const MetricSnapshot* hwm = find(out_a, "maton_rss_bytes_hwm");
+  ASSERT_NE(hwm, nullptr);
+  EXPECT_DOUBLE_EQ(hwm->value, 5.0);
+
+  Snapshot b;
+  b.metrics.push_back(make_gauge("maton_rss_bytes", 3.0));
+  const Snapshot out_b = diff.augment(std::move(b), 1.0);
+  EXPECT_DOUBLE_EQ(find(out_b, "maton_rss_bytes_hwm")->value, 5.0);
+
+  Snapshot c;
+  c.metrics.push_back(make_gauge("maton_rss_bytes", 9.0));
+  const Snapshot out_c = diff.augment(std::move(c), 2.0);
+  EXPECT_DOUBLE_EQ(find(out_c, "maton_rss_bytes_hwm")->value, 9.0);
+}
+
+TEST(ScrapeDiff, BuildInfoGetsNoWatermark) {
+  ScrapeDiff diff;
+  Snapshot in;
+  in.metrics.push_back(make_gauge("maton_build_info", 1.0,
+                                  {{"build_type", "Release"}}));
+  const Snapshot out = diff.augment(std::move(in), 0.0);
+  EXPECT_EQ(find(out, "maton_build_info_hwm"), nullptr);
+}
+
+TEST(ScrapeDiff, FallbackRatioFromIncrementalCounters) {
+  ScrapeDiff diff;
+  Snapshot in;
+  in.metrics.push_back(
+      make_counter("maton_cp_incremental_hits_total", 30));
+  in.metrics.push_back(
+      make_counter("maton_cp_incremental_fallbacks_total", 10));
+  const Snapshot out = diff.augment(std::move(in), 0.0);
+  const MetricSnapshot* ratio =
+      find(out, "maton_cp_incremental_fallback_ratio");
+  ASSERT_NE(ratio, nullptr);
+  EXPECT_DOUBLE_EQ(ratio->value, 0.25);
+}
+
+TEST(ScrapeDiff, FallbackRatioDefaultsToZero) {
+  ScrapeDiff diff;
+  const Snapshot out = diff.augment(Snapshot{}, 0.0);
+  const MetricSnapshot* ratio =
+      find(out, "maton_cp_incremental_fallback_ratio");
+  ASSERT_NE(ratio, nullptr);
+  EXPECT_DOUBLE_EQ(ratio->value, 0.0);
+}
+
+TEST(ScrapeDiff, OutputStaysSortedByNameThenLabels) {
+  ScrapeDiff diff;
+  Snapshot in;
+  in.metrics.push_back(make_counter("maton_a_total", 1));
+  in.metrics.push_back(make_gauge("maton_z_gauge", 2.0));
+  (void)diff.augment(Snapshot{in}, 0.0);
+  const Snapshot out = diff.augment(std::move(in), 1.0);
+  EXPECT_TRUE(std::is_sorted(
+      out.metrics.begin(), out.metrics.end(),
+      [](const MetricSnapshot& a, const MetricSnapshot& b) {
+        return std::tie(a.name, a.labels) < std::tie(b.name, b.labels);
+      }));
+}
+
+TEST(DerivedGauges, BuildInfoMatchesCompiledProvenance) {
+  const BuildInfo info = build_info();
+  EXPECT_FALSE(info.build_type.empty());
+  EXPECT_EQ(info.obs_enabled, kEnabled);
+
+  update_derived_gauges();
+  const Snapshot scrape = MetricRegistry::global().scrape();
+  const MetricSnapshot* build = find(scrape, "maton_build_info");
+  ASSERT_NE(build, nullptr);
+  const Labels expected = {{"build_type", info.build_type},
+                           {"cores", std::to_string(info.host_cores)},
+                           {"obs", info.obs_enabled ? "on" : "off"}};
+  EXPECT_EQ(build->labels, expected);
+#if !defined(MATON_OBS_OFF)
+  EXPECT_DOUBLE_EQ(build->value, 1.0);
+#endif
+  EXPECT_NE(find(scrape, "maton_rss_bytes"), nullptr);
+  EXPECT_NE(find(scrape, "maton_trace_ring_capacity"), nullptr);
+}
+
+#if !defined(MATON_OBS_OFF)
+TEST(DerivedGauges, TrackRssAndRingOccupancy) {
+  { const TraceSpan span("derived_gauges_span"); }
+  update_derived_gauges();
+  const Snapshot scrape = MetricRegistry::global().scrape();
+  EXPECT_GT(find(scrape, "maton_rss_bytes")->value, 0.0);
+  EXPECT_GT(find(scrape, "maton_rss_peak_bytes")->value, 0.0);
+  EXPECT_GE(find(scrape, "maton_trace_rings")->value, 1.0);
+  EXPECT_GE(find(scrape, "maton_trace_ring_events")->value, 1.0);
+  EXPECT_GE(find(scrape, "maton_trace_spans_recorded_total")->value, 1.0);
+  EXPECT_EQ(find(scrape, "maton_trace_ring_capacity")->value,
+            find(scrape, "maton_trace_rings")->value *
+                static_cast<double>(TraceRing::kCapacity));
+}
+#endif
+
+}  // namespace
+}  // namespace maton::obs

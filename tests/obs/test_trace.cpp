@@ -2,43 +2,57 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <set>
 #include <string>
+#include <thread>
+#include <tuple>
 
 namespace maton::obs {
 namespace {
 
 #if defined(MATON_OBS_OFF)
 TEST(TraceCompiledOut, NoSpansRecorded) {
-  Tracer::global().clear();
+  TracerRegistry::global().clear();
   {
     const TraceSpan span("outer");
     const TraceSpan inner("inner");
   }
-  EXPECT_TRUE(Tracer::global().contents().events.empty());
+  EXPECT_TRUE(TracerRegistry::global().merged().events.empty());
   EXPECT_NE(render_chrome_trace().find("\"traceEvents\":[]"),
             std::string::npos);
 }
 #else
 
-/// The tracer is process-global; every test starts from a cleared ring.
+[[nodiscard]] bool merged_order_ok(const std::vector<TraceEvent>& events) {
+  return std::is_sorted(
+      events.begin(), events.end(),
+      [](const TraceEvent& a, const TraceEvent& b) {
+        return std::tuple(a.start_ns, a.tid, a.depth, a.name_view()) <
+               std::tuple(b.start_ns, b.tid, b.depth, b.name_view());
+      });
+}
+
+/// The registry is process-global; every test starts from cleared rings.
 class TraceTest : public ::testing::Test {
  protected:
-  void SetUp() override { Tracer::global().clear(); }
+  void SetUp() override { TracerRegistry::global().clear(); }
 };
 
 TEST_F(TraceTest, SpanRecordsOnDestruction) {
   {
     const TraceSpan span("phase_a");
-    EXPECT_TRUE(Tracer::global().contents().events.empty());
+    EXPECT_TRUE(TracerRegistry::global().merged().events.empty());
   }
-  const Tracer::Contents c = Tracer::global().contents();
+  const TraceRing::Contents c = TracerRegistry::global().merged();
   ASSERT_EQ(c.events.size(), 1u);
   EXPECT_EQ(c.events[0].name_view(), "phase_a");
   EXPECT_EQ(c.events[0].depth, 0u);
+  EXPECT_EQ(c.events[0].tid, TracerRegistry::this_thread_tid());
   EXPECT_EQ(c.total_recorded, 1u);
 }
 
-TEST_F(TraceTest, NestingDepthAndCompletionOrder) {
+TEST_F(TraceTest, NestingDepthAndMergedStartOrder) {
   {
     const TraceSpan outer("outer");
     {
@@ -46,41 +60,47 @@ TEST_F(TraceTest, NestingDepthAndCompletionOrder) {
       const TraceSpan inner("inner");
     }
   }
-  const Tracer::Contents c = Tracer::global().contents();
-  ASSERT_EQ(c.events.size(), 3u);
-  // Spans land in completion (destruction) order: innermost first.
+  // The ring itself holds completion (destruction) order...
+  const TraceRing::Contents raw =
+      TracerRegistry::global().this_thread_ring().contents();
+  ASSERT_EQ(raw.events.size(), 3u);
+  EXPECT_EQ(raw.events[0].name_view(), "inner");
+  // ...but the merged export is sorted by start time: outermost first.
   // Depth is 0-based: the outermost span of a thread records depth 0.
-  EXPECT_EQ(c.events[0].name_view(), "inner");
-  EXPECT_EQ(c.events[0].depth, 2u);
+  const TraceRing::Contents c = TracerRegistry::global().merged();
+  ASSERT_EQ(c.events.size(), 3u);
+  EXPECT_EQ(c.events[0].name_view(), "outer");
+  EXPECT_EQ(c.events[0].depth, 0u);
   EXPECT_EQ(c.events[1].name_view(), "mid");
   EXPECT_EQ(c.events[1].depth, 1u);
-  EXPECT_EQ(c.events[2].name_view(), "outer");
-  EXPECT_EQ(c.events[2].depth, 0u);
+  EXPECT_EQ(c.events[2].name_view(), "inner");
+  EXPECT_EQ(c.events[2].depth, 2u);
   // The outer span brackets the inner ones.
-  EXPECT_LE(c.events[2].start_ns, c.events[0].start_ns);
-  EXPECT_GE(c.events[2].start_ns + c.events[2].dur_ns,
-            c.events[0].start_ns + c.events[0].dur_ns);
+  EXPECT_LE(c.events[0].start_ns, c.events[2].start_ns);
+  EXPECT_GE(c.events[0].start_ns + c.events[0].dur_ns,
+            c.events[2].start_ns + c.events[2].dur_ns);
 }
 
 TEST_F(TraceTest, LongNamesAreTruncatedNotOverflowed) {
   const std::string long_name(200, 'x');
   { const TraceSpan span(long_name); }
-  const Tracer::Contents c = Tracer::global().contents();
+  const TraceRing::Contents c = TracerRegistry::global().merged();
   ASSERT_EQ(c.events.size(), 1u);
   EXPECT_EQ(c.events[0].name_view(), std::string(47, 'x'));
 }
 
 TEST_F(TraceTest, RingBufferWrapsKeepingMostRecent) {
-  const std::size_t total = Tracer::kCapacity + 100;
+  TraceRing& ring = TracerRegistry::global().this_thread_ring();
+  const std::size_t total = TraceRing::kCapacity + 100;
   for (std::size_t i = 0; i < total; ++i) {
-    Tracer::global().record("span_" + std::to_string(i), 0, 1, i, 1);
+    ring.record("span_" + std::to_string(i), 0, 1, i, 1);
   }
-  const Tracer::Contents c = Tracer::global().contents();
-  ASSERT_EQ(c.events.size(), Tracer::kCapacity);
+  const TraceRing::Contents c = ring.contents();
+  ASSERT_EQ(c.events.size(), TraceRing::kCapacity);
   EXPECT_EQ(c.total_recorded, total);
   // Oldest surviving span is number `total - kCapacity`, newest is last.
   EXPECT_EQ(c.events.front().name_view(),
-            "span_" + std::to_string(total - Tracer::kCapacity));
+            "span_" + std::to_string(total - TraceRing::kCapacity));
   EXPECT_EQ(c.events.back().name_view(),
             "span_" + std::to_string(total - 1));
   // Recording order is preserved across the wrap point.
@@ -89,8 +109,66 @@ TEST_F(TraceTest, RingBufferWrapsKeepingMostRecent) {
   }
 }
 
+// Regression: a wrapped ring's storage starts mid-stream (the write
+// cursor sits inside the oldest events), and a second thread's ring
+// interleaves arbitrary timestamps — the merged export must still come
+// out in nondecreasing start order with every surviving span present.
+TEST_F(TraceTest, WrappedRingsMergeInNondecreasingStartOrder) {
+  TraceRing& mine = TracerRegistry::global().this_thread_ring();
+  const std::uint32_t my_tid = TracerRegistry::this_thread_tid();
+  const std::size_t total = TraceRing::kCapacity + 257;  // force a wrap
+  for (std::size_t i = 0; i < total; ++i) {
+    mine.record("even", my_tid, 0, 2 * i, 1);
+  }
+
+  std::uint32_t other_tid = 0;
+  std::thread other([&] {
+    other_tid = TracerRegistry::this_thread_tid();
+    TraceRing& ring = TracerRegistry::global().this_thread_ring();
+    // Odd timestamps spanning the survivor window of the wrapped ring,
+    // plus one exact tie with an even timestamp to pin the tid order.
+    for (std::size_t i = 0; i < 1000; ++i) {
+      ring.record("odd", other_tid, 0, 2 * (total - 1000 + i) + 1, 1);
+    }
+    ring.record("tie", other_tid, 0, 2 * (total - 1), 1);
+  });
+  other.join();
+  ASSERT_NE(my_tid, other_tid);
+
+  const TraceRing::Contents c = TracerRegistry::global().merged();
+  ASSERT_EQ(c.events.size(), TraceRing::kCapacity + 1001);
+  EXPECT_EQ(c.total_recorded, total + 1001);
+  EXPECT_TRUE(merged_order_ok(c.events));
+
+  std::set<std::uint32_t> tids;
+  for (const TraceEvent& e : c.events) tids.insert(e.tid);
+  EXPECT_EQ(tids.size(), 2u);
+
+  // The tie at start_ns == 2*(total-1) resolves by tid.
+  const auto tie = std::find_if(
+      c.events.begin(), c.events.end(), [&](const TraceEvent& e) {
+        return e.start_ns == 2 * (total - 1);
+      });
+  ASSERT_NE(tie, c.events.end());
+  ASSERT_NE(tie + 1, c.events.end());
+  EXPECT_EQ((tie + 1)->start_ns, tie->start_ns);
+  EXPECT_EQ(tie->tid, std::min(my_tid, other_tid));
+  EXPECT_EQ((tie + 1)->tid, std::max(my_tid, other_tid));
+}
+
+TEST_F(TraceTest, MergedIsDeterministic) {
+  {
+    const TraceSpan a("a");
+    const TraceSpan b("b");
+  }
+  { const TraceSpan c("c"); }
+  const std::string once = render_chrome_trace();
+  const std::string twice = render_chrome_trace();
+  EXPECT_EQ(once, twice);
+}
+
 TEST_F(TraceTest, ChromeTraceRendersCompleteEvents) {
-  Tracer::global().record("alpha \"quoted\"", 7, 2, 1500, 2500);
+  TracerRegistry::global().record("alpha \"quoted\"", 7, 2, 1500, 2500);
   const std::string json = render_chrome_trace();
   // One "X" complete event with microsecond timestamps (1500 ns =
   // 1.500 us) and the name JSON-escaped.
@@ -100,6 +178,17 @@ TEST_F(TraceTest, ChromeTraceRendersCompleteEvents) {
   EXPECT_NE(json.find("\"ts\":1.500"), std::string::npos);
   EXPECT_NE(json.find("\"dur\":2.500"), std::string::npos);
   EXPECT_NE(json.find("\"tid\":7"), std::string::npos);
+}
+
+TEST_F(TraceTest, OccupancyRollsUpAcrossRings) {
+  { const TraceSpan span("one"); }
+  const TracerRegistry::Occupancy occ = TracerRegistry::global().occupancy();
+  EXPECT_GE(occ.rings, 1u);
+  EXPECT_EQ(occ.capacity, occ.rings * TraceRing::kCapacity);
+  // Other tests' threads leave registered-but-cleared rings behind; this
+  // thread's single span is the only live event.
+  EXPECT_EQ(occ.events, 1u);
+  EXPECT_EQ(occ.total_recorded, 1u);
 }
 
 #endif  // !MATON_OBS_OFF

@@ -14,6 +14,10 @@
 //                                    print only the machine-readable report
 //   --metrics[=prom|json]            dump telemetry to stderr (default prom)
 //   --trace=FILE                     write Chrome trace_event JSON to FILE
+//   --metrics-addr=HOST:PORT         serve /metrics, /metrics.json, /trace
+//                                    and /healthz over HTTP while the
+//                                    command runs (MATON_METRICS_ADDR works
+//                                    too; port 0 picks an ephemeral port)
 //
 // Built-in specs (analyze only): gwlb:universal, gwlb:goto@20x8,
 // gwlb:metadata@20x8@7, ... — the paper example, or a randomized NxM
@@ -37,6 +41,7 @@
 #include "export/openflow.hpp"
 #include "export/p4.hpp"
 #include "obs/expose.hpp"
+#include "obs/server.hpp"
 #include "obs/trace.hpp"
 #include "workloads/gwlb.hpp"
 
@@ -49,6 +54,7 @@ int usage(std::ostream& os) {
         "  [--join goto|metadata|rematch] [--target 2nf|3nf|bcnf]\n"
         "  [--format openflow|p4] [--no-constants] [--analyze[=text|json]]\n"
         "  [--metrics[=prom|json]] [--trace=FILE]\n"
+        "  [--metrics-addr=HOST:PORT]\n"
         "gwlb:SPEC (analyze only): <repr>[@NxM[@seed]] with repr one of\n"
         "  universal|goto|metadata|rematch\n";
   return 2;
@@ -64,6 +70,7 @@ struct CliOptions {
   std::string analyze_report;  // empty = off, else "text" or "json"
   std::string metrics;         // empty = off, else "prom" or "json"
   std::string trace_path;      // empty = off
+  std::string metrics_addr;    // empty = MATON_METRICS_ADDR or off
 };
 
 bool parse_args(const std::vector<std::string>& args, CliOptions& opts,
@@ -128,6 +135,12 @@ bool parse_args(const std::vector<std::string>& args, CliOptions& opts,
       opts.trace_path = arg.substr(sizeof("--trace=") - 1);
       if (opts.trace_path.empty()) {
         err << "--trace requires a file path\n";
+        return false;
+      }
+    } else if (arg.starts_with("--metrics-addr=")) {
+      opts.metrics_addr = arg.substr(sizeof("--metrics-addr=") - 1);
+      if (opts.metrics_addr.empty()) {
+        err << "--metrics-addr requires HOST:PORT\n";
         return false;
       }
     } else {
@@ -392,6 +405,22 @@ int run(const std::vector<std::string>& args, std::ostream& os,
         std::ostream& err) {
   CliOptions opts;
   if (!parse_args(args, opts, err)) return usage(err);
+
+  // Live scrape endpoint for the duration of the command (plus the
+  // telemetry dump below); `--metrics-addr=...:0` picks a free port and
+  // prints it, so even short runs can be scraped by a wrapper.
+  obs::ExpoServer server;
+  const Status served = opts.metrics_addr.empty()
+                            ? obs::start_from_env(server)
+                            : server.start(opts.metrics_addr);
+  if (!served.is_ok() && served.code() != StatusCode::kUnimplemented) {
+    err << "matonc: metrics server: " << served.to_string() << "\n";
+    return 1;
+  }
+  if (server.running()) {
+    err << "matonc: serving http://" << server.address() << "/metrics\n";
+  }
+
   const int rc = run_command(opts, os, err);
   const int telemetry_rc = dump_telemetry(opts, err);
   return rc != 0 ? rc : telemetry_rc;
