@@ -9,6 +9,7 @@
 // so scalar-vs-batch ratios isolate the execution engine itself.
 #include <benchmark/benchmark.h>
 
+#include <array>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -16,8 +17,11 @@
 #include <vector>
 
 #include "controlplane/compiler.hpp"
+#include "dataplane/classifier_detail.hpp"
+#include "dataplane/simd.hpp"
 #include "dataplane/switch.hpp"
 #include "obs/expose.hpp"
+#include "util/rng.hpp"
 #include "workloads/replay.hpp"
 #include "workloads/traffic.hpp"
 
@@ -153,6 +157,103 @@ BENCHMARK_CAPTURE(BM_BatchThreads, eswitch_universal, "eswitch",
     ->Arg(4)
     ->Arg(8)
     ->UseRealTime();
+
+/// Multi-queue scaling over ONE shared switch instance: read-only
+/// classifiers, rule counters sharded per queue (process_batch_queue).
+/// The delta against BM_BatchThreads at the same queue count is the
+/// cost/benefit of sharing versus per-queue instance duplication.
+void BM_BatchThreadsShared(benchmark::State& state, const char* model,
+                           const char* repr) {
+  const auto queues = static_cast<std::size_t>(state.range(0));
+  auto sw = make_model(model);
+  if (!sw->load(program_for(repr)).is_ok()) {
+    state.SkipWithError("load failed");
+    return;
+  }
+  const auto& keys = setup().keys;
+  std::uint64_t hits = 0;
+  for (auto _ : state) {
+    const workloads::ReplayStats stats = workloads::replay_threaded_shared(
+        *sw, keys, /*rounds=*/4, queues, kBatch);
+    hits += stats.hits;
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(keys.size()) * 4);
+  state.counters["queues"] = static_cast<double>(queues);
+}
+
+BENCHMARK_CAPTURE(BM_BatchThreadsShared, eswitch_goto, "eswitch", "goto")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime();
+BENCHMARK_CAPTURE(BM_BatchThreadsShared, eswitch_universal, "eswitch",
+                  "universal")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime();
+
+/// Kernel-level microbench: one dp::simd probe kernel over one full
+/// SoA chunk, pinned to the scalar or SIMD dispatch level. items = keys,
+/// so items_per_second inverts to ns/key for the kernel alone — the
+/// vectorized portion of the batch probes, without hash-table lookups.
+/// Shapes mirror the three integration points: `tss` and `masked_group`
+/// run the fused mask+hash kernel (the per-subtable / per-group probe)
+/// at their typical field counts, `exact` runs the hash-only kernel.
+void BM_Kernel(benchmark::State& state, const char* kernel,
+               std::size_t fields, bool use_simd) {
+  namespace simd = dp::simd;
+  const bool forced =
+      simd::force_dispatch(use_simd ? simd::Level::kAvx2
+                                    : simd::Level::kScalar);
+  if (use_simd && !forced) {
+    simd::reset_dispatch();
+    state.SkipWithError("AVX2 unavailable on this host");
+    return;
+  }
+  const std::string_view which(kernel);
+  const std::size_t n = dp::detail::kBatchChunk;
+  dp::detail::LaneBlock lanes;
+  dp::detail::LaneBlock masked;
+  alignas(64) std::array<std::uint64_t, dp::detail::kBatchChunk> hashes{};
+  std::array<std::uint64_t, dp::kNumFields> masks{};
+  Rng rng(7);
+  for (std::size_t f = 0; f < fields; ++f) {
+    masks[f] = rng.uniform(0, ~std::uint64_t{0});
+    for (std::size_t i = 0; i < n; ++i) {
+      lanes.data()[f * n + i] = rng.uniform(0, ~std::uint64_t{0});
+    }
+  }
+  for (auto _ : state) {
+    if (which == "exact") {
+      simd::hash_lanes(lanes.data(), n, fields, n, hashes.data());
+    } else {
+      simd::mask_hash_lanes(lanes.data(), n, masks.data(), fields, n,
+                            masked.data(), hashes.data());
+    }
+    benchmark::DoNotOptimize(hashes.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+  state.counters["simd"] = use_simd ? 1.0 : 0.0;
+  simd::reset_dispatch();
+}
+
+// Field counts: the gwlb TSS subtables match a 3-field tuple; the
+// masked-group probe covers wider ternary groups (5 fields); exact-match
+// hashes a 4-field key.
+BENCHMARK_CAPTURE(BM_Kernel, tss_scalar, "tss", 3, false);
+BENCHMARK_CAPTURE(BM_Kernel, tss_simd, "tss", 3, true);
+BENCHMARK_CAPTURE(BM_Kernel, masked_group_scalar, "masked_group", 5,
+                  false);
+BENCHMARK_CAPTURE(BM_Kernel, masked_group_simd, "masked_group", 5, true);
+BENCHMARK_CAPTURE(BM_Kernel, exact_scalar, "exact", 4, false);
+BENCHMARK_CAPTURE(BM_Kernel, exact_simd, "exact", 4, true);
 
 }  // namespace
 

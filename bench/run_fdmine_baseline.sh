@@ -11,6 +11,11 @@
 # Output: BENCH_fdmine.json at the repo root (google-benchmark JSON with
 # a "context" block recording host parallelism, so flat thread scaling on
 # a 1-core container is distinguishable from a regression).
+#
+# Hard-fails when the google-benchmark library reports a debug build
+# (context.library_build_type) — debug-library timings are not
+# baseline-grade. MATON_BENCH_ALLOW_DEBUG_LIB=1 overrides; the override
+# is stamped into the env block.
 set -euo pipefail
 
 repo_root="$(cd -- "$(dirname -- "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -35,8 +40,20 @@ trap 'rm -f "${raw_file}"' EXIT
 # Fold in the pre-engine seed numbers (same table: 4096 rows x 8 cols,
 # domain 4, -O2) so the file carries its own before/after comparison.
 python3 - "${raw_file}" "${out_file}" <<'EOF'
-import json, sys
+import json, os, sys
 raw = json.load(open(sys.argv[1]))
+ctx = raw.get("context", {})
+
+lib_build = str(ctx.get("library_build_type", "unknown")).lower()
+allow_debug = os.environ.get("MATON_BENCH_ALLOW_DEBUG_LIB") == "1"
+if lib_build not in ("release", "unknown") and not allow_debug:
+    sys.exit(
+        f"error: google-benchmark library reports build type "
+        f"'{lib_build}'; timings from a debug library are not "
+        f"baseline-grade. Rebuild the library as Release, or set "
+        f"MATON_BENCH_ALLOW_DEBUG_LIB=1 to record anyway (the override "
+        f"is stamped into the env block).")
+
 by_name = {b["name"]: b["real_time"] / 1e6 for b in raw["benchmarks"]}
 one_shot = by_name.get("BM_MineTane/4096/8")
 cold = by_name.get("BM_MineTaneRepeatedCold")
@@ -46,10 +63,12 @@ seed = {
     "repeated_mine_10x_4096x8_ms": 289.229,
     "note": "pre-engine sequential miner, same table generator, -O2",
 }
-ctx = raw.get("context", {})
 raw["env"] = {
     "build_type": ctx.get("build_type", "unknown"),
     "host_cores": int(ctx.get("host_cores", ctx.get("num_cpus", 0))),
+    "library_build_type": lib_build,
+    "debug_lib_allowed": bool(allow_debug and lib_build
+                              not in ("release", "unknown")),
 }
 raw["seed_baseline"] = seed
 raw["speedups"] = {

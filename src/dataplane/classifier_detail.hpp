@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "dataplane/flow_key.hpp"
+#include "dataplane/simd.hpp"
 
 namespace maton::dp::detail {
 
@@ -44,6 +45,35 @@ inline void prefetch_read(const void* p) noexcept {
 /// several independent memory accesses in flight (prefetch distance),
 /// small enough that per-chunk scratch stays in L1.
 inline constexpr std::size_t kBatchChunk = 64;
+
+/// Per-chunk SoA (structure-of-arrays) scratch for the batch kernels:
+/// word `f` of key `i` lives at `lanes[f * kBatchChunk + i]`, so one
+/// field's words for the whole chunk are contiguous and 64-byte
+/// aligned — the layout the dp::simd kernels stream over. One block is
+/// kNumFields * kBatchChunk * 8 = 7.5 KiB; a kernel's working set
+/// (lanes + masked + hashes) stays L1-resident.
+struct LaneBlock {
+  alignas(64) std::array<std::uint64_t, kBatchChunk * kNumFields> words;
+
+  [[nodiscard]] std::uint64_t* data() noexcept { return words.data(); }
+  [[nodiscard]] const std::uint64_t* data() const noexcept {
+    return words.data();
+  }
+};
+
+/// Transposes `n` keys (n <= kBatchChunk) into SoA lanes over the
+/// classifier's field set. Built once per chunk and reused by every
+/// subtable/group probe of that chunk.
+inline void transpose_chunk(std::span<const FlowKey> keys, std::size_t base,
+                            std::size_t n, std::span<const FieldId> fields,
+                            std::uint64_t* lanes) noexcept {
+  for (std::size_t f = 0; f < fields.size(); ++f) {
+    std::uint64_t* lane = lanes + f * kBatchChunk;
+    for (std::size_t i = 0; i < n; ++i) {
+      lane[i] = keys[base + i].get(fields[f]);
+    }
+  }
+}
 
 /// One mask-vector group of a tuple-space index: rules sharing a mask
 /// vector over the classifier's field set, resolved by one exact-match
@@ -146,6 +176,27 @@ struct MaskedGroup {
     const Entry* e = &it->second;
     while (e != nullptr) {
       if (std::equal(masked.begin(), masked.end(), e->values.begin())) {
+        return e;
+      }
+      e = e->overflow == kNone ? nullptr : &spill[e->overflow];
+    }
+    return nullptr;
+  }
+
+  /// Exact probe against SoA chunk storage: the key's masked word `f`
+  /// lives at `masked[f * stride]` and `hash` was computed by the batch
+  /// kernel (simd::mask_hash_lanes) over exactly those words. Bit-
+  /// identical to find(): same hash, same chain walk, same compares —
+  /// only the key layout is strided.
+  [[nodiscard]] const Entry* find_lanes(std::uint64_t hash,
+                                        const std::uint64_t* masked,
+                                        std::size_t stride) const {
+    const auto it = entries.find(hash);
+    if (it == entries.end()) return nullptr;
+    const Entry* e = &it->second;
+    while (e != nullptr) {
+      if (simd::equal_lanes(e->values.data(), masked, stride,
+                            masks.size())) {
         return e;
       }
       e = e->overflow == kNone ? nullptr : &spill[e->overflow];

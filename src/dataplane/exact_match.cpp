@@ -106,35 +106,38 @@ class ExactMatchClassifier final : public Classifier {
     return true;
   }
 
-  /// Two-pass chunked probe: pass 1 packs and hashes every key and issues
-  /// a prefetch for its home bucket; pass 2 probes with the bucket lines
-  /// already in flight, so the per-key dependent load stalls overlap
-  /// across the chunk.
+  /// Two-pass chunked probe: pass 1 transposes the chunk into SoA lanes
+  /// and runs the word-parallel dp::simd hash kernel (bit-identical
+  /// FNV-1a, four keys per step), issuing a prefetch for every key's
+  /// home bucket; pass 2 probes with the bucket lines already in
+  /// flight, comparing the packed entry words against the key's strided
+  /// lane words.
   void lookup_batch(std::span<const FlowKey> keys,
                     std::span<std::size_t> out) const override {
     const std::size_t nf = fields_.size();
-    std::array<std::uint64_t, detail::kBatchChunk * kNumFields> packed;
+    detail::LaneBlock lanes;
+    alignas(64) std::array<std::uint64_t, detail::kBatchChunk> hashes;
     std::array<std::size_t, detail::kBatchChunk> home;
     for (std::size_t base = 0; base < keys.size();
          base += detail::kBatchChunk) {
       const std::size_t n =
           std::min(detail::kBatchChunk, keys.size() - base);
+      detail::transpose_chunk(keys, base, n, fields_, lanes.data());
+      simd::hash_lanes(lanes.data(), detail::kBatchChunk, nf, n,
+                       hashes.data());
       for (std::size_t i = 0; i < n; ++i) {
-        std::uint64_t* p = packed.data() + i * nf;
-        for (std::size_t f = 0; f < nf; ++f) {
-          p[f] = keys[base + i].get(fields_[f]);
-        }
-        home[i] = detail::hash_words({p, nf}) & (capacity_ - 1);
+        home[i] = hashes[i] & (capacity_ - 1);
         detail::prefetch_read(&slots_[home[i]]);
       }
       for (std::size_t i = 0; i < n; ++i) {
-        const std::span<const std::uint64_t> view(packed.data() + i * nf,
-                                                  nf);
         std::size_t slot = home[i];
         std::size_t found = kNoRule;
         while (slots_[slot] != kEmpty) {
           const std::size_t entry = slots_[slot];
-          if (entry != kTombstone && equals(entry, view)) {
+          if (entry != kTombstone &&
+              simd::equal_lanes(keys_.data() + entry * nf,
+                                lanes.data() + i, detail::kBatchChunk,
+                                nf)) {
             found = rule_of_[entry];
             break;
           }

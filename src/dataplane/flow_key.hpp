@@ -75,7 +75,10 @@ inline constexpr std::size_t kNumFields =
   return w >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << w) - 1);
 }
 
-struct FlowKey {
+struct alignas(64) FlowKey {
+  // 64-byte aligned (sizeof is already 128): key arrays start on a
+  // cache line, so the batch SoA transpose reads exactly two lines per
+  // key and kernel loads never split a line.
   std::array<std::uint64_t, kNumFields> values{};
   /// Bit i set ⇔ field i carries a parsed/assigned value.
   std::uint32_t valid = 0;

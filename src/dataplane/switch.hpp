@@ -9,6 +9,7 @@
 // model is analytic: line-rate forwarding plus a TCAM update-stall model.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <span>
 #include <string_view>
@@ -53,6 +54,24 @@ class SwitchModel {
   virtual void process_batch(std::span<const FlowKey> keys,
                              std::span<ExecResult> results);
 
+  /// Declares that `queues` replay queues will drive this one instance
+  /// concurrently through process_batch_queue — classifiers are shared
+  /// read-only, every queue gets private batch-walker scratch, and the
+  /// rule counters re-shard per queue (configuring zeroes them).
+  /// Returns false when the model cannot share one instance across
+  /// queues (OVS mutates its megaflow cache per packet); callers fall
+  /// back to per-queue instances. Rule updates must be quiesced
+  /// relative to concurrent queue processing.
+  [[nodiscard]] virtual bool configure_queues(std::size_t queues);
+
+  /// process_batch bound to one configured queue: identical results,
+  /// with counter bumps landing in the queue's private shard. Safe to
+  /// call concurrently across distinct queue ids after a successful
+  /// configure_queues. The base implementation supports queue 0 only.
+  virtual void process_batch_queue(std::size_t queue,
+                                   std::span<const FlowKey> keys,
+                                   std::span<ExecResult> results);
+
   [[nodiscard]] virtual Status apply_update(const RuleUpdate& update) = 0;
 
   /// Applies `updates` in order, equivalent to calling apply_update per
@@ -90,13 +109,31 @@ class SwitchModel {
 /// ApplyOutcome of apply_update_to_program says how positions moved, so
 /// carrying counters across an update is O(Δ) (or O(shift) for
 /// structural edits) instead of a match-vector join.
+///
+/// Sharded per replay queue: the counter array is replicated once per
+/// queue with each shard's stride rounded up to whole cache lines, so
+/// concurrent queues never write the same line (no bouncing, no atomic
+/// RMW — each shard has a single writer and uses plain relaxed
+/// load/store increments). Reads merge shards deterministically by
+/// folding them in ascending queue-id order; 64-bit addition is
+/// commutative and lossless here, so quiesced merged totals are exact
+/// and independent of queue interleaving. Structural ops (reset /
+/// on_insert / on_remove / on_move) and merging reads race-free only
+/// against bump()s, not against each other — they run on the quiesced
+/// control path by contract.
 class RuleCounters {
  public:
-  /// Re-sizes to match `program`, zeroing everything.
-  void reset(const Program& program);
+  /// Re-sizes to match `program` with one shard per queue, zeroing
+  /// everything.
+  void reset(const Program& program, std::size_t queues = 1);
 
-  void bump(std::size_t table, std::size_t rule);
-  void bump_all(std::span<const MatchedRule> matched);
+  [[nodiscard]] std::size_t queues() const noexcept { return queues_; }
+
+  /// Increments rule's counter in `queue`'s shard. Each queue id must
+  /// have at most one concurrent writer (the replay queue's thread).
+  void bump(std::size_t table, std::size_t rule, std::size_t queue = 0);
+  void bump_all(std::span<const MatchedRule> matched,
+                std::size_t queue = 0);
 
   /// A rule was inserted at `pos` (fresh count of zero).
   void on_insert(std::size_t table, std::size_t pos);
@@ -106,12 +143,27 @@ class RuleCounters {
   /// it keeps its count — OpenFlow modify inherits the old stats.
   void on_move(std::size_t table, std::size_t from, std::size_t to);
 
+  /// Merged (all-shard) count for the rule with the given match vector.
   [[nodiscard]] Result<std::uint64_t> read(
       const Program& program, std::size_t table,
       const std::vector<FieldMatch>& target) const;
 
+  /// Merged (all-shard) count by position — ascending queue-id fold.
+  [[nodiscard]] std::uint64_t merged(std::size_t table,
+                                     std::size_t rule) const;
+
  private:
-  std::vector<std::vector<std::uint64_t>> counts_;
+  void rebuild_layout();
+  [[nodiscard]] std::size_t slot(std::size_t queue, std::size_t table,
+                                 std::size_t rule) const noexcept {
+    return queue * stride_ + offsets_[table] + rule;
+  }
+
+  std::vector<std::size_t> sizes_;    // rules per table
+  std::vector<std::size_t> offsets_;  // table → flat offset (+ total)
+  std::size_t stride_ = 0;  // per-shard slots, cache-line rounded
+  std::size_t queues_ = 1;
+  std::vector<std::atomic<std::uint64_t>> counts_;  // queues_ * stride_
 };
 
 /// ESwitch-style datapath specialization: every table compiled to the

@@ -23,6 +23,17 @@ Status SwitchModel::apply_updates(std::span<const RuleUpdate> updates) {
   return Status::ok();
 }
 
+bool SwitchModel::configure_queues(std::size_t queues) {
+  return queues == 1;
+}
+
+void SwitchModel::process_batch_queue(std::size_t queue,
+                                      std::span<const FlowKey> keys,
+                                      std::span<ExecResult> results) {
+  expects(queue == 0, "model supports a single replay queue");
+  process_batch(keys, results);
+}
+
 Status apply_update_to_program(Program& program, const RuleUpdate& update,
                                ApplyOutcome* outcome) {
   if (update.table >= program.tables.size()) {
@@ -71,48 +82,139 @@ Status apply_update_to_program(Program& program, const RuleUpdate& update,
   return Status::ok();
 }
 
-void RuleCounters::reset(const Program& program) {
-  counts_.clear();
-  counts_.reserve(program.tables.size());
+namespace {
+
+/// Counters per cache line; shard strides round up to a multiple so no
+/// two queues' shards share a line.
+constexpr std::size_t kCountersPerLine = 64 / sizeof(std::uint64_t);
+
+}  // namespace
+
+void RuleCounters::rebuild_layout() {
+  offsets_.assign(1, 0);
+  for (const std::size_t s : sizes_) offsets_.push_back(offsets_.back() + s);
+  stride_ = (offsets_.back() + kCountersPerLine - 1) / kCountersPerLine *
+            kCountersPerLine;
+  // Vector move-assign swaps buffers without moving elements, so the
+  // non-movable atomics are only ever value-initialized (to zero).
+  counts_ = std::vector<std::atomic<std::uint64_t>>(stride_ * queues_);
+}
+
+void RuleCounters::reset(const Program& program, std::size_t queues) {
+  expects(queues > 0, "counters need at least one shard");
+  queues_ = queues;
+  sizes_.clear();
+  sizes_.reserve(program.tables.size());
   for (const TableSpec& table : program.tables) {
-    counts_.emplace_back(table.rules.size(), 0);
+    sizes_.push_back(table.rules.size());
   }
+  rebuild_layout();
 }
 
-void RuleCounters::bump(std::size_t table, std::size_t rule) {
-  expects(table < counts_.size() && rule < counts_[table].size(),
+void RuleCounters::bump(std::size_t table, std::size_t rule,
+                        std::size_t queue) {
+  expects(queue < queues_ && table < sizes_.size() && rule < sizes_[table],
           "counter index out of range");
-  ++counts_[table][rule];
+  // Single writer per shard: a plain relaxed load/store increment is
+  // race-free and skips the lock-prefixed RMW an fetch_add would pay.
+  std::atomic<std::uint64_t>& c = counts_[slot(queue, table, rule)];
+  c.store(c.load(std::memory_order_relaxed) + 1,
+          std::memory_order_relaxed);
 }
 
-void RuleCounters::bump_all(std::span<const MatchedRule> matched) {
-  for (const MatchedRule& m : matched) bump(m.table, m.rule);
+void RuleCounters::bump_all(std::span<const MatchedRule> matched,
+                            std::size_t queue) {
+  for (const MatchedRule& m : matched) bump(m.table, m.rule, queue);
 }
 
 void RuleCounters::on_insert(std::size_t table, std::size_t pos) {
-  expects(table < counts_.size() && pos <= counts_[table].size(),
+  expects(table < sizes_.size() && pos <= sizes_[table],
           "counter insert out of range");
-  counts_[table].insert(
-      counts_[table].begin() + static_cast<std::ptrdiff_t>(pos), 0);
+  // Structural edits run on the quiesced control path: snapshot, grow
+  // the layout, copy back with the table's tail shifted up.
+  std::vector<std::uint64_t> old(counts_.size());
+  for (std::size_t i = 0; i < old.size(); ++i) {
+    old[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  const std::vector<std::size_t> old_offsets = offsets_;
+  const std::size_t old_stride = stride_;
+  ++sizes_[table];
+  rebuild_layout();
+  for (std::size_t q = 0; q < queues_; ++q) {
+    for (std::size_t t = 0; t < sizes_.size(); ++t) {
+      const std::size_t old_n = old_offsets[t + 1] - old_offsets[t];
+      for (std::size_t r = 0; r < old_n; ++r) {
+        const std::size_t to = (t == table && r >= pos) ? r + 1 : r;
+        counts_[slot(q, t, to)].store(
+            old[q * old_stride + old_offsets[t] + r],
+            std::memory_order_relaxed);
+      }
+    }
+  }
 }
 
 void RuleCounters::on_remove(std::size_t table, std::size_t pos) {
-  expects(table < counts_.size() && pos < counts_[table].size(),
+  expects(table < sizes_.size() && pos < sizes_[table],
           "counter remove out of range");
-  counts_[table].erase(counts_[table].begin() +
-                       static_cast<std::ptrdiff_t>(pos));
+  std::vector<std::uint64_t> old(counts_.size());
+  for (std::size_t i = 0; i < old.size(); ++i) {
+    old[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  const std::vector<std::size_t> old_offsets = offsets_;
+  const std::size_t old_stride = stride_;
+  --sizes_[table];
+  rebuild_layout();
+  for (std::size_t q = 0; q < queues_; ++q) {
+    for (std::size_t t = 0; t < sizes_.size(); ++t) {
+      const std::size_t old_n = old_offsets[t + 1] - old_offsets[t];
+      for (std::size_t r = 0; r < old_n; ++r) {
+        if (t == table && r == pos) continue;
+        const std::size_t to = (t == table && r > pos) ? r - 1 : r;
+        counts_[slot(q, t, to)].store(
+            old[q * old_stride + old_offsets[t] + r],
+            std::memory_order_relaxed);
+      }
+    }
+  }
 }
 
 void RuleCounters::on_move(std::size_t table, std::size_t from,
                            std::size_t to) {
-  expects(table < counts_.size() && from < counts_[table].size() &&
-              to < counts_[table].size(),
+  expects(table < sizes_.size() && from < sizes_[table] &&
+              to < sizes_[table],
           "counter move out of range");
   if (from == to) return;
-  std::vector<std::uint64_t>& c = counts_[table];
-  const std::uint64_t moved = c[from];
-  c.erase(c.begin() + static_cast<std::ptrdiff_t>(from));
-  c.insert(c.begin() + static_cast<std::ptrdiff_t>(to), moved);
+  // Same size, same layout: rotate [from..to] within each shard.
+  for (std::size_t q = 0; q < queues_; ++q) {
+    const std::uint64_t moved =
+        counts_[slot(q, table, from)].load(std::memory_order_relaxed);
+    if (from < to) {
+      for (std::size_t r = from; r < to; ++r) {
+        counts_[slot(q, table, r)].store(
+            counts_[slot(q, table, r + 1)].load(std::memory_order_relaxed),
+            std::memory_order_relaxed);
+      }
+    } else {
+      for (std::size_t r = from; r > to; --r) {
+        counts_[slot(q, table, r)].store(
+            counts_[slot(q, table, r - 1)].load(std::memory_order_relaxed),
+            std::memory_order_relaxed);
+      }
+    }
+    counts_[slot(q, table, to)].store(moved, std::memory_order_relaxed);
+  }
+}
+
+std::uint64_t RuleCounters::merged(std::size_t table,
+                                   std::size_t rule) const {
+  expects(table < sizes_.size() && rule < sizes_[table],
+          "counter index out of range");
+  // Deterministic merge: fold shards in ascending queue-id order.
+  std::uint64_t total = 0;
+  for (std::size_t q = 0; q < queues_; ++q) {
+    total += counts_[slot(q, table, rule)].load(std::memory_order_relaxed);
+  }
+  return total;
 }
 
 Result<std::uint64_t> RuleCounters::read(
@@ -126,7 +228,7 @@ Result<std::uint64_t> RuleCounters::read(
     return not_found("no rule with the given match vector in table " +
                      program.tables[table].name);
   }
-  return counts_[table][pos];
+  return merged(table, pos);
 }
 
 HwTcamModel::HwTcamModel() {

@@ -25,6 +25,8 @@ std::uint64_t now_ns() noexcept {
 /// Common pipeline walker over per-table classifiers.
 class TableWalkSwitch : public SwitchModel {
  public:
+  TableWalkSwitch() { ensure_scratch(); }
+
   Status load(Program program) override {
     program_ = std::move(program);
     classifiers_.clear();
@@ -32,10 +34,25 @@ class TableWalkSwitch : public SwitchModel {
     for (const TableSpec& table : program_.tables) {
       classifiers_.push_back(instantiate(table));
     }
-    counters_.reset(program_);
+    counters_.reset(program_, queues_);
+    ensure_scratch();
     recompute_mutates();
     resolve_metrics();
     return Status::ok();
+  }
+
+  /// Table-walk models share one instance across replay queues: the
+  /// classifiers' lookup paths are const, every queue gets its own
+  /// heap-allocated scratch context, and the rule counters re-shard one
+  /// shard per queue (zeroing them). Stage metrics are already sharded
+  /// atomics. Rule updates must be quiesced relative to concurrent
+  /// queue processing (the classifier rebuild is not).
+  [[nodiscard]] bool configure_queues(std::size_t queues) override {
+    expects(queues > 0, "need at least one replay queue");
+    queues_ = queues;
+    ensure_scratch();
+    counters_.reset(program_, queues_);
+    return true;
   }
 
   ExecResult process(const FlowKey& key) override {
@@ -86,116 +103,14 @@ class TableWalkSwitch : public SwitchModel {
   /// bit-identical.
   void process_batch(std::span<const FlowKey> keys,
                      std::span<ExecResult> results) override {
-    expects(results.size() >= keys.size(),
-            "process_batch result span too small");
-    const std::size_t num_tables = program_.tables.size();
-    for (std::size_t i = 0; i < keys.size(); ++i) results[i] = ExecResult{};
-    if (num_tables == 0 || keys.empty()) return;
+    process_batch_queue(0, keys, results);
+  }
 
-    expects(program_.entry < num_tables, "program entry out of range");
-    // Programs without set-field actions never mutate packet state, so
-    // the walker can classify straight out of the caller's key array
-    // instead of copying every FlowKey into the scratch buffer.
-    if (mutates_) states_.assign(keys.begin(), keys.end());
-    const FlowKey* state_base = mutates_ ? states_.data() : keys.data();
-    buckets_.resize(num_tables);
-    for (auto& bucket : buckets_) bucket.clear();
-    for (std::size_t i = 0; i < keys.size(); ++i) {
-      buckets_[program_.entry].push_back(static_cast<std::uint32_t>(i));
-    }
-    worklist_.clear();
-    queued_.assign(num_tables, 0);
-    worklist_.push_back(static_cast<std::uint32_t>(program_.entry));
-    queued_[program_.entry] = 1;
-
-    // FIFO over occupied buckets. The pipeline graph is acyclic, so a
-    // table re-enqueued while another drains terminates; each pop visits
-    // a non-empty bucket exactly once.
-    for (std::size_t head = 0; head < worklist_.size(); ++head) {
-      const std::size_t t = worklist_[head];
-      queued_[t] = 0;
-      {
-        moving_.swap(buckets_[t]);
-        buckets_[t].clear();
-
-        // Skip the gather copy when the bucket is a contiguous run of
-        // packet indices (the common case: whole batches advance through
-        // a linear pipeline together) — the classifier can read the
-        // states array in place.
-        bool contiguous = true;
-        for (std::size_t m = 1; m < moving_.size(); ++m) {
-          if (moving_[m] != moving_[m - 1] + 1) {
-            contiguous = false;
-            break;
-          }
-        }
-        std::span<const FlowKey> stage_keys;
-        if (contiguous) {
-          stage_keys = {state_base + moving_.front(), moving_.size()};
-        } else {
-          gather_.clear();
-          gather_.reserve(moving_.size());
-          for (const std::uint32_t p : moving_) {
-            gather_.push_back(state_base[p]);
-          }
-          stage_keys = gather_;
-        }
-        rule_out_.resize(moving_.size());
-        // Telemetry per stage dispatch, not per packet: two clock reads
-        // and a handful of relaxed adds amortized over the whole chunk.
-        std::uint64_t lookup_start = 0;
-        if constexpr (obs::kEnabled) lookup_start = now_ns();
-        classifiers_[t]->lookup_batch(stage_keys, rule_out_);
-        if constexpr (obs::kEnabled) {
-          stage_metrics_[t].lookup_ns->observe(
-              static_cast<double>(now_ns() - lookup_start));
-          stage_metrics_[t].chunks->add();
-          batch_chunk_size_->observe(static_cast<double>(moving_.size()));
-        }
-        std::uint64_t stage_hits = 0;
-        std::uint64_t stage_misses = 0;
-
-        const TableSpec& table = program_.tables[t];
-        for (std::size_t m = 0; m < moving_.size(); ++m) {
-          const std::uint32_t p = moving_[m];
-          ExecResult& result = results[p];
-          expects(result.tables_visited <= num_tables,
-                  "table graph cycle during batch processing");
-          ++result.tables_visited;
-          if (rule_out_[m] == kNoRule) {
-            ++stage_misses;
-            result.hit = false;
-            result.out_port = 0;
-            continue;  // miss: packet leaves the pipeline
-          }
-          ++stage_hits;
-          counters_.bump(t, rule_out_[m]);
-          const RuleView rule = table.rules[rule_out_[m]];
-          for (const Action action : rule.actions) {
-            if (action.kind == Action::Kind::kOutput) {
-              result.out_port = action.value;
-            } else {
-              states_[p].set(action.field, action.value);
-            }
-          }
-          const std::optional<std::size_t> next =
-              rule.goto_table.has_value() ? rule.goto_table : table.next;
-          if (next.has_value()) {
-            expects(*next < num_tables, "jump out of range");
-            buckets_[*next].push_back(p);
-            if (queued_[*next] == 0) {
-              queued_[*next] = 1;
-              worklist_.push_back(static_cast<std::uint32_t>(*next));
-            }
-          } else {
-            result.hit = true;
-          }
-        }
-        if (stage_hits != 0) stage_metrics_[t].hits->add(stage_hits);
-        if (stage_misses != 0) stage_metrics_[t].misses->add(stage_misses);
-        moving_.clear();
-      }
-    }
+  void process_batch_queue(std::size_t queue,
+                           std::span<const FlowKey> keys,
+                           std::span<ExecResult> results) override {
+    expects(queue < queues_, "replay queue not configured");
+    run_batch(queue, *scratch_[queue], keys, results);
   }
 
   /// Batched update application: structural mutation and counter
@@ -349,6 +264,144 @@ class TableWalkSwitch : public SwitchModel {
     }
   }
 
+  /// Batch-walker scratch, one context per configured replay queue and
+  /// reused across process_batch_queue calls so the steady-state path
+  /// performs no allocations. Each context is heap-allocated separately
+  /// so two queues' scratch never shares cache lines.
+  struct QueueScratch {
+    std::vector<FlowKey> states;
+    std::vector<std::vector<std::uint32_t>> buckets;  // per-table frontier
+    std::vector<std::uint32_t> moving;
+    std::vector<FlowKey> gather;
+    std::vector<std::size_t> rule_out;
+    std::vector<std::uint32_t> worklist;  // FIFO of occupied buckets
+    std::vector<std::uint8_t> queued;     // table ∈ worklist[head..)
+  };
+
+  void ensure_scratch() {
+    scratch_.resize(queues_);
+    for (auto& s : scratch_) {
+      if (!s) s = std::make_unique<QueueScratch>();
+    }
+  }
+
+  /// The stage-hoisted batch walker (see process_batch doc), bound to
+  /// one queue's scratch and counter shard.
+  void run_batch(std::size_t queue, QueueScratch& s,
+                 std::span<const FlowKey> keys,
+                 std::span<ExecResult> results) {
+    expects(results.size() >= keys.size(),
+            "process_batch result span too small");
+    const std::size_t num_tables = program_.tables.size();
+    for (std::size_t i = 0; i < keys.size(); ++i) results[i] = ExecResult{};
+    if (num_tables == 0 || keys.empty()) return;
+
+    expects(program_.entry < num_tables, "program entry out of range");
+    // Programs without set-field actions never mutate packet state, so
+    // the walker can classify straight out of the caller's key array
+    // instead of copying every FlowKey into the scratch buffer.
+    if (mutates_) s.states.assign(keys.begin(), keys.end());
+    const FlowKey* state_base = mutates_ ? s.states.data() : keys.data();
+    s.buckets.resize(num_tables);
+    for (auto& bucket : s.buckets) bucket.clear();
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      s.buckets[program_.entry].push_back(static_cast<std::uint32_t>(i));
+    }
+    s.worklist.clear();
+    s.queued.assign(num_tables, 0);
+    s.worklist.push_back(static_cast<std::uint32_t>(program_.entry));
+    s.queued[program_.entry] = 1;
+
+    // FIFO over occupied buckets. The pipeline graph is acyclic, so a
+    // table re-enqueued while another drains terminates; each pop visits
+    // a non-empty bucket exactly once.
+    for (std::size_t head = 0; head < s.worklist.size(); ++head) {
+      const std::size_t t = s.worklist[head];
+      s.queued[t] = 0;
+      {
+        s.moving.swap(s.buckets[t]);
+        s.buckets[t].clear();
+
+        // Skip the gather copy when the bucket is a contiguous run of
+        // packet indices (the common case: whole batches advance through
+        // a linear pipeline together) — the classifier can read the
+        // states array in place.
+        bool contiguous = true;
+        for (std::size_t m = 1; m < s.moving.size(); ++m) {
+          if (s.moving[m] != s.moving[m - 1] + 1) {
+            contiguous = false;
+            break;
+          }
+        }
+        std::span<const FlowKey> stage_keys;
+        if (contiguous) {
+          stage_keys = {state_base + s.moving.front(), s.moving.size()};
+        } else {
+          s.gather.clear();
+          s.gather.reserve(s.moving.size());
+          for (const std::uint32_t p : s.moving) {
+            s.gather.push_back(state_base[p]);
+          }
+          stage_keys = s.gather;
+        }
+        s.rule_out.resize(s.moving.size());
+        // Telemetry per stage dispatch, not per packet: two clock reads
+        // and a handful of relaxed adds amortized over the whole chunk.
+        std::uint64_t lookup_start = 0;
+        if constexpr (obs::kEnabled) lookup_start = now_ns();
+        classifiers_[t]->lookup_batch(stage_keys, s.rule_out);
+        if constexpr (obs::kEnabled) {
+          stage_metrics_[t].lookup_ns->observe(
+              static_cast<double>(now_ns() - lookup_start));
+          stage_metrics_[t].chunks->add();
+          batch_chunk_size_->observe(static_cast<double>(s.moving.size()));
+        }
+        std::uint64_t stage_hits = 0;
+        std::uint64_t stage_misses = 0;
+
+        const TableSpec& table = program_.tables[t];
+        for (std::size_t m = 0; m < s.moving.size(); ++m) {
+          const std::uint32_t p = s.moving[m];
+          ExecResult& result = results[p];
+          expects(result.tables_visited <= num_tables,
+                  "table graph cycle during batch processing");
+          ++result.tables_visited;
+          if (s.rule_out[m] == kNoRule) {
+            ++stage_misses;
+            result.hit = false;
+            result.out_port = 0;
+            continue;  // miss: packet leaves the pipeline
+          }
+          ++stage_hits;
+          counters_.bump(t, s.rule_out[m], queue);
+          const RuleView rule = table.rules[s.rule_out[m]];
+          for (const Action action : rule.actions) {
+            if (action.kind == Action::Kind::kOutput) {
+              result.out_port = action.value;
+            } else {
+              s.states[p].set(action.field, action.value);
+            }
+          }
+          const std::optional<std::size_t> next =
+              rule.goto_table.has_value() ? rule.goto_table : table.next;
+          if (next.has_value()) {
+            expects(*next < num_tables, "jump out of range");
+            s.buckets[*next].push_back(p);
+            if (s.queued[*next] == 0) {
+              s.queued[*next] = 1;
+              s.worklist.push_back(static_cast<std::uint32_t>(*next));
+            }
+          } else {
+            result.hit = true;
+          }
+        }
+        if (stage_hits != 0) stage_metrics_[t].hits->add(stage_hits);
+        if (stage_misses != 0) stage_metrics_[t].misses->add(stage_misses);
+        s.moving.clear();
+      }
+    }
+  }
+
   Program program_;
   std::vector<std::unique_ptr<Classifier>> classifiers_;
   RuleCounters counters_;
@@ -358,16 +411,9 @@ class TableWalkSwitch : public SwitchModel {
   /// batch walker skips copying keys into states_.
   bool mutates_ = false;
 
-  // Batch-walker scratch, reused across process_batch calls so the
-  // steady-state path performs no allocations.
-  std::vector<FlowKey> states_;
-  std::vector<std::vector<std::uint32_t>> buckets_;  // per-table frontier
-  std::vector<std::uint32_t> moving_;
-  std::vector<FlowKey> gather_;
-  std::vector<std::size_t> rule_out_;
-  std::vector<std::uint32_t> worklist_;  // FIFO of occupied buckets
-  std::vector<std::uint8_t> queued_;     // table ∈ worklist_[head..)
-  std::vector<std::uint8_t> touched_;    // apply_updates scratch
+  std::size_t queues_ = 1;
+  std::vector<std::unique_ptr<QueueScratch>> scratch_;
+  std::vector<std::uint8_t> touched_;  // apply_updates scratch
 };
 
 class ESwitchModel final : public TableWalkSwitch {

@@ -76,29 +76,29 @@ class TssClassifier final : public Classifier {
     return best;
   }
 
-  /// Chunked batch lookup with the tuple probe hoisted: each key's field
-  /// vector is gathered once, then every subtable's mask is applied
-  /// across the whole chunk (mask and best-priority stay in registers
-  /// instead of being re-fetched per key). Keys drop out of the active
-  /// set as soon as the scalar path's early-exit condition holds for
-  /// them, preserving bit-identical results.
+  /// Chunked batch lookup with the tuple probe hoisted: each chunk of
+  /// keys is transposed once into SoA lanes (detail::LaneBlock), then
+  /// every subtable's mask-and-hash runs across the whole chunk through
+  /// the word-parallel dp::simd kernel. Keys drop out of the active set
+  /// as soon as the scalar path's early-exit condition holds for them,
+  /// and the kernel's hash/compare are exactly the scalar probe's, so
+  /// results stay bit-identical on every dispatch level.
   void lookup_batch(std::span<const FlowKey> keys,
                     std::span<std::size_t> out) const override {
     const std::size_t nf = fields_.size();
-    std::array<std::uint64_t, detail::kBatchChunk * kNumFields> vals;
+    detail::LaneBlock lanes;
+    detail::LaneBlock masked;
+    alignas(64) std::array<std::uint64_t, detail::kBatchChunk> hashes;
     std::array<std::size_t, detail::kBatchChunk> best;
     std::array<std::uint32_t, detail::kBatchChunk> best_pri;
     std::array<std::uint32_t, detail::kBatchChunk> active;
-    std::uint64_t masked[kNumFields];
+    std::uint64_t tmp[kNumFields];
     for (std::size_t base = 0; base < keys.size();
          base += detail::kBatchChunk) {
       const std::size_t n =
           std::min(detail::kBatchChunk, keys.size() - base);
+      detail::transpose_chunk(keys, base, n, fields_, lanes.data());
       for (std::size_t i = 0; i < n; ++i) {
-        std::uint64_t* v = vals.data() + i * nf;
-        for (std::size_t f = 0; f < nf; ++f) {
-          v[f] = keys[base + i].get(fields_[f]);
-        }
         best[i] = kNoRule;
         best_pri[i] = 0;
         active[i] = static_cast<std::uint32_t>(i);
@@ -117,17 +117,37 @@ class TssClassifier final : public Classifier {
         }
         live = still;
         if (live == 0) break;
-        for (std::size_t a = 0; a < live; ++a) {
-          const std::uint32_t i = active[a];
-          const std::uint64_t* v = vals.data() + i * nf;
-          for (std::size_t f = 0; f < nf; ++f) {
-            masked[f] = v[f] & sub.masks[f];
+        if (simd::active_level() != simd::Level::kScalar &&
+            live * 4 >= n) {
+          // Chunk-wide fused mask+hash: the 4-lane kernel covers the
+          // whole chunk in ~n/4 steps, cheaper than live scalar probes
+          // once at least a quarter of the chunk is still undecided.
+          simd::mask_hash_lanes(lanes.data(), detail::kBatchChunk,
+                                sub.masks.data(), nf, n, masked.data(),
+                                hashes.data());
+          for (std::size_t a = 0; a < live; ++a) {
+            const std::uint32_t i = active[a];
+            const auto* e = sub.find_lanes(hashes[i], masked.data() + i,
+                                           detail::kBatchChunk);
+            if (e != nullptr &&
+                (best[i] == kNoRule || e->priority > best_pri[i])) {
+              best[i] = e->rule;
+              best_pri[i] = e->priority;
+            }
           }
-          const auto* e = sub.find({masked, nf});
-          if (e != nullptr &&
-              (best[i] == kNoRule || e->priority > best_pri[i])) {
-            best[i] = e->rule;
-            best_pri[i] = e->priority;
+        } else {
+          for (std::size_t a = 0; a < live; ++a) {
+            const std::uint32_t i = active[a];
+            for (std::size_t f = 0; f < nf; ++f) {
+              tmp[f] = lanes.data()[f * detail::kBatchChunk + i] &
+                       sub.masks[f];
+            }
+            const auto* e = sub.find({tmp, nf});
+            if (e != nullptr &&
+                (best[i] == kNoRule || e->priority > best_pri[i])) {
+              best[i] = e->rule;
+              best_pri[i] = e->priority;
+            }
           }
         }
       }
@@ -365,26 +385,25 @@ class LinearClassifier final : public Classifier {
     }
   }
 
-  /// Masked-group probe hoisted across the chunk: each key's field
-  /// vector is gathered once, then every group's mask is applied to the
-  /// still-undecided keys with the mask and minimum rule index held in
-  /// registers.
+  /// Masked-group probe hoisted across the chunk: the chunk is
+  /// transposed once into SoA lanes, then every group's mask-and-hash
+  /// runs chunk-wide through the dp::simd kernel (same kernel as the
+  /// TSS probe, first-match order instead of priority order).
   void group_batch(std::span<const FlowKey> keys,
                    std::span<std::size_t> out) const {
     const std::size_t nf = fields_.size();
-    std::array<std::uint64_t, detail::kBatchChunk * kNumFields> vals;
+    detail::LaneBlock lanes;
+    detail::LaneBlock masked;
+    alignas(64) std::array<std::uint64_t, detail::kBatchChunk> hashes;
     std::array<std::size_t, detail::kBatchChunk> best;
     std::array<std::uint32_t, detail::kBatchChunk> active;
-    std::uint64_t masked[kNumFields];
+    std::uint64_t tmp[kNumFields];
     for (std::size_t base = 0; base < keys.size();
          base += detail::kBatchChunk) {
       const std::size_t n =
           std::min(detail::kBatchChunk, keys.size() - base);
+      detail::transpose_chunk(keys, base, n, fields_, lanes.data());
       for (std::size_t i = 0; i < n; ++i) {
-        std::uint64_t* v = vals.data() + i * nf;
-        for (std::size_t f = 0; f < nf; ++f) {
-          v[f] = keys[base + i].get(fields_[f]);
-        }
         best[i] = kNoRule;
         active[i] = static_cast<std::uint32_t>(i);
       }
@@ -400,14 +419,27 @@ class LinearClassifier final : public Classifier {
         }
         live = still;
         if (live == 0) break;
-        for (std::size_t a = 0; a < live; ++a) {
-          const std::uint32_t i = active[a];
-          const std::uint64_t* v = vals.data() + i * nf;
-          for (std::size_t f = 0; f < nf; ++f) {
-            masked[f] = v[f] & group.masks[f];
+        if (simd::active_level() != simd::Level::kScalar &&
+            live * 4 >= n) {
+          simd::mask_hash_lanes(lanes.data(), detail::kBatchChunk,
+                                group.masks.data(), nf, n, masked.data(),
+                                hashes.data());
+          for (std::size_t a = 0; a < live; ++a) {
+            const std::uint32_t i = active[a];
+            const auto* e = group.find_lanes(hashes[i], masked.data() + i,
+                                             detail::kBatchChunk);
+            if (e != nullptr) best[i] = std::min(best[i], e->rule);
           }
-          const auto* e = group.find({masked, nf});
-          if (e != nullptr) best[i] = std::min(best[i], e->rule);
+        } else {
+          for (std::size_t a = 0; a < live; ++a) {
+            const std::uint32_t i = active[a];
+            for (std::size_t f = 0; f < nf; ++f) {
+              tmp[f] = lanes.data()[f * detail::kBatchChunk + i] &
+                       group.masks[f];
+            }
+            const auto* e = group.find({tmp, nf});
+            if (e != nullptr) best[i] = std::min(best[i], e->rule);
+          }
         }
       }
       for (std::size_t i = 0; i < n; ++i) out[base + i] = best[i];

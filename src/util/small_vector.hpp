@@ -78,7 +78,9 @@ class SmallVector {
     capacity_ = next;
   }
 
-  T inline_[N];
+  // Cache-line aligned so the batch walkers' kernel loads over inline
+  // scratch (MatchedBuf and friends) never split a line.
+  alignas(64) T inline_[N];
   std::unique_ptr<T[]> heap_;
   std::size_t size_ = 0;
   std::size_t capacity_ = N;

@@ -28,7 +28,10 @@ void count_replayed(const char* mode, std::uint64_t packets) {
   }
 }
 
-[[nodiscard]] std::uint64_t run_batches(dp::SwitchModel& sw,
+/// Drives `rounds` passes of `keys` through `process` (any callable
+/// with process_batch's signature) in `batch`-sized slices.
+template <typename ProcessBatch>
+[[nodiscard]] std::uint64_t run_batches(ProcessBatch&& process,
                                         std::span<const dp::FlowKey> keys,
                                         std::size_t rounds,
                                         std::size_t batch,
@@ -41,10 +44,10 @@ void count_replayed(const char* mode, std::uint64_t packets) {
       const std::size_t n = std::min(batch, keys.size() - base);
       if constexpr (obs::kEnabled) {
         const auto call_start = Clock::now();
-        sw.process_batch(keys.subspan(base, n), {results.data(), n});
+        process(keys.subspan(base, n), std::span(results.data(), n));
         latency_us.add(seconds_since(call_start) * 1e6);
       } else {
-        sw.process_batch(keys.subspan(base, n), {results.data(), n});
+        process(keys.subspan(base, n), std::span(results.data(), n));
       }
       for (std::size_t i = 0; i < n; ++i) {
         hits += results[i].hit ? 1 : 0;
@@ -54,57 +57,17 @@ void count_replayed(const char* mode, std::uint64_t packets) {
   return hits;
 }
 
-}  // namespace
-
-ReplayStats replay_scalar(dp::SwitchModel& sw,
-                          std::span<const dp::FlowKey> keys,
-                          std::size_t rounds) {
-  ReplayStats stats;
-  const auto start = Clock::now();
-  for (std::size_t round = 0; round < rounds; ++round) {
-    for (const dp::FlowKey& key : keys) {
-      stats.hits += sw.process(key).hit ? 1 : 0;
-    }
-  }
-  stats.seconds = seconds_since(start);
-  stats.packets = static_cast<std::uint64_t>(keys.size()) * rounds;
-  count_replayed("scalar", stats.packets);
-  return stats;
-}
-
-ReplayStats replay_batch(dp::SwitchModel& sw,
-                         std::span<const dp::FlowKey> keys,
-                         std::size_t rounds, std::size_t batch) {
-  expects(batch > 0, "replay batch size must be positive");
-  ReplayStats stats;
-  std::vector<dp::ExecResult> results;
-  const auto start = Clock::now();
-  stats.hits = run_batches(sw, keys, rounds, batch, results,
-                           stats.batch_latency_us);
-  stats.seconds = seconds_since(start);
-  stats.packets = static_cast<std::uint64_t>(keys.size()) * rounds;
-  count_replayed("batch", stats.packets);
-  return stats;
-}
-
-ReplayStats replay_threaded(const ModelFactory& factory,
-                            const dp::Program& program,
-                            std::span<const dp::FlowKey> keys,
-                            std::size_t rounds, std::size_t queues,
-                            std::size_t batch, ShardMode mode,
-                            util::ThreadPool* pool) {
-  expects(queues > 0, "replay needs at least one queue");
-  expects(batch > 0, "replay batch size must be positive");
-
-  // Build and load every queue's switch up front (outside the timed
-  // region).
-  std::vector<std::unique_ptr<dp::SwitchModel>> switches;
-  switches.reserve(queues);
-  for (std::size_t q = 0; q < queues; ++q) {
-    switches.push_back(factory());
-    const Status loaded = switches.back()->load(program);
-    expects(loaded.is_ok(), "replay queue failed to load program");
-  }
+/// The threaded replay core shared by the shared-instance and
+/// per-instance modes: shards keys, fans queues out on the pool, and
+/// merges stats. `queue_process(q)` returns the process_batch-shaped
+/// callable that queue `q` drives.
+template <typename QueueProcess>
+[[nodiscard]] ReplayStats run_threaded(std::span<const dp::FlowKey> keys,
+                                       std::size_t rounds,
+                                       std::size_t queues,
+                                       std::size_t batch, ShardMode mode,
+                                       util::ThreadPool* pool,
+                                       QueueProcess&& queue_process) {
   const std::size_t per = (keys.size() + queues - 1) / queues;
 
   // Flow-hash sharding materializes per-queue key vectors up front (the
@@ -141,9 +104,9 @@ ReplayStats replay_threaded(const ModelFactory& factory,
           mine_keys = keys.subspan(lo, hi - lo);
         }
         if (mine_keys.empty()) return;
-        const std::uint64_t mine = run_batches(
-            *switches[q], mine_keys, rounds, batch, results[q],
-            latencies[q]);
+        const std::uint64_t mine =
+            run_batches(queue_process(q), mine_keys, rounds, batch,
+                        results[q], latencies[q]);
         hits.fetch_add(mine, std::memory_order_relaxed);
       });
 
@@ -156,6 +119,111 @@ ReplayStats replay_threaded(const ModelFactory& factory,
   }
   count_replayed("threaded", stats.packets);
   return stats;
+}
+
+}  // namespace
+
+ReplayStats replay_scalar(dp::SwitchModel& sw,
+                          std::span<const dp::FlowKey> keys,
+                          std::size_t rounds) {
+  ReplayStats stats;
+  const auto start = Clock::now();
+  for (std::size_t round = 0; round < rounds; ++round) {
+    for (const dp::FlowKey& key : keys) {
+      stats.hits += sw.process(key).hit ? 1 : 0;
+    }
+  }
+  stats.seconds = seconds_since(start);
+  stats.packets = static_cast<std::uint64_t>(keys.size()) * rounds;
+  count_replayed("scalar", stats.packets);
+  return stats;
+}
+
+ReplayStats replay_batch(dp::SwitchModel& sw,
+                         std::span<const dp::FlowKey> keys,
+                         std::size_t rounds, std::size_t batch) {
+  expects(batch > 0, "replay batch size must be positive");
+  ReplayStats stats;
+  std::vector<dp::ExecResult> results;
+  const auto start = Clock::now();
+  stats.hits = run_batches(
+      [&sw](std::span<const dp::FlowKey> chunk,
+            std::span<dp::ExecResult> out) { sw.process_batch(chunk, out); },
+      keys, rounds, batch, results, stats.batch_latency_us);
+  stats.seconds = seconds_since(start);
+  stats.packets = static_cast<std::uint64_t>(keys.size()) * rounds;
+  count_replayed("batch", stats.packets);
+  return stats;
+}
+
+ReplayStats replay_threaded_shared(dp::SwitchModel& sw,
+                                   std::span<const dp::FlowKey> keys,
+                                   std::size_t rounds, std::size_t queues,
+                                   std::size_t batch, ShardMode mode,
+                                   util::ThreadPool* pool) {
+  expects(queues > 0, "replay needs at least one queue");
+  expects(batch > 0, "replay batch size must be positive");
+  const bool configured = sw.configure_queues(queues);
+  expects(configured, "model declined shared multi-queue replay");
+  ReplayStats stats = run_threaded(
+      keys, rounds, queues, batch, mode, pool, [&sw](std::size_t q) {
+        return [&sw, q](std::span<const dp::FlowKey> chunk,
+                        std::span<dp::ExecResult> out) {
+          sw.process_batch_queue(q, chunk, out);
+        };
+      });
+  stats.shared_switch = true;
+  return stats;
+}
+
+ReplayStats replay_threaded(const ModelFactory& factory,
+                            const dp::Program& program,
+                            std::span<const dp::FlowKey> keys,
+                            std::size_t rounds, std::size_t queues,
+                            std::size_t batch, ShardMode mode,
+                            util::ThreadPool* pool) {
+  expects(queues > 0, "replay needs at least one queue");
+  expects(batch > 0, "replay batch size must be positive");
+
+  // Shared-instance mode first: one switch, shared classifiers, rule
+  // counters sharded per queue. Models that cannot share (OVS mutates
+  // its megaflow cache per packet) decline and get the per-instance
+  // fallback below. Build and load happen outside the timed region
+  // either way.
+  std::unique_ptr<dp::SwitchModel> first = factory();
+  {
+    const Status loaded = first->load(program);
+    expects(loaded.is_ok(), "replay queue failed to load program");
+  }
+  if (first->configure_queues(queues)) {
+    dp::SwitchModel& sw = *first;
+    ReplayStats stats = run_threaded(
+        keys, rounds, queues, batch, mode, pool, [&sw](std::size_t q) {
+          return [&sw, q](std::span<const dp::FlowKey> chunk,
+                          std::span<dp::ExecResult> out) {
+            sw.process_batch_queue(q, chunk, out);
+          };
+        });
+    stats.shared_switch = true;
+    return stats;
+  }
+
+  std::vector<std::unique_ptr<dp::SwitchModel>> switches;
+  switches.reserve(queues);
+  switches.push_back(std::move(first));
+  for (std::size_t q = 1; q < queues; ++q) {
+    switches.push_back(factory());
+    const Status loaded = switches.back()->load(program);
+    expects(loaded.is_ok(), "replay queue failed to load program");
+  }
+  return run_threaded(
+      keys, rounds, queues, batch, mode, pool, [&switches](std::size_t q) {
+        dp::SwitchModel& sw = *switches[q];
+        return [&sw](std::span<const dp::FlowKey> chunk,
+                     std::span<dp::ExecResult> out) {
+          sw.process_batch(chunk, out);
+        };
+      });
 }
 
 }  // namespace maton::workloads

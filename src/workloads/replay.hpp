@@ -1,7 +1,11 @@
 // Traffic replay harnesses for the data-plane benchmarks: scalar,
-// batched, and multi-queue (sharded across util::ThreadPool workers,
-// each queue owning its own switch instance — the software analogue of
-// RSS spreading one port's traffic over per-core datapaths).
+// batched, and multi-queue (sharded across util::ThreadPool workers —
+// the software analogue of RSS spreading one port's traffic over
+// per-core datapaths). Multi-queue replay shares one switch instance
+// across queues when the model supports it (configure_queues):
+// classifiers are shared read-only and rule counters shard per queue;
+// models that decline (OVS's per-packet cache mutation) fall back to
+// one private instance per queue.
 #pragma once
 
 #include <functional>
@@ -22,6 +26,9 @@ struct ReplayStats {
   std::uint64_t hits = 0;
   /// Wall-clock time of the replay loop only (models loaded outside).
   double seconds = 0.0;
+  /// Threaded replay only: true when all queues shared one switch
+  /// instance (sharded counters), false on the per-instance fallback.
+  bool shared_switch = false;
   /// Per-process_batch-call wall time in microseconds (batch paths only;
   /// replay_threaded folds one recorder per queue via LatencyRecorder::
   /// merge). Empty for scalar replay and when built with MATON_OBS_OFF.
@@ -59,13 +66,15 @@ enum class ShardMode {
                                        std::size_t rounds,
                                        std::size_t batch);
 
-/// Multi-queue replay: `keys` is sharded across `queues` switch
-/// instances (each built by `factory` and loaded with `program`), which
-/// replay their shards concurrently on `pool` (util::ThreadPool::shared()
-/// when null) using the batch path. Per-queue state (model, counters,
-/// caches) is thread-private; only the final stats are merged — the
-/// union of the per-queue replays covers every key exactly once per
-/// round in either shard mode. Wall-clock covers the parallel region, so
+/// Multi-queue replay: `keys` is sharded across `queues` replay queues
+/// running concurrently on `pool` (util::ThreadPool::shared() when
+/// null) using the batch path. One switch instance is built by
+/// `factory` and, when its configure_queues accepts, shared by every
+/// queue (process_batch_queue; rule counters shard per queue and merge
+/// deterministically on read); models that decline get one private
+/// instance per queue, built and loaded up front. The union of the
+/// per-queue replays covers every key exactly once per round in either
+/// shard mode. Wall-clock covers the parallel region, so
 /// packets_per_second reports aggregate multi-queue throughput. Each
 /// queue's pass records one "replay_queue" span on its worker thread.
 ///
@@ -77,6 +86,18 @@ enum class ShardMode {
     const ModelFactory& factory, const dp::Program& program,
     std::span<const dp::FlowKey> keys, std::size_t rounds,
     std::size_t queues, std::size_t batch,
+    ShardMode mode = ShardMode::kContiguous,
+    util::ThreadPool* pool = nullptr);
+
+/// Shared-instance multi-queue replay over a caller-owned switch that
+/// has already loaded its program: requires the model to accept
+/// configure_queues(queues) (counters re-shard and zero). The caller
+/// keeps the instance, so merged rule counters can be read after — the
+/// sharded-counter acceptance path. Sharding, pool, and stats semantics
+/// match replay_threaded.
+[[nodiscard]] ReplayStats replay_threaded_shared(
+    dp::SwitchModel& sw, std::span<const dp::FlowKey> keys,
+    std::size_t rounds, std::size_t queues, std::size_t batch,
     ShardMode mode = ShardMode::kContiguous,
     util::ThreadPool* pool = nullptr);
 

@@ -1,13 +1,17 @@
 // Replay harness: scalar / batch / multi-queue sharded replay agree on
 // hit counts and process every packet exactly once. The threaded variant
-// runs under TSan in CI (each queue owns a private switch instance; only
-// the merged stats cross threads).
+// runs under TSan in CI: table-walk models share one switch instance
+// across queues (read-only classifiers, rule counters sharded per
+// queue), OVS falls back to one private instance per queue; the shared
+// path's mid-replay counter reads are exercised concurrently below.
 #include "workloads/replay.hpp"
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
+#include <thread>
 
 #include "controlplane/compiler.hpp"
 #include "workloads/traffic.hpp"
@@ -144,6 +148,169 @@ TEST(Replay, MoreQueuesThanKeysIsSafe) {
   const ReplayStats got = replay_threaded(
       [] { return dp::make_eswitch_model(); }, fx.program, two, 1, 8, 16);
   EXPECT_EQ(got.packets, 2u);
+}
+
+// --- shared-instance replay and sharded rule counters -----------------
+
+/// Asserts every rule counter of `got` equals `want`'s.
+void expect_counters_equal(const dp::Program& program,
+                           const dp::SwitchModel& got,
+                           const dp::SwitchModel& want) {
+  for (std::size_t t = 0; t < program.tables.size(); ++t) {
+    for (const dp::Rule& rule : program.tables[t].rules) {
+      const auto cw = want.read_rule_counter(t, rule.matches);
+      const auto cg = got.read_rule_counter(t, rule.matches);
+      ASSERT_TRUE(cw.is_ok());
+      ASSERT_TRUE(cg.is_ok());
+      ASSERT_EQ(cw.value(), cg.value())
+          << "table " << t << " counter diverges";
+    }
+  }
+}
+
+TEST(ReplaySharedSwitch, TableWalkModelsShareOneInstance) {
+  const Fixture fx;
+  const ReplayStats got = replay_threaded(
+      [] { return dp::make_eswitch_model(); }, fx.program, fx.keys, 1, 4,
+      64);
+  EXPECT_TRUE(got.shared_switch);
+}
+
+TEST(ReplaySharedSwitch, OvsDeclinesAndFallsBackPerInstance) {
+  const Fixture fx;
+  // OVS mutates its megaflow cache per packet, so it declines sharing at
+  // queues > 1 (per-instance fallback) but accepts the trivial 1-queue
+  // configuration.
+  const ReplayStats multi = replay_threaded(
+      [] { return dp::make_ovs_model(); }, fx.program, fx.keys, 1, 4, 64);
+  EXPECT_FALSE(multi.shared_switch);
+  const ReplayStats single = replay_threaded(
+      [] { return dp::make_ovs_model(); }, fx.program, fx.keys, 1, 1, 64);
+  EXPECT_TRUE(single.shared_switch);
+}
+
+class ReplaySharedCounters : public ::testing::TestWithParam<std::size_t> {
+};
+
+TEST_P(ReplaySharedCounters, MergedTotalsEqualSingleQueueReference) {
+  // The sharded-counter acceptance path: multi-queue replay over one
+  // shared switch, then merged counter reads on the quiesced instance
+  // must equal a single-queue replay of the same traffic — for both
+  // shard modes (the per-queue partition differs, the union does not).
+  const Fixture fx;
+  auto reference = dp::make_eswitch_model();
+  ASSERT_TRUE(reference->load(fx.program).is_ok());
+  const ReplayStats want = replay_batch(*reference, fx.keys, 2, 64);
+
+  for (const ShardMode mode :
+       {ShardMode::kContiguous, ShardMode::kFlowHash}) {
+    auto shared = dp::make_eswitch_model();
+    ASSERT_TRUE(shared->load(fx.program).is_ok());
+    const ReplayStats got = replay_threaded_shared(
+        *shared, fx.keys, 2, GetParam(), 64, mode);
+    EXPECT_TRUE(got.shared_switch);
+    EXPECT_EQ(got.packets, want.packets);
+    EXPECT_EQ(got.hits, want.hits);
+    expect_counters_equal(fx.program, *shared, *reference);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Queues, ReplaySharedCounters,
+                         ::testing::Values(1, 2, 3, 8));
+
+TEST(ReplaySharedCounters, LagopusSharesAndMerges) {
+  const Fixture fx;
+  auto reference = dp::make_lagopus_model();
+  ASSERT_TRUE(reference->load(fx.program).is_ok());
+  const ReplayStats want = replay_batch(*reference, fx.keys, 1, 64);
+
+  auto shared = dp::make_lagopus_model();
+  ASSERT_TRUE(shared->load(fx.program).is_ok());
+  const ReplayStats got =
+      replay_threaded_shared(*shared, fx.keys, 1, 4, 64);
+  EXPECT_TRUE(got.shared_switch);
+  EXPECT_EQ(got.hits, want.hits);
+  expect_counters_equal(fx.program, *shared, *reference);
+}
+
+TEST(ReplaySharedCounters, MidReplayMergedReadsAreSafe) {
+  // TSan coverage for the sharded-counter contract: queue workers bump
+  // their own shards while a reader thread folds merged totals through
+  // read_rule_counter. Queue configuration is a control-path op and
+  // happens before any thread starts (the quiesce requirement), so the
+  // only concurrency is relaxed shard bumps vs merged reads — race-free
+  // by design. Momentary values are unordered snapshots; only the
+  // quiesced totals are asserted exactly.
+  constexpr std::size_t kQueues = 4;
+  const Fixture fx;
+  auto reference = dp::make_eswitch_model();
+  ASSERT_TRUE(reference->load(fx.program).is_ok());
+  (void)replay_batch(*reference, fx.keys, 4, 64);
+
+  auto shared = dp::make_eswitch_model();
+  ASSERT_TRUE(shared->load(fx.program).is_ok());
+  ASSERT_TRUE(shared->configure_queues(kQueues));
+
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> reads{0};
+  std::thread reader([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      for (std::size_t t = 0; t < fx.program.tables.size(); ++t) {
+        for (const dp::Rule& rule : fx.program.tables[t].rules) {
+          const auto merged = shared->read_rule_counter(t, rule.matches);
+          ASSERT_TRUE(merged.is_ok());
+          reads.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    }
+  });
+
+  const std::span<const dp::FlowKey> keys(fx.keys);
+  const std::size_t per = (keys.size() + kQueues - 1) / kQueues;
+  std::vector<std::thread> workers;
+  for (std::size_t q = 0; q < kQueues; ++q) {
+    workers.emplace_back([&, q] {
+      const std::size_t lo = std::min(q * per, keys.size());
+      const std::size_t hi = std::min(lo + per, keys.size());
+      std::vector<dp::ExecResult> out(64);
+      for (std::size_t round = 0; round < 4; ++round) {
+        for (std::size_t base = lo; base < hi; base += 64) {
+          const std::size_t n = std::min<std::size_t>(64, hi - base);
+          shared->process_batch_queue(q, keys.subspan(base, n),
+                                      std::span(out.data(), n));
+        }
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  done.store(true, std::memory_order_release);
+  reader.join();
+
+  EXPECT_GT(reads.load(), 0u);
+  expect_counters_equal(fx.program, *shared, *reference);
+}
+
+TEST(ReplaySharedCounters, ReconfigureZeroesAndReplaysDeterministically) {
+  // configure_queues re-shards and zeroes: replaying the same traffic
+  // twice over the same instance (reconfigured in between) must land on
+  // identical merged totals — the deterministic sorted-queue-id fold.
+  const Fixture fx;
+  auto a = dp::make_eswitch_model();
+  ASSERT_TRUE(a->load(fx.program).is_ok());
+  (void)replay_threaded_shared(*a, fx.keys, 1, 8, 32);
+
+  auto b = dp::make_eswitch_model();
+  ASSERT_TRUE(b->load(fx.program).is_ok());
+  (void)replay_threaded_shared(*b, fx.keys, 1, 8, 32);
+  expect_counters_equal(fx.program, *a, *b);
+
+  // Reconfigure with a different queue count and replay again: totals
+  // restart from zero and must match the same single-pass reference.
+  (void)replay_threaded_shared(*a, fx.keys, 1, 3, 32);
+  auto reference = dp::make_eswitch_model();
+  ASSERT_TRUE(reference->load(fx.program).is_ok());
+  (void)replay_batch(*reference, fx.keys, 1, 32);
+  expect_counters_equal(fx.program, *a, *reference);
 }
 
 }  // namespace
