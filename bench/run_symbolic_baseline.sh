@@ -1,0 +1,120 @@
+#!/usr/bin/env bash
+# Runs the symbolic-equivalence suite and records the numbers the
+# proof-gated-compilation acceptance criteria are judged against:
+#
+#   - BM_Symbolic/<repr>_<rules>  one full decision-diagram solve:
+#                                 translate both lowered programs into a
+#                                 fresh hash-consed store, compare roots
+#   - BM_Probe/<repr>_<rules>     the randomized probe oracle on the same
+#                                 instance (sampled, not a proof)
+#
+# Representations: universal / goto / metadata / rematch; scales: gwlb
+# with {1k,10k,100k} universal rules at M=8 backends.
+#
+# Output: BENCH_symbolic.json at the repo root (google-benchmark JSON
+# plus a "solver" block with per-case solve time, the symbolic-vs-probe
+# time ratio, and the diagram-size counters — nodes interned, memo
+# hits/lookups, memo hit rate — and an "env" block recording host
+# parallelism and benchmark-library provenance).
+#
+# A google-benchmark library built as DEBUG skews every timing, so a
+# full baseline run hard-fails when the library reports a debug build
+# (context.library_build_type). Set MATON_BENCH_ALLOW_DEBUG_LIB=1 to
+# record a baseline on such a host anyway — the override is written
+# into the env block so the JSON carries its own provenance caveat.
+#
+# --smoke runs the 1k scale once with minimal timing for CI; smoke runs
+# are never timing-authoritative, so they imply the debug-library
+# allowance.
+set -euo pipefail
+
+repo_root="$(cd -- "$(dirname -- "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${BUILD_DIR:-${repo_root}/build}"
+
+min_time=0.5
+smoke=0
+filter="."
+out_file="${repo_root}/BENCH_symbolic.json"
+for arg in "$@"; do
+  case "${arg}" in
+    --smoke) min_time=0.01; smoke=1; filter='_1k$' ;;
+    *) out_file="${arg}" ;;
+  esac
+done
+
+if [[ ! -x "${build_dir}/bench/bench_symbolic" ]]; then
+  cmake -B "${build_dir}" -S "${repo_root}"
+  cmake --build "${build_dir}" --target bench_symbolic -j "$(nproc)"
+fi
+
+raw_file="$(mktemp)"
+trap 'rm -f "${raw_file}"' EXIT
+
+"${build_dir}/bench/bench_symbolic" \
+  --benchmark_min_time="${min_time}" \
+  --benchmark_filter="${filter}" \
+  --benchmark_format=json \
+  --benchmark_out="${raw_file}" \
+  --benchmark_out_format=json
+
+MATON_BENCH_SMOKE="${smoke}" \
+python3 - "${raw_file}" "${out_file}" <<'EOF'
+import json, os, sys
+raw = json.load(open(sys.argv[1]))
+ctx = raw.get("context", {})
+
+# Timing-authoritative runs refuse a debug benchmark library: its
+# per-iteration overhead skews every row. Smoke implies the allowance
+# (CI asserts shape, not absolute timings).
+lib_build = str(ctx.get("library_build_type", "unknown")).lower()
+smoke = os.environ.get("MATON_BENCH_SMOKE") == "1"
+allow_debug = smoke or os.environ.get("MATON_BENCH_ALLOW_DEBUG_LIB") == "1"
+if lib_build not in ("release", "unknown") and not allow_debug:
+    sys.exit(
+        f"error: google-benchmark library reports build type "
+        f"'{lib_build}'; timings from a debug library are not "
+        f"baseline-grade. Rebuild the library as Release, or set "
+        f"MATON_BENCH_ALLOW_DEBUG_LIB=1 to record anyway (the override "
+        f"is stamped into the env block).")
+
+rows = {b["name"]: b for b in raw["benchmarks"]
+        if b.get("run_type", "iteration") == "iteration"}
+
+# Per-case solver record: solve time, symbolic-vs-probe ratio, and the
+# diagram-size counters that drive it. A missing probe row (filtered
+# smoke run) leaves the ratio null rather than inventing one.
+solver = {}
+for name, row in sorted(rows.items()):
+    if not name.startswith("BM_Symbolic/"):
+        continue
+    case = name.split("/", 1)[1]
+    probe = rows.get("BM_Probe/" + case)
+    lookups = row.get("memo_lookups", 0)
+    entry = {
+        "solve_ms": round(row["real_time"], 3),
+        "nodes": int(row.get("nodes", 0)),
+        "memo_hits": int(row.get("memo_hits", 0)),
+        "memo_lookups": int(lookups),
+        "memo_hit_rate": round(row.get("memo_hits", 0) / lookups, 3)
+                         if lookups else None,
+        "probe_ms": round(probe["real_time"], 3) if probe else None,
+        "probe_packets": int(probe.get("probe_packets", 0))
+                         if probe else None,
+        "symbolic_vs_probe": round(row["real_time"] / probe["real_time"], 2)
+                             if probe and probe["real_time"] else None,
+    }
+    solver[case] = entry
+
+raw["env"] = {
+    "build_type": ctx.get("build_type", "unknown"),
+    "host_cores": int(ctx.get("host_cores", ctx.get("num_cpus", 0))),
+    "library_build_type": lib_build,
+    "debug_lib_allowed": bool(allow_debug and lib_build
+                              not in ("release", "unknown")),
+    "smoke": smoke,
+}
+raw["solver"] = solver
+json.dump(raw, open(sys.argv[2], "w"), indent=1)
+EOF
+
+echo "wrote ${out_file} (host cores: $(nproc))"

@@ -78,6 +78,7 @@ Report run(const Input& input, const Options& options) {
   if (options.decomposition) {
     run_decomposition_pass(input, options, report);
   }
+  if (options.symbolic) run_symbolic_pass(input, options, report);
   obs::MetricRegistry::global()
       .counter("maton_analysis_runs_total")
       .add();

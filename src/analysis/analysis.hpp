@@ -18,11 +18,13 @@
 #pragma once
 
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "analysis/diagnostic.hpp"
 #include "core/fd.hpp"
+#include "core/pipeline.hpp"
 #include "core/table.hpp"
 #include "dataplane/program.hpp"
 
@@ -58,6 +60,37 @@ struct Input {
     std::string name;
   };
   std::optional<DecompositionCheck> decomposition;
+
+  /// Symbolic equivalence of two lowered programs (MA601): proves or
+  /// refutes that both compute the same (hit, out_port) function, with a
+  /// concrete counterexample key on refutation.
+  struct ProgramPairCheck {
+    const dp::Program* left = nullptr;
+    const dp::Program* right = nullptr;
+    std::string left_name;
+    std::string right_name;
+  };
+  std::optional<ProgramPairCheck> program_pair;
+
+  /// Slice-isolation proof (MA602): are the packet regions of two rule
+  /// slices provably disjoint? Spans are borrowed views.
+  struct SliceIsolationCheck {
+    std::span<const dp::Rule> left;
+    std::span<const dp::Rule> right;
+    std::string left_name;
+    std::string right_name;
+  };
+  std::vector<SliceIsolationCheck> slices;
+
+  /// Decomposition equivalence proof (MA603): the universal table
+  /// against its decomposed pipeline, on the evaluate() observable —
+  /// the semantic complement of the FD-closure proof (MA5xx).
+  struct SymbolicDecompositionCheck {
+    const core::Table* universal = nullptr;
+    const core::Pipeline* pipeline = nullptr;
+    std::string name;
+  };
+  std::optional<SymbolicDecompositionCheck> symbolic_decomposition;
 };
 
 struct Options {
@@ -72,6 +105,10 @@ struct Options {
   bool dataflow = true;
   bool schema_nf = true;
   bool decomposition = true;
+  bool symbolic = true;
+  /// Node budget per symbolic solve; exhaustion reports MA604 (unknown),
+  /// never a wrong verdict.
+  std::size_t symbolic_max_nodes = std::size_t{1} << 22;
 };
 
 /// Runs every enabled pass whose input is present. Deterministic: equal
@@ -91,6 +128,8 @@ void run_schema_nf_pass(const Input& input, const Options& options,
                         Report& report);
 void run_decomposition_pass(const Input& input, const Options& options,
                             Report& report);
+void run_symbolic_pass(const Input& input, const Options& options,
+                       Report& report);
 
 namespace detail {
 

@@ -9,6 +9,9 @@
 //
 // Code ranges:  MA0xx framework   MA1xx shadowing      MA2xx reachability
 //               MA3xx dataflow    MA4xx schema/NF      MA5xx decomposition
+//               MA6xx symbolic equivalence (MA601 program pair, MA602
+//               slice isolation, MA603 decomposition vs universal, MA604
+//               solver gave no verdict)
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,75 @@
+#include "analysis/symbolic/engine.hpp"
+
+#include <string>
+
+#include "analysis/symbolic/internal.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace maton::analysis::symbolic {
+
+std::string_view to_string(Outcome outcome) noexcept {
+  switch (outcome) {
+    case Outcome::kEquivalent:
+      return "equivalent";
+    case Outcome::kInequivalent:
+      return "inequivalent";
+    case Outcome::kUnknown:
+      return "unknown";
+  }
+  return "unknown";
+}
+
+std::string_view to_string(SliceRelation relation) noexcept {
+  switch (relation) {
+    case SliceRelation::kDisjoint:
+      return "disjoint";
+    case SliceRelation::kIntersecting:
+      return "intersecting";
+    case SliceRelation::kUnknown:
+      return "unknown";
+  }
+  return "unknown";
+}
+
+namespace detail {
+
+Result run_guarded(std::string_view what, const Options& options,
+                   const std::function<Result(DiagramStore&)>& body) {
+  const obs::TraceSpan span("symbolic_solve");
+  DiagramStore store(options.max_nodes);
+  Result result;
+  try {
+    result = body(store);
+  } catch (const NodeBudgetExceeded&) {
+    result = {};
+    result.outcome = Outcome::kUnknown;
+    result.note = "node budget exceeded (" +
+                  std::to_string(options.max_nodes) + " nodes)";
+  } catch (const TranslationBail& bail) {
+    result = {};
+    result.outcome = Outcome::kUnknown;
+    result.note = bail.note;
+  }
+  result.stats = store.stats();
+
+  auto& registry = obs::MetricRegistry::global();
+  registry
+      .counter("maton_symbolic_solves_total",
+               {{"check", std::string(what)},
+                {"outcome", std::string(to_string(result.outcome))}})
+      .add(1);
+  static obs::Counter& nodes =
+      registry.counter("maton_symbolic_nodes_total");
+  static obs::Counter& memo_hits =
+      registry.counter("maton_symbolic_memo_hits_total");
+  static obs::Counter& memo_lookups =
+      registry.counter("maton_symbolic_memo_lookups_total");
+  nodes.add(result.stats.nodes);
+  memo_hits.add(result.stats.memo_hits);
+  memo_lookups.add(result.stats.memo_lookups);
+  return result;
+}
+
+}  // namespace detail
+}  // namespace maton::analysis::symbolic

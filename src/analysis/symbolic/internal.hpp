@@ -1,0 +1,30 @@
+// Shared plumbing of the symbolic front-ends: the translation bail-out
+// and the guarded runner that turns budget/bail exceptions into
+// kUnknown results and records the obs span + counters.
+//
+// Internal to src/analysis/symbolic/ — not part of the engine API.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "analysis/symbolic/engine.hpp"
+
+namespace maton::analysis::symbolic::detail {
+
+/// Thrown by a front-end when translation cannot proceed for a
+/// non-budget reason (cyclic table graph, jump out of range, NetKAT
+/// normalization cap). Caught by run_guarded; never escapes the API.
+struct TranslationBail {
+  std::string note;
+};
+
+/// Runs `body` with a fresh store under the engine's exception contract:
+/// NodeBudgetExceeded and TranslationBail become kUnknown results. Wraps
+/// the run in a "symbolic_solve" trace span and feeds the
+/// maton_symbolic_* counters; `what` labels the solve counter.
+[[nodiscard]] Result run_guarded(
+    std::string_view what, const Options& options,
+    const std::function<Result(DiagramStore&)>& body);
+
+}  // namespace maton::analysis::symbolic::detail

@@ -1,0 +1,340 @@
+// NetKAT front-end: normalizes the star-free local fragment into a
+// test/write atom sum, then builds value-universe diagrams whose leaves
+// are the canonicalized sets of write maps a packet region produces.
+//
+// Region semantics: one variable per field named by either policy; its
+// alphabet is every value the pair tests or writes. A concrete branch
+// f=v stands for "input binds f to v"; the default branch stands for
+// "f absent or bound to a value outside the alphabet" — both fail every
+// test on f (netkat::eval fails a test on an absent field) and neither
+// makes any write an identity, so they are observationally one region.
+// On edge f=v a write f←v is dropped (identity on that region), which
+// makes the leaf write-sets canonical: two distinct canonical maps yield
+// distinct output packets everywhere in the region, so leaf equality is
+// exactly packet-set equality there.
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/symbolic/engine.hpp"
+#include "analysis/symbolic/internal.hpp"
+#include "netkat/eval.hpp"
+#include "util/contract.hpp"
+
+namespace maton::analysis::symbolic {
+namespace {
+
+constexpr std::uint64_t kVerdictTag = std::uint64_t{1} << 63;
+
+using Bindings = std::map<std::string, core::Value, std::less<>>;
+
+/// One summand of the star-free normal form: "if all tests pass, emit
+/// the input overridden by writes".
+struct Atom {
+  Bindings tests;
+  Bindings writes;
+};
+
+class Normalizer {
+ public:
+  explicit Normalizer(const Options& options)
+      : max_atoms_(options.max_netkat_atoms),
+        work_budget_(options.max_netkat_atoms * 1024) {}
+
+  std::vector<Atom> run(const netkat::PolicyPtr& policy) {
+    expects(policy != nullptr, "null NetKAT policy");
+    switch (policy->kind()) {
+      case netkat::Policy::Kind::kDrop:
+        return {};
+      case netkat::Policy::Kind::kId:
+        return {Atom{}};
+      case netkat::Policy::Kind::kTest: {
+        Atom atom;
+        atom.tests.emplace(policy->field(), policy->value());
+        return {atom};
+      }
+      case netkat::Policy::Kind::kMod: {
+        Atom atom;
+        atom.writes.emplace(policy->field(), policy->value());
+        return {atom};
+      }
+      case netkat::Policy::Kind::kPar: {
+        std::vector<Atom> atoms = run(policy->left());
+        std::vector<Atom> rhs = run(policy->right());
+        atoms.insert(atoms.end(), std::make_move_iterator(rhs.begin()),
+                     std::make_move_iterator(rhs.end()));
+        check_atoms(atoms.size());
+        return atoms;
+      }
+      case netkat::Policy::Kind::kSeq: {
+        const std::vector<Atom> lhs = run(policy->left());
+        const std::vector<Atom> rhs = run(policy->right());
+        std::vector<Atom> atoms;
+        for (const Atom& a : lhs) {
+          for (const Atom& b : rhs) {
+            spend();
+            std::optional<Atom> merged = combine(a, b);
+            if (merged.has_value()) {
+              atoms.push_back(std::move(*merged));
+              check_atoms(atoms.size());
+            }
+          }
+        }
+        return atoms;
+      }
+    }
+    expects(false, "unhandled NetKAT policy kind");
+    return {};
+  }
+
+ private:
+  /// Sequences atom `a` before atom `b`; nullopt when `b`'s tests
+  /// contradict what `a` guarantees about the intermediate packet.
+  static std::optional<Atom> combine(const Atom& a, const Atom& b) {
+    Atom merged = a;
+    for (const auto& [field, value] : b.tests) {
+      if (const auto w = a.writes.find(field); w != a.writes.end()) {
+        if (w->second != value) return std::nullopt;  // write shadows test
+        continue;
+      }
+      const auto [it, inserted] = merged.tests.emplace(field, value);
+      if (!inserted && it->second != value) return std::nullopt;
+    }
+    for (const auto& [field, value] : b.writes) {
+      merged.writes[field] = value;  // later write wins
+    }
+    return merged;
+  }
+
+  void check_atoms(std::size_t count) const {
+    if (count > max_atoms_) {
+      throw detail::TranslationBail{"NetKAT normal form exceeds atom cap"};
+    }
+  }
+  void spend() {
+    if (work_budget_ == 0) {
+      throw detail::TranslationBail{"NetKAT normalization work cap hit"};
+    }
+    --work_budget_;
+  }
+
+  std::size_t max_atoms_;
+  std::size_t work_budget_;
+};
+
+void collect_alphabet(const netkat::PolicyPtr& policy,
+                      std::map<std::string, std::set<core::Value>,
+                               std::less<>>& alphabet) {
+  if (policy == nullptr) return;
+  switch (policy->kind()) {
+    case netkat::Policy::Kind::kDrop:
+    case netkat::Policy::Kind::kId:
+      return;
+    case netkat::Policy::Kind::kTest:
+    case netkat::Policy::Kind::kMod:
+      alphabet[std::string(policy->field())].insert(policy->value());
+      return;
+    case netkat::Policy::Kind::kSeq:
+    case netkat::Policy::Kind::kPar:
+      collect_alphabet(policy->left(), alphabet);
+      collect_alphabet(policy->right(), alphabet);
+      return;
+  }
+}
+
+/// Builds the diagram of one atom list over a shared field universe,
+/// interning leaf write-sets in a shared table so equal packet functions
+/// get equal roots.
+class PolicyBuilder {
+ public:
+  PolicyBuilder(DiagramStore& dd, std::vector<std::string> fields,
+                std::vector<std::vector<core::Value>> alphabets,
+                std::size_t work_budget)
+      : dd_(dd),
+        fields_(std::move(fields)),
+        alphabets_(std::move(alphabets)),
+        work_budget_(work_budget) {}
+
+  NodeId build(const std::vector<Atom>& atoms) {
+    std::vector<std::size_t> alive(atoms.size());
+    for (std::size_t i = 0; i < atoms.size(); ++i) alive[i] = i;
+    Bindings path;
+    return descend(atoms, alive, 0, path);
+  }
+
+  [[nodiscard]] const std::vector<std::string>& fields() const {
+    return fields_;
+  }
+  [[nodiscard]] const std::set<Bindings>& write_set(std::uint64_t p) const {
+    return write_sets_[p & ~kVerdictTag];
+  }
+
+ private:
+  NodeId descend(const std::vector<Atom>& atoms,
+                 const std::vector<std::size_t>& alive, std::size_t i,
+                 Bindings& path) {
+    spend();
+    if (i == fields_.size()) return leaf(atoms, alive, path);
+    const std::string& field = fields_[i];
+    std::vector<std::pair<std::uint64_t, NodeId>> edges;
+    edges.reserve(alphabets_[i].size());
+    for (const core::Value value : alphabets_[i]) {
+      std::vector<std::size_t> survive;
+      for (const std::size_t a : alive) {
+        const auto t = atoms[a].tests.find(field);
+        if (t == atoms[a].tests.end() || t->second == value) {
+          survive.push_back(a);
+        }
+      }
+      path[field] = value;
+      edges.emplace_back(value, descend(atoms, survive, i + 1, path));
+      path.erase(field);
+    }
+    // Default region: field absent (or outside the alphabet) — every
+    // test on it fails, every write on it is non-identity.
+    std::vector<std::size_t> survive;
+    for (const std::size_t a : alive) {
+      if (!atoms[a].tests.contains(field)) survive.push_back(a);
+    }
+    const NodeId def = descend(atoms, survive, i + 1, path);
+    return dd_.value_node(static_cast<std::uint32_t>(i), std::move(edges),
+                          def);
+  }
+
+  NodeId leaf(const std::vector<Atom>& atoms,
+              const std::vector<std::size_t>& alive, const Bindings& path) {
+    std::set<Bindings> outputs;
+    for (const std::size_t a : alive) {
+      Bindings canonical;
+      for (const auto& [field, value] : atoms[a].writes) {
+        const auto bound = path.find(field);
+        if (bound != path.end() && bound->second == value) {
+          continue;  // identity write on this region
+        }
+        canonical.emplace(field, value);
+      }
+      outputs.insert(std::move(canonical));
+    }
+    const auto it = write_set_ids_.find(outputs);
+    std::uint32_t id = 0;
+    if (it != write_set_ids_.end()) {
+      id = it->second;
+    } else {
+      id = static_cast<std::uint32_t>(write_sets_.size());
+      write_sets_.push_back(outputs);
+      write_set_ids_.emplace(std::move(outputs), id);
+    }
+    return dd_.leaf(kVerdictTag | id);
+  }
+
+  void spend() {
+    if (work_budget_ == 0) {
+      throw detail::TranslationBail{"NetKAT diagram work cap hit"};
+    }
+    --work_budget_;
+  }
+
+  DiagramStore& dd_;
+  std::vector<std::string> fields_;
+  std::vector<std::vector<core::Value>> alphabets_;
+  std::vector<std::set<Bindings>> write_sets_;
+  std::map<std::set<Bindings>, std::uint32_t> write_set_ids_;
+  std::size_t work_budget_;
+};
+
+netkat::Packet packet_from_path(const std::vector<std::string>& fields,
+                                std::span<const PathStep> path) {
+  // Default-branch and untouched fields stay absent: that is the region
+  // the default edge models, and eval fails tests on absent fields.
+  netkat::Packet packet;
+  for (const PathStep& step : path) {
+    if (!step.is_default) packet[fields[step.var]] = step.branch;
+  }
+  return packet;
+}
+
+std::string describe_packet_set(const netkat::PacketSet& set) {
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  for (const netkat::Packet& packet : set) {
+    if (!first) os << ", ";
+    first = false;
+    os << "[";
+    bool inner_first = true;
+    for (const auto& [field, value] : packet) {
+      if (!inner_first) os << " ";
+      inner_first = false;
+      os << field << "=" << value;
+    }
+    os << "]";
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace
+
+Result check_policies(const netkat::PolicyPtr& a, const netkat::PolicyPtr& b,
+                      const Options& options) {
+  return detail::run_guarded(
+      "policies", options, [&](DiagramStore& dd) {
+        Normalizer normalizer(options);
+        const std::vector<Atom> atoms_a = normalizer.run(a);
+        const std::vector<Atom> atoms_b = normalizer.run(b);
+
+        std::map<std::string, std::set<core::Value>, std::less<>> alphabet;
+        collect_alphabet(a, alphabet);
+        collect_alphabet(b, alphabet);
+        std::vector<std::string> fields;
+        std::vector<std::vector<core::Value>> alphabets;
+        for (const auto& [field, values] : alphabet) {
+          fields.push_back(field);
+          alphabets.emplace_back(values.begin(), values.end());
+        }
+
+        PolicyBuilder builder(dd, std::move(fields), std::move(alphabets),
+                              options.max_netkat_atoms * 1024);
+        const NodeId ra = builder.build(atoms_a);
+        const NodeId rb = builder.build(atoms_b);
+        Result result;
+        if (ra == rb) {
+          result.outcome = Outcome::kEquivalent;
+          return result;
+        }
+        const auto div = dd.first_divergence(ra, rb);
+        ensures(div.has_value(), "divergent roots without a divergence");
+        const netkat::Packet packet =
+            packet_from_path(builder.fields(), div->path);
+        const netkat::PacketSet ea = netkat::eval(a, packet);
+        const netkat::PacketSet eb = netkat::eval(b, packet);
+        if (ea == eb) {
+          result.outcome = Outcome::kUnknown;
+          result.note = "counterexample failed scalar confirmation";
+          return result;
+        }
+        result.outcome = Outcome::kInequivalent;
+        Counterexample cex;
+        cex.packet = packet;
+        std::ostringstream os;
+        os << "packet[";
+        bool first = true;
+        for (const auto& [field, value] : packet) {
+          if (!first) os << " ";
+          first = false;
+          os << field << "=" << value;
+        }
+        os << "] -> left " << describe_packet_set(ea) << " vs right "
+           << describe_packet_set(eb);
+        cex.description = os.str();
+        result.counterexample = std::move(cex);
+        return result;
+      });
+}
+
+}  // namespace maton::analysis::symbolic

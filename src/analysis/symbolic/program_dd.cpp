@@ -1,0 +1,322 @@
+// dp::Program front-end: translates lowered programs (priorities, masks,
+// goto/next edges, miss-drop) into bit-universe diagrams and decides
+// equivalence on the (hit, out_port) observable of execute_reference.
+#include <array>
+#include <bit>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/symbolic/engine.hpp"
+#include "analysis/symbolic/internal.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/contract.hpp"
+
+namespace maton::analysis::symbolic {
+namespace {
+
+using dp::FieldId;
+
+// Variable-order heuristic. Metadata registers come first so a set-field
+// during composition substitutes at the successor diagram's root in
+// O(register width) instead of rebuilding the whole header spine below
+// it; then high-cardinality destination-side exact fields (VIP, port)
+// before coarse source-side prefix fields — a low-information field near
+// the root duplicates every distinct subfunction beneath it.
+constexpr std::array<std::uint32_t, dp::kNumFields> kFieldRank = {
+    4,   // kInPort
+    14,  // kEthSrc
+    13,  // kEthDst
+    5,   // kEthType
+    6,   // kVlan
+    12,  // kIpSrc
+    7,   // kIpDst
+    10,  // kIpProto
+    11,  // kIpTtl
+    9,   // kTcpSrc
+    8,   // kTcpDst
+    0,   // kMeta0
+    1,   // kMeta1
+    2,   // kMeta2
+    3,   // kMeta3
+};
+
+/// var = rank * 64 + MSB-first bit offset: all 64 value bits of every
+/// field are modeled, so masks reaching past the wire width still
+/// translate exactly.
+constexpr std::uint32_t var_for(FieldId field, unsigned bit) {
+  return kFieldRank[dp::field_index(field)] * 64 + (63 - bit);
+}
+
+FieldId field_of_rank(std::uint32_t rank) {
+  for (std::size_t f = 0; f < dp::kNumFields; ++f) {
+    if (kFieldRank[f] == rank) return static_cast<FieldId>(f);
+  }
+  expects(false, "unmapped diagram variable rank");
+  return FieldId::kInPort;
+}
+
+constexpr std::uint64_t kVerdictTag = std::uint64_t{1} << 63;
+
+/// Interned observable of one program execution. kHitUnset (hit, no
+/// output action applied) is kept distinct during construction and
+/// normalized to kHit/out=0 at each program root, matching
+/// execute_reference's zero-initialized out_port.
+struct DpVerdicts {
+  enum State : int { kMiss = 0, kHitUnset = 1, kHit = 2 };
+
+  DiagramStore& dd;
+  std::vector<std::pair<int, std::uint64_t>> table;
+  std::map<std::pair<int, std::uint64_t>, std::uint32_t> ids;
+
+  std::uint64_t payload(int state, std::uint64_t out) {
+    const std::pair<int, std::uint64_t> v{state, out};
+    const auto it = ids.find(v);
+    if (it != ids.end()) return kVerdictTag | it->second;
+    const auto id = static_cast<std::uint32_t>(table.size());
+    table.push_back(v);
+    ids.emplace(v, id);
+    return kVerdictTag | id;
+  }
+  NodeId leaf(int state, std::uint64_t out = 0) {
+    return dd.leaf(payload(state, out));
+  }
+  [[nodiscard]] std::pair<int, std::uint64_t> of(std::uint64_t p) const {
+    return table[p & ~kVerdictTag];
+  }
+};
+
+/// Ternary cube of one rule's match vector; nullopt when the rule can
+/// never match (a value bit outside its mask, or two matches requiring
+/// different values of one bit). Accepts both the flattened MatchRange
+/// and the boundary std::vector<FieldMatch>.
+template <typename MatchList>
+std::optional<std::vector<CubeBit>> rule_cube(const MatchList& matches) {
+  std::map<std::uint32_t, bool> need;
+  for (const dp::FieldMatch m : matches) {
+    if ((m.value & ~m.mask) != 0) return std::nullopt;
+    for (std::uint64_t rest = m.mask; rest != 0; rest &= rest - 1) {
+      const auto bit = static_cast<unsigned>(std::countr_zero(rest));
+      const bool one = ((m.value >> bit) & 1) != 0;
+      const auto [it, inserted] = need.emplace(var_for(m.field, bit), one);
+      if (!inserted && it->second != one) return std::nullopt;
+    }
+  }
+  std::vector<CubeBit> cube;
+  cube.reserve(need.size());
+  for (const auto& [var, one] : need) cube.push_back({var, one});
+  return cube;
+}
+
+class ProgramTranslator {
+ public:
+  ProgramTranslator(DpVerdicts& verdicts, const dp::Program& program)
+      : verdicts_(verdicts),
+        dd_(verdicts.dd),
+        program_(program),
+        cache_(program.tables.size(), kInvalidNode),
+        visiting_(program.tables.size(), 0) {}
+
+  /// Diagram of the whole program on the normalized (hit, out_port)
+  /// observable.
+  NodeId root() {
+    if (program_.tables.empty()) {
+      return verdicts_.leaf(DpVerdicts::kMiss);
+    }
+    check_target(program_.entry);
+    const NodeId raw = table_diagram(program_.entry);
+    return dd_.map_leaves(raw, [this](std::uint64_t p) {
+      return verdicts_.of(p).first == DpVerdicts::kHitUnset
+                 ? verdicts_.payload(DpVerdicts::kHit, 0)
+                 : p;
+    });
+  }
+
+ private:
+  void check_target(std::size_t table) const {
+    if (table >= program_.tables.size()) {
+      throw detail::TranslationBail{"program jump out of range"};
+    }
+  }
+
+  NodeId table_diagram(std::size_t ti) {
+    if (cache_[ti] != kInvalidNode) return cache_[ti];
+    if (visiting_[ti] != 0) {
+      throw detail::TranslationBail{"program table graph contains a cycle"};
+    }
+    visiting_[ti] = 1;
+    const dp::TableSpec& spec = program_.tables[ti];
+    // First-match fold: stored order is the scan order, so insert rules
+    // back-to-front and let each earlier rule's cube overwrite.
+    NodeId acc = verdicts_.leaf(DpVerdicts::kMiss);
+    for (std::size_t i = spec.rules.size(); i-- > 0;) {
+      const dp::RuleView rule = spec.rules[i];
+      const std::optional<std::vector<CubeBit>> cube =
+          rule_cube(rule.matches);
+      if (!cube.has_value()) continue;  // can never match
+      acc = dd_.ite(dd_.cube(*cube), continuation(spec, rule), acc);
+    }
+    visiting_[ti] = 0;
+    cache_[ti] = acc;
+    return acc;
+  }
+
+  /// Diagram of "this rule hit": successor program transformed by the
+  /// rule's actions, applied in reverse so earlier writes see the
+  /// downstream function they feed.
+  NodeId continuation(const dp::TableSpec& spec, const dp::RuleView& rule) {
+    const std::optional<std::size_t> next =
+        rule.goto_table.has_value() ? rule.goto_table : spec.next;
+    NodeId c = verdicts_.leaf(DpVerdicts::kHitUnset);
+    if (next.has_value()) {
+      check_target(*next);
+      c = table_diagram(*next);
+    }
+    for (std::size_t j = rule.actions.size(); j-- > 0;) {
+      const dp::Action action = rule.actions[j];
+      if (action.kind == dp::Action::Kind::kOutput) {
+        // Applies only where no later output took effect; a downstream
+        // miss still drops the packet (miss leaves stay miss).
+        c = dd_.map_leaves(c, [this, &action](std::uint64_t p) {
+          return verdicts_.of(p).first == DpVerdicts::kHitUnset
+                     ? verdicts_.payload(DpVerdicts::kHit, action.value)
+                     : p;
+        });
+      } else {
+        // set-field: the downstream function sees `value` on all 64
+        // bits of the register (execute_reference stores the full
+        // value).
+        const std::uint32_t base =
+            kFieldRank[dp::field_index(action.field)] * 64;
+        const std::uint64_t value = action.value;
+        c = dd_.restrict_with(
+            c, [base, value](std::uint32_t var)
+                   -> std::optional<std::uint64_t> {
+              if (var < base || var >= base + 64) return std::nullopt;
+              return (value >> (63 - (var - base))) & 1;
+            });
+      }
+    }
+    return c;
+  }
+
+  DpVerdicts& verdicts_;
+  DiagramStore& dd_;
+  const dp::Program& program_;
+  std::vector<NodeId> cache_;
+  std::vector<char> visiting_;
+};
+
+dp::FlowKey key_from_path(std::span<const PathStep> path) {
+  dp::FlowKey key;
+  std::array<std::uint64_t, dp::kNumFields> values{};
+  for (const PathStep& step : path) {
+    // Bit universe: every step is a concrete 0/1 branch.
+    if (step.branch == 0) continue;
+    const FieldId field = field_of_rank(step.var / 64);
+    values[dp::field_index(field)] |= std::uint64_t{1}
+                                      << (63 - (step.var % 64));
+  }
+  for (std::size_t f = 0; f < dp::kNumFields; ++f) {
+    key.set(static_cast<FieldId>(f), values[f]);
+  }
+  return key;
+}
+
+std::string describe_exec(const dp::ExecResult& r) {
+  if (!r.hit) return "miss";
+  return "hit out=" + std::to_string(r.out_port);
+}
+
+std::string describe_key(const dp::FlowKey& key) {
+  std::ostringstream os;
+  os << "key{";
+  bool first = true;
+  for (std::size_t f = 0; f < dp::kNumFields; ++f) {
+    if (key.values[f] == 0) continue;
+    if (!first) os << ", ";
+    first = false;
+    os << dp::to_string(static_cast<FieldId>(f)) << "=0x" << std::hex
+       << key.values[f] << std::dec;
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace
+
+Result check_programs(const dp::Program& a, const dp::Program& b,
+                      const Options& options) {
+  return detail::run_guarded(
+      "programs", options, [&](DiagramStore& dd) {
+        DpVerdicts verdicts{dd};
+        const NodeId ra = ProgramTranslator(verdicts, a).root();
+        const NodeId rb = ProgramTranslator(verdicts, b).root();
+        Result result;
+        if (ra == rb) {
+          result.outcome = Outcome::kEquivalent;
+          return result;
+        }
+        const auto div = dd.first_divergence(ra, rb);
+        ensures(div.has_value(), "divergent roots without a divergence");
+        const dp::FlowKey key = key_from_path(div->path);
+        const dp::ExecResult ea = dp::execute_reference(a, key);
+        const dp::ExecResult eb = dp::execute_reference(b, key);
+        if (ea.hit == eb.hit &&
+            (!ea.hit || ea.out_port == eb.out_port)) {
+          // The diagrams disagree but the interpreter does not: report
+          // no verdict rather than a wrong one.
+          result.outcome = Outcome::kUnknown;
+          result.note = "counterexample failed scalar confirmation";
+          return result;
+        }
+        result.outcome = Outcome::kInequivalent;
+        Counterexample cex;
+        cex.key = key;
+        cex.description = describe_key(key) + " -> left " +
+                          describe_exec(ea) + " vs right " +
+                          describe_exec(eb);
+        result.counterexample = std::move(cex);
+        return result;
+      });
+}
+
+SliceRelation slices_relation(std::span<const dp::Rule> a,
+                              std::span<const dp::Rule> b,
+                              const Options& options) {
+  const obs::TraceSpan span("symbolic_solve");
+  DiagramStore dd(options.max_nodes);
+  SliceRelation relation = SliceRelation::kUnknown;
+  try {
+    const auto region = [&dd](std::span<const dp::Rule> rules) {
+      NodeId acc = dd.false_leaf();
+      for (const dp::Rule& rule : rules) {
+        const std::optional<std::vector<CubeBit>> cube =
+            rule_cube(rule.matches);
+        if (!cube.has_value()) continue;  // can never match
+        acc = dd.b_or(acc, dd.cube(*cube));
+      }
+      return acc;
+    };
+    relation = dd.disjoint(region(a), region(b))
+                   ? SliceRelation::kDisjoint
+                   : SliceRelation::kIntersecting;
+  } catch (const NodeBudgetExceeded&) {
+    relation = SliceRelation::kUnknown;
+  }
+  auto& registry = obs::MetricRegistry::global();
+  registry
+      .counter("maton_symbolic_solves_total",
+               {{"check", "slices"},
+                {"outcome", std::string(to_string(relation))}})
+      .add(1);
+  static obs::Counter& nodes =
+      registry.counter("maton_symbolic_nodes_total");
+  nodes.add(dd.stats().nodes);
+  return relation;
+}
+
+}  // namespace maton::analysis::symbolic

@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "analysis/symbolic/engine.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/contract.hpp"
@@ -174,10 +175,15 @@ std::vector<RuleUpdate> diff_programs(const Program& before,
 }
 
 GwlbBinding::GwlbBinding(Gwlb gwlb, Representation repr, CompileMode mode,
-                         AnalyzeMode analyze)
-    : gwlb_(std::move(gwlb)), repr_(repr), mode_(mode), analyze_(analyze) {
+                         AnalyzeMode analyze, VerifyMode verify)
+    : gwlb_(std::move(gwlb)),
+      repr_(repr),
+      mode_(mode),
+      verify_(verify),
+      analyze_(analyze) {
   rebuild_program();
   if (analyze_ == AnalyzeMode::kPostCompile) run_post_compile_analysis();
+  if (verify_ == VerifyMode::kSymbolic) run_post_compile_verify();
 }
 
 std::vector<core::AttrSet> decomposition_components(
@@ -237,6 +243,44 @@ void GwlbBinding::run_post_compile_analysis() {
     clean.add();
   } else {
     findings.add();
+  }
+}
+
+void GwlbBinding::run_post_compile_verify() {
+  const obs::TraceSpan span("symbolic_verify");
+  // Rebuild an independent reference through the full pipeline path and
+  // prove the live (possibly patched-in-place) program equivalent to it.
+  // A bit-identical program passes trivially; the point is that even a
+  // bit-different-but-semantically-equal patch verifies, and any drift
+  // surfaces as a refutation with a concrete counterexample packet.
+  auto reference = dp::compile(pipeline_for(gwlb_, repr_));
+  expects(reference.is_ok(),
+          "symbolic verify: reference pipeline failed to lower");
+  const auto result =
+      analysis::symbolic::check_programs(program_, reference.value());
+  static obs::Counter& verified = obs::MetricRegistry::global().counter(
+      "maton_cp_symbolic_verified_total");
+  static obs::Counter& failed = obs::MetricRegistry::global().counter(
+      "maton_cp_symbolic_failed_total");
+  static obs::Counter& unknown = obs::MetricRegistry::global().counter(
+      "maton_cp_symbolic_unknown_total");
+  switch (result.outcome) {
+    case analysis::symbolic::Outcome::kEquivalent:
+      ++verify_stats_.verified;
+      verified.add();
+      break;
+    case analysis::symbolic::Outcome::kInequivalent:
+      ++verify_stats_.failed;
+      failed.add();
+      last_verify_note_ = result.counterexample.has_value()
+                              ? result.counterexample->description
+                              : "inequivalent (no counterexample)";
+      break;
+    case analysis::symbolic::Outcome::kUnknown:
+      ++verify_stats_.unknown;
+      unknown.add();
+      last_verify_note_ = result.note;
+      break;
   }
 }
 
@@ -315,10 +359,11 @@ void GwlbBinding::rebuild_indexes() {
     row_offsets_[s] = offset;
     offset += gwlb_.services[s].src_prefixes.size();
   }
-  vip_count_.clear();
-  vip_dups_ = 0;
-  for (const GwlbService& svc : gwlb_.services) {
-    if (!svc.src_prefixes.empty()) vip_add(svc.vip);
+  vip_services_.clear();
+  for (std::size_t s = 0; s < gwlb_.services.size(); ++s) {
+    if (!gwlb_.services[s].src_prefixes.empty()) {
+      vip_add(gwlb_.services[s].vip, s);
+    }
   }
 }
 
@@ -331,15 +376,18 @@ void GwlbBinding::rebuild_slice_index(std::size_t table) {
   }
 }
 
-void GwlbBinding::vip_add(std::uint32_t vip) {
-  if (++vip_count_[vip] == 2) ++vip_dups_;
+void GwlbBinding::vip_add(std::uint32_t vip, std::size_t service) {
+  vip_services_[vip].push_back(static_cast<std::uint32_t>(service));
 }
 
-void GwlbBinding::vip_remove(std::uint32_t vip) {
-  const auto it = vip_count_.find(vip);
-  if (it == vip_count_.end()) return;
-  if (it->second == 2) --vip_dups_;
-  if (--it->second == 0) vip_count_.erase(it);
+void GwlbBinding::vip_remove(std::uint32_t vip, std::size_t service) {
+  const auto it = vip_services_.find(vip);
+  if (it == vip_services_.end()) return;
+  auto& services = it->second;
+  const auto pos = std::find(services.begin(), services.end(),
+                             static_cast<std::uint32_t>(service));
+  if (pos != services.end()) services.erase(pos);
+  if (services.empty()) vip_services_.erase(it);
 }
 
 Result<std::vector<Rule>> GwlbBinding::service_slice(
@@ -461,28 +509,9 @@ std::optional<std::vector<RuleUpdate>> GwlbBinding::try_compile_incremental(
     std::size_t service, const GwlbService& old_svc) {
   const obs::TraceSpan span("compile_incremental");
 
-  // Slice-local diffing identifies rules by content. Every gwlb rule
-  // carries its service's VIP or tag, so distinct live VIPs guarantee no
-  // rule of one service can alias another's; with a duplicate VIP the
-  // reference diff could pair rules across services, so such states are
-  // demoted to the full rebuild. Both the pre- and post-intent states
-  // must be collision-free: the diff spans both programs. The maintained
-  // live-VIP multiset answers both questions in O(1): vip_count_ still
-  // reflects the pre-intent state (old_svc is its entry for `service`),
-  // and zero duplicates there means the only possible collision left is
-  // the *new* VIP against the others.
   const GwlbService& svc = gwlb_.services[service];
   const bool old_live = !old_svc.src_prefixes.empty();
   const bool new_live = !svc.src_prefixes.empty();
-  if (vip_dups_ > 0) return std::nullopt;
-  if (new_live) {
-    std::uint32_t others = 0;
-    if (const auto it = vip_count_.find(svc.vip); it != vip_count_.end()) {
-      others = it->second;
-    }
-    if (old_live && svc.vip == old_svc.vip) --others;  // exclude self
-    if (others > 0) return std::nullopt;
-  }
   struct Patch {
     std::size_t table = 0;
     std::vector<std::uint32_t> positions;  // ascending, pre-patch
@@ -509,10 +538,14 @@ std::optional<std::vector<RuleUpdate>> GwlbBinding::try_compile_incremental(
     // mismatch means provenance drifted — fall back, nothing mutated.
     auto want_before = service_slice(t, old_svc, service);
     if (!want_before.is_ok() || want_before.value() != patch.before) {
+      last_fallback_cause_ = FallbackCause::kSliceValidation;
       return std::nullopt;
     }
     auto after = service_slice(t, svc, service);
-    if (!after.is_ok()) return std::nullopt;
+    if (!after.is_ok()) {
+      last_fallback_cause_ = FallbackCause::kSliceValidation;
+      return std::nullopt;
+    }
     patch.after = std::move(after).value();
     // Same shape = same size and per-index priorities: the global stable
     // order then keeps every slice rule at its old position, so the
@@ -527,13 +560,54 @@ std::optional<std::vector<RuleUpdate>> GwlbBinding::try_compile_incremental(
     patches.push_back(std::move(patch));
   }
 
+  // Slice-local diffing identifies rules by content, so another live
+  // service sharing this one's VIP (pre- or post-intent) could in
+  // principle alias rules across slices. Rather than demoting every
+  // collision to a full rebuild, prove isolation: if the symbolic engine
+  // shows this service's slice region (before ∪ after) disjoint from each
+  // colliding partner's slice in every affected table, no packet can hit
+  // rules of both and the slice-local diff stays unambiguous. Only a
+  // *proven-possible* intersection (or a solver bail) falls back.
+  std::vector<std::uint32_t> partners;
+  const auto collect_partners = [&](std::uint32_t vip) {
+    const auto it = vip_services_.find(vip);
+    if (it == vip_services_.end()) return;
+    for (const std::uint32_t p : it->second) {
+      if (p != static_cast<std::uint32_t>(service) &&
+          std::find(partners.begin(), partners.end(), p) == partners.end()) {
+        partners.push_back(p);
+      }
+    }
+  };
+  if (old_live) collect_partners(old_svc.vip);
+  if (new_live) collect_partners(svc.vip);
+  if (!partners.empty()) {
+    const obs::TraceSpan isolation_span("slice_isolation_proof");
+    for (const Patch& patch : patches) {
+      std::vector<Rule> self = patch.before;
+      self.insert(self.end(), patch.after.begin(), patch.after.end());
+      for (const std::uint32_t p : partners) {
+        auto partner = service_slice(patch.table, gwlb_.services[p], p);
+        if (!partner.is_ok()) {
+          last_fallback_cause_ = FallbackCause::kSliceValidation;
+          return std::nullopt;
+        }
+        if (analysis::symbolic::slices_relation(self, partner.value()) !=
+            analysis::symbolic::SliceRelation::kDisjoint) {
+          last_fallback_cause_ = FallbackCause::kVipCollision;
+          return std::nullopt;
+        }
+      }
+    }
+  }
+
   // Validation passed — mutate. First the universal table, cell-wise, so
   // untouched columns keep their partition-cache fingerprints across the
   // FD re-mine. The cached row offset replaces the O(service) prefix
   // scan; offsets stay valid while slice shapes do.
   const std::size_t offset = row_offsets_[service];
-  if (old_live) vip_remove(old_svc.vip);
-  if (new_live) vip_add(svc.vip);
+  if (old_live) vip_remove(old_svc.vip, service);
+  if (new_live) vip_add(svc.vip, service);
   if (svc.src_prefixes.size() != old_svc.src_prefixes.size()) {
     std::size_t off = offset + svc.src_prefixes.size();
     for (std::size_t s = service + 1; s < gwlb_.services.size(); ++s) {
@@ -653,16 +727,29 @@ Result<std::vector<RuleUpdate>> GwlbBinding::compile_intent(
   if (mode_ == CompileMode::kIncremental) {
     static obs::Counter& hits = obs::MetricRegistry::global().counter(
         "maton_cp_incremental_hits_total");
-    static obs::Counter& fallbacks = obs::MetricRegistry::global().counter(
-        "maton_cp_incremental_fallbacks_total");
+    static obs::Counter& vip_fallbacks =
+        obs::MetricRegistry::global().counter(
+            "maton_cp_incremental_fallbacks_total",
+            {{"cause", "vip_collision"}});
+    static obs::Counter& slice_fallbacks =
+        obs::MetricRegistry::global().counter(
+            "maton_cp_incremental_fallbacks_total",
+            {{"cause", "slice_validation"}});
     if (auto updates = try_compile_incremental(service, old_svc)) {
       ++inc_stats_.hits;
       hits.add();
       if (analyze_ == AnalyzeMode::kPostCompile) run_post_compile_analysis();
+      if (verify_ == VerifyMode::kSymbolic) run_post_compile_verify();
       return std::move(*updates);
     }
     ++inc_stats_.fallbacks;
-    fallbacks.add();
+    if (last_fallback_cause_ == FallbackCause::kVipCollision) {
+      ++inc_stats_.vip_collision_fallbacks;
+      vip_fallbacks.add();
+    } else {
+      ++inc_stats_.slice_validation_fallbacks;
+      slice_fallbacks.add();
+    }
   }
 
   std::vector<RuleUpdate> updates;
@@ -674,6 +761,7 @@ Result<std::vector<RuleUpdate>> GwlbBinding::compile_intent(
     updates = diff_programs(before, program_);
   }
   if (analyze_ == AnalyzeMode::kPostCompile) run_post_compile_analysis();
+  if (verify_ == VerifyMode::kSymbolic) run_post_compile_verify();
   return updates;
 }
 

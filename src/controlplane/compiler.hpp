@@ -42,10 +42,28 @@ enum class CompileMode {
   kFullRebuild,
 };
 
-/// Per-binding tally of which path compiled each applied intent.
+/// Per-binding tally of which path compiled each applied intent, with
+/// fallbacks split by cause: VIP collisions whose slices could not be
+/// proven disjoint vs slice-validation (provenance) mismatches.
 struct IncrementalStats {
   std::size_t hits = 0;       ///< intents compiled by the delta path
   std::size_t fallbacks = 0;  ///< intents demoted to a full rebuild
+  std::size_t vip_collision_fallbacks = 0;
+  std::size_t slice_validation_fallbacks = 0;
+};
+
+/// Whether a binding symbolically verifies each compile: after the
+/// initial build and every applied intent, prove the live (possibly
+/// patched-in-place) program equivalent to a freshly rebuilt reference
+/// using the decision-diagram engine — drift is caught as a semantic
+/// difference, not just a bit difference.
+enum class VerifyMode { kOff, kSymbolic };
+
+/// Tally of post-compile symbolic verifications.
+struct VerifyStats {
+  std::size_t verified = 0;  ///< proofs of equivalence
+  std::size_t failed = 0;    ///< refutations (drift!) — must stay 0
+  std::size_t unknown = 0;   ///< solver bailed (budget)
 };
 
 /// Whether a binding re-runs the static analyzer over the freshly
@@ -75,7 +93,8 @@ class GwlbBinding {
  public:
   GwlbBinding(workloads::Gwlb gwlb, Representation repr,
               CompileMode mode = CompileMode::kIncremental,
-              AnalyzeMode analyze = AnalyzeMode::kOff);
+              AnalyzeMode analyze = AnalyzeMode::kOff,
+              VerifyMode verify = VerifyMode::kOff);
 
   [[nodiscard]] Representation representation() const noexcept {
     return repr_;
@@ -93,6 +112,15 @@ class GwlbBinding {
   }
   [[nodiscard]] IncrementalStats incremental_stats() const noexcept {
     return inc_stats_;
+  }
+  [[nodiscard]] VerifyMode verify_mode() const noexcept { return verify_; }
+  [[nodiscard]] VerifyStats verify_stats() const noexcept {
+    return verify_stats_;
+  }
+  /// Solver note / counterexample of the most recent non-verified
+  /// outcome (empty while every verification proved equivalence).
+  [[nodiscard]] const std::string& last_verify_note() const noexcept {
+    return last_verify_note_;
   }
   [[nodiscard]] const workloads::Gwlb& gwlb() const noexcept { return gwlb_; }
   [[nodiscard]] const dp::Program& program() const noexcept {
@@ -139,11 +167,15 @@ class GwlbBinding {
   /// the delta path maintains them in place.
   void rebuild_indexes();
   void rebuild_slice_index(std::size_t table);
-  void vip_add(std::uint32_t vip);
-  void vip_remove(std::uint32_t vip);
+  void vip_add(std::uint32_t vip, std::size_t service);
+  void vip_remove(std::uint32_t vip, std::size_t service);
   /// Runs the analyzer suite over program_ + the universal table and
   /// stores the report; bumps the clean/findings counters.
   void run_post_compile_analysis();
+  /// Proves the live program equivalent to a freshly rebuilt reference
+  /// (VerifyMode::kSymbolic); tallies verify_stats_ and the
+  /// maton_cp_symbolic_*_total counters.
+  void run_post_compile_verify();
 
   /// Lowered, slice-sorted rules service `s` (in state `svc`) contributes
   /// to program table `table`; empty when it contributes none.
@@ -155,8 +187,12 @@ class GwlbBinding {
   [[nodiscard]] std::vector<std::size_t> affected_tables(
       std::size_t s) const;
 
+  /// Why the most recent try_compile_incremental declined.
+  enum class FallbackCause { kVipCollision, kSliceValidation };
+
   /// The delta path. Returns nullopt when the intent must fall back to
-  /// the full rebuild (ambiguous slice diff or validation mismatch);
+  /// the full rebuild (a VIP collision whose slices could not be proven
+  /// disjoint, or a slice-validation mismatch — see last_fallback_cause_);
   /// in that case nothing has been mutated yet.
   [[nodiscard]] std::optional<std::vector<dp::RuleUpdate>>
   try_compile_incremental(std::size_t service,
@@ -184,12 +220,16 @@ class GwlbBinding {
   /// while slice shapes are stable; suffix-recomputed when a slice
   /// grows or shrinks.
   std::vector<std::size_t> row_offsets_;
-  /// Live-VIP multiset (value → count) plus the number of duplicated
-  /// values: the delta path's collision precheck in O(1) instead of an
-  /// O(services) set build per intent.
-  std::unordered_map<std::uint32_t, std::uint32_t> vip_count_;
-  std::size_t vip_dups_ = 0;
+  /// Live services per VIP: the delta path's collision precheck in O(1),
+  /// and — when a collision exists — the partner set whose slices the
+  /// symbolic isolation proof must clear before the patch may proceed.
+  std::unordered_map<std::uint32_t, std::vector<std::uint32_t>>
+      vip_services_;
   IncrementalStats inc_stats_;
+  FallbackCause last_fallback_cause_ = FallbackCause::kSliceValidation;
+  VerifyMode verify_ = VerifyMode::kOff;
+  VerifyStats verify_stats_;
+  std::string last_verify_note_;
   core::tane::PartitionCache mine_cache_;
   std::optional<core::FdSet> mined_;  // invalidated when universal changes
   AnalyzeMode analyze_ = AnalyzeMode::kOff;

@@ -1,10 +1,8 @@
 #include "core/equivalence.hpp"
 
-#include <algorithm>
-#include <set>
 #include <vector>
 
-#include "util/rng.hpp"
+#include "core/probe_oracle.hpp"
 
 namespace maton::core {
 
@@ -70,7 +68,6 @@ EquivalenceReport check_equivalence(const Table& table,
                                     const EquivalenceOptions& opts) {
   EquivalenceReport report;
   const Pipeline reference = Pipeline::single(table);
-  const Schema& schema = table.schema();
 
   // Phase 1: every entry's own packet (exhaustive over hit paths).
   for (std::size_t i = 0; i < table.num_rows(); ++i) {
@@ -80,33 +77,11 @@ EquivalenceReport check_equivalence(const Table& table,
     }
   }
 
-  // Phase 2: randomized probes over the active domain, plus one fresh
-  // value per field that no entry uses — this exercises misses and the
+  // Phase 2: randomized probes from the shared oracle — active domain
+  // plus one fresh value per field, exercising misses and the
   // partial-hit paths of multi-stage pipelines.
-  const std::vector<std::size_t> match_cols = [&] {
-    const AttrSet m = schema.match_set();
-    return std::vector<std::size_t>(m.begin(), m.end());
-  }();
-  std::vector<std::vector<Value>> domain(match_cols.size());
-  for (std::size_t k = 0; k < match_cols.size(); ++k) {
-    std::set<Value> seen;
-    for (std::size_t i = 0; i < table.num_rows(); ++i) {
-      seen.insert(table.at(i, match_cols[k]));
-    }
-    // Fresh value outside the active domain.
-    Value fresh = 0;
-    while (seen.count(fresh) != 0) ++fresh;
-    domain[k].assign(seen.begin(), seen.end());
-    domain[k].push_back(fresh);
-  }
-
-  Rng rng(opts.seed);
-  for (std::size_t probe = 0; probe < opts.random_probes; ++probe) {
-    PacketState packet;
-    for (std::size_t k = 0; k < match_cols.size(); ++k) {
-      const Value v = domain[k][rng.index(domain[k].size())];
-      packet[schema.at(match_cols[k]).name] = v;
-    }
+  for (const PacketState& packet :
+       draw_table_probes(table, opts.random_probes, opts.seed)) {
     if (!check_packet(table, reference, pipeline, packet, report)) {
       return report;
     }

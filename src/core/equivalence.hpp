@@ -12,12 +12,13 @@
 #include <string>
 
 #include "core/pipeline.hpp"
+#include "core/probe_oracle.hpp"
 
 namespace maton::core {
 
 struct EquivalenceOptions {
   std::size_t random_probes = 256;
-  std::uint64_t seed = 0x6d61746f6eULL;  // "maton"
+  std::uint64_t seed = kProbeSeed;
 };
 
 struct EquivalenceReport {

@@ -1,0 +1,42 @@
+// Shared probe oracle: the one place that turns a seed into equivalence
+// probe packets. Both probe-based checkers — core::check_equivalence's
+// randomized phase and netkat::equivalent_on's sampled packet universe —
+// draw through this module, so they share one seed constant and one
+// reproducible draw discipline instead of each reinventing them.
+//
+// The symbolic engine (analysis/symbolic) supersedes these probes with
+// proofs; the oracle remains as the independent cross-check the
+// differential test suite compares the solver against.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "core/table.hpp"
+
+namespace maton::core {
+
+/// Seed of every probe-based equivalence check ("maton" in ASCII).
+inline constexpr std::uint64_t kProbeSeed = 0x6d61746f6eULL;
+
+/// Draws `count` probe packets over the match columns of `table`:
+/// uniform over each column's active value domain plus one fresh value
+/// no entry uses, which exercises miss and partial-hit paths. Draw
+/// order is deterministic in (table contents, seed).
+[[nodiscard]] std::vector<PacketState> draw_table_probes(
+    const Table& table, std::size_t count,
+    std::uint64_t seed = kProbeSeed);
+
+/// Draws `count` sparse packets over an explicit field universe: each
+/// field is present with probability `present_probability` (absent
+/// fields exercise failing tests) and bound uniformly in
+/// [0, max_value]. Used for NetKAT policy probing.
+[[nodiscard]] std::vector<PacketState> draw_field_probes(
+    std::span<const std::string> fields, std::size_t count,
+    std::uint64_t max_value, double present_probability = 0.85,
+    std::uint64_t seed = kProbeSeed);
+
+}  // namespace maton::core

@@ -90,6 +90,10 @@ Snapshot ScrapeDiff::augment(Snapshot snapshot, double now_seconds) {
 
   double inc_hits = 0.0;
   double inc_fallbacks = 0.0;
+  // Per-cause fallback tallies keyed by the counter's `cause` label
+  // (vip_collision / slice_validation; unlabeled legacy counters land
+  // under "").
+  std::map<std::string, double> fallbacks_by_cause;
   std::map<Key, double> counters_now;
   for (const MetricSnapshot& m : snapshot.metrics) {
     if (m.kind == MetricKind::kCounter) {
@@ -98,6 +102,11 @@ Snapshot ScrapeDiff::augment(Snapshot snapshot, double now_seconds) {
         inc_hits += m.value;
       } else if (m.name == "maton_cp_incremental_fallbacks_total") {
         inc_fallbacks += m.value;
+        const auto cause = std::find_if(
+            m.labels.begin(), m.labels.end(),
+            [](const auto& label) { return label.first == "cause"; });
+        fallbacks_by_cause[cause != m.labels.end() ? cause->second : ""] +=
+            m.value;
       }
       if (has_last_ && dt > 0.0) {
         const auto prev = last_counters_.find(Key{m.name, m.labels});
@@ -120,6 +129,17 @@ Snapshot ScrapeDiff::augment(Snapshot snapshot, double now_seconds) {
       inc_hits + inc_fallbacks > 0.0
           ? inc_fallbacks / (inc_hits + inc_fallbacks)
           : 0.0));
+  // One ratio gauge per observed cause, against the same denominator:
+  // the causes partition the fallbacks, so these sum to the overall
+  // ratio.
+  for (const auto& [cause, count] : fallbacks_by_cause) {
+    if (cause.empty()) continue;  // legacy unlabeled counter
+    derived.push_back(derived_gauge(
+        "maton_cp_incremental_fallback_ratio", {{"cause", cause}},
+        inc_hits + inc_fallbacks > 0.0
+            ? count / (inc_hits + inc_fallbacks)
+            : 0.0));
+  }
 
   last_counters_ = std::move(counters_now);
   last_time_seconds_ = now_seconds;

@@ -98,10 +98,11 @@ TEST(Diagnostics, SinkFiltersBySeverityAndTruncates) {
 }
 
 TEST(Diagnostics, SkippedPassIsRecordedAsNotRan) {
-  // No program, no tables, no decomposition: every pass lacks input.
+  // No program, no tables, no decomposition, no symbolic checks: every
+  // pass lacks input.
   const Report report = run(Input{});
   EXPECT_TRUE(report.diagnostics.empty());
-  ASSERT_EQ(report.passes.size(), 5u);
+  ASSERT_EQ(report.passes.size(), 6u);
   for (const PassStats& pass : report.passes) {
     EXPECT_FALSE(pass.ran) << pass.name;
   }

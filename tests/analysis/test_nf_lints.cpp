@@ -257,8 +257,10 @@ TEST(EndToEnd, PaperFigurePipelinesAreWarningClean) {
     EXPECT_TRUE(report.clean(Severity::kWarning))
         << to_string(repr) << ":\n"
         << render_text(report);
-    // Every pass had input and ran.
+    // Every pass had input and ran (the symbolic pass takes its own
+    // program-pair/slice/decomposition inputs, not supplied here).
     for (const PassStats& pass : report.passes) {
+      if (pass.name == "symbolic") continue;
       EXPECT_TRUE(pass.ran) << to_string(repr) << " " << pass.name;
     }
   }

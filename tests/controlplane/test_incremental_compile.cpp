@@ -212,25 +212,33 @@ TEST(IncrementalCompile, RemoveThenRetargetEdgeCases) {
 }
 
 TEST(IncrementalCompile, VipCollisionFallsBackAndStaysCorrect) {
-  // Pointing one service at another's VIP makes cross-service rules
-  // ambiguous for slice-local diffing; the compiler must demote such
-  // intents to the full-rebuild reference path and still produce an
-  // identical program.
+  // Pointing one service at another's VIP used to demote every intent in
+  // the colliding state to the full-rebuild path. The symbolic
+  // slice-isolation proof now clears collisions whose slices cannot
+  // alias: the colliding services still differ in tcp_dst (and every
+  // gwlb rule carries its service's port or tag), so their match regions
+  // are provably disjoint in every affected table and the delta path
+  // stays on, bit-identical to the reference.
   const Gwlb gwlb = make_gwlb({.num_services = 4, .num_backends = 2});
+  ASSERT_NE(gwlb.services[0].port, gwlb.services[2].port);
   for (const Representation repr : kAllReprs) {
     GwlbBinding inc(gwlb, repr, CompileMode::kIncremental);
     GwlbBinding ref(gwlb, repr, CompileMode::kFullRebuild);
     const ChangeServiceIp collide{.service = 2,
                                   .new_vip = gwlb.services[0].vip};
     if (repr == Representation::kRematch) {
-      // Rematch keys its LB stage on ip_dst alone, so two live services
-      // on one VIP produce duplicate match keys and the normalized
-      // pipeline is rejected outright — in both modes, since the
-      // incremental path demotes colliding states to the rebuild.
+      // Rematch's LB stage re-matches (ip_src, ip_dst), and make_gwlb
+      // gives every service the same src splits, so two live services on
+      // one VIP produce *identical* LB keys: the slices provably
+      // intersect, the delta path falls back (cause: vip_collision), and
+      // the rebuild rejects the duplicate-key pipeline outright — in
+      // both modes.
       EXPECT_THROW((void)inc.compile_intent(collide),
                    maton::ContractViolation);
       EXPECT_THROW((void)ref.compile_intent(collide),
                    maton::ContractViolation);
+      EXPECT_EQ(inc.incremental_stats().vip_collision_fallbacks, 1u);
+      EXPECT_EQ(inc.incremental_stats().slice_validation_fallbacks, 0u);
       continue;
     }
     const auto got = inc.compile_intent(collide);
@@ -238,25 +246,29 @@ TEST(IncrementalCompile, VipCollisionFallsBackAndStaysCorrect) {
     ASSERT_TRUE(got.is_ok());
     ASSERT_TRUE(want.is_ok());
     ASSERT_TRUE(inc.program() == ref.program()) << to_string(repr);
-    EXPECT_EQ(inc.incremental_stats().fallbacks, 1u) << to_string(repr);
-    EXPECT_EQ(inc.incremental_stats().hits, 0u) << to_string(repr);
+    EXPECT_EQ(inc.incremental_stats().hits, 1u) << to_string(repr);
+    EXPECT_EQ(inc.incremental_stats().fallbacks, 0u) << to_string(repr);
 
-    // While the collision persists every intent stays on the reference
-    // path; once it clears the delta path resumes.
+    // The collision persists; intents on uninvolved services have no
+    // partners to prove against, and even the colliding pair's own
+    // intents carry their isolation proofs.
     ASSERT_TRUE(inc.compile_intent(
                        MoveServicePort{.service = 1, .new_port = 50001})
                     .is_ok());
-    EXPECT_EQ(inc.incremental_stats().fallbacks, 2u) << to_string(repr);
-    // Clearing the collision is itself a rebuild (the diff spans the
-    // still-colliding pre-state); the intent after that is delta-scoped.
+    ASSERT_TRUE(ref.compile_intent(
+                       MoveServicePort{.service = 1, .new_port = 50001})
+                    .is_ok());
+    // Clearing the collision diffs against the still-colliding pre-state;
+    // the proof covers before ∪ after, so it stays delta-scoped too.
     ASSERT_TRUE(inc.compile_intent(ChangeServiceIp{
                        .service = 2, .new_vip = ipv4(198, 19, 200, 1)})
                     .is_ok());
-    EXPECT_EQ(inc.incremental_stats().fallbacks, 3u) << to_string(repr);
-    ASSERT_TRUE(inc.compile_intent(
-                       MoveServicePort{.service = 1, .new_port = 50002})
+    ASSERT_TRUE(ref.compile_intent(ChangeServiceIp{
+                       .service = 2, .new_vip = ipv4(198, 19, 200, 1)})
                     .is_ok());
-    EXPECT_EQ(inc.incremental_stats().hits, 1u) << to_string(repr);
+    ASSERT_TRUE(inc.program() == ref.program()) << to_string(repr);
+    EXPECT_EQ(inc.incremental_stats().hits, 3u) << to_string(repr);
+    EXPECT_EQ(inc.incremental_stats().fallbacks, 0u) << to_string(repr);
   }
 }
 

@@ -53,16 +53,48 @@ TEST(MatoncAnalyze, GoldenJsonForPaperRematchExample) {
       "\"table\":0,"
       "\"message\":\"table 'gwlb.universal' is below BCNF: "
       "ip_dst -> tcp_dst has a non-superkey determinant\","
-      "\"witness\":\"BCNF violations: 2\"}"
-      "],\"summary\":{\"error\":0,\"warning\":0,\"info\":2},"
+      "\"witness\":\"BCNF violations: 2\"},"
+      "{\"severity\":\"info\",\"code\":\"MA602\",\"pass\":\"symbolic\","
+      "\"message\":\"slices 'service 0' vs 'service 1' are proven "
+      "disjoint\",\"witness\":\"2 vs 3 rules\"},"
+      "{\"severity\":\"info\",\"code\":\"MA602\",\"pass\":\"symbolic\","
+      "\"message\":\"slices 'service 1' vs 'service 2' are proven "
+      "disjoint\",\"witness\":\"3 vs 1 rules\"}"
+      "],\"summary\":{\"error\":0,\"warning\":0,\"info\":4},"
       "\"passes\":["
       "{\"name\":\"shadowing\",\"ran\":true,\"diagnostics\":0},"
       "{\"name\":\"reachability\",\"ran\":true,\"diagnostics\":0},"
       "{\"name\":\"dataflow\",\"ran\":true,\"diagnostics\":0},"
       "{\"name\":\"schema_nf\",\"ran\":true,\"diagnostics\":2},"
-      "{\"name\":\"decomposition\",\"ran\":true,\"diagnostics\":0}"
+      "{\"name\":\"decomposition\",\"ran\":true,\"diagnostics\":0},"
+      "{\"name\":\"symbolic\",\"ran\":true,\"diagnostics\":2}"
       "]}";
   EXPECT_EQ(result.out, expected);
+}
+
+TEST(MatoncAnalyze, SymbolicPassProvesEveryRepresentation) {
+  // The MA601 program-pair check (live program vs an independent
+  // recompile) and the MA603 decomposition check (universal table vs the
+  // decomposed pipeline) must both come back silent — a proof — for
+  // every representation, while the MA602 slice-isolation proofs report
+  // their positive certificates.
+  for (const char* repr :
+       {"universal", "goto", "metadata", "rematch"}) {
+    const RunResult result = run_matonc(
+        "analyze gwlb:" + std::string(repr) + " --analyze=json");
+    EXPECT_EQ(result.exit_code, 0) << repr << ": " << result.out;
+    EXPECT_NE(result.out.find("\"name\":\"symbolic\",\"ran\":true"),
+              std::string::npos)
+        << repr << ": " << result.out;
+    EXPECT_NE(result.out.find("\"code\":\"MA602\""), std::string::npos)
+        << repr << ": " << result.out;
+    EXPECT_EQ(result.out.find("\"code\":\"MA601\""), std::string::npos)
+        << repr << ": " << result.out;
+    EXPECT_EQ(result.out.find("\"code\":\"MA603\""), std::string::npos)
+        << repr << ": " << result.out;
+    EXPECT_EQ(result.out.find("\"code\":\"MA604\""), std::string::npos)
+        << repr << ": " << result.out;
+  }
 }
 
 TEST(MatoncAnalyze, TextRendererSummarizesPasses) {

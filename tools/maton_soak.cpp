@@ -24,10 +24,19 @@
 //              [--repr=universal|goto|metadata|rematch] [--queues=Q]
 //              [--batch=B] [--packets=P] [--seed=S]
 //              [--metrics-addr=HOST:PORT] [--rss-limit-mb=MB]
-//              [--drift-every=K] [--mine-every=K]
+//              [--drift-every=K] [--mine-every=K] [--verify]
+//              [--max-fallback-ratio=R]
 //
 // Defaults: 60 s soak of gwlb 64x8 (goto), 2 replay queues, drift check
 // every 64 intents, FD re-mine every 16, no RSS gate.
+//
+// --verify turns on per-intent symbolic verification: after every
+// applied intent the binding proves the live program equivalent to a
+// fresh reference with the decision-diagram engine (VerifyMode in
+// controlplane/compiler.hpp); any refutation fails the soak.
+// --max-fallback-ratio gates fallbacks/(hits+fallbacks) at exit — the
+// symbolic slice-isolation proofs are expected to keep deliberate VIP
+// collisions on the delta path, so the ratio stays near zero.
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -65,6 +74,8 @@ struct SoakOptions {
   double rss_limit_mb = 0.0;  // 0 = no gate
   std::size_t drift_every = 64;
   std::size_t mine_every = 16;
+  bool verify = false;
+  double max_fallback_ratio = -1.0;  // < 0 = no gate
 };
 
 int usage(std::ostream& os) {
@@ -72,7 +83,8 @@ int usage(std::ostream& os) {
         "  [--repr=universal|goto|metadata|rematch] [--queues=Q]\n"
         "  [--batch=B] [--packets=P] [--seed=S]\n"
         "  [--metrics-addr=HOST:PORT] [--rss-limit-mb=MB]\n"
-        "  [--drift-every=K] [--mine-every=K]\n";
+        "  [--drift-every=K] [--mine-every=K] [--verify]\n"
+        "  [--max-fallback-ratio=R]\n";
   return 2;
 }
 
@@ -119,6 +131,10 @@ bool parse_args(const std::vector<std::string>& args, SoakOptions& opts,
         opts.drift_every = std::stoul(val);
       } else if (key == "--mine-every") {
         opts.mine_every = std::stoul(val);
+      } else if (key == "--verify") {
+        opts.verify = true;
+      } else if (key == "--max-fallback-ratio") {
+        opts.max_fallback_ratio = std::stod(val);
       } else {
         err << "unknown option '" << arg << "'\n";
         return false;
@@ -127,7 +143,7 @@ bool parse_args(const std::vector<std::string>& args, SoakOptions& opts,
       err << "bad value in '" << arg << "'\n";
       return false;
     }
-    if (val.empty() && key != "--metrics-addr") {
+    if (val.empty() && key != "--metrics-addr" && key != "--verify") {
       err << "option '" << key << "' needs a value\n";
       return false;
     }
@@ -210,7 +226,9 @@ int run(const SoakOptions& opts) {
        .num_backends = opts.backends,
        .seed = opts.seed});
   auto binding = std::make_unique<cp::GwlbBinding>(
-      gwlb, opts.repr, cp::CompileMode::kIncremental);
+      gwlb, opts.repr, cp::CompileMode::kIncremental,
+      cp::AnalyzeMode::kOff,
+      opts.verify ? cp::VerifyMode::kSymbolic : cp::VerifyMode::kOff);
   cp::GwlbBinding& live_binding = *binding;
   auto sw = dp::make_eswitch_model();
   cp::Controller controller(std::move(binding), *sw);
@@ -290,6 +308,12 @@ int run(const SoakOptions& opts) {
       static_cast<std::uint64_t>(opts.rss_limit_mb * 1024.0 * 1024.0);
   const bool rss_ok = rss_limit == 0 || rss_peak == 0 || rss_peak <= rss_limit;
   const cp::IncrementalStats inc = live_binding.incremental_stats();
+  const cp::VerifyStats verify = live_binding.verify_stats();
+  const double fallback_ratio =
+      inc.hits + inc.fallbacks == 0
+          ? 0.0
+          : static_cast<double>(inc.fallbacks) /
+                static_cast<double>(inc.hits + inc.fallbacks);
 
   obs::update_derived_gauges();
   const Status exported = obs::write_exports_from_env();
@@ -309,6 +333,14 @@ int run(const SoakOptions& opts) {
             << "  \"intent_failures\": " << failures << ",\n"
             << "  \"incremental_hits\": " << inc.hits << ",\n"
             << "  \"incremental_fallbacks\": " << inc.fallbacks << ",\n"
+            << "  \"vip_collision_fallbacks\": "
+            << inc.vip_collision_fallbacks << ",\n"
+            << "  \"slice_validation_fallbacks\": "
+            << inc.slice_validation_fallbacks << ",\n"
+            << "  \"fallback_ratio\": " << fallback_ratio << ",\n"
+            << "  \"symbolic_verified\": " << verify.verified << ",\n"
+            << "  \"symbolic_failed\": " << verify.failed << ",\n"
+            << "  \"symbolic_unknown\": " << verify.unknown << ",\n"
             << "  \"drift_checks\": " << state.drift_checks.load() << ",\n"
             << "  \"drift\": " << drift << ",\n"
             << "  \"replay_iterations\": " << state.replay_iterations.load()
@@ -334,6 +366,19 @@ int run(const SoakOptions& opts) {
   if (!rss_ok) {
     std::cerr << "maton-soak: FAIL: peak RSS " << rss_peak
               << " bytes exceeds limit " << rss_limit << "\n";
+    return 1;
+  }
+  if (verify.failed != 0) {
+    std::cerr << "maton-soak: FAIL: " << verify.failed
+              << " symbolic verification(s) refuted the live program: "
+              << live_binding.last_verify_note() << "\n";
+    return 1;
+  }
+  if (opts.max_fallback_ratio >= 0.0 &&
+      fallback_ratio > opts.max_fallback_ratio) {
+    std::cerr << "maton-soak: FAIL: fallback ratio " << fallback_ratio
+              << " exceeds --max-fallback-ratio="
+              << opts.max_fallback_ratio << "\n";
     return 1;
   }
   return 0;

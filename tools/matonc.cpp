@@ -10,6 +10,13 @@
 //   --target 2nf|3nf|bcnf            normalization goal (default 3nf)
 //   --format openflow|p4             export backend     (default openflow)
 //   --no-constants                   keep constant columns inline
+//   --verify=symbolic|probe          how normalize/export prove the
+//                                    pipeline equivalent to its source
+//                                    table (default symbolic: an exact
+//                                    decision-diagram proof over every
+//                                    packet; probe: the legacy randomized
+//                                    probe oracle). An inconclusive
+//                                    symbolic solve falls back to probes.
 //   --analyze[=text|json]            run the static analyzer; with json,
 //                                    print only the machine-readable report
 //   --metrics[=prom|json]            dump telemetry to stderr (default prom)
@@ -31,7 +38,9 @@
 #include <vector>
 
 #include "analysis/analysis.hpp"
+#include "analysis/symbolic/engine.hpp"
 #include "controlplane/compiler.hpp"
+#include "dataplane/program.hpp"
 #include "core/equivalence.hpp"
 #include "core/fd_mine.hpp"
 #include "core/mvd.hpp"
@@ -52,7 +61,8 @@ using namespace maton;
 int usage(std::ostream& os) {
   os << "usage: matonc <analyze|normalize|export> <table.maton|gwlb:SPEC>\n"
         "  [--join goto|metadata|rematch] [--target 2nf|3nf|bcnf]\n"
-        "  [--format openflow|p4] [--no-constants] [--analyze[=text|json]]\n"
+        "  [--format openflow|p4] [--no-constants]\n"
+        "  [--verify=symbolic|probe] [--analyze[=text|json]]\n"
         "  [--metrics[=prom|json]] [--trace=FILE]\n"
         "  [--metrics-addr=HOST:PORT]\n"
         "gwlb:SPEC (analyze only): <repr>[@NxM[@seed]] with repr one of\n"
@@ -67,6 +77,7 @@ struct CliOptions {
   core::NormalForm target = core::NormalForm::kThird;
   std::string format = "openflow";
   bool factor_constants = true;
+  std::string verify = "symbolic";  // or "probe"
   std::string analyze_report;  // empty = off, else "text" or "json"
   std::string metrics;         // empty = off, else "prom" or "json"
   std::string trace_path;      // empty = off
@@ -115,6 +126,12 @@ bool parse_args(const std::vector<std::string>& args, CliOptions& opts,
       opts.format = *v;
     } else if (arg == "--no-constants") {
       opts.factor_constants = false;
+    } else if (arg.starts_with("--verify=")) {
+      opts.verify = arg.substr(sizeof("--verify=") - 1);
+      if (opts.verify != "symbolic" && opts.verify != "probe") {
+        err << "unknown verify mode '" << opts.verify << "'\n";
+        return false;
+      }
     } else if (arg == "--analyze" || arg.starts_with("--analyze=")) {
       const std::string v =
           arg == "--analyze" ? "text" : arg.substr(sizeof("--analyze=") - 1);
@@ -198,13 +215,41 @@ Result<core::Pipeline> run_normalize(const core::ParsedSpec& spec,
   for (const std::string& skipped : out.value().skipped) {
     os << "# skipped: " << skipped << "\n";
   }
-  const auto eq = core::check_equivalence(table, out.value().pipeline);
-  if (!eq.equivalent) {
-    return internal_error("normalization produced a non-equivalent "
-                          "pipeline: " + eq.counterexample);
+  // Proof-gated normalization: by default the pipeline must be *proven*
+  // equivalent to the source table by the symbolic engine — every packet,
+  // not a probe sample. --verify=probe keeps the legacy randomized
+  // oracle; an inconclusive symbolic solve (node budget) degrades to it.
+  bool use_probes = opts.verify == "probe";
+  if (!use_probes) {
+    const auto proof = analysis::symbolic::check_table_vs_pipeline(
+        table, out.value().pipeline);
+    switch (proof.outcome) {
+      case analysis::symbolic::Outcome::kEquivalent:
+        os << "# verified equivalent symbolically (" << proof.stats.nodes
+           << " diagram nodes)\n";
+        break;
+      case analysis::symbolic::Outcome::kInequivalent:
+        return internal_error(
+            "normalization produced a non-equivalent pipeline: " +
+            (proof.counterexample.has_value()
+                 ? proof.counterexample->description
+                 : "symbolic refutation"));
+      case analysis::symbolic::Outcome::kUnknown:
+        os << "# symbolic verification inconclusive (" << proof.note
+           << "); falling back to probes\n";
+        use_probes = true;
+        break;
+    }
   }
-  os << "# verified equivalent over " << eq.packets_checked
-     << " probe packets\n";
+  if (use_probes) {
+    const auto eq = core::check_equivalence(table, out.value().pipeline);
+    if (!eq.equivalent) {
+      return internal_error("normalization produced a non-equivalent "
+                            "pipeline: " + eq.counterexample);
+    }
+    os << "# verified equivalent over " << eq.packets_checked
+       << " probe packets\n";
+  }
   return std::move(out).value().pipeline;
 }
 
@@ -270,6 +315,7 @@ int run_builtin_analyze(const CliOptions& opts, std::ostream& os,
   const cp::GwlbBinding binding(std::move(gwlb), repr);
   const workloads::Gwlb& model = binding.gwlb();
   const core::Schema& schema = model.universal.schema();
+  const std::string name = "gwlb." + std::string(cp::to_string(repr));
 
   analysis::Input input;
   input.program = &binding.program();
@@ -280,8 +326,58 @@ int run_builtin_analyze(const CliOptions& opts, std::ostream& os,
   decomposition.schema = &schema;
   decomposition.fds = &join_fds;
   decomposition.components = cp::decomposition_components(repr, schema);
-  decomposition.name = "gwlb." + std::string(cp::to_string(repr));
+  decomposition.name = name;
   input.decomposition = std::move(decomposition);
+
+  // Symbolic pass inputs. MA601: the binding's live program against an
+  // independent recompile of the same pipeline. MA603: the universal
+  // table against the representation's decomposed pipeline. MA602: the
+  // per-service slices of the universal program, pairwise-adjacent —
+  // each proof certifies the services cannot alias each other's rules.
+  const auto reference = dp::compile(cp::pipeline_for(model, repr));
+  if (!reference.is_ok()) {
+    err << "reference compile failed: " << reference.status().to_string()
+        << "\n";
+    return 1;
+  }
+  input.program_pair = {.left = &binding.program(),
+                        .right = &reference.value(),
+                        .left_name = name,
+                        .right_name = name + ".reference"};
+
+  const core::Pipeline pipeline = cp::pipeline_for(model, repr);
+  input.symbolic_decomposition = {.universal = &model.universal,
+                                  .pipeline = &pipeline,
+                                  .name = name};
+
+  dp::FieldMap field_map;
+  const auto universal_program =
+      dp::compile(core::Pipeline::single(model.universal), &field_map);
+  std::vector<std::vector<dp::Rule>> slices;
+  std::vector<std::size_t> slice_services;
+  if (universal_program.is_ok()) {
+    for (std::size_t s = 0; s < model.services.size(); ++s) {
+      const workloads::GwlbService& svc = model.services[s];
+      if (svc.src_prefixes.empty()) continue;
+      std::vector<dp::Rule> slice;
+      for (const core::Row& row : workloads::gwlb_universal_rows(svc)) {
+        auto rule = dp::lower_row(schema, row, field_map);
+        if (!rule.is_ok()) break;
+        slice.push_back(std::move(rule).value());
+      }
+      slices.push_back(std::move(slice));
+      slice_services.push_back(s);
+    }
+    for (std::size_t i = 0; i + 1 < slices.size(); ++i) {
+      input.slices.push_back(
+          {.left = slices[i],
+           .right = slices[i + 1],
+           .left_name =
+               "service " + std::to_string(slice_services[i]),
+           .right_name =
+               "service " + std::to_string(slice_services[i + 1])});
+    }
+  }
 
   return emit_report(analysis::run(input), opts, os);
 }
